@@ -1,0 +1,43 @@
+//! The "original circuit": conventional synthesis in program order.
+
+use phoenix_circuit::{synthesis, Circuit};
+use phoenix_pauli::PauliString;
+
+/// Synthesizes the program exactly as written — the denominator of every
+/// optimization rate in the paper (Table I's `#Gate`/`#CNOT`/`Depth`
+/// columns).
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_baselines::naive;
+/// use phoenix_pauli::PauliString;
+///
+/// let c = naive::compile(3, &[("XYZ".parse::<PauliString>()?, 0.2)]);
+/// assert_eq!(c.counts().cnot, 4);
+/// # Ok::<(), phoenix_pauli::ParsePauliStringError>(())
+/// ```
+pub fn compile(n: usize, terms: &[(PauliString, f64)]) -> Circuit {
+    synthesis::naive_circuit(n, terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_preserved() {
+        let t: Vec<(PauliString, f64)> = vec![
+            ("ZZI".parse().unwrap(), 0.1),
+            ("IZZ".parse().unwrap(), 0.2),
+        ];
+        let c = compile(3, &t);
+        // First CNOT touches qubits (0,1), later ones (1,2).
+        let first = c
+            .gates()
+            .iter()
+            .find(|g| g.is_two_qubit())
+            .expect("has cnots");
+        assert_eq!(first.qubits(), (0, Some(1)));
+    }
+}

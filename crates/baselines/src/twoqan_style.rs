@@ -1,0 +1,94 @@
+//! 2QAN-style compilation for 2-local Hamiltonians (Lao & Browne, ISCA'22).
+//!
+//! 2QAN exploits the permutation freedom of 2-local simulation programs:
+//! logically, one QAOA Trotter step is scheduled depth-optimally by greedy
+//! edge coloring (each color class is a parallel layer of ZZ interactions).
+//! Our stand-in reproduces that logical scheduling; the shared SABRE back
+//! end provides the routing stage.
+
+use phoenix_circuit::{synthesis, Circuit};
+use phoenix_pauli::PauliString;
+
+/// Compiles a 2-local program with edge-coloring layering.
+///
+/// Terms of weight ≠ 2 are appended after the colored layers (2QAN targets
+/// 2-local programs; 1Q terms are free anyway).
+pub fn compile(n: usize, terms: &[(PauliString, f64)]) -> Circuit {
+    let mut twoq: Vec<&(PauliString, f64)> = Vec::new();
+    let mut rest: Vec<&(PauliString, f64)> = Vec::new();
+    for t in terms {
+        if t.0.weight() == 2 {
+            twoq.push(t);
+        } else {
+            rest.push(t);
+        }
+    }
+    // Greedy edge coloring: repeatedly extract a maximal matching.
+    let mut layers: Vec<Vec<&(PauliString, f64)>> = Vec::new();
+    let mut remaining = twoq;
+    while !remaining.is_empty() {
+        let mut used = 0u128;
+        let mut layer = Vec::new();
+        let mut next = Vec::new();
+        for t in remaining {
+            let mask = t.0.support_mask();
+            if used & mask == 0 {
+                used |= mask;
+                layer.push(t);
+            } else {
+                next.push(t);
+            }
+        }
+        layers.push(layer);
+        remaining = next;
+    }
+    let mut out = Circuit::new(n);
+    for layer in layers {
+        for (p, c) in layer {
+            synthesis::append_pauli_rotation(&mut out, p, *c);
+        }
+    }
+    for (p, c) in rest {
+        synthesis::append_pauli_rotation(&mut out, p, *c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zz(n: usize, a: usize, b: usize) -> (PauliString, f64) {
+        (
+            PauliString::from_sparse(n, &[(a, phoenix_pauli::Pauli::Z), (b, phoenix_pauli::Pauli::Z)]),
+            0.3,
+        )
+    }
+
+    #[test]
+    fn ring_schedules_depth_optimally() {
+        // A 4-ring is 2-edge-colorable: depth 2 layers × 2 CNOT = 4.
+        let t = vec![zz(4, 0, 1), zz(4, 1, 2), zz(4, 2, 3), zz(4, 3, 0)];
+        let c = compile(4, &t);
+        assert_eq!(c.depth_2q(), 4);
+        assert_eq!(c.counts().cnot, 8);
+    }
+
+    #[test]
+    fn naive_order_is_deeper_on_a_path() {
+        let t = vec![zz(4, 0, 1), zz(4, 1, 2), zz(4, 2, 3)];
+        let colored = compile(4, &t);
+        let naive = crate::naive::compile(4, &t);
+        assert!(colored.depth_2q() <= naive.depth_2q());
+    }
+
+    #[test]
+    fn non_2local_terms_still_compile() {
+        let t = vec![
+            zz(3, 0, 1),
+            ("ZZZ".parse::<PauliString>().unwrap(), 0.2),
+        ];
+        let c = compile(3, &t);
+        assert_eq!(c.counts().cnot, 2 + 4);
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks: compile-time scaling of the PHOENIX pipeline
+//! and its stages, supporting the paper's "compiles programs of thousands of
+//! Pauli strings in dozens of seconds" claim (our Rust implementation is
+//! far faster than the paper's Python).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phoenix_baselines::Baseline;
+use phoenix_circuit::peephole;
+use phoenix_core::{group::group_by_support, simplify::simplify_terms, PhoenixCompiler};
+use phoenix_hamil::{qaoa, uccsd, Molecule};
+use phoenix_router::{route, search_layout, RouterOptions};
+use phoenix_topology::CouplingGraph;
+
+fn bench_logical_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logical_compile");
+    g.sample_size(10);
+    for (mol, frozen, label) in [
+        (Molecule::lih(), true, "LiH_frz"),
+        (Molecule::nh(), true, "NH_frz"),
+        (Molecule::h2o(), false, "H2O_cmplt"),
+    ] {
+        let h = uccsd::ansatz(mol, frozen, uccsd::Encoding::JordanWigner, 7);
+        g.bench_with_input(BenchmarkId::new("phoenix", label), &h, |b, h| {
+            b.iter(|| PhoenixCompiler::default().compile_to_cnot(h.num_qubits(), h.terms()))
+        });
+        g.bench_with_input(BenchmarkId::new("paulihedral", label), &h, |b, h| {
+            b.iter(|| {
+                peephole::optimize(
+                    &Baseline::PaulihedralStyle.compile_logical(h.num_qubits(), h.terms()),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let h = uccsd::ansatz(Molecule::nh(), true, uccsd::Encoding::BravyiKitaev, 7);
+    let n = h.num_qubits();
+    let mut g = c.benchmark_group("stages");
+    g.sample_size(10);
+    g.bench_function("grouping", |b| b.iter(|| group_by_support(n, h.terms())));
+    let groups = group_by_support(n, h.terms());
+    g.bench_function("bsf_simplification", |b| {
+        b.iter(|| {
+            groups
+                .iter()
+                .map(|grp| simplify_terms(n, grp.terms()))
+                .count()
+        })
+    });
+    let logical = PhoenixCompiler::default().compile_to_cnot(n, h.terms());
+    let device = CouplingGraph::manhattan65();
+    g.bench_function("layout_search", |b| {
+        b.iter(|| search_layout(&logical, &device, &RouterOptions::default(), 3))
+    });
+    let layout = search_layout(&logical, &device, &RouterOptions::default(), 3);
+    g.bench_function("sabre_routing", |b| {
+        b.iter(|| route(&logical, &device, layout.clone(), &RouterOptions::default()))
+    });
+    g.finish();
+}
+
+fn bench_qaoa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qaoa_hardware_aware");
+    g.sample_size(10);
+    let device = CouplingGraph::manhattan65();
+    for n in [16usize, 24] {
+        let h = qaoa::benchmark(qaoa::QaoaKind::Rand4, n, 7 + n as u64);
+        g.bench_with_input(BenchmarkId::new("phoenix", n), &h, |b, h| {
+            b.iter(|| {
+                PhoenixCompiler::default().compile_hardware_aware(
+                    h.num_qubits(),
+                    h.terms(),
+                    &device,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_logical_compile, bench_stages, bench_qaoa);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Device sweep (beyond the paper): PHOENIX hardware-aware compilation
+//! across heavy-hex generations (Falcon-27, Manhattan-65, Eagle-127) and
+//! non-heavy-hex shapes (grid, line), with noise-model success estimates.
+
+use phoenix_bench::{row, write_results, SEED};
+use phoenix_core::PhoenixCompiler;
+use phoenix_hamil::{uccsd, Molecule};
+use phoenix_sim::noise::ErrorModel;
+use phoenix_topology::CouplingGraph;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Entry {
+    benchmark: String,
+    device: String,
+    cnot: usize,
+    depth_2q: usize,
+    swaps: usize,
+    overhead: f64,
+    est_success: f64,
+}
+
+fn devices() -> Vec<(&'static str, CouplingGraph)> {
+    vec![
+        ("falcon27", CouplingGraph::falcon27()),
+        ("manhattan65", CouplingGraph::manhattan65()),
+        ("eagle127", CouplingGraph::eagle127()),
+        ("grid4x4", CouplingGraph::grid(4, 4)),
+        ("line16", CouplingGraph::line(16)),
+    ]
+}
+
+fn main() {
+    let model = ErrorModel::ibm_like();
+    let mut entries = Vec::new();
+    println!("# Device sweep: PHOENIX hardware-aware across topologies\n");
+    println!(
+        "{}",
+        row(&["Benchmark", "Device", "#CNOT", "D2Q", "#SWAP", "ovh", "est. success"]
+            .map(String::from))
+    );
+    println!("{}", row(&vec!["---".to_string(); 7]));
+    for (mol, frozen) in [(Molecule::lih(), true), (Molecule::nh(), true)] {
+        let h = uccsd::ansatz(mol, frozen, uccsd::Encoding::JordanWigner, SEED);
+        for (name, device) in devices() {
+            if device.num_qubits() < h.num_qubits() {
+                continue;
+            }
+            let hw = PhoenixCompiler::default().compile_hardware_aware(
+                h.num_qubits(),
+                h.terms(),
+                &device,
+            );
+            let e = Entry {
+                benchmark: h.name().to_string(),
+                device: name.to_string(),
+                cnot: hw.circuit.counts().cnot,
+                depth_2q: hw.circuit.depth_2q(),
+                swaps: hw.num_swaps,
+                overhead: hw.routing_overhead(),
+                est_success: model.success_probability(&hw.circuit),
+            };
+            println!(
+                "{}",
+                row(&[
+                    e.benchmark.clone(),
+                    e.device.clone(),
+                    e.cnot.to_string(),
+                    e.depth_2q.to_string(),
+                    e.swaps.to_string(),
+                    format!("{:.2}x", e.overhead),
+                    format!("{:.3e}", e.est_success),
+                ])
+            );
+            entries.push(e);
+        }
+    }
+    write_results("devices", &entries);
+}

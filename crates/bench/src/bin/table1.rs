@@ -1,0 +1,55 @@
+//! Table I — UCCSD benchmark suite characteristics.
+//!
+//! For each of the 16 UCCSD benchmarks: qubit count, `#Pauli`, `w_max`, and
+//! the conventional ("original") circuit's `#Gate`, `#CNOT`, `Depth`,
+//! `Depth-2Q`.
+
+use phoenix_baselines::Baseline;
+use phoenix_bench::{row, write_results, Metrics, SEED};
+use phoenix_hamil::uccsd;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: String,
+    qubits: usize,
+    pauli: usize,
+    w_max: usize,
+    metrics: Metrics,
+}
+
+fn main() {
+    println!("# Table I: UCCSD benchmark suite\n");
+    println!(
+        "{}",
+        row(&["Benchmark", "#Qubit", "#Pauli", "w_max", "#Gate", "#CNOT", "Depth", "Depth-2Q"]
+            .map(String::from))
+    );
+    println!("{}", row(&vec!["---".to_string(); 8]));
+    let mut rows = Vec::new();
+    for h in uccsd::table1_suite(SEED) {
+        let naive = Baseline::Naive.compile_logical(h.num_qubits(), h.terms());
+        let m = Metrics::of(&naive);
+        println!(
+            "{}",
+            row(&[
+                h.name().to_string(),
+                h.num_qubits().to_string(),
+                h.len().to_string(),
+                h.max_weight().to_string(),
+                m.gates.to_string(),
+                m.cnot.to_string(),
+                m.depth.to_string(),
+                m.depth_2q.to_string(),
+            ])
+        );
+        rows.push(Row {
+            benchmark: h.name().to_string(),
+            qubits: h.num_qubits(),
+            pauli: h.len(),
+            w_max: h.max_weight(),
+            metrics: m,
+        });
+    }
+    write_results("table1", &rows);
+}

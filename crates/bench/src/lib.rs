@@ -1,0 +1,118 @@
+//! Shared harness for regenerating every table and figure of the PHOENIX
+//! paper's evaluation.
+//!
+//! Each experiment is a binary (`table1`, `table2_fig5`, `fig6`, `table3`,
+//! `table4_fig7`, `fig8`) printing the paper's rows/series to stdout and
+//! writing machine-readable JSON into `results/`. See `EXPERIMENTS.md` at
+//! the workspace root for the paper-vs-measured record.
+
+use phoenix_circuit::Circuit;
+use serde::Serialize;
+use std::path::Path;
+
+/// Default deterministic seed shared by every experiment binary.
+pub const SEED: u64 = 7;
+
+/// Circuit metrics in the paper's vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Metrics {
+    /// Total gate count (1Q included — Table I's `#Gate`).
+    pub gates: usize,
+    /// CNOT count.
+    pub cnot: usize,
+    /// SU(4) block count.
+    pub su4: usize,
+    /// Full depth.
+    pub depth: usize,
+    /// 2Q-only depth.
+    pub depth_2q: usize,
+}
+
+impl Metrics {
+    /// Extracts metrics from a circuit.
+    pub fn of(c: &Circuit) -> Metrics {
+        let k = c.counts();
+        Metrics {
+            gates: k.total,
+            cnot: k.cnot,
+            su4: k.su4,
+            depth: c.depth(),
+            depth_2q: c.depth_2q(),
+        }
+    }
+}
+
+/// Geometric mean of strictly positive values (the paper's averaging rule).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive entries.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean needs positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Writes a JSON result file under `results/`, creating the directory.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries want loud failures).
+pub fn write_results(name: &str, value: &impl Serialize) {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    std::fs::write(&path, json).expect("write results file");
+    eprintln!("[results] wrote {}", path.display());
+}
+
+/// Renders one markdown table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_circuit::Gate;
+
+    #[test]
+    fn metrics_extracts_counts() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot(0, 1));
+        let m = Metrics::of(&c);
+        assert_eq!(m.gates, 2);
+        assert_eq!(m.cnot, 1);
+        assert_eq!(m.depth_2q, 1);
+        assert_eq!(m.depth, 2);
+    }
+
+    #[test]
+    fn geomean_of_equal_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_mixes_multiplicatively() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[0.0, 1.0]);
+    }
+
+    #[test]
+    fn row_renders_markdown() {
+        assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+    }
+}

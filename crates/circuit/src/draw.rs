@@ -1,0 +1,207 @@
+//! ASCII circuit rendering for terminals and docs.
+//!
+//! One line per qubit, gates packed greedily into columns (the same ASAP
+//! layering the depth metrics use). High-level gates render with compact
+//! labels; lower to the CNOT ISA first if you want elementary gates only.
+
+use crate::{Circuit, Gate};
+
+/// Renders the circuit as ASCII art.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_circuit::{draw, Circuit, Gate};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H(0));
+/// c.push(Gate::Cnot(0, 1));
+/// let art = draw::ascii(&c);
+/// assert!(art.contains("H"));
+/// assert!(art.contains("●"));
+/// assert!(art.contains("⊕"));
+/// ```
+pub fn ascii(c: &Circuit) -> String {
+    let n = c.num_qubits();
+    // Assign each gate to a column: a gate needs every wire in the span of
+    // its qubits free (vertical connectors must not overlap).
+    let mut columns: Vec<Vec<&Gate>> = Vec::new();
+    let mut frontier = vec![0usize; n];
+    for g in c.gates() {
+        let (a, b) = g.qubits();
+        let (lo, hi) = match b {
+            Some(b) => (a.min(b), a.max(b)),
+            None => (a, a),
+        };
+        let col = (lo..=hi).map(|q| frontier[q]).max().unwrap_or(0);
+        if col == columns.len() {
+            columns.push(Vec::new());
+        }
+        columns[col].push(g);
+        for q in lo..=hi {
+            frontier[q] = col + 1;
+        }
+    }
+
+    // Render each column into per-qubit cells.
+    let mut rows: Vec<String> = (0..n).map(|q| format!("q{q:<2}:")).collect();
+    for col in &columns {
+        let mut cells: Vec<String> = vec!["─".to_string(); n];
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for g in col {
+            let (a, b) = g.qubits();
+            match (g, b) {
+                (Gate::Cnot(ctl, tgt), _) => {
+                    cells[*ctl] = "●".into();
+                    cells[*tgt] = "⊕".into();
+                    spans.push((*ctl.min(tgt), *ctl.max(tgt)));
+                }
+                (Gate::Swap(x, y), _) => {
+                    cells[*x] = "✕".into();
+                    cells[*y] = "✕".into();
+                    spans.push((*x.min(y), *x.max(y)));
+                }
+                (g, Some(b)) => {
+                    let (label_a, label_b) = two_qubit_labels(g);
+                    cells[a] = label_a;
+                    cells[b] = label_b;
+                    spans.push((a.min(b), a.max(b)));
+                }
+                (g, None) => {
+                    cells[a] = one_qubit_label(g);
+                }
+            }
+        }
+        // Vertical connectors on in-between wires.
+        for (lo, hi) in spans {
+            for q in lo + 1..hi {
+                if cells[q] == "─" {
+                    cells[q] = "│".into();
+                }
+            }
+        }
+        let width = cells.iter().map(|s| s.chars().count()).max().unwrap_or(1);
+        for (q, row) in rows.iter_mut().enumerate() {
+            let cell = &cells[q];
+            let pad = width - cell.chars().count();
+            row.push_str("─");
+            row.push_str(cell);
+            for _ in 0..pad {
+                row.push(if cell == "│" { ' ' } else { '─' });
+            }
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row);
+        out.push_str("─\n");
+    }
+    out
+}
+
+fn one_qubit_label(g: &Gate) -> String {
+    match g {
+        Gate::H(_) => "H".into(),
+        Gate::S(_) => "S".into(),
+        Gate::Sdg(_) => "S†".into(),
+        Gate::X(_) => "X".into(),
+        Gate::Y(_) => "Y".into(),
+        Gate::Z(_) => "Z".into(),
+        Gate::Rx(_, t) => format!("Rx({t:.2})"),
+        Gate::Ry(_, t) => format!("Ry({t:.2})"),
+        Gate::Rz(_, t) => format!("Rz({t:.2})"),
+        other => format!("{other}"),
+    }
+}
+
+fn two_qubit_labels(g: &Gate) -> (String, String) {
+    match g {
+        Gate::Clifford2(c) => {
+            let k = c.kind.to_string();
+            (format!("{k}◆"), format!("{k}◇"))
+        }
+        Gate::PauliRot2 { pa, pb, theta, .. } => (
+            format!("R{pa}{pb}({theta:.2})"),
+            format!("R{pa}{pb}·"),
+        ),
+        Gate::Su4(blk) => (
+            format!("SU4[{}]", blk.inner.len()),
+            "SU4·".to_string(),
+        ),
+        other => (format!("{other}"), "·".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_pauli::{Clifford2Q, Clifford2QKind, Pauli};
+
+    #[test]
+    fn bell_circuit_renders() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot(0, 1));
+        let art = ascii(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("q0"));
+        assert!(lines[0].contains('H') && lines[0].contains('●'));
+        assert!(lines[1].contains('⊕'));
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Cnot(2, 3));
+        let art = ascii(&c);
+        // Both CNOTs in one column → all rows the same short length.
+        let lens: Vec<usize> = art.lines().map(|l| l.chars().count()).collect();
+        assert!(lens.iter().all(|&l| l == lens[0]));
+    }
+
+    #[test]
+    fn vertical_connector_spans_middle_wires() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot(0, 2));
+        let art = ascii(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[1].contains('│'), "{art}");
+    }
+
+    #[test]
+    fn overlapping_spans_split_columns() {
+        // CNOT(0,2) spans wire 1; a gate on qubit 1 must move to column 2.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot(0, 2));
+        c.push(Gate::H(1));
+        let art = ascii(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        let conn = lines[1].find('│').expect("connector");
+        let h = lines[1].find('H').expect("H gate");
+        assert!(h > conn, "H rendered after the connector column:\n{art}");
+    }
+
+    #[test]
+    fn high_level_gates_have_labels() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Clifford2(Clifford2Q::new(Clifford2QKind::Cxy, 0, 1)));
+        c.push(Gate::PauliRot2 {
+            a: 0,
+            b: 1,
+            pa: Pauli::Z,
+            pb: Pauli::Z,
+            theta: 0.5,
+        });
+        let art = ascii(&c);
+        assert!(art.contains("C(X,Y)"));
+        assert!(art.contains("RZZ"));
+    }
+
+    #[test]
+    fn empty_circuit_renders_bare_wires() {
+        let art = ascii(&Circuit::new(2));
+        assert_eq!(art.lines().count(), 2);
+    }
+}

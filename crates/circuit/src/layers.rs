@@ -1,0 +1,139 @@
+//! Greedy 2Q layering and the endian vectors of Fig. 3.
+//!
+//! The paper abstracts each subcircuit into a Tetris-block-like shape through
+//! a pair of *endian vectors*: entry `i` of `e_l` (`e_r`) is how many 2Q
+//! layers one traverses from the left (right) end before qubit `i` is first
+//! acted upon. Layers group neighbouring 2Q gates acting on disjoint qubits.
+
+use crate::Circuit;
+
+/// The endian vectors and 2Q layer count of a circuit.
+///
+/// Untouched qubits get the full layer count in both vectors (the whole
+/// circuit is traversed without meeting them).
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_circuit::{layers::endian_vectors, Circuit, Gate};
+///
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::Cnot(0, 1));
+/// c.push(Gate::Cnot(1, 2));
+/// let ev = endian_vectors(&c);
+/// assert_eq!(ev.e_l, vec![0, 0, 1]);
+/// assert_eq!(ev.e_r, vec![1, 0, 0]);
+/// assert_eq!(ev.num_layers, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndianVectors {
+    /// Layers to traverse from the left before each qubit is acted on.
+    pub e_l: Vec<usize>,
+    /// Layers to traverse from the right before each qubit is acted on.
+    pub e_r: Vec<usize>,
+    /// Total number of 2Q layers.
+    pub num_layers: usize,
+}
+
+/// Greedy left-to-right 2Q layer assignment. Returns `(num_layers,
+/// first_touch)` where `first_touch[q]` is the 0-based layer of the first 2Q
+/// gate on `q`, or `usize::MAX` if untouched.
+fn layer_scan<'a>(gates: impl Iterator<Item = &'a crate::Gate>, n: usize) -> (usize, Vec<usize>) {
+    let mut frontier = vec![0usize; n];
+    let mut first = vec![usize::MAX; n];
+    let mut layers = 0;
+    for g in gates {
+        if let (a, Some(b)) = g.qubits() {
+            let layer = frontier[a].max(frontier[b]) + 1;
+            frontier[a] = layer;
+            frontier[b] = layer;
+            layers = layers.max(layer);
+            if first[a] == usize::MAX {
+                first[a] = layer - 1;
+            }
+            if first[b] == usize::MAX {
+                first[b] = layer - 1;
+            }
+        }
+    }
+    (layers, first)
+}
+
+/// Computes the [`EndianVectors`] of a circuit.
+pub fn endian_vectors(c: &Circuit) -> EndianVectors {
+    let n = c.num_qubits();
+    let (layers_l, first_l) = layer_scan(c.gates().iter(), n);
+    let (layers_r, first_r) = layer_scan(c.gates().iter().rev(), n);
+    debug_assert_eq!(layers_l, layers_r);
+    let clamp = |v: Vec<usize>, total: usize| {
+        v.into_iter()
+            .map(|x| if x == usize::MAX { total } else { x })
+            .collect()
+    };
+    EndianVectors {
+        e_l: clamp(first_l, layers_l),
+        e_r: clamp(first_r, layers_r),
+        num_layers: layers_l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gate;
+
+    #[test]
+    fn empty_circuit_has_zero_layers() {
+        let c = Circuit::new(3);
+        let ev = endian_vectors(&c);
+        assert_eq!(ev.num_layers, 0);
+        assert_eq!(ev.e_l, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn untouched_qubits_get_full_depth() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Cnot(0, 1));
+        let ev = endian_vectors(&c);
+        assert_eq!(ev.num_layers, 2);
+        assert_eq!(ev.e_l[2], 2);
+        assert_eq!(ev.e_r[3], 2);
+    }
+
+    #[test]
+    fn oneq_gates_are_invisible() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::H(1));
+        c.push(Gate::Cnot(0, 1));
+        let ev = endian_vectors(&c);
+        assert_eq!(ev.e_l, vec![0, 0]);
+        assert_eq!(ev.num_layers, 1);
+    }
+
+    #[test]
+    fn staircase_endians() {
+        // CNOT(0,1) CNOT(1,2) CNOT(2,3): e_l = [0,0,1,2], e_r = [2,1,0,0]
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Cnot(1, 2));
+        c.push(Gate::Cnot(2, 3));
+        let ev = endian_vectors(&c);
+        assert_eq!(ev.e_l, vec![0, 0, 1, 2]);
+        assert_eq!(ev.e_r, vec![2, 1, 0, 0]);
+        assert_eq!(ev.num_layers, 3);
+    }
+
+    #[test]
+    fn parallel_blocks_share_layers() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Cnot(2, 3));
+        c.push(Gate::Cnot(1, 2));
+        let ev = endian_vectors(&c);
+        assert_eq!(ev.num_layers, 2);
+        assert_eq!(ev.e_l, vec![0, 0, 0, 0]);
+        assert_eq!(ev.e_r, vec![1, 0, 0, 1]);
+    }
+}

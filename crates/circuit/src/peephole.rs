@@ -1,0 +1,372 @@
+//! Fixed-point peephole optimization over the CNOT ISA.
+//!
+//! This pass is the reproduction's stand-in for the Qiskit O2/O3 passes that
+//! the paper attaches to every compiler: it repeatedly
+//!
+//! 1. cancels CNOT pairs, commuting them through diagonal gates on the
+//!    control, X-axis gates on the target, shared-control and shared-target
+//!    CNOTs;
+//! 2. merges adjacent same-axis 1Q rotations (commuting Rz through CNOT
+//!    controls and Rx through CNOT targets), cancels `H·H`, and removes
+//!    identity rotations.
+//!
+//! Input circuits are lowered to `{1Q, CNOT}` first, so the pass is safe to
+//! call on high-level circuits too.
+
+use crate::{Circuit, Gate};
+
+const TWO_PI: f64 = std::f64::consts::TAU;
+const EPS: f64 = 1e-12;
+
+/// Optimizes a circuit to a fixed point of the cancellation passes.
+///
+/// The result contains only 1Q gates and CNOTs.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_circuit::{peephole, Circuit, Gate};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::Cnot(0, 1));
+/// c.push(Gate::Rz(0, 0.4)); // commutes with the control
+/// c.push(Gate::Cnot(0, 1));
+/// let opt = peephole::optimize(&c);
+/// assert_eq!(opt.counts().cnot, 0);
+/// ```
+pub fn optimize(c: &Circuit) -> Circuit {
+    let lowered = c.lower_to_cnot();
+    let mut gates: Vec<Option<Gate>> = lowered
+        .gates()
+        .iter()
+        .map(|g| Some(normalize(g.clone())))
+        .collect();
+    for _ in 0..64 {
+        let mut changed = cancel_cnot_pass(&mut gates);
+        changed |= merge_1q_pass(&mut gates);
+        if !changed {
+            break;
+        }
+    }
+    Circuit::from_gates(
+        lowered.num_qubits(),
+        gates.into_iter().flatten().collect(),
+    )
+}
+
+/// Rewrites phase-like Cliffords as rotations (up to global phase) so the
+/// merge pass sees a uniform representation.
+fn normalize(g: Gate) -> Gate {
+    use std::f64::consts::{FRAC_PI_2, PI};
+    match g {
+        Gate::S(q) => Gate::Rz(q, FRAC_PI_2),
+        Gate::Sdg(q) => Gate::Rz(q, -FRAC_PI_2),
+        Gate::Z(q) => Gate::Rz(q, PI),
+        Gate::X(q) => Gate::Rx(q, PI),
+        Gate::Y(q) => Gate::Ry(q, PI),
+        other => other,
+    }
+}
+
+/// Wraps an angle into `(-π, π]`.
+fn wrap(theta: f64) -> f64 {
+    let mut t = theta % TWO_PI;
+    if t > std::f64::consts::PI {
+        t -= TWO_PI;
+    } else if t <= -std::f64::consts::PI {
+        t += TWO_PI;
+    }
+    t
+}
+
+/// Whether `g` commutes with `CNOT(a, b)`.
+fn commutes_with_cnot(g: &Gate, a: usize, b: usize) -> bool {
+    match *g {
+        // Diagonal rotations commute through the control; X-axis through
+        // the target; disjoint qubits always commute.
+        Gate::Rz(q, _) => q != b,
+        Gate::Rx(q, _) => q != a,
+        Gate::Cnot(a2, b2) => {
+            if a2 == a && b2 == b {
+                false // identical gate: handled as cancellation
+            } else {
+                // CNOTs commute unless one's control is the other's target.
+                a2 != b && b2 != a
+            }
+        }
+        _ => {
+            // Other gates only commute when on disjoint qubits.
+            !g.acts_on(a) && !g.acts_on(b)
+        }
+    }
+}
+
+fn cancel_cnot_pass(gates: &mut [Option<Gate>]) -> bool {
+    let mut changed = false;
+    for i in 0..gates.len() {
+        let Some(Gate::Cnot(a, b)) = gates[i] else {
+            continue;
+        };
+        let mut j = i + 1;
+        while j < gates.len() {
+            match &gates[j] {
+                None => {}
+                Some(Gate::Cnot(a2, b2)) if *a2 == a && *b2 == b => {
+                    gates[i] = None;
+                    gates[j] = None;
+                    changed = true;
+                    break;
+                }
+                Some(g) => {
+                    if !commutes_with_cnot(g, a, b) {
+                        break;
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+    changed
+}
+
+/// Axis of a 1Q rotation gate.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+    Z,
+}
+
+fn rot_parts(g: &Gate) -> Option<(Axis, usize, f64)> {
+    match *g {
+        Gate::Rx(q, t) => Some((Axis::X, q, t)),
+        Gate::Ry(q, t) => Some((Axis::Y, q, t)),
+        Gate::Rz(q, t) => Some((Axis::Z, q, t)),
+        _ => None,
+    }
+}
+
+fn make_rot(axis: Axis, q: usize, t: f64) -> Gate {
+    match axis {
+        Axis::X => Gate::Rx(q, t),
+        Axis::Y => Gate::Ry(q, t),
+        Axis::Z => Gate::Rz(q, t),
+    }
+}
+
+/// Whether `g` commutes with a rotation about `axis` on qubit `q`.
+fn commutes_with_rot(g: &Gate, axis: Axis, q: usize) -> bool {
+    if !g.acts_on(q) {
+        return true;
+    }
+    match (axis, g) {
+        (Axis::Z, Gate::Cnot(a, _)) => *a == q,
+        (Axis::X, Gate::Cnot(_, b)) => *b == q,
+        _ => false,
+    }
+}
+
+fn merge_1q_pass(gates: &mut [Option<Gate>]) -> bool {
+    let mut changed = false;
+    for i in 0..gates.len() {
+        let Some(gi) = gates[i].clone() else { continue };
+        // H · H cancellation (only through non-acting gates).
+        if let Gate::H(q) = gi {
+            let mut j = i + 1;
+            while j < gates.len() {
+                match &gates[j] {
+                    None => {}
+                    Some(Gate::H(q2)) if *q2 == q => {
+                        gates[i] = None;
+                        gates[j] = None;
+                        changed = true;
+                        break;
+                    }
+                    Some(g) if !g.acts_on(q) => {}
+                    _ => break,
+                }
+                j += 1;
+            }
+            continue;
+        }
+        let Some((axis, q, theta)) = rot_parts(&gi) else {
+            continue;
+        };
+        if wrap(theta).abs() < EPS {
+            gates[i] = None;
+            changed = true;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < gates.len() {
+            match &gates[j] {
+                None => {}
+                Some(g) => {
+                    if let Some((axis2, q2, theta2)) = rot_parts(g) {
+                        if axis2 == axis && q2 == q {
+                            let merged = wrap(theta + theta2);
+                            gates[j] = None;
+                            gates[i] = if merged.abs() < EPS {
+                                None
+                            } else {
+                                Some(make_rot(axis, q, merged))
+                            };
+                            changed = true;
+                            break;
+                        }
+                    }
+                    if !commutes_with_rot(g, axis, q) {
+                        break;
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_pauli::Pauli;
+
+    #[test]
+    fn adjacent_cnots_cancel() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Cnot(0, 1));
+        assert_eq!(optimize(&c).counts().cnot, 0);
+    }
+
+    #[test]
+    fn reversed_cnots_do_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Cnot(1, 0));
+        assert_eq!(optimize(&c).counts().cnot, 2);
+    }
+
+    #[test]
+    fn cnot_commutes_through_control_rz() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Rz(0, 0.3));
+        c.push(Gate::Rx(1, 0.4));
+        c.push(Gate::Cnot(0, 1));
+        let opt = optimize(&c);
+        assert_eq!(opt.counts().cnot, 0);
+        assert_eq!(opt.counts().oneq, 2);
+    }
+
+    #[test]
+    fn cnot_blocked_by_h() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::H(1));
+        c.push(Gate::Cnot(0, 1));
+        assert_eq!(optimize(&c).counts().cnot, 2);
+    }
+
+    #[test]
+    fn shared_control_cnots_commute() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Cnot(0, 2));
+        c.push(Gate::Cnot(0, 1));
+        assert_eq!(optimize(&c).counts().cnot, 1);
+    }
+
+    #[test]
+    fn crossing_cnots_block() {
+        // CNOT(0,1) and CNOT(1,2) share qubit 1 as target/control: no commute.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Cnot(1, 2));
+        c.push(Gate::Cnot(0, 1));
+        assert_eq!(optimize(&c).counts().cnot, 3);
+    }
+
+    #[test]
+    fn rotations_merge_and_vanish() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0, 0.3));
+        c.push(Gate::Rz(0, -0.3));
+        c.push(Gate::Rx(0, 0.1));
+        let opt = optimize(&c);
+        assert_eq!(opt.counts().total, 1);
+        assert!(matches!(opt.gates()[0], Gate::Rx(0, t) if (t - 0.1).abs() < EPS));
+    }
+
+    #[test]
+    fn s_sdg_cancel_via_normalization() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::S(0));
+        c.push(Gate::Sdg(0));
+        assert_eq!(optimize(&c).counts().total, 0);
+    }
+
+    #[test]
+    fn h_h_cancels() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot(1, 0));
+        c.push(Gate::H(0)); // blocked by the CNOT: must NOT cancel
+        c.push(Gate::H(1));
+        c.push(Gate::H(1));
+        let opt = optimize(&c);
+        let h_count = opt
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::H(_)))
+            .count();
+        assert_eq!(h_count, 2);
+    }
+
+    #[test]
+    fn rz_merges_across_cnot_control() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0, 0.2));
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Rz(0, -0.2));
+        let opt = optimize(&c);
+        assert_eq!(opt.counts().oneq, 0);
+        assert_eq!(opt.counts().cnot, 1);
+    }
+
+    #[test]
+    fn zz_rotation_chain_shares_cnots() {
+        // Two consecutive ZZ rotations on the same pair: the inner CNOT pair
+        // cancels, leaving 2 CNOTs and 2 (merged to 1) Rz.
+        let mut c = Circuit::new(2);
+        for theta in [0.3, 0.5] {
+            c.push(Gate::PauliRot2 {
+                a: 0,
+                b: 1,
+                pa: Pauli::Z,
+                pb: Pauli::Z,
+                theta,
+            });
+        }
+        let opt = optimize(&c);
+        assert_eq!(opt.counts().cnot, 2);
+        assert_eq!(opt.counts().oneq, 1);
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::PauliRot2 {
+            a: 0,
+            b: 1,
+            pa: Pauli::X,
+            pb: Pauli::Y,
+            theta: 0.7,
+        });
+        c.push(Gate::Cnot(1, 2));
+        c.push(Gate::H(0));
+        let once = optimize(&c);
+        let twice = optimize(&once);
+        assert_eq!(once, twice);
+    }
+}

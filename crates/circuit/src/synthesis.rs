@@ -1,0 +1,220 @@
+//! Conventional Pauli-exponentiation synthesis (Fig. 1(a) of the paper).
+//!
+//! A Pauli exponentiation `exp(-i·c·P)` is synthesized as a 1Q `Rz(2c)`
+//! sandwiched by a pair of symmetric CNOT chains, conjugated by H/S basis
+//! changes. This is the "original circuit" construction every compiler's
+//! optimization rate is measured against, and the building block of the
+//! tree-based baselines.
+
+use crate::{Circuit, Gate};
+use phoenix_pauli::{Pauli, PauliString};
+
+/// Appends `exp(-i·coeff·P)` to `out` using a CNOT chain rooted at the last
+/// support qubit.
+///
+/// Identity strings are ignored; weight-1 strings become free 1Q rotations.
+///
+/// # Panics
+///
+/// Panics if the string does not fit in the circuit's register.
+pub fn append_pauli_rotation(out: &mut Circuit, p: &PauliString, coeff: f64) {
+    append_pauli_rotation_ordered(out, p, coeff, &p.support());
+}
+
+/// As [`append_pauli_rotation`] but with an explicit chain order: the CNOT
+/// chain runs through `order` and is rooted at its last element.
+///
+/// Choosing the order is the tree-shaping lever of the block-wise baselines:
+/// placing qubits whose Pauli differs between neighbouring gadgets near the
+/// root exposes the shared chain segments to cancellation.
+///
+/// # Panics
+///
+/// Panics if `order` is not exactly the support of `p`.
+pub fn append_pauli_rotation_ordered(
+    out: &mut Circuit,
+    p: &PauliString,
+    coeff: f64,
+    order: &[usize],
+) {
+    {
+        let mut sorted = order.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, p.support(), "order must be a permutation of the support");
+    }
+    let support = order;
+    let theta = 2.0 * coeff;
+    match support.len() {
+        0 => {}
+        1 => {
+            let q = support[0];
+            out.push(match p.get(q) {
+                Pauli::X => Gate::Rx(q, theta),
+                Pauli::Y => Gate::Ry(q, theta),
+                Pauli::Z => Gate::Rz(q, theta),
+                Pauli::I => unreachable!("support excludes identity"),
+            });
+        }
+        _ => {
+            // Basis changes into Z on every support qubit.
+            for &q in support {
+                match p.get(q) {
+                    Pauli::X => out.push(Gate::H(q)),
+                    Pauli::Y => {
+                        out.push(Gate::Sdg(q));
+                        out.push(Gate::H(q));
+                    }
+                    _ => {}
+                }
+            }
+            // CNOT chain toward the last support qubit.
+            for w in support.windows(2) {
+                out.push(Gate::Cnot(w[0], w[1]));
+            }
+            let root = *support.last().expect("nonempty support");
+            out.push(Gate::Rz(root, theta));
+            for w in support.windows(2).rev() {
+                out.push(Gate::Cnot(w[0], w[1]));
+            }
+            for &q in support {
+                match p.get(q) {
+                    Pauli::X => out.push(Gate::H(q)),
+                    Pauli::Y => {
+                        out.push(Gate::H(q));
+                        out.push(Gate::S(q));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// As [`append_pauli_rotation_ordered`] but accumulating parity with a
+/// balanced CNOT *tree* instead of a chain (logarithmic depth; the tree
+/// shape used by Paulihedral-style compilation).
+///
+/// # Panics
+///
+/// Panics if `order` is not exactly the support of `p`.
+pub fn append_pauli_rotation_tree(
+    out: &mut Circuit,
+    p: &PauliString,
+    coeff: f64,
+    order: &[usize],
+) {
+    {
+        let mut sorted = order.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, p.support(), "order must be a permutation of the support");
+    }
+    if order.len() < 2 {
+        append_pauli_rotation_ordered(out, p, coeff, order);
+        return;
+    }
+    let basis = |out: &mut Circuit, opening: bool| {
+        for &q in order {
+            match (p.get(q), opening) {
+                (Pauli::X, _) => out.push(Gate::H(q)),
+                (Pauli::Y, true) => {
+                    out.push(Gate::Sdg(q));
+                    out.push(Gate::H(q));
+                }
+                (Pauli::Y, false) => {
+                    out.push(Gate::H(q));
+                    out.push(Gate::S(q));
+                }
+                _ => {}
+            }
+        }
+    };
+    basis(out, true);
+    let mut up = Vec::new();
+    let root = tree_cnots(order, &mut up);
+    for &(c, t) in &up {
+        out.push(Gate::Cnot(c, t));
+    }
+    out.push(Gate::Rz(root, 2.0 * coeff));
+    for &(c, t) in up.iter().rev() {
+        out.push(Gate::Cnot(c, t));
+    }
+    basis(out, false);
+}
+
+/// Emits the balanced parity tree over `qs`, returning the root qubit.
+fn tree_cnots(qs: &[usize], out: &mut Vec<(usize, usize)>) -> usize {
+    match qs.len() {
+        0 => unreachable!("tree over empty support"),
+        1 => qs[0],
+        _ => {
+            let mid = qs.len() / 2;
+            let l = tree_cnots(&qs[..mid], out);
+            let r = tree_cnots(&qs[mid..], out);
+            out.push((l, r));
+            r
+        }
+    }
+}
+
+/// Synthesizes a whole term list in the given order — the conventional
+/// ("original") circuit of the paper's Table I.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_circuit::synthesis::naive_circuit;
+/// use phoenix_pauli::PauliString;
+///
+/// let c = naive_circuit(3, &[("ZZZ".parse::<PauliString>()?, 0.5)]);
+/// assert_eq!(c.counts().cnot, 4); // 2(w−1) CNOTs for weight w
+/// # Ok::<(), phoenix_pauli::ParsePauliStringError>(())
+/// ```
+pub fn naive_circuit(n: usize, terms: &[(PauliString, f64)]) -> Circuit {
+    let mut out = Circuit::new(n);
+    for (p, c) in terms {
+        append_pauli_rotation(&mut out, p, *c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(l: &str) -> PauliString {
+        l.parse().unwrap()
+    }
+
+    #[test]
+    fn weight_w_costs_2w_minus_2_cnots() {
+        for (label, want) in [("ZZ", 2), ("XYZ", 4), ("XXYY", 6)] {
+            let c = naive_circuit(label.len(), &[(ps(label), 0.3)]);
+            assert_eq!(c.counts().cnot, want, "{label}");
+        }
+    }
+
+    #[test]
+    fn weight_one_is_free() {
+        let c = naive_circuit(2, &[(ps("IY"), 0.3)]);
+        assert_eq!(c.counts().cnot, 0);
+        assert_eq!(c.counts().oneq, 1);
+    }
+
+    #[test]
+    fn identity_term_emits_nothing() {
+        let c = naive_circuit(2, &[(ps("II"), 0.3)]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn chain_is_symmetric() {
+        let c = naive_circuit(3, &[(ps("XZY"), 0.4)]);
+        let gates = c.gates();
+        let cnots: Vec<&Gate> = gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Cnot(..)))
+            .collect();
+        assert_eq!(cnots[0], cnots[3]);
+        assert_eq!(cnots[1], cnots[2]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Stage 1: IR grouping by qubit support.
+//!
+//! "Pauli-based IRs are first grouped according to the same set of qubit
+//! indices non-trivially acted on" (§IV-A). Grouping reorders terms, which
+//! is free within a Trotter step.
+
+use phoenix_pauli::PauliString;
+use std::collections::BTreeMap;
+
+/// A group of Pauli exponentiations sharing one qubit-support set.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_core::group::group_by_support;
+/// use phoenix_pauli::PauliString;
+///
+/// let terms: Vec<(PauliString, f64)> = vec![
+///     ("XXI".parse().unwrap(), 0.1),
+///     ("IZZ".parse().unwrap(), 0.2),
+///     ("YYI".parse().unwrap(), 0.3), // same support as XXI
+/// ];
+/// let groups = group_by_support(3, &terms);
+/// assert_eq!(groups.len(), 2);
+/// assert_eq!(groups[0].terms().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrGroup {
+    n: usize,
+    support_mask: u128,
+    terms: Vec<(PauliString, f64)>,
+}
+
+impl IrGroup {
+    /// Number of qubits of the enclosing register.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Bit mask of the group's support.
+    pub fn support_mask(&self) -> u128 {
+        self.support_mask
+    }
+
+    /// The support qubits in increasing order.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.n).filter(|&q| self.support_mask >> q & 1 == 1).collect()
+    }
+
+    /// The group's width (number of support qubits) — the pre-ordering sort
+    /// key of §IV-C.
+    pub fn width(&self) -> usize {
+        self.support_mask.count_ones() as usize
+    }
+
+    /// The grouped terms, in original relative order.
+    pub fn terms(&self) -> &[(PauliString, f64)] {
+        &self.terms
+    }
+}
+
+/// Groups terms by identical support set, preserving first-appearance group
+/// order and the original relative order of terms within each group.
+///
+/// # Panics
+///
+/// Panics if a term's qubit count differs from `n`.
+pub fn group_by_support(n: usize, terms: &[(PauliString, f64)]) -> Vec<IrGroup> {
+    let mut index: BTreeMap<u128, usize> = BTreeMap::new();
+    let mut groups: Vec<IrGroup> = Vec::new();
+    for &(p, c) in terms {
+        assert_eq!(p.num_qubits(), n, "term qubit count mismatch");
+        if p.is_identity() {
+            continue; // global phase: nothing to synthesize
+        }
+        let mask = p.support_mask();
+        let gi = *index.entry(mask).or_insert_with(|| {
+            groups.push(IrGroup {
+                n,
+                support_mask: mask,
+                terms: Vec::new(),
+            });
+            groups.len() - 1
+        });
+        groups[gi].terms.push((p, c));
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(l: &str, c: f64) -> (PauliString, f64) {
+        (l.parse().unwrap(), c)
+    }
+
+    #[test]
+    fn groups_preserve_order() {
+        let terms = vec![t("XXI", 1.0), t("IZZ", 2.0), t("YXI", 3.0), t("IXX", 4.0)];
+        let groups = group_by_support(3, &terms);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].terms(), &[t("XXI", 1.0), t("YXI", 3.0)]);
+        assert_eq!(groups[1].terms(), &[t("IZZ", 2.0), t("IXX", 4.0)]);
+    }
+
+    #[test]
+    fn identity_terms_are_dropped() {
+        let groups = group_by_support(2, &[t("II", 5.0), t("XY", 1.0)]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].width(), 2);
+    }
+
+    #[test]
+    fn support_accessors() {
+        let groups = group_by_support(4, &[t("IXIZ", 1.0)]);
+        assert_eq!(groups[0].support(), vec![1, 3]);
+        assert_eq!(groups[0].support_mask(), 0b1010);
+        assert_eq!(groups[0].num_qubits(), 4);
+    }
+
+    #[test]
+    fn distinct_supports_do_not_merge() {
+        // Same width, different qubits.
+        let groups = group_by_support(3, &[t("XXI", 1.0), t("XIX", 1.0), t("IXX", 1.0)]);
+        assert_eq!(groups.len(), 3);
+    }
+}

@@ -1,0 +1,272 @@
+//! The end-to-end PHOENIX compiler.
+
+use crate::group::group_by_support;
+use crate::order::{order_groups, OrderOptions};
+use crate::simplify::simplify_terms;
+use crate::synth::synthesize_group;
+use phoenix_circuit::{peephole, rebase, Circuit};
+use phoenix_pauli::PauliString;
+use phoenix_router::{route, search_layout, RoutedCircuit, RouterOptions};
+use phoenix_topology::CouplingGraph;
+
+/// Compiler configuration.
+///
+/// The two `enable_*` switches exist for ablation studies (see the
+/// `ablation` experiment binary): disabling them replaces a pipeline stage
+/// with its trivial counterpart while keeping everything else identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhoenixOptions {
+    /// Lookahead window of the Tetris-like ordering.
+    pub lookahead: usize,
+    /// Apply the Eq. (7) routing-similarity factor during ordering even for
+    /// logical compilation (always on in hardware-aware mode).
+    pub routing_aware: bool,
+    /// Run the BSF-simplification pass (Algorithm 1). When disabled, each
+    /// IR group is synthesized with conventional CNOT chains.
+    pub enable_simplification: bool,
+    /// Run the Tetris-like group ordering. When disabled, groups keep their
+    /// first-appearance order.
+    pub enable_ordering: bool,
+}
+
+impl Default for PhoenixOptions {
+    fn default() -> Self {
+        PhoenixOptions {
+            lookahead: 20,
+            routing_aware: false,
+            enable_simplification: true,
+            enable_ordering: true,
+        }
+    }
+}
+
+/// The result of logical compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    /// The ordered high-level circuit (Clifford2Q generators + ≤2Q Pauli
+    /// rotations), still ISA-independent.
+    pub circuit: Circuit,
+    /// Number of IR groups the program decomposed into.
+    pub num_groups: usize,
+    /// The input terms in the order the emitted circuit implements them —
+    /// a permutation of the input (compilation only reorders the Trotter
+    /// product). The circuit's unitary equals this order's exact Trotter
+    /// product up to global phase.
+    pub term_order: Vec<(PauliString, f64)>,
+}
+
+/// The result of hardware-aware compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareProgram {
+    /// The final physical CNOT-ISA circuit (SWAPs lowered and re-optimized).
+    pub circuit: Circuit,
+    /// The logical CNOT-ISA circuit before routing.
+    pub logical: Circuit,
+    /// Number of SWAPs the router inserted.
+    pub num_swaps: usize,
+}
+
+impl HardwareProgram {
+    /// The `#CNOT(mapped)/#CNOT(logical)` multiple (dashed lines of Fig. 6,
+    /// "Routing overhead" of Table IV).
+    pub fn routing_overhead(&self) -> f64 {
+        let logical = self.logical.counts().cnot.max(1);
+        self.circuit.counts().cnot as f64 / logical as f64
+    }
+}
+
+/// The PHOENIX compiler: grouping → BSF simplification → Tetris ordering,
+/// with CNOT-ISA, SU(4)-ISA and hardware-aware back ends.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_core::PhoenixCompiler;
+/// use phoenix_pauli::PauliString;
+///
+/// let terms: Vec<(PauliString, f64)> = vec![
+///     ("XXXX".parse().unwrap(), 0.1),
+///     ("YYXX".parse().unwrap(), 0.2),
+///     ("ZZII".parse().unwrap(), 0.3),
+/// ];
+/// let out = PhoenixCompiler::default().compile(4, &terms);
+/// assert_eq!(out.num_groups, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhoenixCompiler {
+    /// Tuning options.
+    pub options: PhoenixOptions,
+}
+
+impl PhoenixCompiler {
+    /// Creates a compiler with the given options.
+    pub fn new(options: PhoenixOptions) -> Self {
+        PhoenixCompiler { options }
+    }
+
+    /// Logical compilation to the high-level IR-group circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term does not act on exactly `n` qubits.
+    pub fn compile(&self, n: usize, terms: &[(PauliString, f64)]) -> CompiledProgram {
+        let groups = group_by_support(n, terms);
+        // Stage 2: per-group subcircuits plus the term order each implements.
+        let (subcircuits, group_terms): (Vec<Circuit>, Vec<Vec<(PauliString, f64)>>) =
+            if self.options.enable_simplification {
+                groups
+                    .iter()
+                    .map(|g| {
+                        let s = simplify_terms(n, g.terms());
+                        (synthesize_group(&s), s.term_sequence())
+                    })
+                    .unzip()
+            } else {
+                groups
+                    .iter()
+                    .map(|g| {
+                        (
+                            phoenix_circuit::synthesis::naive_circuit(n, g.terms()),
+                            g.terms().to_vec(),
+                        )
+                    })
+                    .unzip()
+            };
+        // Stage 3: ordering.
+        let perm: Vec<usize> = if self.options.enable_ordering {
+            order_groups(
+                &subcircuits,
+                &OrderOptions {
+                    lookahead: self.options.lookahead,
+                    routing_aware: self.options.routing_aware,
+                },
+            )
+        } else {
+            (0..subcircuits.len()).collect()
+        };
+        let mut circuit = Circuit::new(n);
+        let mut term_order = Vec::with_capacity(terms.len());
+        for i in perm {
+            circuit.append(&subcircuits[i]);
+            term_order.extend(group_terms[i].iter().copied());
+        }
+        CompiledProgram {
+            circuit,
+            num_groups: groups.len(),
+            term_order,
+        }
+    }
+
+    /// Logical compilation to the CNOT ISA (lowered + peephole-optimized).
+    pub fn compile_to_cnot(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
+        peephole::optimize(&self.compile(n, terms).circuit)
+    }
+
+    /// Logical compilation to the SU(4) ISA: PHOENIX emits SU(4) blocks
+    /// directly from its simplified IR (no CNOT detour).
+    pub fn compile_to_su4(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
+        rebase::to_su4(&self.compile(n, terms).circuit)
+    }
+
+    /// Logical compilation to the CNOT ISA *through* the SU(4) layer:
+    /// blocks are KAK-resynthesized to their ≤3-rotation canonical forms
+    /// before lowering, capping every same-pair run at its Weyl floor.
+    pub fn compile_to_cnot_via_kak(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
+        let su4 = self.compile_to_su4(n, terms);
+        peephole::optimize(&phoenix_circuit::kak::resynthesize(&su4))
+    }
+
+    /// Hardware-aware compilation: routing-aware ordering, CNOT lowering,
+    /// SABRE routing on `device`, SWAP lowering and final peephole.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device has fewer qubits than the program.
+    pub fn compile_hardware_aware(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+        device: &CouplingGraph,
+    ) -> HardwareProgram {
+        let mut hw = self.clone();
+        hw.options.routing_aware = true;
+        let logical = peephole::optimize(&hw.compile(n, terms).circuit);
+        let opts = RouterOptions::default();
+        let layout = search_layout(&logical, device, &opts, 3);
+        let RoutedCircuit {
+            circuit: routed,
+            num_swaps,
+            ..
+        } = route(&logical, device, layout, &opts);
+        let physical = peephole::optimize(&routed);
+        HardwareProgram {
+            circuit: physical,
+            logical,
+            num_swaps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_circuit::synthesis::naive_circuit;
+
+    fn terms(labels: &[&str]) -> Vec<(PauliString, f64)> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.parse().unwrap(), 0.02 * (i + 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn compile_beats_naive_on_fig1b() {
+        let t = terms(&["ZYY", "ZZY", "XYY", "XZY"]);
+        let phoenix = PhoenixCompiler::default().compile_to_cnot(3, &t);
+        let naive = naive_circuit(3, &t);
+        assert!(
+            phoenix.counts().cnot < naive.counts().cnot,
+            "{} vs {}",
+            phoenix.counts().cnot,
+            naive.counts().cnot
+        );
+    }
+
+    #[test]
+    fn su4_output_contains_only_su4_two_qubit_gates() {
+        let t = terms(&["XYZX", "YYZZ", "ZIIZ", "XIIX"]);
+        let su4 = PhoenixCompiler::default().compile_to_su4(4, &t);
+        let k = su4.counts();
+        assert_eq!(k.cnot + k.clifford2 + k.pauli_rot2 + k.swap, 0);
+        assert!(k.su4 > 0);
+    }
+
+    #[test]
+    fn hardware_aware_respects_coupling() {
+        let t = terms(&["ZZII", "IZZI", "IIZZ", "ZIIZ"]);
+        let dev = CouplingGraph::line(4);
+        let hw = PhoenixCompiler::default().compile_hardware_aware(4, &t, &dev);
+        for g in hw.circuit.gates() {
+            if let (a, Some(b)) = g.qubits() {
+                assert!(dev.contains_edge(a, b), "gate {g} violates coupling");
+            }
+        }
+        assert!(hw.routing_overhead() >= 1.0);
+    }
+
+    #[test]
+    fn empty_program_compiles_to_empty_circuit() {
+        let out = PhoenixCompiler::default().compile(3, &[]);
+        assert!(out.circuit.is_empty());
+        assert_eq!(out.num_groups, 0);
+    }
+
+    #[test]
+    fn qaoa_terms_compile_without_cliffords() {
+        let t = terms(&["ZZII", "IZZI", "IIZZ"]);
+        let out = PhoenixCompiler::default().compile(4, &t);
+        assert_eq!(out.circuit.counts().clifford2, 0);
+        assert_eq!(out.circuit.counts().pauli_rot2, 3);
+    }
+}

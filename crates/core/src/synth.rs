@@ -1,0 +1,119 @@
+//! Synthesis of simplified IR groups into circuits.
+//!
+//! A [`SimplifiedGroup`] is still ISA-independent: Clifford items become
+//! [`Gate::Clifford2`] (one CNOT-equivalent 2Q gate each) and rotation rows
+//! become free 1Q rotations or [`Gate::PauliRot2`] 2Q rotations. Lowering to
+//! a concrete ISA (CNOT or SU(4)) happens afterwards in `phoenix-circuit`.
+
+use crate::{CfgItem, SimplifiedGroup};
+use phoenix_circuit::{Circuit, Gate};
+use phoenix_pauli::{BsfRow, Pauli};
+
+/// Emits the circuit of one simplified group.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_core::{simplify::simplify_terms, synth::synthesize_group};
+/// use phoenix_pauli::PauliString;
+///
+/// let terms: Vec<(PauliString, f64)> = ["ZYY", "ZZY", "XYY", "XZY"]
+///     .iter()
+///     .map(|s| (s.parse().unwrap(), 0.1))
+///     .collect();
+/// let circuit = synthesize_group(&simplify_terms(3, &terms));
+/// // 2 Clifford2Q + 4 two-qubit rotations (the Fig. 1(c) structure).
+/// assert_eq!(circuit.counts().clifford2, 2);
+/// assert_eq!(circuit.counts().pauli_rot2, 4);
+/// ```
+pub fn synthesize_group(group: &SimplifiedGroup) -> Circuit {
+    let mut out = Circuit::new(group.num_qubits());
+    for item in group.items() {
+        match item {
+            CfgItem::Clifford(c) => out.push(Gate::Clifford2(*c)),
+            CfgItem::Rotations(rows) => {
+                for row in rows {
+                    append_row(&mut out, group.num_qubits(), row);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn append_row(out: &mut Circuit, n: usize, row: &BsfRow) {
+    let p = row.to_pauli_string(n);
+    let support = p.support();
+    let theta = 2.0 * row.coeff();
+    match support.len() {
+        0 => {}
+        1 => {
+            let q = support[0];
+            out.push(match p.get(q) {
+                Pauli::X => Gate::Rx(q, theta),
+                Pauli::Y => Gate::Ry(q, theta),
+                Pauli::Z => Gate::Rz(q, theta),
+                Pauli::I => unreachable!("support excludes identity"),
+            });
+        }
+        2 => out.push(Gate::PauliRot2 {
+            a: support[0],
+            b: support[1],
+            pa: p.get(support[0]),
+            pb: p.get(support[1]),
+            theta,
+        }),
+        w => unreachable!("simplified rows have weight ≤ 2, got {w}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplify::simplify_terms;
+    use phoenix_pauli::PauliString;
+
+    fn terms(labels: &[&str]) -> Vec<(PauliString, f64)> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.parse().unwrap(), 0.05 * (i + 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn qaoa_group_is_single_rotation() {
+        let c = synthesize_group(&simplify_terms(2, &terms(&["ZZ"])));
+        assert_eq!(c.counts().pauli_rot2, 1);
+        assert_eq!(c.counts().clifford2, 0);
+    }
+
+    #[test]
+    fn local_rows_become_free_rotations() {
+        let c = synthesize_group(&simplify_terms(3, &terms(&["XII", "IYI", "IIZ"])));
+        assert_eq!(c.counts().oneq, 3);
+        assert_eq!(c.counts().two_qubit(), 0);
+    }
+
+    #[test]
+    fn heavy_group_synthesizes_with_bounded_2q_gates() {
+        // Weight-5 string: naive = 8 CNOTs; PHOENIX structure should spend
+        // fewer 2Q gates (Cliffords + one 2Q rotation).
+        let c = synthesize_group(&simplify_terms(5, &terms(&["XYZXY"])));
+        let lowered = phoenix_circuit::peephole::optimize(&c);
+        let naive =
+            phoenix_circuit::synthesis::naive_circuit(5, &terms(&["XYZXY"]));
+        assert!(
+            lowered.counts().cnot <= naive.counts().cnot,
+            "phoenix {} vs naive {}",
+            lowered.counts().cnot,
+            naive.counts().cnot
+        );
+    }
+
+    #[test]
+    fn rotation_angle_doubles_coefficient() {
+        let c = synthesize_group(&simplify_terms(2, &[("ZI".parse().unwrap(), 0.3)]));
+        assert!(matches!(c.gates()[0], Gate::Rz(0, t) if (t - 0.6).abs() < 1e-12));
+    }
+}

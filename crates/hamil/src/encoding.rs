@@ -1,0 +1,223 @@
+//! Linear fermion-to-qubit occupation encodings.
+//!
+//! A *linear* encoding stores on qubit `i` the parity of a subset of mode
+//! occupations: `q_i = ⊕_j M[i][j]·n_j` for an invertible GF(2) matrix `M`.
+//! Jordan–Wigner is `M = I`; Bravyi–Kitaev is the Fenwick-tree partial-sum
+//! matrix (Seeley–Richard–Love); the parity encoding is the running-sum
+//! lower-triangular matrix.
+//!
+//! From `M` the Majorana operators follow mechanically:
+//!
+//! - flipping mode `j` flips the qubits of column `j` (*update set*);
+//! - the parity of modes `< j` is read from `⊕_{j'<j}` rows of `M⁻¹`
+//!   (*parity set*);
+//! - the occupation `n_j` is read from row `j` of `M⁻¹` (*occupation set*).
+//!
+//! This derivation replaces hand-transcribed update/parity/flip-set tables
+//! and is validated by canonical-anticommutation-relation property tests in
+//! [`crate::fermion`].
+
+use phoenix_pauli::PauliString;
+
+/// A linear fermion-to-qubit encoding over `n` modes/qubits.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_hamil::FermionEncoding;
+///
+/// let bk = FermionEncoding::bravyi_kitaev(4);
+/// // Qubit 3 stores the parity of all four modes in BK.
+/// assert_eq!(bk.update_set(0), vec![0, 1, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FermionEncoding {
+    name: &'static str,
+    n: usize,
+    /// Row `i` = bit mask over modes stored (xor-ed) on qubit `i`.
+    m: Vec<u128>,
+    /// Row `j` of `M⁻¹` = bit mask over qubits whose xor gives `n_j`.
+    minv: Vec<u128>,
+}
+
+impl FermionEncoding {
+    /// Builds an encoding from its occupation matrix rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is singular over GF(2) or `n > 128`.
+    pub fn from_matrix(name: &'static str, n: usize, m: Vec<u128>) -> Self {
+        assert!(n <= 128, "at most 128 modes supported");
+        assert_eq!(m.len(), n, "matrix must be n×n");
+        let minv = gf2_inverse(n, &m).expect("encoding matrix must be invertible");
+        FermionEncoding { name, n, m, minv }
+    }
+
+    /// Jordan–Wigner: qubit `i` stores `n_i` directly.
+    pub fn jordan_wigner(n: usize) -> Self {
+        FermionEncoding::from_matrix("JW", n, (0..n).map(|i| 1u128 << i).collect())
+    }
+
+    /// Bravyi–Kitaev: qubit `i` stores the Fenwick-tree partial sum of
+    /// modes `(i+1) − lowbit(i+1) .. i`.
+    pub fn bravyi_kitaev(n: usize) -> Self {
+        let rows = (0..n)
+            .map(|i| {
+                let k = (i + 1) as u128;
+                let low = k & k.wrapping_neg();
+                // Modes (k-low)..k, 0-based.
+                let hi_mask = if k >= 128 { u128::MAX } else { (1u128 << k) - 1 };
+                let lo_mask = (1u128 << (k - low)) - 1;
+                hi_mask & !lo_mask
+            })
+            .collect();
+        FermionEncoding::from_matrix("BK", n, rows)
+    }
+
+    /// Parity encoding: qubit `i` stores `n_0 ⊕ ⋯ ⊕ n_i`.
+    pub fn parity(n: usize) -> Self {
+        let rows = (0..n)
+            .map(|i| if i + 1 >= 128 { u128::MAX } else { (1u128 << (i + 1)) - 1 })
+            .collect();
+        FermionEncoding::from_matrix("parity", n, rows)
+    }
+
+    /// Short display name (`"JW"`, `"BK"`, …).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of modes (= qubits).
+    pub fn num_modes(&self) -> usize {
+        self.n
+    }
+
+    /// Qubits that flip when mode `j` flips (column `j` of `M`).
+    pub fn update_set(&self, j: usize) -> Vec<usize> {
+        (0..self.n).filter(|&i| self.m[i] >> j & 1 == 1).collect()
+    }
+
+    /// Qubits whose xor gives the parity of modes `< j`.
+    pub fn parity_set(&self, j: usize) -> Vec<usize> {
+        let mask = self.parity_mask(j);
+        (0..self.n).filter(|&i| mask >> i & 1 == 1).collect()
+    }
+
+    /// Qubits whose xor gives `n_j` (row `j` of `M⁻¹`).
+    pub fn occupation_set(&self, j: usize) -> Vec<usize> {
+        (0..self.n).filter(|&i| self.minv[j] >> i & 1 == 1).collect()
+    }
+
+    fn update_mask(&self, j: usize) -> u128 {
+        let mut mask = 0u128;
+        for i in 0..self.n {
+            if self.m[i] >> j & 1 == 1 {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    fn parity_mask(&self, j: usize) -> u128 {
+        (0..j).fold(0u128, |acc, jp| acc ^ self.minv[jp])
+    }
+
+    /// The Majorana operator `c_j` (`a_j + a_j†`): X on the update set
+    /// times Z on the parity set.
+    ///
+    /// For the triangular encodings here the two sets are disjoint, so the
+    /// result is a plain Hermitian Pauli string.
+    pub fn majorana_c(&self, j: usize) -> PauliString {
+        let x = self.update_mask(j);
+        let z = self.parity_mask(j);
+        debug_assert_eq!(x & z, 0, "update and parity sets overlap");
+        PauliString::from_masks(self.n, x, z)
+    }
+
+    /// The Z-string `(-1)^{n_j}` on the occupation set of mode `j`.
+    pub fn occupation_z(&self, j: usize) -> PauliString {
+        PauliString::from_masks(self.n, 0, self.minv[j])
+    }
+}
+
+/// Inverts an `n×n` GF(2) matrix given as row bit masks.
+fn gf2_inverse(n: usize, rows: &[u128]) -> Option<Vec<u128>> {
+    let mut a = rows.to_vec();
+    let mut inv: Vec<u128> = (0..n).map(|i| 1u128 << i).collect();
+    for col in 0..n {
+        // Find pivot.
+        let pivot = (col..n).find(|&r| a[r] >> col & 1 == 1)?;
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        for r in 0..n {
+            if r != col && a[r] >> col & 1 == 1 {
+                a[r] ^= a[col];
+                inv[r] ^= inv[col];
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jw_sets_are_textbook() {
+        let jw = FermionEncoding::jordan_wigner(5);
+        assert_eq!(jw.update_set(3), vec![3]);
+        assert_eq!(jw.parity_set(3), vec![0, 1, 2]);
+        assert_eq!(jw.occupation_set(3), vec![3]);
+        assert_eq!(jw.majorana_c(2).label(), "ZZXII");
+    }
+
+    #[test]
+    fn bk_matrix_matches_seeley_richard_love_n4() {
+        // β₄ rows: q0 = n0, q1 = n0+n1, q2 = n2, q3 = n0+n1+n2+n3.
+        let bk = FermionEncoding::bravyi_kitaev(4);
+        assert_eq!(bk.update_set(0), vec![0, 1, 3]);
+        assert_eq!(bk.update_set(1), vec![1, 3]);
+        assert_eq!(bk.update_set(2), vec![2, 3]);
+        assert_eq!(bk.update_set(3), vec![3]);
+        assert_eq!(bk.parity_set(2), vec![1]);
+        assert_eq!(bk.parity_set(3), vec![1, 2]);
+        assert_eq!(bk.occupation_set(3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parity_encoding_sets() {
+        let p = FermionEncoding::parity(4);
+        assert_eq!(p.update_set(1), vec![1, 2, 3]);
+        assert_eq!(p.parity_set(2), vec![1]);
+        assert_eq!(p.occupation_set(2), vec![1, 2]);
+    }
+
+    #[test]
+    fn gf2_inverse_roundtrip() {
+        let bk = FermionEncoding::bravyi_kitaev(13);
+        // M · M⁻¹ = I: n_j recovered from qubits must hit exactly mode j.
+        for j in 0..13 {
+            let mut acc = 0u128;
+            for i in bk.occupation_set(j) {
+                acc ^= bk.m[i];
+            }
+            assert_eq!(acc, 1u128 << j, "mode {j}");
+        }
+    }
+
+    #[test]
+    fn majorana_weights_scale_logarithmically_for_bk() {
+        // BK Majoranas have O(log n) weight while JW's grow linearly.
+        let n = 64;
+        let jw = FermionEncoding::jordan_wigner(n);
+        let bk = FermionEncoding::bravyi_kitaev(n);
+        assert_eq!(jw.majorana_c(n - 1).weight(), n);
+        assert!(bk.majorana_c(n - 1).weight() <= 8);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        assert!(gf2_inverse(2, &[0b01, 0b01]).is_none());
+    }
+}

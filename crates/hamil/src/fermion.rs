@@ -1,0 +1,230 @@
+//! Fermionic creation/annihilation operators and UCCSD excitation
+//! generators as phase-exact Pauli polynomials.
+
+use crate::FermionEncoding;
+use phoenix_mathkit::Complex;
+use phoenix_pauli::PauliPolynomial;
+
+/// The annihilation operator `a_j` under the given encoding.
+///
+/// Built from the Majorana `c_j` and the occupation Z-string:
+/// `a_j = ½ · c_j · (I − Z_{occ(j)})`.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_hamil::{annihilation, FermionEncoding};
+///
+/// let jw = FermionEncoding::jordan_wigner(3);
+/// let a1 = annihilation(&jw, 1);
+/// // JW: a₁ = ½ (X+iY)₁ Z₀ — two Pauli terms.
+/// assert_eq!(a1.num_terms(), 2);
+/// ```
+pub fn annihilation(enc: &FermionEncoding, j: usize) -> PauliPolynomial {
+    let n = enc.num_modes();
+    let c = PauliPolynomial::term(n, enc.majorana_c(j), Complex::ONE);
+    let zf = PauliPolynomial::term(n, enc.occupation_z(j), Complex::ONE);
+    let projector = PauliPolynomial::scalar(n, Complex::ONE).sub(&zf);
+    c.mul(&projector).scale(Complex::from_re(0.5))
+}
+
+/// The creation operator `a_j† = (a_j)†`.
+pub fn creation(enc: &FermionEncoding, j: usize) -> PauliPolynomial {
+    annihilation(enc, j).dagger()
+}
+
+/// The number operator `n_j = a_j† a_j`; equals `(I − Z_{occ(j)})/2`.
+pub fn number_operator(enc: &FermionEncoding, j: usize) -> PauliPolynomial {
+    creation(enc, j).mul(&annihilation(enc, j))
+}
+
+/// The anti-Hermitian UCCSD single-excitation generator
+/// `T_{i→a} = a_a† a_i − a_i† a_a`.
+///
+/// # Panics
+///
+/// Panics if `i == a`.
+pub fn single_excitation(enc: &FermionEncoding, i: usize, a: usize) -> PauliPolynomial {
+    assert_ne!(i, a, "excitation needs distinct orbitals");
+    let fwd = creation(enc, a).mul(&annihilation(enc, i));
+    fwd.sub(&fwd.dagger())
+}
+
+/// The anti-Hermitian UCCSD double-excitation generator
+/// `T_{ij→ab} = a_a† a_b† a_j a_i − h.c.`.
+///
+/// # Panics
+///
+/// Panics if the four orbitals are not pairwise distinct.
+pub fn double_excitation(
+    enc: &FermionEncoding,
+    i: usize,
+    j: usize,
+    a: usize,
+    b: usize,
+) -> PauliPolynomial {
+    let orbs = [i, j, a, b];
+    for (k, &x) in orbs.iter().enumerate() {
+        for &y in &orbs[k + 1..] {
+            assert_ne!(x, y, "excitation needs distinct orbitals");
+        }
+    }
+    let fwd = creation(enc, a)
+        .mul(&creation(enc, b))
+        .mul(&annihilation(enc, j))
+        .mul(&annihilation(enc, i));
+    fwd.sub(&fwd.dagger())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_pauli::PauliString;
+
+    fn encodings(n: usize) -> Vec<FermionEncoding> {
+        vec![
+            FermionEncoding::jordan_wigner(n),
+            FermionEncoding::bravyi_kitaev(n),
+            FermionEncoding::parity(n),
+        ]
+    }
+
+    /// {a_i, a_j†} = δ_ij·I and {a_i, a_j} = 0 for every encoding.
+    #[test]
+    fn canonical_anticommutation_relations() {
+        let n = 5;
+        for enc in encodings(n) {
+            for i in 0..n {
+                for j in 0..n {
+                    let ai = annihilation(&enc, i);
+                    let ajd = creation(&enc, j);
+                    let anti = ai.mul(&ajd).add(&ajd.mul(&ai));
+                    if i == j {
+                        let want = PauliPolynomial::scalar(n, Complex::ONE);
+                        assert_eq!(anti, want, "{} {{a_{i}, a_{j}†}}", enc.name());
+                    } else {
+                        assert!(anti.is_zero(), "{} {{a_{i}, a_{j}†}} ≠ 0", enc.name());
+                    }
+                    let aj = annihilation(&enc, j);
+                    let anti2 = ai.mul(&aj).add(&aj.mul(&ai));
+                    assert!(anti2.is_zero(), "{} {{a_{i}, a_{j}}} ≠ 0", enc.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn number_operator_is_projector_form() {
+        let n = 4;
+        for enc in encodings(n) {
+            for j in 0..n {
+                let num = number_operator(&enc, j);
+                let zf = PauliPolynomial::term(n, enc.occupation_z(j), Complex::ONE);
+                let want = PauliPolynomial::scalar(n, Complex::ONE)
+                    .sub(&zf)
+                    .scale(Complex::from_re(0.5));
+                assert_eq!(num, want, "{} n_{j}", enc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn jw_single_excitation_is_textbook() {
+        // T_{0→2} under JW = i/2 (X Z Y − Y Z X) pattern: two terms,
+        // imaginary coefficients, weight 3.
+        let jw = FermionEncoding::jordan_wigner(3);
+        let t = single_excitation(&jw, 0, 2);
+        assert_eq!(t.num_terms(), 2);
+        for term in t.iter() {
+            assert_eq!(term.string.weight(), 3);
+            assert!(term.coeff.re.abs() < 1e-14, "anti-hermitian ⇒ imaginary");
+            assert!((term.coeff.abs() - 0.5).abs() < 1e-14);
+        }
+        let labels: Vec<String> = t.iter().map(|t| t.string.label()).collect();
+        assert!(labels.contains(&"XZY".to_string()));
+        assert!(labels.contains(&"YZX".to_string()));
+    }
+
+    #[test]
+    fn single_excitation_is_antihermitian() {
+        for enc in encodings(4) {
+            let t = single_excitation(&enc, 1, 3);
+            assert_eq!(t.dagger(), t.scale(-Complex::ONE), "{}", enc.name());
+        }
+    }
+
+    #[test]
+    fn double_excitation_has_eight_terms_under_jw() {
+        let jw = FermionEncoding::jordan_wigner(6);
+        let t = double_excitation(&jw, 0, 1, 4, 5);
+        assert_eq!(t.num_terms(), 8);
+        assert_eq!(t.dagger(), t.scale(-Complex::ONE));
+    }
+
+    #[test]
+    fn double_excitation_terms_match_across_encodings() {
+        // Same excitation, different encodings: same term count, same
+        // coefficient magnitudes (patterns differ).
+        let t_jw = double_excitation(&FermionEncoding::jordan_wigner(6), 0, 1, 3, 5);
+        let t_bk = double_excitation(&FermionEncoding::bravyi_kitaev(6), 0, 1, 3, 5);
+        assert_eq!(t_jw.num_terms(), t_bk.num_terms());
+        let mags = |p: &PauliPolynomial| {
+            let mut v: Vec<i64> = p.iter().map(|t| (t.coeff.abs() * 1e12) as i64).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(mags(&t_jw), mags(&t_bk));
+    }
+
+    #[test]
+    fn excitation_commutes_with_total_number() {
+        // [T, N] = 0 where N = Σ n_j: particle-number conservation.
+        let n = 4;
+        for enc in encodings(n) {
+            let mut total = PauliPolynomial::zero(n);
+            for j in 0..n {
+                total = total.add(&number_operator(&enc, j));
+            }
+            let t = double_excitation(&enc, 0, 1, 2, 3);
+            let comm = t.mul(&total).sub(&total.mul(&t));
+            assert!(comm.is_zero(), "{}", enc.name());
+        }
+    }
+
+    #[test]
+    fn annihilation_kills_vacuum_under_jw() {
+        // ⟨0| a_j† = 0 ⟺ a_j |vac⟩ = 0: check via matrices on 3 qubits.
+        let jw = FermionEncoding::jordan_wigner(3);
+        let a = annihilation(&jw, 1);
+        let mut m = phoenix_mathkit::CMatrix::zeros(8, 8);
+        for t in a.iter() {
+            m = &m + &t.string.to_matrix().scale(t.coeff);
+        }
+        // Column 0 (vacuum) must be zero.
+        for r in 0..8 {
+            assert!(m[(r, 0)].abs() < 1e-14);
+        }
+        // a_1 |010⟩ = |000⟩ (qubit 1 = bit 1 ⇒ basis index 2).
+        assert!((m[(0, 2)].abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct orbitals")]
+    fn repeated_orbital_rejected() {
+        let jw = FermionEncoding::jordan_wigner(4);
+        let _ = double_excitation(&jw, 0, 1, 1, 3);
+    }
+
+    #[test]
+    fn identity_string_absent_from_generators() {
+        for enc in encodings(5) {
+            let t = double_excitation(&enc, 0, 2, 3, 4);
+            assert!(
+                t.iter().all(|term| !term.string.is_identity()),
+                "{}",
+                enc.name()
+            );
+            let _ = PauliString::identity(5); // silence unused import in cfg
+        }
+    }
+}

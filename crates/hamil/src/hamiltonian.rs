@@ -1,0 +1,156 @@
+//! The Pauli-string program representation handed to compilers.
+
+use phoenix_pauli::PauliString;
+use std::fmt;
+
+/// A Hamiltonian-simulation program: an ordered list of Pauli
+/// exponentiations `exp(-i·cⱼ·Pⱼ)` (one Trotter step), plus a display name.
+///
+/// This is the input format of every compiler in the workspace; the term
+/// *order* is the "original" (naive) arrangement a compiler is free to
+/// permute.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_hamil::Hamiltonian;
+/// use phoenix_pauli::PauliString;
+///
+/// let h = Hamiltonian::new(
+///     "toy",
+///     2,
+///     vec![("XX".parse::<PauliString>()?, 0.5), ("ZI".parse()?, -1.0)],
+/// );
+/// assert_eq!(h.len(), 2);
+/// assert_eq!(h.max_weight(), 2);
+/// # Ok::<(), phoenix_pauli::ParsePauliStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hamiltonian {
+    name: String,
+    n: usize,
+    terms: Vec<(PauliString, f64)>,
+}
+
+impl Hamiltonian {
+    /// Creates a program from terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term's qubit count differs from `n`.
+    pub fn new(
+        name: impl Into<String>,
+        n: usize,
+        terms: Vec<(PauliString, f64)>,
+    ) -> Self {
+        for (p, _) in &terms {
+            assert_eq!(p.num_qubits(), n, "term qubit count mismatch");
+        }
+        Hamiltonian {
+            name: name.into(),
+            n,
+            terms,
+        }
+    }
+
+    /// The program name (e.g. `"LiH_frz_JW"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The terms, in original order.
+    pub fn terms(&self) -> &[(PauliString, f64)] {
+        &self.terms
+    }
+
+    /// Number of Pauli exponentiations (`#Pauli` in Table I).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the program has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Maximum Pauli weight over all terms (`w_max` in Table I).
+    pub fn max_weight(&self) -> usize {
+        self.terms.iter().map(|(p, _)| p.weight()).max().unwrap_or(0)
+    }
+
+    /// Returns a copy with every coefficient multiplied by `scale` — the
+    /// coefficient-rescaling protocol of the paper's Fig. 8 (different
+    /// evolution durations).
+    pub fn rescaled(&self, scale: f64) -> Hamiltonian {
+        Hamiltonian {
+            name: self.name.clone(),
+            n: self.n,
+            terms: self
+                .terms
+                .iter()
+                .map(|(p, c)| (*p, c * scale))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Hamiltonian {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} qubits, {} pauli terms, w_max {}",
+            self.name,
+            self.n,
+            self.terms.len(),
+            self.max_weight()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let h = Hamiltonian::new(
+            "t",
+            3,
+            vec![
+                ("XXI".parse().unwrap(), 1.0),
+                ("ZZZ".parse().unwrap(), 0.5),
+            ],
+        );
+        assert_eq!(h.name(), "t");
+        assert_eq!(h.num_qubits(), 3);
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+        assert_eq!(h.max_weight(), 3);
+    }
+
+    #[test]
+    fn rescale_scales_coefficients_only() {
+        let h = Hamiltonian::new("t", 1, vec![("X".parse().unwrap(), 2.0)]);
+        let r = h.rescaled(0.25);
+        assert_eq!(r.terms()[0].1, 0.5);
+        assert_eq!(r.terms()[0].0, h.terms()[0].0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_arity_panics() {
+        let _ = Hamiltonian::new("t", 2, vec![("X".parse().unwrap(), 1.0)]);
+    }
+
+    #[test]
+    fn display_mentions_stats() {
+        let h = Hamiltonian::new("prog", 2, vec![("XY".parse().unwrap(), 1.0)]);
+        let s = h.to_string();
+        assert!(s.contains("prog") && s.contains("2 qubits"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Extra spin-model generators exercising the "generic Hamiltonian
+//! simulation" claim beyond the paper's two benchmark families.
+
+use crate::Hamiltonian;
+use phoenix_pauli::{Pauli, PauliString};
+
+/// Transverse-field Ising model on a chain:
+/// `H = J Σ Z_i Z_{i+1} + h Σ X_i`.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_hamil::models::tfim_chain;
+///
+/// let h = tfim_chain(4, 1.0, 0.5);
+/// assert_eq!(h.len(), 3 + 4);
+/// ```
+pub fn tfim_chain(n: usize, j: f64, h: f64) -> Hamiltonian {
+    let mut terms = Vec::new();
+    for i in 0..n.saturating_sub(1) {
+        terms.push((
+            PauliString::from_sparse(n, &[(i, Pauli::Z), (i + 1, Pauli::Z)]),
+            j,
+        ));
+    }
+    for i in 0..n {
+        terms.push((PauliString::single(n, i, Pauli::X), h));
+    }
+    Hamiltonian::new(format!("TFIM-{n}"), n, terms)
+}
+
+/// Heisenberg XYZ model on a chain:
+/// `H = Σ_i (Jx X_i X_{i+1} + Jy Y_i Y_{i+1} + Jz Z_i Z_{i+1})`.
+pub fn heisenberg_chain(n: usize, jx: f64, jy: f64, jz: f64) -> Hamiltonian {
+    let mut terms = Vec::new();
+    for i in 0..n.saturating_sub(1) {
+        for (p, c) in [(Pauli::X, jx), (Pauli::Y, jy), (Pauli::Z, jz)] {
+            terms.push((PauliString::from_sparse(n, &[(i, p), (i + 1, p)]), c));
+        }
+    }
+    Hamiltonian::new(format!("Heis-{n}"), n, terms)
+}
+
+/// Fermi–Hubbard-like hopping + interaction on a chain under Jordan–Wigner:
+/// hopping `t(X_i X_{i+1} + Y_i Y_{i+1})/2` and interaction `u Z_i Z_{i+1}/4`.
+pub fn hubbard_chain_jw(n: usize, t: f64, u: f64) -> Hamiltonian {
+    let mut terms = Vec::new();
+    for i in 0..n.saturating_sub(1) {
+        terms.push((
+            PauliString::from_sparse(n, &[(i, Pauli::X), (i + 1, Pauli::X)]),
+            t / 2.0,
+        ));
+        terms.push((
+            PauliString::from_sparse(n, &[(i, Pauli::Y), (i + 1, Pauli::Y)]),
+            t / 2.0,
+        ));
+        terms.push((
+            PauliString::from_sparse(n, &[(i, Pauli::Z), (i + 1, Pauli::Z)]),
+            u / 4.0,
+        ));
+    }
+    Hamiltonian::new(format!("Hubbard-{n}"), n, terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tfim_term_structure() {
+        let h = tfim_chain(5, 1.0, 0.3);
+        assert_eq!(h.num_qubits(), 5);
+        assert_eq!(h.len(), 4 + 5);
+        assert_eq!(h.max_weight(), 2);
+        let oneq = h.terms().iter().filter(|(p, _)| p.weight() == 1).count();
+        assert_eq!(oneq, 5);
+    }
+
+    #[test]
+    fn heisenberg_has_three_terms_per_bond() {
+        let h = heisenberg_chain(4, 1.0, 1.0, 0.5);
+        assert_eq!(h.len(), 9);
+        assert!(h.terms().iter().all(|(p, _)| p.weight() == 2));
+    }
+
+    #[test]
+    fn hubbard_coefficients() {
+        let h = hubbard_chain_jw(3, 2.0, 4.0);
+        assert_eq!(h.len(), 6);
+        assert!(h.terms().iter().any(|(_, c)| (*c - 1.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn single_site_edge_cases() {
+        assert_eq!(tfim_chain(1, 1.0, 1.0).len(), 1);
+        assert!(heisenberg_chain(1, 1.0, 1.0, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! QAOA benchmark programs (Table IV): 2-local ZZ Hamiltonians on seeded
+//! random-regular graphs.
+//!
+//! The paper's QAOA suite uses random graphs with node degree 4
+//! (`Rand-{16,20,24}`) and 3-regular graphs (`Reg3-{16,20,24}`), so
+//! `#Pauli = n·d/2` edges per program.
+
+use crate::Hamiltonian;
+use phoenix_mathkit::Xoshiro256;
+use phoenix_pauli::{Pauli, PauliString};
+
+/// Generates a random `d`-regular simple graph on `n` vertices via the
+/// configuration (pairing) model with rejection, deterministically from
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd or `d >= n` (no such graph exists).
+pub fn random_regular_graph(n: usize, d: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!(d < n, "degree must be below vertex count");
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    'attempt: for _ in 0..10_000 {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        rng.shuffle(&mut stubs);
+        let mut edges = std::collections::BTreeSet::new();
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a == b || !edges.insert((a.min(b), a.max(b))) {
+                continue 'attempt; // self-loop or multi-edge: reject
+            }
+        }
+        return edges.into_iter().collect();
+    }
+    unreachable!("pairing model converges for the sizes used here")
+}
+
+/// Builds a QAOA cost-layer program for a graph: one `exp(-i·γₑ·Z_u Z_v)`
+/// per edge, with seeded edge weights in `[0.1, 1.0)`.
+///
+/// Mixer rotations are 1Q gates (free in every metric) and are omitted, so
+/// `#Pauli` equals the edge count as in Table IV.
+pub fn maxcut_program(
+    name: impl Into<String>,
+    n: usize,
+    edges: &[(usize, usize)],
+    seed: u64,
+) -> Hamiltonian {
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let terms = edges
+        .iter()
+        .map(|&(u, v)| {
+            let p = PauliString::from_sparse(n, &[(u, Pauli::Z), (v, Pauli::Z)]);
+            (p, rng.next_range_f64(0.1, 1.0))
+        })
+        .collect();
+    Hamiltonian::new(name, n, terms)
+}
+
+/// A Table-IV benchmark: `Rand-n` is 4-regular, `Reg3-n` is 3-regular.
+pub fn benchmark(kind: QaoaKind, n: usize, seed: u64) -> Hamiltonian {
+    let (d, prefix) = match kind {
+        QaoaKind::Rand4 => (4, "Rand"),
+        QaoaKind::Reg3 => (3, "Reg3"),
+    };
+    let edges = random_regular_graph(n, d, seed);
+    maxcut_program(format!("{prefix}-{n}"), n, &edges, seed)
+}
+
+/// The two QAOA graph families of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QaoaKind {
+    /// Random graphs with node degree 4 (`Rand-n`).
+    Rand4,
+    /// 3-regular graphs (`Reg3-n`).
+    Reg3,
+}
+
+/// All six Table-IV benchmarks, in the paper's row order.
+pub fn table4_suite(seed: u64) -> Vec<Hamiltonian> {
+    let mut out = Vec::new();
+    for kind in [QaoaKind::Rand4, QaoaKind::Reg3] {
+        for n in [16, 20, 24] {
+            out.push(benchmark(kind, n, seed.wrapping_add(n as u64)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_graph_has_uniform_degree() {
+        for (n, d) in [(16, 4), (20, 3), (24, 4)] {
+            let edges = random_regular_graph(n, d, 42);
+            assert_eq!(edges.len(), n * d / 2);
+            let mut deg = vec![0usize; n];
+            for (a, b) in &edges {
+                assert_ne!(a, b);
+                deg[*a] += 1;
+                deg[*b] += 1;
+            }
+            assert!(deg.iter().all(|&x| x == d), "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn graph_generation_is_deterministic() {
+        assert_eq!(
+            random_regular_graph(20, 4, 5),
+            random_regular_graph(20, 4, 5)
+        );
+        assert_ne!(
+            random_regular_graph(20, 4, 5),
+            random_regular_graph(20, 4, 6)
+        );
+    }
+
+    #[test]
+    fn table4_sizes_match_paper() {
+        let suite = table4_suite(1);
+        let expect = [
+            ("Rand-16", 32),
+            ("Rand-20", 40),
+            ("Rand-24", 48),
+            ("Reg3-16", 24),
+            ("Reg3-20", 30),
+            ("Reg3-24", 36),
+        ];
+        assert_eq!(suite.len(), 6);
+        for (h, (name, np)) in suite.iter().zip(expect) {
+            assert_eq!(h.name(), name);
+            assert_eq!(h.len(), np, "{name}");
+            assert_eq!(h.max_weight(), 2);
+        }
+    }
+
+    #[test]
+    fn program_terms_are_zz() {
+        let h = benchmark(QaoaKind::Reg3, 16, 3);
+        for (p, c) in h.terms() {
+            assert_eq!(p.weight(), 2);
+            assert!(p.support().iter().all(|&q| p.get(q) == Pauli::Z));
+            assert!((0.1..1.0).contains(c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_stub_count_rejected() {
+        let _ = random_regular_graph(5, 3, 1);
+    }
+}

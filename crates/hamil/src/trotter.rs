@@ -1,0 +1,133 @@
+//! Trotterization helpers (Eq. (1) of the paper).
+//!
+//! A Hamiltonian `H = Σ hⱼ Pⱼ` evolved for the duration absorbed in its
+//! coefficients is approximated by the first-order product `S₁ = Π e^{-i hⱼ Pⱼ}`
+//! (the term list itself), the palindromic second-order product `S₂`, or
+//! `r` repeated finer steps. Compilers consume the resulting term lists
+//! like any other program; the arrangement freedom inside each step is what
+//! PHOENIX exploits.
+//!
+//! Note that compilers treat the whole term list as one reorderable Trotter
+//! product: support-grouping may merge duplicated terms *across* repeated
+//! steps, trading the finer-step error structure for gate count. To enforce
+//! strict step boundaries, compile each step separately and concatenate the
+//! circuits.
+
+use crate::Hamiltonian;
+use phoenix_pauli::PauliString;
+
+/// Second-order (Suzuki) step: forward half-coefficients then the reverse
+/// sweep, `S₂ = Π_{j=1..L} e^{-i hⱼ/2 Pⱼ} · Π_{j=L..1} e^{-i hⱼ/2 Pⱼ}`.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_hamil::{trotter, Hamiltonian};
+/// use phoenix_pauli::PauliString;
+///
+/// let h = Hamiltonian::new("toy", 1, vec![
+///     ("X".parse::<PauliString>()?, 1.0),
+///     ("Z".parse()?, 2.0),
+/// ]);
+/// let s2 = trotter::second_order(h.terms());
+/// assert_eq!(s2.len(), 4);
+/// assert_eq!(s2[0].1, 0.5);
+/// assert_eq!(s2[3], s2[0]); // palindrome
+/// # Ok::<(), phoenix_pauli::ParsePauliStringError>(())
+/// ```
+pub fn second_order(terms: &[(PauliString, f64)]) -> Vec<(PauliString, f64)> {
+    let mut out: Vec<(PauliString, f64)> =
+        terms.iter().map(|&(p, c)| (p, c / 2.0)).collect();
+    out.extend(terms.iter().rev().map(|&(p, c)| (p, c / 2.0)));
+    out
+}
+
+/// `r` repeated first-order steps with coefficients divided by `r` —
+/// finer-grained Trotterization at proportionally larger circuit size.
+///
+/// # Panics
+///
+/// Panics if `r == 0`.
+pub fn repeated_steps(terms: &[(PauliString, f64)], r: usize) -> Vec<(PauliString, f64)> {
+    assert!(r > 0, "need at least one trotter step");
+    let step: Vec<(PauliString, f64)> =
+        terms.iter().map(|&(p, c)| (p, c / r as f64)).collect();
+    let mut out = Vec::with_capacity(terms.len() * r);
+    for _ in 0..r {
+        out.extend(step.iter().copied());
+    }
+    out
+}
+
+/// Convenience wrappers returning new [`Hamiltonian`] programs.
+impl Hamiltonian {
+    /// The second-order Trotter step of this program.
+    pub fn second_order(&self) -> Hamiltonian {
+        Hamiltonian::new(
+            format!("{}_S2", self.name()),
+            self.num_qubits(),
+            second_order(self.terms()),
+        )
+    }
+
+    /// `r` repeated first-order steps of this program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`.
+    pub fn repeated(&self, r: usize) -> Hamiltonian {
+        Hamiltonian::new(
+            format!("{}_r{r}", self.name()),
+            self.num_qubits(),
+            repeated_steps(self.terms(), r),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Vec<(PauliString, f64)> {
+        vec![
+            ("XI".parse().unwrap(), 0.4),
+            ("ZZ".parse().unwrap(), -0.2),
+            ("IY".parse().unwrap(), 0.1),
+        ]
+    }
+
+    #[test]
+    fn second_order_is_palindromic() {
+        let s2 = second_order(&toy());
+        assert_eq!(s2.len(), 6);
+        for (a, b) in s2.iter().zip(s2.iter().rev()) {
+            assert_eq!(a, b);
+        }
+        let total: f64 = s2.iter().map(|t| t.1).sum();
+        let orig: f64 = toy().iter().map(|t| t.1).sum();
+        assert!((total - orig).abs() < 1e-15, "total phase preserved");
+    }
+
+    #[test]
+    fn repeated_steps_partition_coefficients() {
+        let r = repeated_steps(&toy(), 4);
+        assert_eq!(r.len(), 12);
+        assert!((r[0].1 - 0.1).abs() < 1e-15);
+        let total: f64 = r.iter().map(|t| t.1).sum();
+        assert!((total - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamiltonian_wrappers_rename() {
+        let h = Hamiltonian::new("toy", 2, toy());
+        assert_eq!(h.second_order().name(), "toy_S2");
+        assert_eq!(h.repeated(3).name(), "toy_r3");
+        assert_eq!(h.repeated(3).len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_steps_rejected() {
+        let _ = repeated_steps(&toy(), 0);
+    }
+}

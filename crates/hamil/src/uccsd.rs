@@ -1,0 +1,342 @@
+//! The UCCSD benchmark suite of Table I.
+//!
+//! Molecule specifications carry only what determines the Pauli-string
+//! patterns: spatial-orbital and electron counts (STO-3G sizes) and the
+//! frozen-core reduction. Spin orbitals are interleaved (`2p + σ`), filled
+//! bottom-up (closed shell), and excitations are enumerated spin-conserving
+//! — which reproduces the paper's per-benchmark `#Pauli` exactly.
+
+use crate::{double_excitation, single_excitation, FermionEncoding, Hamiltonian};
+use phoenix_mathkit::Xoshiro256;
+
+/// The fermion-to-qubit encoding used for a UCCSD ansatz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// Jordan–Wigner.
+    JordanWigner,
+    /// Bravyi–Kitaev (Fenwick tree).
+    BravyiKitaev,
+}
+
+impl Encoding {
+    /// Short suffix used in benchmark names (`JW` / `BK`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Encoding::JordanWigner => "JW",
+            Encoding::BravyiKitaev => "BK",
+        }
+    }
+
+    /// Instantiates the encoding over `n` modes.
+    pub fn build(self, n: usize) -> FermionEncoding {
+        match self {
+            Encoding::JordanWigner => FermionEncoding::jordan_wigner(n),
+            Encoding::BravyiKitaev => FermionEncoding::bravyi_kitaev(n),
+        }
+    }
+}
+
+/// An STO-3G molecule specification for the Table-I suite.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_hamil::Molecule;
+///
+/// let m = Molecule::h2o();
+/// assert_eq!(m.spin_orbitals(false), 14);
+/// assert_eq!(m.spin_orbitals(true), 12); // frozen core
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Molecule {
+    name: &'static str,
+    spatial: usize,
+    electrons: usize,
+    frozen_spatial: usize,
+}
+
+impl Molecule {
+    /// Methylene, CH₂: 7 spatial orbitals, 8 electrons.
+    pub fn ch2() -> Self {
+        Molecule {
+            name: "CH2",
+            spatial: 7,
+            electrons: 8,
+            frozen_spatial: 1,
+        }
+    }
+
+    /// Water, H₂O: 7 spatial orbitals, 10 electrons.
+    pub fn h2o() -> Self {
+        Molecule {
+            name: "H2O",
+            spatial: 7,
+            electrons: 10,
+            frozen_spatial: 1,
+        }
+    }
+
+    /// Lithium hydride, LiH: 6 spatial orbitals, 4 electrons.
+    pub fn lih() -> Self {
+        Molecule {
+            name: "LiH",
+            spatial: 6,
+            electrons: 4,
+            frozen_spatial: 1,
+        }
+    }
+
+    /// Imidogen, NH: 6 spatial orbitals, 8 electrons.
+    pub fn nh() -> Self {
+        Molecule {
+            name: "NH",
+            spatial: 6,
+            electrons: 8,
+            frozen_spatial: 1,
+        }
+    }
+
+    /// The four molecules of the Table-I suite.
+    pub fn suite() -> [Molecule; 4] {
+        [
+            Molecule::ch2(),
+            Molecule::h2o(),
+            Molecule::lih(),
+            Molecule::nh(),
+        ]
+    }
+
+    /// The molecule name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Spin-orbital (= qubit) count, optionally with the core frozen.
+    pub fn spin_orbitals(&self, frozen: bool) -> usize {
+        2 * (self.spatial - if frozen { self.frozen_spatial } else { 0 })
+    }
+
+    /// Active electron count, optionally with the core frozen.
+    pub fn active_electrons(&self, frozen: bool) -> usize {
+        self.electrons - if frozen { 2 * self.frozen_spatial } else { 0 }
+    }
+}
+
+/// Spin of an interleaved spin orbital (0 = α, 1 = β).
+fn spin(orb: usize) -> usize {
+    orb % 2
+}
+
+/// Enumerates spin-conserving UCCSD excitations for `n_so` spin orbitals
+/// with the lowest `n_elec` occupied. Returns `(singles, doubles)`.
+pub fn excitations(
+    n_so: usize,
+    n_elec: usize,
+) -> (Vec<(usize, usize)>, Vec<(usize, usize, usize, usize)>) {
+    let occ: Vec<usize> = (0..n_elec).collect();
+    let virt: Vec<usize> = (n_elec..n_so).collect();
+    let mut singles = Vec::new();
+    for &i in &occ {
+        for &a in &virt {
+            if spin(i) == spin(a) {
+                singles.push((i, a));
+            }
+        }
+    }
+    let mut doubles = Vec::new();
+    for (ii, &i) in occ.iter().enumerate() {
+        for &j in &occ[ii + 1..] {
+            for (aa, &a) in virt.iter().enumerate() {
+                for &b in &virt[aa + 1..] {
+                    let mut sin = [spin(i), spin(j)];
+                    let mut sout = [spin(a), spin(b)];
+                    sin.sort_unstable();
+                    sout.sort_unstable();
+                    if sin == sout {
+                        doubles.push((i, j, a, b));
+                    }
+                }
+            }
+        }
+    }
+    (singles, doubles)
+}
+
+/// Builds the UCCSD ansatz program (one Trotter step) for a molecule.
+///
+/// Amplitudes are seeded synthetic values in `[-0.05, 0.05)`; the same
+/// `seed` yields the same amplitudes under both encodings, mirroring the
+/// paper's shared-molecule setup.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_hamil::{uccsd, Molecule};
+///
+/// let p = uccsd::ansatz(Molecule::nh(), true, uccsd::Encoding::BravyiKitaev, 7);
+/// assert_eq!(p.name(), "NH_frz_BK");
+/// assert_eq!(p.num_qubits(), 10);
+/// assert_eq!(p.len(), 360); // Table I
+/// ```
+pub fn ansatz(mol: Molecule, frozen: bool, encoding: Encoding, seed: u64) -> Hamiltonian {
+    let n = mol.spin_orbitals(frozen);
+    let n_elec = mol.active_electrons(frozen);
+    let enc = encoding.build(n);
+    let (singles, doubles) = excitations(n, n_elec);
+
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ fxhash(mol.name) ^ (frozen as u64) << 32);
+    let mut terms = Vec::new();
+    let mut emit = |poly: phoenix_pauli::PauliPolynomial, t: f64| {
+        // T is anti-Hermitian: every coefficient is i·γ with real γ, so
+        // exp(t·T) = Π exp(-i·(−t·γ_m)·P_m); the terms of one excitation
+        // mutually commute so the product is exact.
+        for term in poly.iter() {
+            debug_assert!(term.coeff.re.abs() < 1e-12, "anti-hermitian generator");
+            terms.push((term.string, -t * term.coeff.im));
+        }
+    };
+    for &(i, a) in &singles {
+        let t = rng.next_range_f64(-0.05, 0.05);
+        emit(single_excitation(&enc, i, a), t);
+    }
+    for &(i, j, a, b) in &doubles {
+        let t = rng.next_range_f64(-0.05, 0.05);
+        emit(double_excitation(&enc, i, j, a, b), t);
+    }
+
+    let name = format!(
+        "{}_{}_{}",
+        mol.name,
+        if frozen { "frz" } else { "cmplt" },
+        encoding.suffix()
+    );
+    Hamiltonian::new(name, n, terms)
+}
+
+/// Builds all 16 Table-I benchmarks in the paper's listing order
+/// (molecule × BK/JW × complete/frozen).
+pub fn table1_suite(seed: u64) -> Vec<Hamiltonian> {
+    let mut out = Vec::new();
+    for mol in Molecule::suite() {
+        for frozen in [false, true] {
+            for enc in [Encoding::BravyiKitaev, Encoding::JordanWigner] {
+                out.push(ansatz(mol, frozen, enc, seed));
+            }
+        }
+    }
+    out
+}
+
+/// Tiny deterministic string hash for seed mixing.
+fn fxhash(s: &str) -> u64 {
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (name, qubits, #Pauli, w_max) straight from Table I (JW rows).
+    const TABLE1_JW: [(&str, usize, usize, usize); 8] = [
+        ("CH2_cmplt_JW", 14, 1488, 14),
+        ("CH2_frz_JW", 12, 828, 12),
+        ("H2O_cmplt_JW", 14, 1000, 14),
+        ("H2O_frz_JW", 12, 640, 12),
+        ("LiH_cmplt_JW", 12, 640, 12),
+        ("LiH_frz_JW", 10, 144, 10),
+        ("NH_cmplt_JW", 12, 640, 12),
+        ("NH_frz_JW", 10, 360, 10),
+    ];
+
+    #[test]
+    fn jw_suite_matches_table1_exactly() {
+        for &(name, q, np, wmax) in &TABLE1_JW {
+            let (mol, frozen) = lookup(name);
+            let h = ansatz(mol, frozen, Encoding::JordanWigner, 7);
+            assert_eq!(h.name(), name);
+            assert_eq!(h.num_qubits(), q, "{name} qubits");
+            assert_eq!(h.len(), np, "{name} #pauli");
+            assert_eq!(h.max_weight(), wmax, "{name} w_max");
+        }
+    }
+
+    #[test]
+    fn bk_suite_matches_table1_sizes() {
+        // BK rows share #Pauli and #qubits with JW; w_max is encoding
+        // dependent (Table I lists 9–10) — assert it is strictly below JW's.
+        for &(jw_name, q, np, wmax_jw) in &TABLE1_JW {
+            let (mol, frozen) = lookup(jw_name);
+            let h = ansatz(mol, frozen, Encoding::BravyiKitaev, 7);
+            assert_eq!(h.num_qubits(), q);
+            assert_eq!(h.len(), np, "{} #pauli", h.name());
+            assert!(
+                h.max_weight() <= wmax_jw,
+                "{}: BK w_max {} vs JW {}",
+                h.name(),
+                h.max_weight(),
+                wmax_jw
+            );
+        }
+    }
+
+    fn lookup(name: &str) -> (Molecule, bool) {
+        let mol = match &name[..3] {
+            "CH2" => Molecule::ch2(),
+            "H2O" => Molecule::h2o(),
+            "LiH" => Molecule::lih(),
+            _ => Molecule::nh(),
+        };
+        (mol, name.contains("frz"))
+    }
+
+    #[test]
+    fn excitation_counts_for_lih_frozen() {
+        // 2 electrons in 10 spin orbitals: 8 singles, 16 doubles.
+        let (s, d) = excitations(10, 2);
+        assert_eq!(s.len(), 8);
+        assert_eq!(d.len(), 16);
+    }
+
+    #[test]
+    fn ansatz_is_deterministic() {
+        let a = ansatz(Molecule::lih(), true, Encoding::JordanWigner, 3);
+        let b = ansatz(Molecule::lih(), true, Encoding::JordanWigner, 3);
+        assert_eq!(a, b);
+        let c = ansatz(Molecule::lih(), true, Encoding::JordanWigner, 4);
+        assert_ne!(a.terms()[0].1, c.terms()[0].1, "seed changes amplitudes");
+    }
+
+    #[test]
+    fn same_seed_same_amplitude_multiset_across_encodings() {
+        let jw = ansatz(Molecule::nh(), true, Encoding::JordanWigner, 11);
+        let bk = ansatz(Molecule::nh(), true, Encoding::BravyiKitaev, 11);
+        let mut a: Vec<i64> = jw.terms().iter().map(|t| (t.1.abs() * 1e12) as i64).collect();
+        let mut b: Vec<i64> = bk.terms().iter().map(|t| (t.1.abs() * 1e12) as i64).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table1_suite_has_16_benchmarks() {
+        let suite = table1_suite(7);
+        assert_eq!(suite.len(), 16);
+        let names: std::collections::BTreeSet<_> =
+            suite.iter().map(|h| h.name().to_string()).collect();
+        assert_eq!(names.len(), 16, "names unique");
+    }
+
+    #[test]
+    fn spin_is_conserved_in_enumeration() {
+        let (s, d) = excitations(8, 4);
+        for (i, a) in s {
+            assert_eq!(i % 2, a % 2);
+        }
+        for (i, j, a, b) in d {
+            assert_eq!((i % 2) + (j % 2), (a % 2) + (b % 2));
+        }
+    }
+}

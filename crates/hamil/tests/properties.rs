@@ -1,0 +1,141 @@
+//! Property-based tests of the fermionic algebra and program generators.
+
+use phoenix_hamil::{
+    annihilation, creation, double_excitation, models, qaoa, single_excitation, trotter,
+    uccsd, FermionEncoding, Hamiltonian,
+};
+use phoenix_mathkit::Complex;
+use phoenix_pauli::PauliPolynomial;
+use proptest::prelude::*;
+
+fn encodings(n: usize) -> Vec<FermionEncoding> {
+    vec![
+        FermionEncoding::jordan_wigner(n),
+        FermionEncoding::bravyi_kitaev(n),
+        FermionEncoding::parity(n),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CAR relations hold for random mode pairs under every encoding.
+    #[test]
+    fn car_relations(n in 2usize..7, i in 0usize..7, j in 0usize..7) {
+        prop_assume!(i < n && j < n);
+        for enc in encodings(n) {
+            let ai = annihilation(&enc, i);
+            let ajd = creation(&enc, j);
+            let anti = ai.mul(&ajd).add(&ajd.mul(&ai));
+            if i == j {
+                prop_assert_eq!(anti, PauliPolynomial::scalar(n, Complex::ONE));
+            } else {
+                prop_assert!(anti.is_zero(), "{} modes {} {}", enc.name(), i, j);
+            }
+        }
+    }
+
+    /// Excitation generators are anti-Hermitian and particle conserving.
+    #[test]
+    fn excitations_are_antihermitian(
+        n in 4usize..7,
+        i in 0usize..7,
+        a in 0usize..7,
+    ) {
+        prop_assume!(i < n && a < n && i != a);
+        for enc in encodings(n) {
+            let t = single_excitation(&enc, i, a);
+            prop_assert_eq!(t.dagger(), t.scale(-Complex::ONE));
+        }
+    }
+
+    /// Doubles expand to at most 8 strings with uniform |coefficient|.
+    #[test]
+    fn doubles_have_uniform_magnitudes(seed in 0u64..50) {
+        let n = 6;
+        let orbs = {
+            // Four distinct orbitals derived from the seed.
+            let mut v = vec![0usize; 4];
+            let mut s = seed;
+            for slot in v.iter_mut() {
+                *slot = (s % 6) as usize;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        prop_assume!(orbs.len() == 4);
+        for enc in encodings(n) {
+            let t = double_excitation(&enc, orbs[0], orbs[1], orbs[2], orbs[3]);
+            prop_assert!(t.num_terms() <= 8, "{}", enc.name());
+            let mags: Vec<f64> = t.iter().map(|term| term.coeff.abs()).collect();
+            for m in &mags {
+                prop_assert!((m - mags[0]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Trotterization preserves total coefficient mass per string.
+    #[test]
+    fn trotter_preserves_coefficient_mass(r in 1usize..6) {
+        let h = models::heisenberg_chain(5, 0.7, -0.3, 0.2);
+        let fine = trotter::repeated_steps(h.terms(), r);
+        prop_assert_eq!(fine.len(), h.len() * r);
+        let mass = |terms: &[(phoenix_pauli::PauliString, f64)]| -> f64 {
+            terms.iter().map(|t| t.1).sum()
+        };
+        prop_assert!((mass(&fine) - mass(h.terms())).abs() < 1e-12);
+        let s2 = trotter::second_order(h.terms());
+        prop_assert!((mass(&s2) - mass(h.terms())).abs() < 1e-12);
+    }
+
+    /// QAOA programs over any seed are valid regular-graph cost layers.
+    #[test]
+    fn qaoa_programs_are_well_formed(seed in 0u64..200, idx in 0usize..2, size in 0usize..3) {
+        let kind = [qaoa::QaoaKind::Rand4, qaoa::QaoaKind::Reg3][idx];
+        let n = [16, 20, 24][size];
+        let h = qaoa::benchmark(kind, n, seed);
+        let d = match kind {
+            qaoa::QaoaKind::Rand4 => 4,
+            qaoa::QaoaKind::Reg3 => 3,
+        };
+        prop_assert_eq!(h.len(), n * d / 2);
+        let mut degree = vec![0usize; n];
+        for (p, _) in h.terms() {
+            prop_assert_eq!(p.weight(), 2);
+            for q in p.support() {
+                degree[q] += 1;
+            }
+        }
+        prop_assert!(degree.iter().all(|&x| x == d));
+    }
+
+    /// Rescaling programs scales every coefficient uniformly.
+    #[test]
+    fn rescaling_is_uniform(scale in 0.01f64..10.0) {
+        let h: Hamiltonian = models::tfim_chain(6, 1.0, 0.5);
+        let r = h.rescaled(scale);
+        for ((p1, c1), (p2, c2)) in h.terms().iter().zip(r.terms()) {
+            prop_assert_eq!(p1, p2);
+            prop_assert!((c2 - c1 * scale).abs() < 1e-12);
+        }
+    }
+}
+
+/// Non-proptest sanity: the UCCSD `#Pauli` formula matches the enumeration
+/// for a sweep of synthetic sizes.
+#[test]
+fn uccsd_term_count_formula() {
+    for (n_so, n_elec) in [(8, 2), (8, 4), (10, 4), (12, 6)] {
+        let (singles, doubles) = uccsd::excitations(n_so, n_elec);
+        let occ_per_spin = n_elec / 2;
+        let virt_per_spin = (n_so - n_elec) / 2;
+        let s_expect = 2 * occ_per_spin * virt_per_spin;
+        assert_eq!(singles.len(), s_expect, "singles {n_so},{n_elec}");
+        let c2 = |k: usize| k * (k.saturating_sub(1)) / 2;
+        let d_expect = 2 * c2(occ_per_spin) * c2(virt_per_spin)          // αα + ββ
+            + occ_per_spin * occ_per_spin * virt_per_spin * virt_per_spin; // αβ
+        assert_eq!(doubles.len(), d_expect, "doubles {n_so},{n_elec}");
+    }
+}

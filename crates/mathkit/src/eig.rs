@@ -1,0 +1,235 @@
+//! Real symmetric eigendecomposition (cyclic Jacobi) and simultaneous
+//! diagonalization of commuting symmetric pairs.
+//!
+//! These are the numerical kernels behind the Weyl-chamber analysis of
+//! two-qubit unitaries: the magic-basis Gram matrix `W = VᵀV` of a unitary
+//! splits into commuting real symmetric parts `Re W`, `Im W` whose joint
+//! eigenbasis yields the entangling class.
+
+/// Eigendecomposition `A = Q diag(λ) Qᵀ` of a real symmetric matrix given
+/// as rows; returns `(λ, q)` with `q[k]` the eigenvector column for `λ[k]`.
+///
+/// Cyclic Jacobi: unconditionally convergent for symmetric input; intended
+/// for the small (4×4) systems in this workspace but correct for any size.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn jacobi_symmetric(a: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    for row in a {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    // q starts as identity; columns become eigenvectors.
+    let mut q = vec![vec![0.0; n]; n];
+    for (i, row) in q.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..64 {
+        let mut off = 0.0;
+        for p in 0..n {
+            for r in p + 1..n {
+                off += m[p][r] * m[p][r];
+            }
+        }
+        if off < 1e-28 {
+            break;
+        }
+        for p in 0..n {
+            for r in p + 1..n {
+                if m[p][r].abs() < 1e-18 {
+                    continue;
+                }
+                // Classic Jacobi rotation annihilating m[p][r].
+                let theta = (m[r][r] - m[p][p]) / (2.0 * m[p][r]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let (mkp, mkr) = (m[k][p], m[k][r]);
+                    m[k][p] = c * mkp - s * mkr;
+                    m[k][r] = s * mkp + c * mkr;
+                }
+                for k in 0..n {
+                    let (mpk, mrk) = (m[p][k], m[r][k]);
+                    m[p][k] = c * mpk - s * mrk;
+                    m[r][k] = s * mpk + c * mrk;
+                }
+                for k in 0..n {
+                    let (qkp, qkr) = (q[k][p], q[k][r]);
+                    q[k][p] = c * qkp - s * qkr;
+                    q[k][r] = s * qkp + c * qkr;
+                }
+            }
+        }
+    }
+    let eigvals: Vec<f64> = (0..n).map(|i| m[i][i]).collect();
+    // Return eigenvector columns.
+    let cols: Vec<Vec<f64>> = (0..n).map(|j| (0..n).map(|i| q[i][j]).collect()).collect();
+    (eigvals, cols)
+}
+
+/// Simultaneously diagonalizes two *commuting* real symmetric matrices:
+/// returns `(α, β, q)` with `A q_k = α_k q_k` and `B q_k = β_k q_k`.
+///
+/// Diagonalizes `A` first, then re-diagonalizes `B` inside each (near-)
+/// degenerate eigenspace of `A`.
+///
+/// # Panics
+///
+/// Panics if the shapes disagree.
+pub fn jacobi_simultaneous(
+    a: &[Vec<f64>],
+    b: &[Vec<f64>],
+) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    assert_eq!(b.len(), n, "shapes must match");
+    let (alpha, mut q) = jacobi_symmetric(a);
+    // Sort the eigenbasis by α so degenerate clusters are contiguous.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| alpha[i].total_cmp(&alpha[j]));
+    let alpha: Vec<f64> = order.iter().map(|&i| alpha[i]).collect();
+    q = order.iter().map(|&i| q[i].clone()).collect();
+
+    // B in the α-eigenbasis.
+    let bq = |col: &[f64]| -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| b[i][j] * col[j]).sum())
+            .collect()
+    };
+    let mut bprime = vec![vec![0.0; n]; n];
+    for (cj, qj) in q.iter().enumerate() {
+        let bv = bq(qj);
+        for (ci, qi) in q.iter().enumerate() {
+            bprime[ci][cj] = qi.iter().zip(&bv).map(|(x, y)| x * y).sum();
+        }
+    }
+    // Refine inside degenerate clusters of α.
+    let mut beta = vec![0.0; n];
+    let mut start = 0;
+    while start < n {
+        let mut end = start + 1;
+        while end < n && (alpha[end] - alpha[start]).abs() < 1e-9 {
+            end += 1;
+        }
+        let k = end - start;
+        if k == 1 {
+            beta[start] = bprime[start][start];
+        } else {
+            let sub: Vec<Vec<f64>> = (start..end)
+                .map(|i| (start..end).map(|j| bprime[i][j]).collect())
+                .collect();
+            let (lam, vecs) = jacobi_symmetric(&sub);
+            // Rotate the cluster's q-columns.
+            let old: Vec<Vec<f64>> = q[start..end].to_vec();
+            for (local, lam_l) in lam.iter().enumerate() {
+                beta[start + local] = *lam_l;
+                for i in 0..n {
+                    q[start + local][i] =
+                        (0..k).map(|m| old[m][i] * vecs[local][m]).sum();
+                }
+            }
+        }
+        start = end;
+    }
+    (alpha, beta, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256;
+
+    fn matvec(a: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
+        a.iter()
+            .map(|row| row.iter().zip(v).map(|(x, y)| x * y).sum())
+            .collect()
+    }
+
+    fn random_symmetric(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let x = rng.next_range_f64(-1.0, 1.0);
+                a[i][j] = x;
+                a[j][i] = x;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, -1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ];
+        let (vals, vecs) = jacobi_symmetric(&a);
+        let mut sorted = vals.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert!((sorted[0] + 1.0).abs() < 1e-12);
+        assert!((sorted[2] - 3.0).abs() < 1e-12);
+        // Eigenvectors satisfy A v = λ v.
+        for (k, v) in vecs.iter().enumerate() {
+            let av = matvec(&a, v);
+            for i in 0..3 {
+                assert!((av[i] - vals[k] * v[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn random_symmetric_reconstructs() {
+        for seed in 0..5 {
+            let a = random_symmetric(4, seed);
+            let (vals, vecs) = jacobi_symmetric(&a);
+            for (k, v) in vecs.iter().enumerate() {
+                let av = matvec(&a, v);
+                for i in 0..4 {
+                    assert!(
+                        (av[i] - vals[k] * v[i]).abs() < 1e-9,
+                        "seed {seed}, pair {k}"
+                    );
+                }
+                // Unit norm.
+                let norm: f64 = v.iter().map(|x| x * x).sum();
+                assert!((norm - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn simultaneous_diagonalization_of_commuting_pair() {
+        // Build commuting A, B sharing an eigenbasis with degeneracy in A.
+        let (_, q) = jacobi_symmetric(&random_symmetric(4, 9));
+        let build = |d: [f64; 4]| -> Vec<Vec<f64>> {
+            let mut m = vec![vec![0.0; 4]; 4];
+            for i in 0..4 {
+                for j in 0..4 {
+                    m[i][j] = (0..4).map(|k| q[k][i] * d[k] * q[k][j]).sum();
+                }
+            }
+            m
+        };
+        let a = build([1.0, 1.0, 2.0, 3.0]); // degenerate pair in A
+        let b = build([5.0, -5.0, 7.0, 9.0]); // split inside the cluster
+        let (alpha, beta, vecs) = jacobi_simultaneous(&a, &b);
+        for (k, v) in vecs.iter().enumerate() {
+            let av = matvec(&a, v);
+            let bv = matvec(&b, v);
+            for i in 0..4 {
+                assert!((av[i] - alpha[k] * v[i]).abs() < 1e-8, "A pair {k}");
+                assert!((bv[i] - beta[k] * v[i]).abs() < 1e-8, "B pair {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        let _ = jacobi_symmetric(&[vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Linear combinations of Pauli strings with complex coefficients.
+//!
+//! Fermion-to-qubit encodings (Jordan–Wigner, Bravyi–Kitaev) express creation
+//! and annihilation operators as such combinations; products and sums of
+//! those yield the Pauli-string Hamiltonians and UCCSD generators the
+//! compiler consumes.
+
+use crate::PauliString;
+use phoenix_mathkit::Complex;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single weighted Pauli string.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PauliTerm {
+    /// The Pauli string.
+    pub string: PauliString,
+    /// Its complex coefficient.
+    pub coeff: Complex,
+}
+
+/// A linear combination of Pauli strings over a fixed qubit register, with
+/// phase-exact multiplication.
+///
+/// Terms are kept canonical (one entry per string, deterministic order) so
+/// that generated benchmarks are reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_mathkit::Complex;
+/// use phoenix_pauli::{PauliPolynomial, PauliString};
+///
+/// // (X + Z)/√2 squared is the identity: X² + XZ + ZX + Z² = 2I.
+/// let mut p = PauliPolynomial::zero(1);
+/// p.add_term("X".parse::<PauliString>()?, Complex::from_re(1.0));
+/// p.add_term("Z".parse()?, Complex::from_re(1.0));
+/// let sq = p.mul(&p);
+/// assert_eq!(sq.num_terms(), 1); // XZ and ZX cancel
+/// # Ok::<(), phoenix_pauli::ParsePauliStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PauliPolynomial {
+    n: usize,
+    terms: BTreeMap<(u128, u128), Complex>,
+}
+
+impl PauliPolynomial {
+    /// The zero polynomial over `n` qubits.
+    pub fn zero(n: usize) -> Self {
+        PauliPolynomial {
+            n,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The polynomial `c · I` over `n` qubits.
+    pub fn scalar(n: usize, c: Complex) -> Self {
+        let mut p = PauliPolynomial::zero(n);
+        p.add_term(PauliString::identity(n), c);
+        p
+    }
+
+    /// A polynomial consisting of a single term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string's qubit count differs from `n`.
+    pub fn term(n: usize, string: PauliString, coeff: Complex) -> Self {
+        let mut p = PauliPolynomial::zero(n);
+        p.add_term(string, coeff);
+        p
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored terms (zero-coefficient terms are pruned on insert).
+    #[inline]
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the polynomial has no terms.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds `coeff · string`, merging with any existing term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string's qubit count differs from the polynomial's.
+    pub fn add_term(&mut self, string: PauliString, coeff: Complex) {
+        assert_eq!(
+            string.num_qubits(),
+            self.n,
+            "term qubit count must match polynomial"
+        );
+        let key = (string.x_mask(), string.z_mask());
+        let entry = self.terms.entry(key).or_insert(Complex::ZERO);
+        *entry += coeff;
+        if entry.abs() < 1e-14 {
+            self.terms.remove(&key);
+        }
+    }
+
+    /// Iterates over the terms in canonical (mask-sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = PauliTerm> + '_ {
+        self.terms.iter().map(|(&(x, z), &c)| PauliTerm {
+            string: PauliString::from_masks(self.n, x, z),
+            coeff: c,
+        })
+    }
+
+    /// Sum of two polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn add(&self, rhs: &PauliPolynomial) -> PauliPolynomial {
+        assert_eq!(self.n, rhs.n, "qubit counts must match");
+        let mut out = self.clone();
+        for t in rhs.iter() {
+            out.add_term(t.string, t.coeff);
+        }
+        out
+    }
+
+    /// Difference of two polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn sub(&self, rhs: &PauliPolynomial) -> PauliPolynomial {
+        self.add(&rhs.scale(-Complex::ONE))
+    }
+
+    /// Scales every coefficient by `c`.
+    pub fn scale(&self, c: Complex) -> PauliPolynomial {
+        let mut out = PauliPolynomial::zero(self.n);
+        for t in self.iter() {
+            out.add_term(t.string, t.coeff * c);
+        }
+        out
+    }
+
+    /// Phase-exact product of two polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn mul(&self, rhs: &PauliPolynomial) -> PauliPolynomial {
+        assert_eq!(self.n, rhs.n, "qubit counts must match");
+        const PHASES: [Complex; 4] = [
+            Complex::new(1.0, 0.0),
+            Complex::new(0.0, 1.0),
+            Complex::new(-1.0, 0.0),
+            Complex::new(0.0, -1.0),
+        ];
+        let mut out = PauliPolynomial::zero(self.n);
+        for a in self.iter() {
+            for b in rhs.iter() {
+                let (p, k) = a.string.mul(&b.string);
+                out.add_term(p, a.coeff * b.coeff * PHASES[k as usize]);
+            }
+        }
+        out
+    }
+
+    /// Hermitian conjugate (Pauli strings are Hermitian, so only the
+    /// coefficients conjugate).
+    pub fn dagger(&self) -> PauliPolynomial {
+        let mut out = PauliPolynomial::zero(self.n);
+        for t in self.iter() {
+            out.add_term(t.string, t.coeff.conj());
+        }
+        out
+    }
+
+    /// Drops terms with `|coeff| < eps`.
+    pub fn pruned(&self, eps: f64) -> PauliPolynomial {
+        let mut out = PauliPolynomial::zero(self.n);
+        for t in self.iter() {
+            if t.coeff.abs() >= eps {
+                out.add_term(t.string, t.coeff);
+            }
+        }
+        out
+    }
+
+    /// Extracts real-coefficient terms, asserting the polynomial is
+    /// Hermitian within `tol`; identity terms (global phases) are dropped.
+    ///
+    /// This is the hand-off format to the compiler: a list of Pauli
+    /// exponentiation angles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient has imaginary part exceeding `tol`.
+    pub fn real_terms(&self, tol: f64) -> Vec<(PauliString, f64)> {
+        self.iter()
+            .filter(|t| !t.string.is_identity())
+            .map(|t| {
+                assert!(
+                    t.coeff.im.abs() <= tol,
+                    "non-hermitian term {} with coeff {}",
+                    t.string,
+                    t.coeff
+                );
+                (t.string, t.coeff.re)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for PauliPolynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        for (i, t) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "({})·{}", t.coeff, t.string)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(l: &str) -> PauliString {
+        l.parse().unwrap()
+    }
+
+    #[test]
+    fn add_merges_and_cancels() {
+        let mut p = PauliPolynomial::zero(2);
+        p.add_term(ps("XY"), Complex::from_re(1.0));
+        p.add_term(ps("XY"), Complex::from_re(2.0));
+        assert_eq!(p.num_terms(), 1);
+        p.add_term(ps("XY"), Complex::from_re(-3.0));
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn multiplication_tracks_phases() {
+        // (iXZ) = Y: build X·Z and compare against Y with phase -i.
+        let x = PauliPolynomial::term(1, ps("X"), Complex::ONE);
+        let z = PauliPolynomial::term(1, ps("Z"), Complex::ONE);
+        let xz = x.mul(&z);
+        let t: Vec<_> = xz.iter().collect();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].string, ps("Y"));
+        assert!(t[0].coeff.approx_eq(-Complex::I, 1e-15));
+    }
+
+    #[test]
+    fn anticommutator_cancellation() {
+        // {X, Z} = 0 so (X+Z)² = 2I.
+        let mut p = PauliPolynomial::zero(1);
+        p.add_term(ps("X"), Complex::ONE);
+        p.add_term(ps("Z"), Complex::ONE);
+        let sq = p.mul(&p);
+        let t: Vec<_> = sq.iter().collect();
+        assert_eq!(t.len(), 1);
+        assert!(t[0].string.is_identity());
+        assert!(t[0].coeff.approx_eq(Complex::from_re(2.0), 1e-15));
+    }
+
+    #[test]
+    fn product_matches_matrices() {
+        let mut a = PauliPolynomial::zero(2);
+        a.add_term(ps("XY"), Complex::new(0.5, 0.25));
+        a.add_term(ps("ZI"), Complex::from_re(-1.0));
+        let mut b = PauliPolynomial::zero(2);
+        b.add_term(ps("YZ"), Complex::new(0.0, 1.0));
+        b.add_term(ps("IX"), Complex::from_re(0.75));
+        let prod = a.mul(&b);
+
+        let mat = |p: &PauliPolynomial| {
+            let mut m = phoenix_mathkit::CMatrix::zeros(4, 4);
+            for t in p.iter() {
+                m = &m + &t.string.to_matrix().scale(t.coeff);
+            }
+            m
+        };
+        assert!(mat(&prod).approx_eq(&mat(&a).matmul(&mat(&b)), 1e-13));
+    }
+
+    #[test]
+    fn dagger_of_antihermitian() {
+        // T = i·XY is anti-Hermitian: T† = -T.
+        let t = PauliPolynomial::term(2, ps("XY"), Complex::I);
+        assert_eq!(t.dagger(), t.scale(-Complex::ONE));
+    }
+
+    #[test]
+    fn real_terms_drops_identity() {
+        let mut p = PauliPolynomial::zero(2);
+        p.add_term(ps("II"), Complex::from_re(3.0));
+        p.add_term(ps("ZZ"), Complex::from_re(0.5));
+        let terms = p.real_terms(1e-12);
+        assert_eq!(terms, vec![(ps("ZZ"), 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-hermitian")]
+    fn real_terms_rejects_imaginary() {
+        let p = PauliPolynomial::term(1, ps("X"), Complex::I);
+        let _ = p.real_terms(1e-12);
+    }
+
+    #[test]
+    fn pruned_removes_small_terms() {
+        let mut p = PauliPolynomial::zero(1);
+        p.add_term(ps("X"), Complex::from_re(1e-9));
+        p.add_term(ps("Z"), Complex::from_re(1.0));
+        assert_eq!(p.pruned(1e-6).num_terms(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let p = PauliPolynomial::term(1, ps("X"), Complex::ONE);
+        assert!(p.to_string().contains('X'));
+        assert_eq!(PauliPolynomial::zero(1).to_string(), "0");
+    }
+}

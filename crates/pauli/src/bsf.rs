@@ -1,0 +1,401 @@
+//! The signed binary symplectic form (BSF) tableau.
+
+use crate::string::mask_below;
+use crate::{Clifford2Q, PauliString};
+use std::fmt;
+
+/// One row of a [`Bsf`]: a Pauli string (as `[X | Z]` bit masks) together
+/// with its rotation coefficient.
+///
+/// A row represents the Pauli exponentiation `exp(-i · coeff · P)`. Sign
+/// flips under Clifford conjugation (`C P C† = -P'`) are folded into
+/// `coeff`, which keeps the tableau purely binary as in the paper while
+/// preserving exact circuit semantics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BsfRow {
+    x: u128,
+    z: u128,
+    coeff: f64,
+}
+
+impl BsfRow {
+    /// Creates a row from masks and a coefficient.
+    pub fn new(x: u128, z: u128, coeff: f64) -> Self {
+        BsfRow { x, z, coeff }
+    }
+
+    /// The X-block bit mask.
+    #[inline]
+    pub fn x_mask(&self) -> u128 {
+        self.x
+    }
+
+    /// The Z-block bit mask.
+    #[inline]
+    pub fn z_mask(&self) -> u128 {
+        self.z
+    }
+
+    /// The rotation coefficient (sign-folded).
+    #[inline]
+    pub fn coeff(&self) -> f64 {
+        self.coeff
+    }
+
+    /// Number of non-trivially acted qubits.
+    #[inline]
+    pub fn weight(&self) -> usize {
+        (self.x | self.z).count_ones() as usize
+    }
+
+    /// Bit mask of non-trivially acted qubits.
+    #[inline]
+    pub fn support_mask(&self) -> u128 {
+        self.x | self.z
+    }
+
+    /// Whether the row is *local* in the paper's sense (weight ≤ 1), i.e. a
+    /// plain 1Q rotation inducing no synthesis overhead.
+    #[inline]
+    pub fn is_local(&self) -> bool {
+        self.weight() <= 1
+    }
+
+    /// Reconstructs the row as an `n`-qubit [`PauliString`].
+    pub fn to_pauli_string(&self, n: usize) -> PauliString {
+        PauliString::from_masks(n, self.x, self.z)
+    }
+}
+
+/// Error constructing a [`Bsf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BsfError {
+    /// A term's qubit count differed from the tableau's.
+    QubitCountMismatch {
+        /// The tableau qubit count.
+        expected: usize,
+        /// The offending term's qubit count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for BsfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BsfError::QubitCountMismatch { expected, found } => write!(
+                f,
+                "pauli term acts on {found} qubits but the tableau has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BsfError {}
+
+/// A binary symplectic tableau: a stack of [`BsfRow`]s over `n` qubits.
+///
+/// This is the object Algorithm 1 of the paper simplifies: 2Q Clifford
+/// conjugations are applied simultaneously to all rows until the *total
+/// weight* `w_tot = ‖ ∨ᵢ (rₓ⁽ⁱ⁾ ∨ r_z⁽ⁱ⁾) ‖` (Eq. (4)) is at most 2.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_pauli::{Bsf, PauliString};
+///
+/// let bsf = Bsf::from_terms(
+///     3,
+///     vec![("XXI".parse::<PauliString>()?, 0.5), ("IZZ".parse()?, -0.25)],
+/// )?;
+/// assert_eq!(bsf.total_weight(), 3);
+/// assert_eq!(bsf.num_nonlocal(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bsf {
+    n: usize,
+    rows: Vec<BsfRow>,
+}
+
+impl Bsf {
+    /// Creates an empty tableau over `n` qubits.
+    pub fn new(n: usize) -> Self {
+        Bsf { n, rows: Vec::new() }
+    }
+
+    /// Builds a tableau from `(string, coefficient)` terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BsfError::QubitCountMismatch`] if any string does not act on
+    /// exactly `n` qubits.
+    pub fn from_terms(
+        n: usize,
+        terms: impl IntoIterator<Item = (PauliString, f64)>,
+    ) -> Result<Self, BsfError> {
+        let mut bsf = Bsf::new(n);
+        for (p, c) in terms {
+            if p.num_qubits() != n {
+                return Err(BsfError::QubitCountMismatch {
+                    expected: n,
+                    found: p.num_qubits(),
+                });
+            }
+            bsf.rows.push(BsfRow::new(p.x_mask(), p.z_mask(), c));
+        }
+        Ok(bsf)
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The rows of the tableau.
+    #[inline]
+    pub fn rows(&self) -> &[BsfRow] {
+        &self.rows
+    }
+
+    /// Whether there are no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has support outside the tableau's qubits.
+    pub fn push_row(&mut self, row: BsfRow) {
+        assert_eq!(
+            row.support_mask() & !mask_below(self.n),
+            0,
+            "row support exceeds tableau qubit count"
+        );
+        self.rows.push(row);
+    }
+
+    /// Bit mask of qubits any row acts on.
+    pub fn support_mask(&self) -> u128 {
+        self.rows.iter().fold(0u128, |m, r| m | r.support_mask())
+    }
+
+    /// The qubits any row acts on, in increasing order.
+    pub fn support(&self) -> Vec<usize> {
+        crate::string::bits(self.support_mask())
+    }
+
+    /// The paper's *total weight* `w_tot` (Eq. (4)): the number of qubits on
+    /// which at least one row acts non-trivially.
+    pub fn total_weight(&self) -> usize {
+        self.support_mask().count_ones() as usize
+    }
+
+    /// Number of *nonlocal* rows (weight > 1), the `n_n.l.` of Eq. (6).
+    pub fn num_nonlocal(&self) -> usize {
+        self.rows.iter().filter(|r| !r.is_local()).count()
+    }
+
+    /// Removes and returns all local rows (weight ≤ 1). Weight-0 rows (pure
+    /// identities — global phases) are dropped entirely.
+    pub fn pop_local_paulis(&mut self) -> Vec<BsfRow> {
+        let mut locals = Vec::new();
+        self.rows.retain(|r| {
+            if r.weight() == 1 {
+                locals.push(*r);
+                false
+            } else {
+                r.weight() != 0
+            }
+        });
+        locals
+    }
+
+    /// Conjugates every row by the 2Q Clifford generator `c` in place,
+    /// folding sign flips into the coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` addresses qubits outside the tableau.
+    pub fn apply_clifford2q(&mut self, c: Clifford2Q) {
+        assert!(
+            c.a < self.n && c.b < self.n,
+            "clifford qubits must lie inside the tableau"
+        );
+        let table = c.kind.conjugation_table();
+        let (ba, bb) = (1u128 << c.a, 1u128 << c.b);
+        for row in &mut self.rows {
+            let nib = ((row.x & ba != 0) as usize)
+                | ((row.z & ba != 0) as usize) << 1
+                | ((row.x & bb != 0) as usize) << 2
+                | ((row.z & bb != 0) as usize) << 3;
+            let (out, sign) = table[nib];
+            row.x = (row.x & !(ba | bb))
+                | if out & 1 != 0 { ba } else { 0 }
+                | if out & 4 != 0 { bb } else { 0 };
+            row.z = (row.z & !(ba | bb))
+                | if out & 2 != 0 { ba } else { 0 }
+                | if out & 8 != 0 { bb } else { 0 };
+            if sign < 0 {
+                row.coeff = -row.coeff;
+            }
+        }
+    }
+
+    /// Returns a conjugated copy without mutating `self`.
+    pub fn conjugated(&self, c: Clifford2Q) -> Bsf {
+        let mut out = self.clone();
+        out.apply_clifford2q(c);
+        out
+    }
+
+    /// Reconstructs the `(PauliString, coeff)` terms.
+    pub fn to_terms(&self) -> Vec<(PauliString, f64)> {
+        self.rows
+            .iter()
+            .map(|r| (r.to_pauli_string(self.n), r.coeff()))
+            .collect()
+    }
+}
+
+impl fmt::Display for Bsf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BSF over {} qubits, {} rows:", self.n, self.rows.len())?;
+        for r in &self.rows {
+            writeln!(f, "  {:+.6} · {}", r.coeff(), r.to_pauli_string(self.n))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clifford2QKind, CLIFFORD2Q_GENERATORS};
+
+    fn bsf_from(labels: &[&str]) -> Bsf {
+        let n = labels[0].len();
+        Bsf::from_terms(
+            n,
+            labels
+                .iter()
+                .map(|l| (l.parse::<PauliString>().unwrap(), 1.0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn total_weight_is_union_support() {
+        let bsf = bsf_from(&["XII", "IIZ"]);
+        assert_eq!(bsf.total_weight(), 2);
+        assert_eq!(bsf.support(), vec![0, 2]);
+    }
+
+    #[test]
+    fn qubit_count_mismatch_is_an_error() {
+        let err = Bsf::from_terms(3, vec![("XX".parse::<PauliString>().unwrap(), 1.0)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BsfError::QubitCountMismatch {
+                expected: 3,
+                found: 2
+            }
+        );
+        assert!(err.to_string().contains("3"));
+    }
+
+    #[test]
+    fn pop_local_paulis_peels_weight_one() {
+        let mut bsf = bsf_from(&["XII", "XXI", "III"]);
+        let locals = bsf.pop_local_paulis();
+        assert_eq!(locals.len(), 1);
+        assert_eq!(locals[0].weight(), 1);
+        // The identity row is silently dropped, the weight-2 row remains.
+        assert_eq!(bsf.rows().len(), 1);
+        assert_eq!(bsf.rows()[0].weight(), 2);
+    }
+
+    #[test]
+    fn fig1b_example_simplifies_to_weight_two() {
+        // The headline example: [ZYY; ZZY; XYY; XZY] all drop to weight 2
+        // under one C(X,Y) conjugation on qubits (1, 2).
+        let mut bsf = bsf_from(&["ZYY", "ZZY", "XYY", "XZY"]);
+        assert!(bsf.rows().iter().all(|r| r.weight() == 3));
+        bsf.apply_clifford2q(Clifford2Q::new(Clifford2QKind::Cxy, 1, 2));
+        assert!(
+            bsf.rows().iter().all(|r| r.weight() == 2),
+            "got {bsf}"
+        );
+        // The whole tableau collapses onto qubits {0, 1}: directly
+        // synthesizable (w_tot ≤ 2) after a single Clifford conjugation.
+        assert_eq!(bsf.total_weight(), 2);
+    }
+
+    #[test]
+    fn conjugation_is_involutive_on_tableau() {
+        let orig = bsf_from(&["XYZI", "IZZY", "YXIX"]);
+        for kind in CLIFFORD2Q_GENERATORS {
+            let c = Clifford2Q::new(kind, 1, 3);
+            let twice = orig.conjugated(c).conjugated(c);
+            assert_eq!(twice, orig, "{kind}");
+        }
+    }
+
+    #[test]
+    fn conjugation_preserves_commutation_structure() {
+        let orig = bsf_from(&["XYZI", "IZZY", "YXIX", "ZZII"]);
+        let conj = orig.conjugated(Clifford2Q::new(Clifford2QKind::Cyz, 0, 2));
+        let t0 = orig.to_terms();
+        let t1 = conj.to_terms();
+        for i in 0..t0.len() {
+            for j in 0..t0.len() {
+                assert_eq!(
+                    t0[i].0.commutes(&t0[j].0),
+                    t1[i].0.commutes(&t1[j].0),
+                    "rows {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sign_flips_fold_into_coefficients() {
+        // Find any generator/input pair with a sign flip and check the
+        // coefficient negates.
+        let mut found_flip = false;
+        for kind in CLIFFORD2Q_GENERATORS {
+            for nib in 1u8..16 {
+                if kind.conjugation_table()[nib as usize].1 < 0 {
+                    found_flip = true;
+                    let pa = crate::Pauli::from_xz(nib & 1 == 1, nib >> 1 & 1 == 1);
+                    let pb = crate::Pauli::from_xz(nib >> 2 & 1 == 1, nib >> 3 & 1 == 1);
+                    let p = PauliString::from_sparse(2, &[(0, pa), (1, pb)]);
+                    let mut bsf = Bsf::from_terms(2, vec![(p, 0.7)]).unwrap();
+                    bsf.apply_clifford2q(Clifford2Q::new(kind, 0, 1));
+                    assert_eq!(bsf.rows()[0].coeff(), -0.7);
+                }
+            }
+        }
+        assert!(found_flip, "at least one generator flips some sign");
+    }
+
+    #[test]
+    fn to_terms_roundtrip() {
+        let bsf = bsf_from(&["XYZ", "ZIY"]);
+        let terms = bsf.to_terms();
+        let back = Bsf::from_terms(3, terms).unwrap();
+        assert_eq!(back, bsf);
+    }
+
+    #[test]
+    fn display_includes_rows() {
+        let bsf = bsf_from(&["XY"]);
+        let s = bsf.to_string();
+        assert!(s.contains("XY"));
+        assert!(s.contains("2 qubits"));
+    }
+}

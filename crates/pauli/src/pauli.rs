@@ -1,0 +1,198 @@
+//! The single-qubit Pauli operator.
+
+use phoenix_mathkit::{CMatrix, Complex};
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+///
+/// The binary symplectic encoding used throughout the paper maps
+/// `I → [0|0]`, `X → [1|0]`, `Z → [0|1]`, `Y → [1|1]`.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_pauli::Pauli;
+///
+/// let (p, phase) = Pauli::X.mul(Pauli::Z);
+/// assert_eq!(p, Pauli::Y);
+/// assert_eq!(phase, 3); // XZ = i³ Y = -iY
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Pauli {
+    /// The identity.
+    #[default]
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+impl Pauli {
+    /// All four Paulis in `(x, z)` nibble order `I, X, Z, Y` is *not* used;
+    /// this constant lists them in conventional `I, X, Y, Z` order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The three non-identity Paulis.
+    pub const XYZ: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Builds a Pauli from its symplectic bits `(x, z)`.
+    #[inline]
+    pub const fn from_xz(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// The symplectic `x` bit.
+    #[inline]
+    pub const fn x_bit(self) -> bool {
+        matches!(self, Pauli::X | Pauli::Y)
+    }
+
+    /// The symplectic `z` bit.
+    #[inline]
+    pub const fn z_bit(self) -> bool {
+        matches!(self, Pauli::Z | Pauli::Y)
+    }
+
+    /// Whether this is the identity.
+    #[inline]
+    pub const fn is_identity(self) -> bool {
+        matches!(self, Pauli::I)
+    }
+
+    /// Multiplies two Paulis, returning `(product, k)` with
+    /// `self · rhs = i^k · product`.
+    ///
+    /// Uses the convention `pauli(x, z) = i^{x·z} XˣZᶻ` so that
+    /// `pauli(1,1) = Y` exactly.
+    pub fn mul(self, rhs: Pauli) -> (Pauli, u8) {
+        let (x1, z1) = (self.x_bit() as i32, self.z_bit() as i32);
+        let (x2, z2) = (rhs.x_bit() as i32, rhs.z_bit() as i32);
+        let x3 = x1 ^ x2;
+        let z3 = z1 ^ z2;
+        let k = (x1 * z1 + x2 * z2 + 2 * z1 * x2 - x3 * z3).rem_euclid(4);
+        (Pauli::from_xz(x3 == 1, z3 == 1), k as u8)
+    }
+
+    /// Whether two single-qubit Paulis commute.
+    #[inline]
+    pub fn commutes(self, rhs: Pauli) -> bool {
+        // Symplectic product: x1·z2 + z1·x2 mod 2.
+        (self.x_bit() & rhs.z_bit()) == (self.z_bit() & rhs.x_bit())
+            || self.is_identity()
+            || rhs.is_identity()
+            || self == rhs
+    }
+
+    /// The 2×2 matrix representation.
+    pub fn to_matrix(self) -> CMatrix {
+        let o = Complex::ZERO;
+        let l = Complex::ONE;
+        let i = Complex::I;
+        match self {
+            Pauli::I => CMatrix::from_rows(&[&[l, o], &[o, l]]),
+            Pauli::X => CMatrix::from_rows(&[&[o, l], &[l, o]]),
+            Pauli::Y => CMatrix::from_rows(&[&[o, -i], &[i, o]]),
+            Pauli::Z => CMatrix::from_rows(&[&[l, o], &[o, -l]]),
+        }
+    }
+
+    /// Parses one of `I`, `X`, `Y`, `Z` (case-insensitive).
+    pub fn from_char(c: char) -> Option<Pauli> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+
+    /// The character label.
+    pub const fn to_char(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_mathkit::Complex;
+
+    /// Every product identity is checked against 2×2 matrix arithmetic.
+    #[test]
+    fn multiplication_matches_matrices() {
+        for &a in &Pauli::ALL {
+            for &b in &Pauli::ALL {
+                let (p, k) = a.mul(b);
+                let phase = match k {
+                    0 => Complex::ONE,
+                    1 => Complex::I,
+                    2 => -Complex::ONE,
+                    3 => -Complex::I,
+                    _ => unreachable!(),
+                };
+                let lhs = a.to_matrix().matmul(&b.to_matrix());
+                let rhs = p.to_matrix().scale(phase);
+                assert!(
+                    lhs.approx_eq(&rhs, 1e-15),
+                    "{a}·{b} != i^{k}·{p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn commutation_matches_matrices() {
+        for &a in &Pauli::ALL {
+            for &b in &Pauli::ALL {
+                let ab = a.to_matrix().matmul(&b.to_matrix());
+                let ba = b.to_matrix().matmul(&a.to_matrix());
+                assert_eq!(a.commutes(b), ab.approx_eq(&ba, 1e-15), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn xz_roundtrip() {
+        for &p in &Pauli::ALL {
+            assert_eq!(Pauli::from_xz(p.x_bit(), p.z_bit()), p);
+        }
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for &p in &Pauli::ALL {
+            assert_eq!(Pauli::from_char(p.to_char()), Some(p));
+            assert_eq!(Pauli::from_char(p.to_char().to_ascii_lowercase()), Some(p));
+        }
+        assert_eq!(Pauli::from_char('Q'), None);
+    }
+
+    #[test]
+    fn paulis_are_self_inverse() {
+        for &p in &Pauli::ALL {
+            let (q, k) = p.mul(p);
+            assert_eq!(q, Pauli::I);
+            assert_eq!(k, 0);
+        }
+    }
+}

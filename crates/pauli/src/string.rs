@@ -1,0 +1,422 @@
+//! Multi-qubit Pauli strings over up to 128 qubits.
+
+use crate::Pauli;
+use phoenix_mathkit::{CMatrix, Complex};
+use std::fmt;
+use std::str::FromStr;
+
+/// An `n`-qubit Pauli string stored as a pair of `u128` bit masks in the
+/// binary symplectic encoding (`X → [1|0]`, `Z → [0|1]`, `Y → [1|1]`).
+///
+/// Qubit `q` corresponds to bit `q`; the textual label lists qubit 0 first,
+/// matching the paper's `σ₀ ⊗ ⋯ ⊗ σ_{n−1}` ordering.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_pauli::{Pauli, PauliString};
+///
+/// let p: PauliString = "XIZ".parse()?;
+/// assert_eq!(p.get(0), Pauli::X);
+/// assert_eq!(p.get(2), Pauli::Z);
+/// assert_eq!(p.weight(), 2);
+/// # Ok::<(), phoenix_pauli::ParsePauliStringError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PauliString {
+    n: u32,
+    x: u128,
+    z: u128,
+}
+
+/// The maximum number of qubits a [`PauliString`] can address.
+pub const MAX_QUBITS: usize = 128;
+
+impl PauliString {
+    /// Creates the `n`-qubit identity string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 128`.
+    pub fn identity(n: usize) -> Self {
+        assert!(n <= MAX_QUBITS, "at most {MAX_QUBITS} qubits supported");
+        PauliString {
+            n: n as u32,
+            x: 0,
+            z: 0,
+        }
+    }
+
+    /// Creates a string from raw symplectic masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 128` or if a mask has bits at or above `n`.
+    pub fn from_masks(n: usize, x: u128, z: u128) -> Self {
+        assert!(n <= MAX_QUBITS, "at most {MAX_QUBITS} qubits supported");
+        let valid = mask_below(n);
+        assert_eq!(x & !valid, 0, "x mask exceeds qubit count");
+        assert_eq!(z & !valid, 0, "z mask exceeds qubit count");
+        PauliString {
+            n: n as u32,
+            x,
+            z,
+        }
+    }
+
+    /// Creates an `n`-qubit string that is `p` on qubit `q` and identity
+    /// elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n` or `n > 128`.
+    pub fn single(n: usize, q: usize, p: Pauli) -> Self {
+        let mut s = PauliString::identity(n);
+        s.set(q, p);
+        s
+    }
+
+    /// Creates an `n`-qubit string from sparse `(qubit, Pauli)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit index is out of range.
+    pub fn from_sparse(n: usize, pairs: &[(usize, Pauli)]) -> Self {
+        let mut s = PauliString::identity(n);
+        for &(q, p) in pairs {
+            s.set(q, p);
+        }
+        s
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The X-block bit mask.
+    #[inline]
+    pub fn x_mask(&self) -> u128 {
+        self.x
+    }
+
+    /// The Z-block bit mask.
+    #[inline]
+    pub fn z_mask(&self) -> u128 {
+        self.z
+    }
+
+    /// The Pauli acting on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= self.num_qubits()`.
+    #[inline]
+    pub fn get(&self, q: usize) -> Pauli {
+        assert!(q < self.n as usize, "qubit {q} out of range");
+        Pauli::from_xz(self.x >> q & 1 == 1, self.z >> q & 1 == 1)
+    }
+
+    /// Sets the Pauli acting on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= self.num_qubits()`.
+    #[inline]
+    pub fn set(&mut self, q: usize, p: Pauli) {
+        assert!(q < self.n as usize, "qubit {q} out of range");
+        let bit = 1u128 << q;
+        if p.x_bit() {
+            self.x |= bit;
+        } else {
+            self.x &= !bit;
+        }
+        if p.z_bit() {
+            self.z |= bit;
+        } else {
+            self.z &= !bit;
+        }
+    }
+
+    /// Number of qubits acted on non-trivially.
+    #[inline]
+    pub fn weight(&self) -> usize {
+        (self.x | self.z).count_ones() as usize
+    }
+
+    /// Whether the string is the identity.
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        self.x == 0 && self.z == 0
+    }
+
+    /// Bit mask of the non-trivially acted qubits.
+    #[inline]
+    pub fn support_mask(&self) -> u128 {
+        self.x | self.z
+    }
+
+    /// The non-trivially acted qubits in increasing order.
+    pub fn support(&self) -> Vec<usize> {
+        bits(self.support_mask())
+    }
+
+    /// Whether two strings commute (symplectic inner product is even).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn commutes(&self, other: &PauliString) -> bool {
+        assert_eq!(self.n, other.n, "qubit counts must match");
+        ((self.x & other.z).count_ones() + (self.z & other.x).count_ones()) % 2 == 0
+    }
+
+    /// Multiplies two strings, returning `(product, k)` with
+    /// `self · other = i^k · product`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn mul(&self, other: &PauliString) -> (PauliString, u8) {
+        assert_eq!(self.n, other.n, "qubit counts must match");
+        let x3 = self.x ^ other.x;
+        let z3 = self.z ^ other.z;
+        // Per-qubit phase exponents, summed mod 4 (see Pauli::mul).
+        let k = (self.x & self.z).count_ones() as i64
+            + (other.x & other.z).count_ones() as i64
+            + 2 * (self.z & other.x).count_ones() as i64
+            - (x3 & z3).count_ones() as i64;
+        (
+            PauliString {
+                n: self.n,
+                x: x3,
+                z: z3,
+            },
+            k.rem_euclid(4) as u8,
+        )
+    }
+
+    /// Restricts the string to the qubits in `keep` (in the given order),
+    /// producing a `keep.len()`-qubit string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `keep` is out of range.
+    pub fn restrict(&self, keep: &[usize]) -> PauliString {
+        let mut out = PauliString::identity(keep.len());
+        for (new_q, &old_q) in keep.iter().enumerate() {
+            out.set(new_q, self.get(old_q));
+        }
+        out
+    }
+
+    /// Embeds this string into a larger register, mapping local qubit `i`
+    /// onto global qubit `placement[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placement.len() != self.num_qubits()` or any target index
+    /// is out of range.
+    pub fn embed(&self, n: usize, placement: &[usize]) -> PauliString {
+        assert_eq!(
+            placement.len(),
+            self.num_qubits(),
+            "placement must cover every local qubit"
+        );
+        let mut out = PauliString::identity(n);
+        for (i, &q) in placement.iter().enumerate() {
+            out.set(q, self.get(i));
+        }
+        out
+    }
+
+    /// Dense `2ⁿ × 2ⁿ` matrix representation (little-endian qubit order:
+    /// qubit 0 is the least-significant bit of the basis index).
+    ///
+    /// Intended for verification on small `n`; cost is `O(4ⁿ)`.
+    pub fn to_matrix(&self) -> CMatrix {
+        let n = self.num_qubits();
+        let dim = 1usize << n;
+        let mut m = CMatrix::zeros(dim, dim);
+        // P|b⟩ = phase(b) |b ⊕ x⟩ with phase from Z and Y parts.
+        for b in 0..dim {
+            let target = b ^ (self.x as usize);
+            // Z contributes (-1)^{b·z}; Y contributes an extra i per Y with x-flip.
+            let zpar = ((b as u128) & self.z).count_ones() % 2;
+            let ycnt = (self.x & self.z).count_ones() % 4;
+            // pauli(x,z) = i^{x z} X^x Z^z acting on |b>: Z first then X.
+            let mut phase = if zpar == 1 { -Complex::ONE } else { Complex::ONE };
+            for _ in 0..ycnt {
+                phase = phase * Complex::I;
+            }
+            m[(target, b)] = phase;
+        }
+        m
+    }
+
+    /// The textual label, qubit 0 first.
+    pub fn label(&self) -> String {
+        (0..self.num_qubits()).map(|q| self.get(q).to_char()).collect()
+    }
+}
+
+/// Error returned when parsing a [`PauliString`] label fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliStringError {
+    offending: char,
+}
+
+impl fmt::Display for ParsePauliStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid pauli character {:?}; expected one of I, X, Y, Z",
+            self.offending
+        )
+    }
+}
+
+impl std::error::Error for ParsePauliStringError {}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliStringError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = PauliString::identity(s.chars().count());
+        for (q, c) in s.chars().enumerate() {
+            let p = Pauli::from_char(c).ok_or(ParsePauliStringError { offending: c })?;
+            out.set(q, p);
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Returns the indices of set bits, in increasing order.
+pub(crate) fn bits(mut mask: u128) -> Vec<usize> {
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    while mask != 0 {
+        let b = mask.trailing_zeros() as usize;
+        out.push(b);
+        mask &= mask - 1;
+    }
+    out
+}
+
+/// Bit mask with the low `n` bits set.
+pub(crate) fn mask_below(n: usize) -> u128 {
+    if n >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for label in ["XIZY", "IIII", "Y", "ZZXXYYII"] {
+            let p: PauliString = label.parse().unwrap();
+            assert_eq!(p.label(), label);
+            assert_eq!(p.to_string(), label);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_char() {
+        let err = "XQZ".parse::<PauliString>().unwrap_err();
+        assert!(err.to_string().contains("'Q'"));
+    }
+
+    #[test]
+    fn weight_and_support() {
+        let p: PauliString = "XIZIY".parse().unwrap();
+        assert_eq!(p.weight(), 3);
+        assert_eq!(p.support(), vec![0, 2, 4]);
+        assert!(!p.is_identity());
+        assert!(PauliString::identity(5).is_identity());
+    }
+
+    #[test]
+    fn multiplication_matches_matrices() {
+        let cases = [("XY", "YX"), ("ZZ", "XI"), ("XZ", "ZX"), ("YY", "XZ")];
+        for (a, b) in cases {
+            let pa: PauliString = a.parse().unwrap();
+            let pb: PauliString = b.parse().unwrap();
+            let (prod, k) = pa.mul(&pb);
+            let phase = [Complex::ONE, Complex::I, -Complex::ONE, -Complex::I][k as usize];
+            let lhs = pa.to_matrix().matmul(&pb.to_matrix());
+            let rhs = prod.to_matrix().scale(phase);
+            assert!(lhs.approx_eq(&rhs, 1e-14), "{a}·{b}");
+        }
+    }
+
+    #[test]
+    fn commutation_matches_matrices() {
+        let labels = ["XX", "XZ", "ZZ", "YI", "IY", "YZ", "XY"];
+        for a in labels {
+            for b in labels {
+                let pa: PauliString = a.parse().unwrap();
+                let pb: PauliString = b.parse().unwrap();
+                let ab = pa.to_matrix().matmul(&pb.to_matrix());
+                let ba = pb.to_matrix().matmul(&pa.to_matrix());
+                assert_eq!(
+                    pa.commutes(&pb),
+                    ab.approx_eq(&ba, 1e-14),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_qubit_matrix_is_pauli_matrix() {
+        for &p in &Pauli::ALL {
+            let s = PauliString::single(1, 0, p);
+            assert!(s.to_matrix().approx_eq(&p.to_matrix(), 1e-15));
+        }
+    }
+
+    #[test]
+    fn two_qubit_matrix_is_kron() {
+        // Little-endian: qubit 0 is the LSB, so "XZ" = Z ⊗ X as a matrix.
+        let s: PauliString = "XZ".parse().unwrap();
+        let expect = Pauli::Z.to_matrix().kron(&Pauli::X.to_matrix());
+        assert!(s.to_matrix().approx_eq(&expect, 1e-15));
+    }
+
+    #[test]
+    fn restrict_and_embed_roundtrip() {
+        let p: PauliString = "IXIZY".parse().unwrap();
+        let keep = p.support();
+        let small = p.restrict(&keep);
+        assert_eq!(small.label(), "XZY");
+        let back = small.embed(5, &keep);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn masks_are_consistent() {
+        let p: PauliString = "XYZI".parse().unwrap();
+        assert_eq!(p.x_mask(), 0b0011);
+        assert_eq!(p.z_mask(), 0b0110);
+        let q = PauliString::from_masks(4, 0b0011, 0b0110);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let p = PauliString::identity(3);
+        let _ = p.get(3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests of the Pauli/Clifford algebra.
+
+use phoenix_mathkit::Complex;
+use phoenix_pauli::{
+    Bsf, Clifford2Q, Pauli, PauliPolynomial, PauliString, CLIFFORD2Q_GENERATORS,
+};
+use proptest::prelude::*;
+
+const PHASES: [Complex; 4] = [
+    Complex::new(1.0, 0.0),
+    Complex::new(0.0, 1.0),
+    Complex::new(-1.0, 0.0),
+    Complex::new(0.0, -1.0),
+];
+
+fn pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
+    proptest::collection::vec(0usize..4, n).prop_map(move |ps| {
+        let mut p = PauliString::identity(n);
+        for (q, &k) in ps.iter().enumerate() {
+            p.set(q, [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z][k]);
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Phase-tracked multiplication is associative:
+    /// (PQ)R = P(QR) including the i^k phases.
+    #[test]
+    fn multiplication_is_associative(
+        p in pauli_string(6),
+        q in pauli_string(6),
+        r in pauli_string(6),
+    ) {
+        let (pq, k1) = p.mul(&q);
+        let (pq_r, k2) = pq.mul(&r);
+        let left_phase = PHASES[k1 as usize] * PHASES[k2 as usize];
+
+        let (qr, k3) = q.mul(&r);
+        let (p_qr, k4) = p.mul(&qr);
+        let right_phase = PHASES[k3 as usize] * PHASES[k4 as usize];
+
+        prop_assert_eq!(pq_r, p_qr);
+        prop_assert!(left_phase.approx_eq(right_phase, 1e-15));
+    }
+
+    /// P·Q and Q·P agree up to the commutator sign.
+    #[test]
+    fn commutation_matches_product_phases(
+        p in pauli_string(5),
+        q in pauli_string(5),
+    ) {
+        let (pq, k1) = p.mul(&q);
+        let (qp, k2) = q.mul(&p);
+        prop_assert_eq!(pq, qp);
+        let sign = PHASES[k1 as usize] / PHASES[k2 as usize];
+        if p.commutes(&q) {
+            prop_assert!(sign.approx_eq(Complex::ONE, 1e-15));
+        } else {
+            prop_assert!(sign.approx_eq(-Complex::ONE, 1e-15));
+        }
+    }
+
+    /// Every string squares to the identity with no phase.
+    #[test]
+    fn strings_are_involutions(p in pauli_string(7)) {
+        let (sq, k) = p.mul(&p);
+        prop_assert!(sq.is_identity());
+        prop_assert_eq!(k, 0);
+    }
+
+    /// Conjugating twice by any Hermitian generator restores every string
+    /// with its sign.
+    #[test]
+    fn clifford_conjugation_is_involutive(
+        p in pauli_string(5),
+        kind in 0usize..6,
+        a in 0usize..5,
+        b in 0usize..5,
+    ) {
+        prop_assume!(a != b);
+        let c = Clifford2Q::new(CLIFFORD2Q_GENERATORS[kind], a, b);
+        let (q, s1) = c.conjugate_string(&p);
+        let (r, s2) = c.conjugate_string(&q);
+        prop_assert_eq!(r, p);
+        prop_assert_eq!(s1 * s2, 1);
+    }
+
+    /// Conjugation preserves weight-counting on untouched qubits.
+    #[test]
+    fn conjugation_is_local_to_its_pair(
+        p in pauli_string(6),
+        kind in 0usize..6,
+    ) {
+        let c = Clifford2Q::new(CLIFFORD2Q_GENERATORS[kind], 1, 4);
+        let (q, _) = c.conjugate_string(&p);
+        for site in [0usize, 2, 3, 5] {
+            prop_assert_eq!(p.get(site), q.get(site), "site {}", site);
+        }
+    }
+
+    /// Polynomial multiplication distributes over addition.
+    #[test]
+    fn polynomial_distributivity(
+        p in pauli_string(4),
+        q in pauli_string(4),
+        r in pauli_string(4),
+        cp in -2.0f64..2.0,
+        cq in -2.0f64..2.0,
+    ) {
+        let pp = PauliPolynomial::term(4, p, Complex::from_re(cp));
+        let qq = PauliPolynomial::term(4, q, Complex::from_re(cq));
+        let rr = PauliPolynomial::term(4, r, Complex::ONE);
+        let lhs = pp.add(&qq).mul(&rr);
+        let rhs = pp.mul(&rr).add(&qq.mul(&rr));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// A BSF built from terms and read back is the identity transformation.
+    #[test]
+    fn bsf_roundtrip(strings in proptest::collection::vec(pauli_string(5), 1..6)) {
+        let terms: Vec<(PauliString, f64)> = strings
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, 0.1 * (i as f64 + 1.0)))
+            .collect();
+        let bsf = Bsf::from_terms(5, terms.clone()).unwrap();
+        prop_assert_eq!(bsf.to_terms(), terms);
+    }
+
+    /// Tableau conjugation preserves total coefficient magnitude and the
+    /// multiset of row weights' parity under involution.
+    #[test]
+    fn bsf_conjugation_roundtrip(
+        strings in proptest::collection::vec(pauli_string(5), 1..6),
+        kind in 0usize..6,
+        a in 0usize..5,
+        b in 0usize..5,
+    ) {
+        prop_assume!(a != b);
+        let terms: Vec<(PauliString, f64)> =
+            strings.iter().map(|&p| (p, 0.25)).collect();
+        let bsf = Bsf::from_terms(5, terms).unwrap();
+        let c = Clifford2Q::new(CLIFFORD2Q_GENERATORS[kind], a, b);
+        prop_assert_eq!(bsf.conjugated(c).conjugated(c), bsf);
+    }
+
+    /// Restrict/embed round-trips through the support.
+    #[test]
+    fn restrict_embed_roundtrip(p in pauli_string(8)) {
+        prop_assume!(!p.is_identity());
+        let support = p.support();
+        let small = p.restrict(&support);
+        prop_assert_eq!(small.weight(), p.weight());
+        prop_assert_eq!(small.embed(8, &support), p);
+    }
+
+    /// Labels round-trip through parsing.
+    #[test]
+    fn label_parse_roundtrip(p in pauli_string(9)) {
+        let back: PauliString = p.label().parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+}

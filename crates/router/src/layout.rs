@@ -1,0 +1,157 @@
+//! Logical-to-physical qubit layouts.
+
+use std::fmt;
+
+/// A bijection-up-to-padding between logical qubits and physical qubits.
+///
+/// There may be more physical than logical qubits; unassigned physical
+/// qubits map back to `usize::MAX` in the inverse table.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_router::Layout;
+///
+/// let mut l = Layout::trivial(2, 4);
+/// assert_eq!(l.phys(1), 1);
+/// l.swap_physical(1, 3);
+/// assert_eq!(l.phys(1), 3);
+/// assert_eq!(l.logical(3), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    l2p: Vec<usize>,
+    p2l: Vec<usize>,
+}
+
+impl Layout {
+    /// The identity layout: logical `i` on physical `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_logical > n_physical`.
+    pub fn trivial(n_logical: usize, n_physical: usize) -> Self {
+        assert!(
+            n_logical <= n_physical,
+            "device too small: {n_logical} logical vs {n_physical} physical"
+        );
+        let l2p: Vec<usize> = (0..n_logical).collect();
+        let mut p2l = vec![usize::MAX; n_physical];
+        for (l, &p) in l2p.iter().enumerate() {
+            p2l[p] = l;
+        }
+        Layout { l2p, p2l }
+    }
+
+    /// A layout from an explicit logical→physical assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is not injective or exceeds `n_physical`.
+    pub fn from_assignment(l2p: Vec<usize>, n_physical: usize) -> Self {
+        let mut p2l = vec![usize::MAX; n_physical];
+        for (l, &p) in l2p.iter().enumerate() {
+            assert!(p < n_physical, "physical index {p} out of range");
+            assert_eq!(p2l[p], usize::MAX, "physical qubit {p} assigned twice");
+            p2l[p] = l;
+        }
+        Layout { l2p, p2l }
+    }
+
+    /// Number of logical qubits.
+    pub fn num_logical(&self) -> usize {
+        self.l2p.len()
+    }
+
+    /// Number of physical qubits.
+    pub fn num_physical(&self) -> usize {
+        self.p2l.len()
+    }
+
+    /// Physical location of logical qubit `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    #[inline]
+    pub fn phys(&self, l: usize) -> usize {
+        self.l2p[l]
+    }
+
+    /// Logical qubit on physical `p`, if any.
+    #[inline]
+    pub fn logical(&self, p: usize) -> Option<usize> {
+        match self.p2l[p] {
+            usize::MAX => None,
+            l => Some(l),
+        }
+    }
+
+    /// Exchanges the logical occupants of two physical qubits (either may be
+    /// empty).
+    pub fn swap_physical(&mut self, p1: usize, p2: usize) {
+        let l1 = self.p2l[p1];
+        let l2 = self.p2l[p2];
+        self.p2l[p1] = l2;
+        self.p2l[p2] = l1;
+        if l1 != usize::MAX {
+            self.l2p[l1] = p2;
+        }
+        if l2 != usize::MAX {
+            self.l2p[l2] = p1;
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layout {:?}", self.l2p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_is_identity() {
+        let l = Layout::trivial(3, 5);
+        for q in 0..3 {
+            assert_eq!(l.phys(q), q);
+            assert_eq!(l.logical(q), Some(q));
+        }
+        assert_eq!(l.logical(4), None);
+    }
+
+    #[test]
+    fn swap_updates_both_tables() {
+        let mut l = Layout::trivial(2, 3);
+        l.swap_physical(0, 2); // qubit 0 moves to empty slot 2
+        assert_eq!(l.phys(0), 2);
+        assert_eq!(l.logical(0), None);
+        assert_eq!(l.logical(2), Some(0));
+        l.swap_physical(1, 2);
+        assert_eq!(l.phys(0), 1);
+        assert_eq!(l.phys(1), 2);
+    }
+
+    #[test]
+    fn swap_is_involutive() {
+        let mut l = Layout::trivial(4, 4);
+        l.swap_physical(1, 3);
+        l.swap_physical(1, 3);
+        assert_eq!(l, Layout::trivial(4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_assignment_rejected() {
+        let _ = Layout::from_assignment(vec![0, 0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "device too small")]
+    fn too_many_logical_rejected() {
+        let _ = Layout::trivial(5, 3);
+    }
+}

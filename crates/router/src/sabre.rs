@@ -1,0 +1,437 @@
+//! The SABRE-style swap router.
+
+use crate::Layout;
+use phoenix_circuit::{Circuit, Gate};
+use phoenix_topology::CouplingGraph;
+
+/// Tuning knobs for the router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterOptions {
+    /// Size of the lookahead (extended) gate set.
+    pub extended_set_size: usize,
+    /// Relative weight of the extended set in the swap score.
+    pub extended_weight: f64,
+    /// Per-swap decay added to recently moved qubits (discourages
+    /// ping-ponging); reset every [`RouterOptions::decay_reset`] swaps.
+    pub decay: f64,
+    /// Number of swaps between decay resets.
+    pub decay_reset: usize,
+    /// Execute distance-2 CNOTs through an ancilla-free *bridge* (4 CNOTs,
+    /// no layout change — Itoko et al.) when the pair does not recur in the
+    /// lookahead window; otherwise fall back to SWAPs.
+    pub use_bridge: bool,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            extended_set_size: 20,
+            extended_weight: 0.5,
+            decay: 0.001,
+            decay_reset: 5,
+            use_bridge: false,
+        }
+    }
+}
+
+/// The result of routing: a physical circuit plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedCircuit {
+    /// Physical-indexed circuit containing the original gates (relabelled)
+    /// and inserted [`Gate::Swap`]s.
+    pub circuit: Circuit,
+    /// Number of inserted SWAPs.
+    pub num_swaps: usize,
+    /// Layout after the last gate.
+    pub final_layout: Layout,
+}
+
+/// Routes a logical circuit onto a coupling graph starting from
+/// `initial_layout`, inserting SWAPs so every 2Q gate acts on coupled
+/// physical qubits.
+///
+/// The input is lowered to `{1Q, CNOT}` first. The algorithm is the SABRE
+/// heuristic: execute the front layer greedily; when stuck, apply the swap
+/// (among edges touching front-layer qubits) minimizing the summed
+/// front-layer distance plus a weighted lookahead term, with a decay factor
+/// discouraging repeated moves of the same qubit.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than the device offers or the
+/// relevant device region is disconnected.
+pub fn route(
+    logical: &Circuit,
+    device: &CouplingGraph,
+    initial_layout: Layout,
+    opts: &RouterOptions,
+) -> RoutedCircuit {
+    let lowered = logical.lower_to_cnot();
+    let n_log = lowered.num_qubits();
+    let n_phys = device.num_qubits();
+    assert!(n_log <= n_phys, "device too small");
+    assert_eq!(initial_layout.num_logical(), n_log, "layout arity mismatch");
+
+    // Per-qubit gate queues: gate g is ready when it heads the queue of
+    // each of its qubits.
+    let gates = lowered.gates();
+    let mut queues: Vec<std::collections::VecDeque<usize>> = vec![Default::default(); n_log];
+    for (gi, g) in gates.iter().enumerate() {
+        let (a, b) = g.qubits();
+        queues[a].push_back(gi);
+        if let Some(b) = b {
+            queues[b].push_back(gi);
+        }
+    }
+
+    let mut layout = initial_layout;
+    let mut out = Circuit::new(n_phys);
+    let mut num_swaps = 0usize;
+    let mut decay = vec![0.0f64; n_phys];
+    let mut swaps_since_reset = 0usize;
+    let mut last_swap: Option<(usize, usize)> = None;
+
+    let ready = |queues: &[std::collections::VecDeque<usize>], gi: usize, g: &Gate| -> bool {
+        let (a, b) = g.qubits();
+        queues[a].front() == Some(&gi)
+            && b.is_none_or(|b| queues[b].front() == Some(&gi))
+    };
+
+    loop {
+        // Phase 1: drain everything executable.
+        let mut any_executed = false;
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            // Scan the front of each queue once.
+            let fronts: Vec<usize> = queues
+                .iter()
+                .filter_map(|q| q.front().copied())
+                .collect();
+            for gi in fronts {
+                let g = &gates[gi];
+                if !ready(&queues, gi, g) {
+                    continue;
+                }
+                let (a, b) = g.qubits();
+                let executable = match b {
+                    None => true,
+                    Some(b) => device.contains_edge(layout.phys(a), layout.phys(b)),
+                };
+                if executable {
+                    out.push(g.map_qubits(&mut |q| layout.phys(q)));
+                    queues[a].pop_front();
+                    if let Some(b) = b {
+                        queues[b].pop_front();
+                    }
+                    progressed = true;
+                    any_executed = true;
+                }
+            }
+        }
+        if any_executed {
+            last_swap = None;
+        }
+
+        // Front layer: ready-but-blocked 2Q gates.
+        let front: Vec<(usize, usize)> = {
+            let mut f = Vec::new();
+            for q in 0..n_log {
+                if let Some(&gi) = queues[q].front() {
+                    let g = &gates[gi];
+                    if let (a, Some(b)) = g.qubits() {
+                        if ready(&queues, gi, g) && a == q {
+                            f.push((a, b));
+                        }
+                    }
+                }
+            }
+            f
+        };
+        if front.is_empty() {
+            break; // all gates executed
+        }
+
+        // Extended set: the next few 2Q gates beyond the front layer.
+        let extended = extended_set(gates, &queues, opts.extended_set_size);
+
+        // Bridge option: a distance-2 CNOT whose pair does not recur soon
+        // is cheaper as 4 CNOTs through the middle qubit than as SWAPs.
+        if opts.use_bridge {
+            let mut bridged = false;
+            for &(a, b) in &front {
+                let (pa, pb) = (layout.phys(a), layout.phys(b));
+                if device.distance(pa, pb) != 2 {
+                    continue;
+                }
+                let recurs = extended
+                    .iter()
+                    .filter(|&&(ea, eb)| (ea, eb) == (a, b) || (ea, eb) == (b, a))
+                    .count()
+                    > 1;
+                if recurs {
+                    continue;
+                }
+                let path = device
+                    .shortest_path(pa, pb)
+                    .expect("distance-2 pair is connected");
+                let m = path[1];
+                // CX(pa,pb) = CX(pa,m)·CX(m,pb)·CX(pa,m)·CX(m,pb) in circuit order.
+                for _ in 0..2 {
+                    out.push(Gate::Cnot(pa, m));
+                    out.push(Gate::Cnot(m, pb));
+                }
+                // Retire the logical gate.
+                let gi = *queues[a].front().expect("front gate exists");
+                debug_assert_eq!(queues[b].front(), Some(&gi));
+                queues[a].pop_front();
+                queues[b].pop_front();
+                bridged = true;
+                break;
+            }
+            if bridged {
+                last_swap = None;
+                continue;
+            }
+        }
+
+        // Candidate swaps: device edges touching any front-layer qubit.
+        // The swap that would undo the previous one is excluded to rule out
+        // ping-pong livelock (it can never be the sole candidate: the edge
+        // that was just swapped still offers its other-endpoint moves).
+        let mut best: Option<((usize, usize), f64)> = None;
+        for &(a, b) in &front {
+            for &l in &[a, b] {
+                let p = layout.phys(l);
+                for &nb in device.neighbors(p) {
+                    let edge = (p.min(nb), p.max(nb));
+                    if Some(edge) == last_swap {
+                        continue;
+                    }
+                    let mut trial = layout.clone();
+                    trial.swap_physical(edge.0, edge.1);
+                    let mut score = 0.0;
+                    for &(fa, fb) in &front {
+                        score += device.distance(trial.phys(fa), trial.phys(fb)) as f64;
+                    }
+                    if !extended.is_empty() {
+                        let mut ext = 0.0;
+                        for &(ea, eb) in &extended {
+                            ext += device.distance(trial.phys(ea), trial.phys(eb)) as f64;
+                        }
+                        score += opts.extended_weight * ext / extended.len() as f64;
+                    }
+                    score *= 1.0 + decay[edge.0] + decay[edge.1];
+                    if best.is_none_or(|(_, s)| score < s) {
+                        best = Some((edge, score));
+                    }
+                }
+            }
+        }
+        let ((p1, p2), _) = best.expect("front layer implies swap candidates");
+        out.push(Gate::Swap(p1, p2));
+        layout.swap_physical(p1, p2);
+        last_swap = Some((p1, p2));
+        num_swaps += 1;
+        decay[p1] += opts.decay;
+        decay[p2] += opts.decay;
+        swaps_since_reset += 1;
+        if swaps_since_reset >= opts.decay_reset {
+            decay.iter_mut().for_each(|d| *d = 0.0);
+            swaps_since_reset = 0;
+        }
+    }
+
+    RoutedCircuit {
+        circuit: out,
+        num_swaps,
+        final_layout: layout,
+    }
+}
+
+/// Collects up to `k` upcoming 2Q gates past the front layer (in program
+/// order), as logical qubit pairs.
+fn extended_set(
+    gates: &[Gate],
+    queues: &[std::collections::VecDeque<usize>],
+    k: usize,
+) -> Vec<(usize, usize)> {
+    let executed_before: std::collections::BTreeSet<usize> = queues
+        .iter()
+        .filter_map(|q| q.front().copied())
+        .collect();
+    let min_pending = match executed_before.iter().next() {
+        Some(&m) => m,
+        None => return Vec::new(),
+    };
+    gates
+        .iter()
+        .enumerate()
+        .skip(min_pending)
+        .filter_map(|(_, g)| match g.qubits() {
+            (a, Some(b)) => Some((a, b)),
+            _ => None,
+        })
+        .take(k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_circuit::Gate;
+
+    fn opts() -> RouterOptions {
+        RouterOptions::default()
+    }
+
+    /// The routed circuit, with swaps replayed, must execute every original
+    /// CNOT on coupled qubits and preserve the logical gate sequence.
+    fn verify_routing(logical: &Circuit, device: &CouplingGraph, routed: &RoutedCircuit) {
+        let lowered = logical.lower_to_cnot();
+        let mut layout = Layout::trivial(lowered.num_qubits(), device.num_qubits());
+        let mut replay: Vec<Gate> = Vec::new();
+        for g in routed.circuit.gates() {
+            match g {
+                Gate::Swap(p1, p2) => {
+                    assert!(device.contains_edge(*p1, *p2), "swap on non-edge");
+                    layout.swap_physical(*p1, *p2);
+                }
+                Gate::Cnot(pa, pb) => {
+                    assert!(device.contains_edge(*pa, *pb), "cnot on non-edge");
+                    let la = layout.logical(*pa).expect("control is mapped");
+                    let lb = layout.logical(*pb).expect("target is mapped");
+                    replay.push(Gate::Cnot(la, lb));
+                }
+                one_q => {
+                    let (p, _) = one_q.qubits();
+                    let l = layout.logical(p).expect("qubit is mapped");
+                    replay.push(one_q.map_qubits(&mut |_| l));
+                }
+            }
+        }
+        // The router may reorder gates on disjoint qubits (that commutes);
+        // semantics are preserved iff every qubit sees the same gate
+        // subsequence as in the original program.
+        assert_eq!(replay.len(), lowered.len(), "gate count preserved");
+        let per_qubit = |gates: &[Gate]| -> Vec<Vec<Gate>> {
+            let mut v = vec![Vec::new(); lowered.num_qubits()];
+            for g in gates {
+                let (a, b) = g.qubits();
+                v[a].push(g.clone());
+                if let Some(b) = b {
+                    v[b].push(g.clone());
+                }
+            }
+            v
+        };
+        assert_eq!(
+            per_qubit(&replay),
+            per_qubit(lowered.gates()),
+            "per-qubit gate sequences preserved"
+        );
+    }
+
+    #[test]
+    fn all_to_all_needs_no_swaps() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cnot(0, 3));
+        c.push(Gate::Cnot(1, 2));
+        let dev = CouplingGraph::all_to_all(4);
+        let r = route(&c, &dev, Layout::trivial(4, 4), &opts());
+        assert_eq!(r.num_swaps, 0);
+        verify_routing(&c, &dev, &r);
+    }
+
+    #[test]
+    fn adjacent_gate_passes_through() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot(0, 1));
+        let dev = CouplingGraph::line(3);
+        let r = route(&c, &dev, Layout::trivial(3, 3), &opts());
+        assert_eq!(r.num_swaps, 0);
+        assert_eq!(r.circuit.counts().cnot, 1);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        let mut c = Circuit::new(5);
+        c.push(Gate::Cnot(0, 4));
+        let dev = CouplingGraph::line(5);
+        let r = route(&c, &dev, Layout::trivial(5, 5), &opts());
+        assert!(r.num_swaps >= 3, "distance 4 needs ≥3 swaps");
+        verify_routing(&c, &dev, &r);
+    }
+
+    #[test]
+    fn routing_preserves_semantics_on_random_program() {
+        let mut rng = phoenix_mathkit::Xoshiro256::seed_from_u64(9);
+        let n = 8;
+        let mut c = Circuit::new(n);
+        for _ in 0..40 {
+            let a = rng.next_below(n);
+            let mut b = rng.next_below(n);
+            while b == a {
+                b = rng.next_below(n);
+            }
+            c.push(Gate::Cnot(a, b));
+            c.push(Gate::Rz(a, rng.next_f64()));
+        }
+        let dev = CouplingGraph::grid(2, 4);
+        let r = route(&c, &dev, Layout::trivial(n, 8), &opts());
+        verify_routing(&c, &dev, &r);
+    }
+
+    #[test]
+    fn heavy_hex_routing_terminates_and_verifies() {
+        let mut c = Circuit::new(16);
+        for i in 0..15 {
+            c.push(Gate::Cnot(i, (i + 5) % 16));
+        }
+        let dev = CouplingGraph::manhattan65();
+        let r = route(&c, &dev, Layout::trivial(16, 65), &opts());
+        verify_routing(&c, &dev, &r);
+        assert!(r.num_swaps > 0);
+    }
+
+    #[test]
+    fn bridge_executes_distance2_cnot_without_swaps() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot(0, 2)); // distance 2 on a line
+        let dev = CouplingGraph::line(3);
+        let mut o = opts();
+        o.use_bridge = true;
+        let r = route(&c, &dev, Layout::trivial(3, 3), &o);
+        assert_eq!(r.num_swaps, 0, "bridge avoids swaps");
+        assert_eq!(r.circuit.counts().cnot, 4, "bridge costs 4 CNOTs");
+        // The bridge implements the same unitary as the original CNOT.
+        let u = phoenix_sim::circuit_unitary(&c);
+        let v = phoenix_sim::circuit_unitary(&r.circuit);
+        assert!(u.approx_eq(&v, 1e-12));
+    }
+
+    #[test]
+    fn bridge_defers_to_swaps_when_pair_recurs() {
+        let mut c = Circuit::new(3);
+        for _ in 0..4 {
+            c.push(Gate::Cnot(0, 2));
+            c.push(Gate::Rx(2, 0.3)); // block trivial cancellation
+        }
+        let dev = CouplingGraph::line(3);
+        let mut o = opts();
+        o.use_bridge = true;
+        let r = route(&c, &dev, Layout::trivial(3, 3), &o);
+        assert!(r.num_swaps >= 1, "recurring pair should be moved, not bridged");
+    }
+
+    #[test]
+    fn oneq_only_circuit_routes_trivially() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0));
+        c.push(Gate::Rz(2, 0.4));
+        let dev = CouplingGraph::line(3);
+        let r = route(&c, &dev, Layout::trivial(3, 3), &opts());
+        assert_eq!(r.num_swaps, 0);
+        assert_eq!(r.circuit.len(), 2);
+    }
+}

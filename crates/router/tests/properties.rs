@@ -1,0 +1,109 @@
+//! Property-based tests: routing always yields coupling-legal circuits that
+//! preserve per-qubit logical gate sequences.
+
+use phoenix_circuit::{Circuit, Gate};
+use phoenix_router::{greedy_layout, route, search_layout, Layout, RouterOptions};
+use phoenix_topology::CouplingGraph;
+use proptest::prelude::*;
+
+fn arb_program(n: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec((0usize..n, 0usize..n, -1.0f64..1.0, 0usize..3), 1..30).prop_map(
+        move |ops| {
+            let mut c = Circuit::new(n);
+            for (a, b, t, kind) in ops {
+                match kind {
+                    0 if a != b => c.push(Gate::Cnot(a, b)),
+                    1 => c.push(Gate::Rz(a, t)),
+                    _ => c.push(Gate::H(a)),
+                }
+            }
+            c
+        },
+    )
+}
+
+fn devices() -> Vec<CouplingGraph> {
+    vec![
+        CouplingGraph::line(8),
+        CouplingGraph::grid(2, 4),
+        CouplingGraph::ring(8),
+    ]
+}
+
+/// Replays the routed circuit, tracking the layout through SWAPs, and
+/// checks legality + per-qubit logical sequences.
+fn check(logical: &Circuit, device: &CouplingGraph, opts: &RouterOptions) {
+    let lowered = logical.lower_to_cnot();
+    let initial = search_layout(&lowered, device, opts, 2);
+    let routed = route(&lowered, device, initial.clone(), opts);
+    let mut layout = initial;
+    let mut replay: Vec<Gate> = Vec::new();
+    for g in routed.circuit.gates() {
+        match g {
+            Gate::Swap(p1, p2) => {
+                assert!(device.contains_edge(*p1, *p2));
+                layout.swap_physical(*p1, *p2);
+            }
+            g => {
+                let (pa, pb) = g.qubits();
+                if let Some(pb) = pb {
+                    assert!(device.contains_edge(pa, pb), "illegal 2q placement");
+                }
+                let la = layout.logical(pa).expect("mapped");
+                match pb {
+                    Some(pb) => {
+                        let lb = layout.logical(pb).expect("mapped");
+                        replay.push(Gate::Cnot(la, lb));
+                    }
+                    None => replay.push(g.map_qubits(&mut |_| la)),
+                }
+            }
+        }
+    }
+    if opts.use_bridge {
+        // Bridges rewrite CNOTs 1→4; only legality is checked above.
+        return;
+    }
+    let per_qubit = |gates: &[Gate]| -> Vec<Vec<Gate>> {
+        let mut v = vec![Vec::new(); lowered.num_qubits()];
+        for g in gates {
+            let (a, b) = g.qubits();
+            v[a].push(g.clone());
+            if let Some(b) = b {
+                v[b].push(g.clone());
+            }
+        }
+        v
+    };
+    assert_eq!(per_qubit(&replay), per_qubit(lowered.gates()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn routing_preserves_programs(c in arb_program(8)) {
+        for device in devices() {
+            check(&c, &device, &RouterOptions::default());
+        }
+    }
+
+    #[test]
+    fn bridged_routing_is_legal(c in arb_program(8)) {
+        let mut opts = RouterOptions::default();
+        opts.use_bridge = true;
+        for device in devices() {
+            check(&c, &device, &opts);
+        }
+    }
+
+    #[test]
+    fn layouts_are_injective(c in arb_program(8)) {
+        let device = CouplingGraph::grid(3, 3);
+        let l: Layout = greedy_layout(&c, &device);
+        let mut seen = std::collections::BTreeSet::new();
+        for q in 0..8 {
+            prop_assert!(seen.insert(l.phys(q)));
+        }
+    }
+}

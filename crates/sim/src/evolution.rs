@@ -1,0 +1,212 @@
+//! Exact Hamiltonian evolution and Trotter-product references.
+
+use phoenix_mathkit::{CMatrix, Complex};
+use phoenix_pauli::PauliString;
+
+/// Builds the dense matrix `H = Σⱼ cⱼ Pⱼ`.
+///
+/// # Panics
+///
+/// Panics if the terms span more than 14 qubits (dense limit) or disagree on
+/// qubit count.
+pub fn hamiltonian_matrix(n: usize, terms: &[(PauliString, f64)]) -> CMatrix {
+    assert!(n <= 14, "dense evolution supports at most 14 qubits");
+    let dim = 1usize << n;
+    let mut h = CMatrix::zeros(dim, dim);
+    for (p, c) in terms {
+        assert_eq!(p.num_qubits(), n, "term qubit count mismatch");
+        h = &h + &p.to_matrix().scale(Complex::from_re(*c));
+    }
+    h
+}
+
+/// Applies a Pauli string on the left of a matrix: `P · M`.
+///
+/// `P` acts as a phased row permutation, so this costs `O(4ⁿ)` instead of a
+/// dense matmul — the workhorse of the fast evolution paths below.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn pauli_apply_left(p: &PauliString, m: &CMatrix) -> CMatrix {
+    let dim = 1usize << p.num_qubits();
+    assert_eq!(m.rows(), dim, "dimension mismatch");
+    let x = p.x_mask() as usize;
+    let z = p.z_mask();
+    let ycnt = (p.x_mask() & z).count_ones() % 4;
+    let ybase = [Complex::ONE, Complex::I, -Complex::ONE, -Complex::I][ycnt as usize];
+    let mut out = CMatrix::zeros(dim, m.cols());
+    for r in 0..dim {
+        let k = r ^ x;
+        // P[r, k] = i^{|x∧z|} (−1)^{|k∧z|}
+        let phase = if ((k as u128) & z).count_ones() % 2 == 1 {
+            -ybase
+        } else {
+            ybase
+        };
+        for c in 0..m.cols() {
+            out[(r, c)] = phase * m[(k, c)];
+        }
+    }
+    out
+}
+
+/// Applies `exp(-i·c·P)` on the left: `cos(c)·M − i·sin(c)·(P·M)`.
+pub fn pauli_exp_apply_left(p: &PauliString, c: f64, m: &CMatrix) -> CMatrix {
+    let pm = pauli_apply_left(p, m);
+    &m.scale(Complex::from_re(c.cos())) + &pm.scale(Complex::new(0.0, -c.sin()))
+}
+
+/// The ideal evolution `U = exp(-iH)` for `H = Σⱼ cⱼ Pⱼ` (the evolution
+/// duration is absorbed into the coefficients, as in the paper's Fig. 8
+/// rescaling protocol).
+///
+/// Uses scaling-and-squaring with the Hamiltonian applied term-wise as
+/// phased row permutations, so only the squaring stage pays for dense
+/// matmuls — this keeps 10-qubit molecular evolutions tractable.
+pub fn exact_evolution(n: usize, terms: &[(PauliString, f64)]) -> CMatrix {
+    let dim = 1usize << n;
+    assert!(n <= 14, "dense evolution supports at most 14 qubits");
+    // Spectral norm bound: Σ|cⱼ|.
+    let norm: f64 = terms.iter().map(|(_, c)| c.abs()).sum();
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
+    let scale = 1.0 / f64::powi(2.0, s as i32);
+    // Taylor series of exp(-i·scale·H).
+    let apply_a = |m: &CMatrix| -> CMatrix {
+        let mut acc = CMatrix::zeros(dim, dim);
+        for (p, c) in terms {
+            assert_eq!(p.num_qubits(), n, "term qubit count mismatch");
+            acc = &acc + &pauli_apply_left(p, m).scale(Complex::new(0.0, -c * scale));
+        }
+        acc
+    };
+    let mut result = CMatrix::identity(dim);
+    let mut term = CMatrix::identity(dim);
+    for k in 1..=24u32 {
+        term = apply_a(&term).scale(Complex::from_re(1.0 / k as f64));
+        result = &result + &term;
+        if term.norm_inf() < 1e-18 {
+            break;
+        }
+    }
+    for _ in 0..s {
+        result = result.matmul(&result);
+    }
+    result
+}
+
+/// The first-order Trotter product `Πⱼ exp(-i·cⱼ·Pⱼ)` in the given term
+/// order — the unitary every compiled circuit must implement exactly (up to
+/// global phase and the compiler's own term reordering).
+pub fn trotter_unitary(n: usize, terms: &[(PauliString, f64)]) -> CMatrix {
+    let dim = 1usize << n;
+    let mut u = CMatrix::identity(dim);
+    for (p, c) in terms {
+        assert_eq!(p.num_qubits(), n, "term qubit count mismatch");
+        u = pauli_exp_apply_left(p, *c, &u);
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{circuit_unitary, infidelity};
+    use phoenix_circuit::{Circuit, Gate};
+    use phoenix_pauli::Pauli;
+
+    fn ps(l: &str) -> PauliString {
+        l.parse().unwrap()
+    }
+
+    #[test]
+    fn single_term_exact_equals_trotter() {
+        let terms = vec![(ps("XZ"), 0.37)];
+        let u = exact_evolution(2, &terms);
+        let v = trotter_unitary(2, &terms);
+        assert!(u.approx_eq(&v, 1e-12));
+    }
+
+    #[test]
+    fn commuting_terms_have_zero_trotter_error() {
+        let terms = vec![(ps("ZZI"), 0.3), (ps("IZZ"), -0.5), (ps("ZIZ"), 0.1)];
+        let u = exact_evolution(3, &terms);
+        let v = trotter_unitary(3, &terms);
+        assert!(infidelity(&u, &v) < 1e-12);
+    }
+
+    #[test]
+    fn noncommuting_terms_have_positive_trotter_error() {
+        let terms = vec![(ps("XI"), 0.8), (ps("ZI"), 0.8)];
+        let err = infidelity(&exact_evolution(2, &terms), &trotter_unitary(2, &terms));
+        assert!(err > 1e-4, "got {err}");
+    }
+
+    #[test]
+    fn trotter_error_shrinks_with_coefficients() {
+        // Rescaling coefficients by s shrinks first-order error ~ s².
+        let terms = |s: f64| vec![(ps("XY"), 0.4 * s), (ps("ZZ"), 0.3 * s), (ps("YX"), 0.2 * s)];
+        let err =
+            |s: f64| infidelity(&exact_evolution(2, &terms(s)), &trotter_unitary(2, &terms(s)));
+        let e1 = err(1.0);
+        let e2 = err(0.25);
+        assert!(e2 < e1 / 8.0, "error should shrink superlinearly: {e1} vs {e2}");
+    }
+
+    #[test]
+    fn weight_one_term_matches_rotation_gate() {
+        // Term (Z on qubit 0, c) ⇔ Rz(2c).
+        let c = 0.41;
+        let u = trotter_unitary(1, &[(ps("Z"), c)]);
+        let mut circ = Circuit::new(1);
+        circ.push(Gate::Rz(0, 2.0 * c));
+        let v = circuit_unitary(&circ);
+        assert!(u.approx_eq(&v, 1e-12));
+    }
+
+    #[test]
+    fn weight_two_term_matches_pauli_rot2_gate() {
+        let c = -0.23;
+        let u = trotter_unitary(2, &[(ps("YX"), c)]);
+        let mut circ = Circuit::new(2);
+        circ.push(Gate::PauliRot2 {
+            a: 0,
+            b: 1,
+            pa: Pauli::Y,
+            pb: Pauli::X,
+            theta: 2.0 * c,
+        });
+        let v = circuit_unitary(&circ);
+        assert!(u.approx_eq(&v, 1e-12));
+    }
+
+    #[test]
+    fn naive_cnot_tree_synthesis_of_weight3_term() {
+        // exp(-i c ZZZ) = CNOT-tree + Rz(2c) + mirrored tree.
+        let c = 0.57;
+        let u = trotter_unitary(3, &[(ps("ZZZ"), c)]);
+        let mut circ = Circuit::new(3);
+        circ.push(Gate::Cnot(0, 1));
+        circ.push(Gate::Cnot(1, 2));
+        circ.push(Gate::Rz(2, 2.0 * c));
+        circ.push(Gate::Cnot(1, 2));
+        circ.push(Gate::Cnot(0, 1));
+        assert!(infidelity(&u, &circuit_unitary(&circ)) < 1e-12);
+    }
+
+    #[test]
+    fn evolution_is_unitary() {
+        let terms = vec![(ps("XYZ"), 0.3), (ps("ZZI"), 0.7)];
+        assert!(exact_evolution(3, &terms).is_unitary(1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = trotter_unitary(3, &[(ps("XX"), 1.0)]);
+    }
+}

@@ -1,0 +1,56 @@
+//! State-vector and unitary simulation for verifying compiled circuits and
+//! measuring algorithmic error.
+//!
+//! The paper's Fig. 8 quantifies *algorithmic error* as the unitary
+//! infidelity `1 − |Tr(U†V)|/N` between a synthesized circuit `V` and the
+//! ideal evolution `U = exp(-iH)`. This crate provides the three pieces:
+//!
+//! - [`State`] / [`circuit_unitary`]: exact simulation of any
+//!   [`Circuit`](phoenix_circuit::Circuit) (all gate flavours, including
+//!   fused SU(4) blocks);
+//! - [`exact_evolution`] / [`trotter_unitary`]: the ideal evolution of a
+//!   Pauli-term Hamiltonian via dense `expm`, and the per-term Trotter
+//!   product that every correct compilation must reproduce up to term
+//!   reordering;
+//! - [`infidelity`]: the paper's metric.
+//!
+//! Sizes up to ~12 qubits are practical (dense `2ⁿ` arithmetic), matching
+//! the paper's "within the matrix computation capabilities of standard PCs".
+//!
+//! # Examples
+//!
+//! ```
+//! use phoenix_circuit::{Circuit, Gate};
+//! use phoenix_sim::{circuit_unitary, infidelity};
+//!
+//! let mut a = Circuit::new(1);
+//! a.push(Gate::H(0));
+//! a.push(Gate::H(0));
+//! let u = circuit_unitary(&a);
+//! let id = circuit_unitary(&Circuit::new(1));
+//! assert!(infidelity(&u, &id) < 1e-12);
+//! ```
+
+mod evolution;
+mod observable;
+pub mod noise;
+mod stabilizer;
+mod statevector;
+
+pub use evolution::{exact_evolution, hamiltonian_matrix, pauli_apply_left, pauli_exp_apply_left, trotter_unitary};
+pub use observable::{energy, expectation};
+pub use stabilizer::{NonCliffordGateError, StabilizerState};
+pub use statevector::{circuit_unitary, State};
+
+use phoenix_mathkit::CMatrix;
+
+/// The paper's algorithmic-error metric: `1 − |Tr(U†V)|/N`.
+///
+/// Zero iff the unitaries agree up to a global phase.
+///
+/// # Panics
+///
+/// Panics if the matrices are not square with equal shapes.
+pub fn infidelity(u: &CMatrix, v: &CMatrix) -> f64 {
+    1.0 - u.unitary_overlap(v)
+}

@@ -1,0 +1,142 @@
+//! Expectation values of Pauli observables — the measurement side of a VQE
+//! workflow.
+
+use crate::State;
+use phoenix_mathkit::Complex;
+use phoenix_pauli::PauliString;
+
+/// `⟨ψ| P |ψ⟩` for a Pauli string (always real; the imaginary residue is
+/// numerical noise and is discarded).
+///
+/// # Panics
+///
+/// Panics if the string's qubit count differs from the state's.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_sim::{expectation, State};
+/// use phoenix_pauli::PauliString;
+///
+/// let zero = State::zero(2);
+/// let zz: PauliString = "ZZ".parse()?;
+/// assert!((expectation(&zero, &zz) - 1.0).abs() < 1e-12);
+/// # Ok::<(), phoenix_pauli::ParsePauliStringError>(())
+/// ```
+pub fn expectation(state: &State, p: &PauliString) -> f64 {
+    assert_eq!(
+        p.num_qubits(),
+        state.num_qubits(),
+        "observable arity mismatch"
+    );
+    let amps = state.amplitudes();
+    let x = p.x_mask() as usize;
+    let z = p.z_mask();
+    let ycnt = (p.x_mask() & z).count_ones() % 4;
+    let ybase = [Complex::ONE, Complex::I, -Complex::ONE, -Complex::I][ycnt as usize];
+    let mut acc = Complex::ZERO;
+    for (b, &amp) in amps.iter().enumerate() {
+        // ⟨ψ|P|ψ⟩ = Σ_b conj(ψ[b·⊕x... ]) — P|b⟩ = phase(b)|b⊕x⟩.
+        let target = b ^ x;
+        let phase = if ((b as u128) & z).count_ones() % 2 == 1 {
+            -ybase
+        } else {
+            ybase
+        };
+        acc += amps[target].conj() * phase * amp;
+    }
+    acc.re
+}
+
+/// `⟨ψ| H |ψ⟩` for `H = Σ cⱼ Pⱼ` — the VQE energy of a prepared state.
+///
+/// # Panics
+///
+/// Panics if any term's qubit count differs from the state's.
+pub fn energy(state: &State, terms: &[(PauliString, f64)]) -> f64 {
+    terms
+        .iter()
+        .map(|(p, c)| c * expectation(state, p))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_circuit::{Circuit, Gate};
+
+    fn ps(l: &str) -> PauliString {
+        l.parse().unwrap()
+    }
+
+    #[test]
+    fn computational_basis_z_values() {
+        let s = State::basis(3, 0b101);
+        assert_eq!(expectation(&s, &ps("ZII")), -1.0);
+        assert_eq!(expectation(&s, &ps("IZI")), 1.0);
+        assert_eq!(expectation(&s, &ps("IIZ")), -1.0);
+        assert_eq!(expectation(&s, &ps("ZIZ")), 1.0);
+    }
+
+    #[test]
+    fn x_vanishes_on_basis_states() {
+        let s = State::basis(2, 0b01);
+        assert!(expectation(&s, &ps("XI")).abs() < 1e-15);
+        assert!(expectation(&s, &ps("XX")).abs() < 1e-15);
+    }
+
+    #[test]
+    fn plus_state_has_unit_x() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0));
+        let s = State::zero(1).evolved(&c);
+        assert!((expectation(&s, &ps("X")) - 1.0).abs() < 1e-12);
+        assert!(expectation(&s, &ps("Z")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot(0, 1));
+        let s = State::zero(2).evolved(&c);
+        for label in ["XX", "ZZ"] {
+            assert!((expectation(&s, &ps(label)) - 1.0).abs() < 1e-12, "{label}");
+        }
+        assert!((expectation(&s, &ps("YY")) + 1.0).abs() < 1e-12);
+        assert!(expectation(&s, &ps("ZI")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_is_linear_in_terms() {
+        let s = State::basis(2, 0b00);
+        let h = vec![(ps("ZI"), 0.5), (ps("IZ"), -0.25), (ps("ZZ"), 2.0)];
+        assert!((energy(&s, &h) - (0.5 - 0.25 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_matches_matrix_form() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Ry(0, 0.7));
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Rz(1, -0.4));
+        let s = State::zero(2).evolved(&c);
+        for label in ["XY", "ZX", "YZ", "II"] {
+            let p = ps(label);
+            let m = p.to_matrix();
+            let v = s.amplitudes();
+            let mv = m.matvec(v);
+            let want: Complex = v.iter().zip(&mv).map(|(a, b)| a.conj() * *b).sum();
+            assert!(
+                (expectation(&s, &p) - want.re).abs() < 1e-12,
+                "{label}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = expectation(&State::zero(2), &ps("XXX"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Hardware coupling graphs for the PHOENIX compiler.
+//!
+//! Provides the device topologies the paper evaluates on — all-to-all
+//! connectivity for logical-level compilation and the **heavy-hex** lattice
+//! (a 65-qubit IBM-Manhattan-shaped instance) for hardware-aware compilation
+//! — plus lines and grids for completeness. All-pairs shortest-path
+//! distances are precomputed; they drive both SWAP routing and the routing
+//! overhead analyses.
+//!
+//! # Examples
+//!
+//! ```
+//! use phoenix_topology::CouplingGraph;
+//!
+//! let hh = CouplingGraph::manhattan65();
+//! assert_eq!(hh.num_qubits(), 65);
+//! assert!(hh.is_connected());
+//! assert!(hh.max_degree() <= 3); // heavy-hex is degree-≤3
+//! ```
+
+mod graph;
+
+pub use graph::CouplingGraph;

@@ -1,0 +1,90 @@
+//! Property-based tests of coupling-graph metrics.
+
+use phoenix_topology::CouplingGraph;
+use proptest::prelude::*;
+
+fn arb_connected_graph() -> impl Strategy<Value = CouplingGraph> {
+    // A random spanning-tree-plus-extras construction: always connected.
+    (3usize..12, proptest::collection::vec((0usize..64, 0usize..64), 0..12), any::<u64>())
+        .prop_map(|(n, extras, seed)| {
+            let mut edges = Vec::new();
+            // Deterministic "random" spanning tree via the seed.
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as usize
+            };
+            for v in 1..n {
+                edges.push((v, next() % v));
+            }
+            for (a, b) in extras {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+            CouplingGraph::from_edges(n, edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Distances form a metric: symmetry, identity, triangle inequality.
+    #[test]
+    fn distance_is_a_metric(g in arb_connected_graph()) {
+        let n = g.num_qubits();
+        for a in 0..n {
+            prop_assert_eq!(g.distance(a, a), 0);
+            for b in 0..n {
+                prop_assert_eq!(g.distance(a, b), g.distance(b, a));
+                for c in 0..n {
+                    prop_assert!(g.distance(a, c) <= g.distance(a, b) + g.distance(b, c));
+                }
+            }
+        }
+    }
+
+    /// Edges are exactly the distance-1 pairs.
+    #[test]
+    fn edges_are_distance_one(g in arb_connected_graph()) {
+        let n = g.num_qubits();
+        for a in 0..n {
+            for b in a + 1..n {
+                prop_assert_eq!(g.contains_edge(a, b), g.distance(a, b) == 1);
+            }
+        }
+    }
+
+    /// Shortest paths are valid walks of the advertised length.
+    #[test]
+    fn shortest_paths_are_valid(g in arb_connected_graph()) {
+        let n = g.num_qubits();
+        for a in 0..n {
+            for b in 0..n {
+                let p = g.shortest_path(a, b).expect("connected graph");
+                prop_assert_eq!(p[0], a);
+                prop_assert_eq!(*p.last().unwrap(), b);
+                prop_assert_eq!(p.len() as u32, g.distance(a, b) + 1);
+                for w in p.windows(2) {
+                    prop_assert!(g.contains_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    /// Neighbour lists agree with the edge set.
+    #[test]
+    fn neighbors_match_edges(g in arb_connected_graph()) {
+        let n = g.num_qubits();
+        for a in 0..n {
+            for &b in g.neighbors(a) {
+                prop_assert!(g.contains_edge(a, b));
+            }
+            let degree = (0..n).filter(|&b| g.contains_edge(a, b)).count();
+            prop_assert_eq!(g.neighbors(a).len(), degree);
+        }
+    }
+}

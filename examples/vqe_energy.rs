@@ -1,0 +1,46 @@
+//! VQE-style energy evaluation: prepare a UCCSD ansatz state with the
+//! PHOENIX-compiled circuit and measure a molecular Hamiltonian's energy —
+//! demonstrating that aggressive compilation leaves the physics untouched.
+//!
+//! Run with: `cargo run --release --example vqe_energy`
+
+use phoenix::baselines::Baseline;
+use phoenix::core::PhoenixCompiler;
+use phoenix::hamil::{molecular, uccsd, FermionEncoding, Molecule};
+use phoenix::sim::{energy, State};
+
+fn main() {
+    // A 10-spin-orbital synthetic molecule and the LiH UCCSD ansatz.
+    let enc = FermionEncoding::jordan_wigner(10);
+    let hamiltonian = molecular::synthetic(&enc, 42);
+    let ansatz = uccsd::ansatz(Molecule::lih(), true, uccsd::Encoding::JordanWigner, 7);
+    let n = ansatz.num_qubits();
+    println!("hamiltonian: {hamiltonian}");
+    println!("ansatz     : {ansatz}\n");
+
+    // Reference: the conventional (uncompiled) circuit.
+    let reference = Baseline::Naive.compile_logical(n, ansatz.terms());
+    let e_ref = energy(&State::zero(n).evolved(&reference), hamiltonian.terms());
+
+    // PHOENIX in each ISA.
+    let compiler = PhoenixCompiler::default();
+    let cnot = compiler.compile_to_cnot(n, ansatz.terms());
+    let su4 = compiler.compile_to_su4(n, ansatz.terms());
+    let e_cnot = energy(&State::zero(n).evolved(&cnot), hamiltonian.terms());
+    let e_su4 = energy(&State::zero(n).evolved(&su4), hamiltonian.terms());
+
+    println!("energy, conventional circuit : {e_ref:+.10}");
+    println!(
+        "energy, PHOENIX CNOT ISA     : {e_cnot:+.10}   ({} vs {} CNOTs)",
+        cnot.counts().cnot,
+        reference.counts().cnot
+    );
+    println!(
+        "energy, PHOENIX SU(4) ISA    : {e_su4:+.10}   ({} native 2Q gates)",
+        su4.counts().su4
+    );
+    println!(
+        "\nmax deviation: {:.2e}  (term reordering only shifts Trotter error,\nnot the prepared state's physics at these amplitudes)",
+        (e_cnot - e_ref).abs().max((e_su4 - e_ref).abs())
+    );
+}

@@ -1,0 +1,246 @@
+//! `phoenixc` — command-line driver for the PHOENIX compiler.
+//!
+//! ```text
+//! phoenixc compile --input program.txt [--isa cnot|su4] [--topology all|heavyhex|line:N|grid:RxC]
+//!                  [--qasm out.qasm] [--no-simplify] [--no-order] [--lookahead K]
+//! phoenixc demo uccsd|qaoa
+//! ```
+//!
+//! Program files list one Pauli exponentiation per line as
+//! `<coefficient> <pauli string>` after a `qubits <n>` header; `#` starts a
+//! comment. Example:
+//!
+//! ```text
+//! qubits 3
+//! 0.12  ZYY
+//! -0.34 ZZY
+//! ```
+
+use phoenix::circuit::{qasm, Circuit};
+use phoenix::core::{PhoenixCompiler, PhoenixOptions};
+use phoenix::hamil::{qaoa, uccsd, Molecule};
+use phoenix::pauli::PauliString;
+use phoenix::topology::CouplingGraph;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  phoenixc compile --input <file> [--isa cnot|su4] [--topology all|heavyhex|line:N|grid:RxC]
+                   [--qasm <out.qasm>] [--no-simplify] [--no-order] [--lookahead K]
+  phoenixc demo uccsd|qaoa";
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let mut input = None;
+    let mut isa = "cnot".to_string();
+    let mut topology = "all".to_string();
+    let mut qasm_out = None;
+    let mut via_kak = false;
+    let mut options = PhoenixOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--input" => input = Some(value()?),
+            "--isa" => isa = value()?,
+            "--topology" => topology = value()?,
+            "--qasm" => qasm_out = Some(value()?),
+            "--via-kak" => via_kak = true,
+            "--no-simplify" => options.enable_simplification = false,
+            "--no-order" => options.enable_ordering = false,
+            "--lookahead" => {
+                options.lookahead = value()?
+                    .parse()
+                    .map_err(|e| format!("bad lookahead: {e}"))?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let input = input.ok_or("missing --input")?;
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("{input}: {e}"))?;
+    let (n, terms) = parse_program(&text)?;
+    eprintln!("program: {n} qubits, {} pauli exponentiations", terms.len());
+
+    let compiler = PhoenixCompiler::new(options);
+    let circuit: Circuit = match topology.as_str() {
+        "all" => match isa.as_str() {
+            "cnot" if via_kak => compiler.compile_to_cnot_via_kak(n, &terms),
+            "cnot" => compiler.compile_to_cnot(n, &terms),
+            "su4" => compiler.compile_to_su4(n, &terms),
+            other => return Err(format!("unknown isa '{other}'")),
+        },
+        spec => {
+            let device = parse_topology(spec, n)?;
+            let hw = compiler.compile_hardware_aware(n, &terms, &device);
+            eprintln!(
+                "routing: {} swaps, {:.2}x overhead on {}",
+                hw.num_swaps,
+                hw.routing_overhead(),
+                device
+            );
+            match isa.as_str() {
+                "cnot" => hw.circuit,
+                "su4" => phoenix::circuit::rebase::to_su4(&hw.circuit),
+                other => return Err(format!("unknown isa '{other}'")),
+            }
+        }
+    };
+    let k = circuit.counts();
+    println!(
+        "compiled: {} gates | {} CNOT | {} SU(4) | depth {} | 2Q depth {}",
+        k.total,
+        k.cnot,
+        k.su4,
+        circuit.depth(),
+        circuit.depth_2q()
+    );
+    if let Some(path) = qasm_out {
+        std::fs::write(&path, qasm::to_qasm(&circuit)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("uccsd") => {
+            let h = uccsd::ansatz(Molecule::lih(), true, uccsd::Encoding::JordanWigner, 7);
+            let c = PhoenixCompiler::default().compile_to_cnot(h.num_qubits(), h.terms());
+            println!(
+                "{h}\nPHOENIX: {} CNOTs, 2Q depth {}",
+                c.counts().cnot,
+                c.depth_2q()
+            );
+            Ok(())
+        }
+        Some("qaoa") => {
+            let h = qaoa::benchmark(qaoa::QaoaKind::Reg3, 16, 7);
+            let device = CouplingGraph::manhattan65();
+            let hw = PhoenixCompiler::default().compile_hardware_aware(
+                h.num_qubits(),
+                h.terms(),
+                &device,
+            );
+            println!(
+                "{h}\nPHOENIX on heavy-hex: {} CNOTs, {} SWAPs, 2Q depth {}",
+                hw.circuit.counts().cnot,
+                hw.num_swaps,
+                hw.circuit.depth_2q()
+            );
+            Ok(())
+        }
+        _ => Err("demo needs 'uccsd' or 'qaoa'".to_string()),
+    }
+}
+
+/// Parses the `qubits N` + `<coeff> <string>` program format.
+fn parse_program(text: &str) -> Result<(usize, Vec<(PauliString, f64)>), String> {
+    let mut n = None;
+    let mut terms = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("qubits") {
+            n = Some(
+                rest.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("line {}: bad qubit count: {e}", ln + 1))?,
+            );
+            continue;
+        }
+        let n = n.ok_or_else(|| format!("line {}: term before 'qubits' header", ln + 1))?;
+        let (coeff, pauli) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("line {}: expected '<coeff> <pauli>'", ln + 1))?;
+        let c: f64 = coeff
+            .parse()
+            .map_err(|e| format!("line {}: bad coefficient: {e}", ln + 1))?;
+        let p: PauliString = pauli
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: {e}", ln + 1))?;
+        if p.num_qubits() != n {
+            return Err(format!(
+                "line {}: string has {} qubits, header says {n}",
+                ln + 1,
+                p.num_qubits()
+            ));
+        }
+        terms.push((p, c));
+    }
+    Ok((n.ok_or("missing 'qubits N' header")?, terms))
+}
+
+fn parse_topology(spec: &str, n: usize) -> Result<CouplingGraph, String> {
+    match spec {
+        "heavyhex" => Ok(CouplingGraph::manhattan65()),
+        s if s.starts_with("line:") => {
+            let k: usize = s[5..].parse().map_err(|e| format!("bad line size: {e}"))?;
+            Ok(CouplingGraph::line(k))
+        }
+        s if s.starts_with("grid:") => {
+            let (r, c) = s[5..]
+                .split_once('x')
+                .ok_or("grid spec is grid:RxC")?;
+            let r: usize = r.parse().map_err(|e| format!("bad grid rows: {e}"))?;
+            let c: usize = c.parse().map_err(|e| format!("bad grid cols: {e}"))?;
+            Ok(CouplingGraph::grid(r, c))
+        }
+        other => Err(format!(
+            "unknown topology '{other}' (program has {n} qubits)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_program_happy_path() {
+        let (n, terms) = parse_program("# demo\nqubits 3\n0.5 XYZ\n-1 ZZI\n").unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(terms.len(), 2);
+        assert_eq!(terms[1].1, -1.0);
+    }
+
+    #[test]
+    fn parse_program_errors() {
+        assert!(parse_program("0.5 XX\n").is_err(), "missing header");
+        assert!(parse_program("qubits 2\n0.5 XXX\n").is_err(), "arity");
+        assert!(parse_program("qubits 2\nnope XX\n").is_err(), "coeff");
+    }
+
+    #[test]
+    fn parse_topology_specs() {
+        assert_eq!(parse_topology("line:5", 3).unwrap().num_qubits(), 5);
+        assert_eq!(parse_topology("grid:2x3", 3).unwrap().num_qubits(), 6);
+        assert_eq!(parse_topology("heavyhex", 3).unwrap().num_qubits(), 65);
+        assert!(parse_topology("torus", 3).is_err());
+    }
+}
