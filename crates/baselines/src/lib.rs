@@ -29,10 +29,10 @@ pub mod tetris_style;
 pub mod tket_style;
 pub mod twoqan_style;
 
-use phoenix_circuit::{peephole, Circuit};
-use phoenix_core::HardwareProgram;
+use phoenix_circuit::Circuit;
+use phoenix_core::{CompilerStrategy, HardwareProgram, PhoenixCompiler};
 use phoenix_pauli::PauliString;
-use phoenix_router::{route, search_layout, RouterOptions};
+use phoenix_router::RouterOptions;
 use phoenix_topology::CouplingGraph;
 
 /// The compiler strategies under comparison.
@@ -76,23 +76,39 @@ impl Baseline {
     }
 }
 
+impl CompilerStrategy for Baseline {
+    fn name(&self) -> &str {
+        Baseline::name(*self)
+    }
+
+    fn compile_logical(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
+        Baseline::compile_logical(*self, n, terms)
+    }
+}
+
+/// PHOENIX followed by the four general-purpose baselines, as trait
+/// objects — the column set of the paper's main tables. Harness code
+/// iterates these instead of matching on [`Baseline`].
+pub fn strategies() -> Vec<Box<dyn CompilerStrategy>> {
+    vec![
+        Box::new(Baseline::Naive),
+        Box::new(Baseline::TketStyle),
+        Box::new(Baseline::PaulihedralStyle),
+        Box::new(Baseline::TetrisStyle),
+        Box::new(PhoenixCompiler::default()),
+    ]
+}
+
 /// The shared hardware-aware back end: peephole ("O3"), SABRE routing,
 /// SWAP lowering, final peephole — identical to PHOENIX's back end so that
-/// strategy differences dominate.
+/// strategy differences dominate. Delegates to the pass sequence of
+/// [`phoenix_core::hardware_backend`].
 ///
 /// # Panics
 ///
 /// Panics if the device is smaller than the program.
 pub fn hardware_aware(logical: &Circuit, device: &CouplingGraph) -> HardwareProgram {
-    let logical = peephole::optimize(logical);
-    let opts = RouterOptions::default();
-    let layout = search_layout(&logical, device, &opts, 3);
-    let routed = route(&logical, device, layout, &opts);
-    HardwareProgram {
-        circuit: peephole::optimize(&routed.circuit),
-        logical,
-        num_swaps: routed.num_swaps,
-    }
+    phoenix_core::run_hardware_backend(logical, device, &RouterOptions::default(), 3)
 }
 
 #[cfg(test)]
@@ -119,7 +135,10 @@ mod tests {
             let c = b.compile_logical(4, &t);
             assert!(c.counts().cnot > 0, "{}", b.name());
             // Lowered output only.
-            assert_eq!(c.counts().clifford2 + c.counts().pauli_rot2 + c.counts().su4, 0);
+            assert_eq!(
+                c.counts().clifford2 + c.counts().pauli_rot2 + c.counts().su4,
+                0
+            );
         }
     }
 

@@ -27,10 +27,8 @@ mod tests {
 
     #[test]
     fn order_is_preserved() {
-        let t: Vec<(PauliString, f64)> = vec![
-            ("ZZI".parse().unwrap(), 0.1),
-            ("IZZ".parse().unwrap(), 0.2),
-        ];
+        let t: Vec<(PauliString, f64)> =
+            vec![("ZZI".parse().unwrap(), 0.1), ("IZZ".parse().unwrap(), 0.2)];
         let c = compile(3, &t);
         // First CNOT touches qubits (0,1), later ones (1,2).
         let first = c

@@ -111,12 +111,7 @@ mod tests {
         let rots = c
             .gates()
             .iter()
-            .filter(|g| {
-                matches!(
-                    g,
-                    Gate::Rz(..) | Gate::Rx(..) | Gate::Ry(..)
-                )
-            })
+            .filter(|g| matches!(g, Gate::Rz(..) | Gate::Rx(..) | Gate::Ry(..)))
             .count();
         assert_eq!(rots, 3);
     }

@@ -64,7 +64,14 @@ mod tests {
         let rz = c
             .gates()
             .iter()
-            .filter(|g| matches!(g, phoenix_circuit::Gate::Rz(..) | phoenix_circuit::Gate::Rx(..) | phoenix_circuit::Gate::Ry(..)))
+            .filter(|g| {
+                matches!(
+                    g,
+                    phoenix_circuit::Gate::Rz(..)
+                        | phoenix_circuit::Gate::Rx(..)
+                        | phoenix_circuit::Gate::Ry(..)
+                )
+            })
             .count();
         assert_eq!(rz, 4, "every gadget synthesized exactly once");
     }
@@ -74,6 +81,10 @@ mod tests {
         // All ZZ terms commute: sorting them together groups shared chains.
         let t = terms(&["ZZII", "IZZI", "IIZZ", "ZIIZ"]);
         let opt = phoenix_circuit::peephole::optimize(&compile(4, &t));
-        assert_eq!(opt.counts().cnot, 8, "2 CNOTs per edge, nothing shared here");
+        assert_eq!(
+            opt.counts().cnot,
+            8,
+            "2 CNOTs per edge, nothing shared here"
+        );
     }
 }

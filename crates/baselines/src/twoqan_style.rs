@@ -60,7 +60,10 @@ mod tests {
 
     fn zz(n: usize, a: usize, b: usize) -> (PauliString, f64) {
         (
-            PauliString::from_sparse(n, &[(a, phoenix_pauli::Pauli::Z), (b, phoenix_pauli::Pauli::Z)]),
+            PauliString::from_sparse(
+                n,
+                &[(a, phoenix_pauli::Pauli::Z), (b, phoenix_pauli::Pauli::Z)],
+            ),
             0.3,
         )
     }
@@ -84,10 +87,7 @@ mod tests {
 
     #[test]
     fn non_2local_terms_still_compile() {
-        let t = vec![
-            zz(3, 0, 1),
-            ("ZZZ".parse::<PauliString>().unwrap(), 0.2),
-        ];
+        let t = vec![zz(3, 0, 1), ("ZZZ".parse::<PauliString>().unwrap(), 0.2)];
         let c = compile(3, &t);
         assert_eq!(c.counts().cnot, 2 + 4);
     }

@@ -8,6 +8,7 @@ use phoenix_baselines::Baseline;
 use phoenix_circuit::peephole;
 use phoenix_core::{group::group_by_support, simplify::simplify_terms, PhoenixCompiler};
 use phoenix_hamil::{qaoa, uccsd, Molecule};
+use phoenix_pauli::PauliString;
 use phoenix_router::{route, search_layout, RouterOptions};
 use phoenix_topology::CouplingGraph;
 
@@ -46,7 +47,7 @@ fn bench_stages(c: &mut Criterion) {
             groups
                 .iter()
                 .map(|grp| simplify_terms(n, grp.terms()))
-                .count()
+                .collect::<Vec<_>>()
         })
     });
     let logical = PhoenixCompiler::default().compile_to_cnot(n, h.terms());
@@ -58,6 +59,53 @@ fn bench_stages(c: &mut Criterion) {
     g.bench_function("sabre_routing", |b| {
         b.iter(|| route(&logical, &device, layout.clone(), &RouterOptions::default()))
     });
+    g.finish();
+}
+
+/// A 32-qubit program with exactly `num_groups` IR groups: the first
+/// `num_groups` 4-qubit supports in lexicographic order, four weight-4
+/// terms each, so per-group BSF simplification does real work.
+fn grouped_program(num_groups: usize) -> (usize, Vec<(PauliString, f64)>) {
+    const N: usize = 32;
+    const PATTERNS: [&str; 4] = ["XXYY", "YZZX", "ZYXZ", "XZYX"];
+    let mut terms = Vec::with_capacity(num_groups * PATTERNS.len());
+    let mut built = 0usize;
+    'supports: for a in 0..N {
+        for b in a + 1..N {
+            for c in b + 1..N {
+                for d in c + 1..N {
+                    for (i, pattern) in PATTERNS.iter().enumerate() {
+                        let mut label = vec![b'I'; N];
+                        for (&q, p) in [a, b, c, d].iter().zip(pattern.bytes()) {
+                            label[q] = p;
+                        }
+                        let p: PauliString = String::from_utf8(label).unwrap().parse().unwrap();
+                        terms.push((p, 0.01 * (i + 1) as f64));
+                    }
+                    built += 1;
+                    if built == num_groups {
+                        break 'supports;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(built, num_groups, "not enough distinct supports");
+    (N, terms)
+}
+
+fn bench_group_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("group_count_scaling");
+    g.sample_size(10);
+    for num_groups in [8usize, 32, 128] {
+        let (n, terms) = grouped_program(num_groups);
+        assert_eq!(group_by_support(n, &terms).len(), num_groups);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(num_groups),
+            &terms,
+            |b, terms| b.iter(|| PhoenixCompiler::default().compile_to_cnot(n, terms)),
+        );
+    }
     g.finish();
 }
 
@@ -80,5 +128,11 @@ fn bench_qaoa(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_logical_compile, bench_stages, bench_qaoa);
+criterion_group!(
+    benches,
+    bench_logical_compile,
+    bench_stages,
+    bench_group_scaling,
+    bench_qaoa
+);
 criterion_main!(benches);

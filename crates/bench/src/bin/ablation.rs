@@ -12,7 +12,7 @@
 //!   hardware-aware mode;
 //! - **lookahead-1** — greedy ordering without a window.
 
-use phoenix_bench::{row, write_results, SEED};
+use phoenix_bench::{row, write_results, Tracer, SEED};
 use phoenix_core::{PhoenixCompiler, PhoenixOptions};
 use phoenix_hamil::{uccsd, Molecule};
 use phoenix_topology::CouplingGraph;
@@ -57,6 +57,7 @@ fn variants() -> Vec<(&'static str, PhoenixOptions)> {
 fn main() {
     let device = CouplingGraph::manhattan65();
     let mut entries = Vec::new();
+    let mut tracer = Tracer::from_env("ablation");
     for (mol, frozen) in [
         (Molecule::lih(), true),
         (Molecule::nh(), true),
@@ -70,6 +71,7 @@ fn main() {
                 let compiler = PhoenixCompiler::new(opts);
                 let logical = compiler.compile_to_cnot(n, h.terms());
                 let hw = compiler.compile_hardware_aware(n, h.terms(), &device);
+                tracer.record_logical(&format!("{}/{name}", h.name()), &compiler, n, h.terms());
                 rows.insert(
                     name.to_string(),
                     (
@@ -91,8 +93,15 @@ fn main() {
     println!("# Ablation: PHOENIX design choices\n");
     println!(
         "{}",
-        row(&["Benchmark", "Variant", "log #CNOT", "log D2Q", "hw #CNOT", "hw D2Q"]
-            .map(String::from))
+        row(&[
+            "Benchmark",
+            "Variant",
+            "log #CNOT",
+            "log D2Q",
+            "hw #CNOT",
+            "hw D2Q"
+        ]
+        .map(String::from))
     );
     println!("{}", row(&vec!["---".to_string(); 6]));
     for e in &entries {
@@ -111,4 +120,5 @@ fn main() {
         }
     }
     write_results("ablation", &entries);
+    tracer.finish();
 }

@@ -2,7 +2,7 @@
 //! across heavy-hex generations (Falcon-27, Manhattan-65, Eagle-127) and
 //! non-heavy-hex shapes (grid, line), with noise-model success estimates.
 
-use phoenix_bench::{row, write_results, SEED};
+use phoenix_bench::{row, write_results, Tracer, SEED};
 use phoenix_core::PhoenixCompiler;
 use phoenix_hamil::{uccsd, Molecule};
 use phoenix_sim::noise::ErrorModel;
@@ -33,11 +33,20 @@ fn devices() -> Vec<(&'static str, CouplingGraph)> {
 fn main() {
     let model = ErrorModel::ibm_like();
     let mut entries = Vec::new();
+    let mut tracer = Tracer::from_env("devices");
     println!("# Device sweep: PHOENIX hardware-aware across topologies\n");
     println!(
         "{}",
-        row(&["Benchmark", "Device", "#CNOT", "D2Q", "#SWAP", "ovh", "est. success"]
-            .map(String::from))
+        row(&[
+            "Benchmark",
+            "Device",
+            "#CNOT",
+            "D2Q",
+            "#SWAP",
+            "ovh",
+            "est. success"
+        ]
+        .map(String::from))
     );
     println!("{}", row(&vec!["---".to_string(); 7]));
     for (mol, frozen) in [(Molecule::lih(), true), (Molecule::nh(), true)] {
@@ -47,6 +56,13 @@ fn main() {
                 continue;
             }
             let hw = PhoenixCompiler::default().compile_hardware_aware(
+                h.num_qubits(),
+                h.terms(),
+                &device,
+            );
+            tracer.record_hardware(
+                &format!("{}/{name}", h.name()),
+                &PhoenixCompiler::default(),
                 h.num_qubits(),
                 h.terms(),
                 &device,
@@ -76,4 +92,5 @@ fn main() {
         }
     }
     write_results("devices", &entries);
+    tracer.finish();
 }

@@ -5,9 +5,9 @@
 //! device (TKET is excluded as in the paper), plus each compiler's average
 //! routing-overhead multiple (the dashed lines).
 
-use phoenix_baselines::{hardware_aware, Baseline};
-use phoenix_bench::{geomean, row, write_results, Metrics, SEED};
-use phoenix_core::PhoenixCompiler;
+use phoenix_baselines::strategies;
+use phoenix_bench::{geomean, row, short_label, write_results, Metrics, Tracer, SEED};
+use phoenix_core::{CompilerStrategy, PhoenixCompiler};
 use phoenix_hamil::uccsd;
 use phoenix_topology::CouplingGraph;
 use serde::Serialize;
@@ -32,16 +32,19 @@ const COMPILERS: [&str; 3] = ["Paulihedral", "Tetris", "PHOENIX"];
 fn main() {
     let device = CouplingGraph::manhattan65();
     let mut entries = Vec::new();
+    let mut tracer = Tracer::from_env("fig6");
+    // TKET is excluded as in the paper; compare the remaining strategies.
+    let contenders: Vec<Box<dyn CompilerStrategy>> = strategies()
+        .into_iter()
+        .filter(|s| !matches!(s.name(), "original" | "TKET-style"))
+        .collect();
     for h in uccsd::table1_suite(SEED) {
         let n = h.num_qubits();
         let mut compilers = BTreeMap::new();
-        for (name, b) in [
-            ("Paulihedral", Baseline::PaulihedralStyle),
-            ("Tetris", Baseline::TetrisStyle),
-        ] {
-            let hw = hardware_aware(&b.compile_logical(n, h.terms()), &device);
+        for strategy in &contenders {
+            let hw = strategy.compile_hardware(n, h.terms(), &device);
             compilers.insert(
-                name.to_string(),
+                short_label(strategy.name()).to_string(),
                 HwMetrics {
                     mapped: Metrics::of(&hw.circuit),
                     logical_cnot: hw.logical.counts().cnot,
@@ -50,16 +53,7 @@ fn main() {
                 },
             );
         }
-        let hw = PhoenixCompiler::default().compile_hardware_aware(n, h.terms(), &device);
-        compilers.insert(
-            "PHOENIX".to_string(),
-            HwMetrics {
-                mapped: Metrics::of(&hw.circuit),
-                logical_cnot: hw.logical.counts().cnot,
-                swaps: hw.num_swaps,
-                overhead: hw.routing_overhead(),
-            },
-        );
+        tracer.record_hardware(h.name(), &PhoenixCompiler::default(), n, h.terms(), &device);
         eprintln!("[fig6] {} done", h.name());
         entries.push(Entry {
             benchmark: h.name().to_string(),
@@ -121,4 +115,5 @@ fn main() {
         );
     }
     write_results("fig6", &(entries, summary));
+    tracer.finish();
 }

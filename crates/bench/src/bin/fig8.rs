@@ -8,9 +8,8 @@
 //! per scale point.
 
 use phoenix_baselines::Baseline;
-use phoenix_bench::{write_results, SEED};
-use phoenix_circuit::peephole;
-use phoenix_core::PhoenixCompiler;
+use phoenix_bench::{write_results, Tracer, SEED};
+use phoenix_core::{CompilerStrategy, PhoenixCompiler};
 use phoenix_hamil::{uccsd, Molecule};
 use phoenix_sim::{circuit_unitary, exact_evolution, infidelity};
 use serde::Serialize;
@@ -27,6 +26,10 @@ const SCALES: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
 
 fn main() {
     let mut out: Vec<Series> = Vec::new();
+    let mut tracer = Tracer::from_env("fig8");
+    let tket: &dyn CompilerStrategy = &Baseline::TketStyle;
+    let phoenix_compiler = PhoenixCompiler::default();
+    let phoenix_strategy: &dyn CompilerStrategy = &phoenix_compiler;
     println!("# Fig. 8: algorithmic error (unitary infidelity vs exact evolution)\n");
     for mol in [Molecule::lih(), Molecule::nh()] {
         for enc in [uccsd::Encoding::JordanWigner, uccsd::Encoding::BravyiKitaev] {
@@ -38,14 +41,16 @@ fn main() {
             let mut exact = exact_evolution(n, base.rescaled(SCALES[0]).terms());
             for &s in &SCALES {
                 let h = base.rescaled(s);
-                let tket = circuit_unitary(&peephole::optimize(
-                    &Baseline::TketStyle.compile_logical(n, h.terms()),
-                ));
-                let phoenix = circuit_unitary(
-                    &PhoenixCompiler::default().compile(n, h.terms()).circuit,
+                let tket_u = circuit_unitary(&tket.compile_optimized(n, h.terms()));
+                let phoenix_u = circuit_unitary(&phoenix_strategy.compile_logical(n, h.terms()));
+                tracer.record_logical(
+                    &format!("{}@{s}", base.name()),
+                    &phoenix_compiler,
+                    n,
+                    h.terms(),
                 );
-                let te = infidelity(&exact, &tket).max(1e-16);
-                let pe = infidelity(&exact, &phoenix).max(1e-16);
+                let te = infidelity(&exact, &tket_u).max(1e-16);
+                let pe = infidelity(&exact, &phoenix_u).max(1e-16);
                 println!(
                     "  scale {s:>5}: TKET-style {te:.3e}  PHOENIX {pe:.3e}  (ratio {:.2})",
                     pe / te
@@ -62,16 +67,17 @@ fn main() {
     }
     // Per-encoding average reduction.
     for enc in ["JW", "BK"] {
-        let rows: Vec<&Series> = out
-            .iter()
-            .filter(|r| r.benchmark.ends_with(enc))
-            .collect();
+        let rows: Vec<&Series> = out.iter().filter(|r| r.benchmark.ends_with(enc)).collect();
         let avg_red = rows
             .iter()
             .map(|r| 1.0 - r.phoenix_error / r.tket_error)
             .sum::<f64>()
             / rows.len() as f64;
-        println!("\nAverage error reduction vs TKET-style ({enc}): {:.1}%", 100.0 * avg_red);
+        println!(
+            "\nAverage error reduction vs TKET-style ({enc}): {:.1}%",
+            100.0 * avg_red
+        );
     }
     write_results("fig8", &out);
+    tracer.finish();
 }

@@ -5,7 +5,7 @@
 //! thousands of Pauli strings … in dozens of seconds" — in Python; this
 //! implementation is ~1000× faster).
 
-use phoenix_bench::{row, write_results, SEED};
+use phoenix_bench::{row, write_results, Tracer, SEED};
 use phoenix_core::PhoenixCompiler;
 use phoenix_hamil::{models, qaoa, uccsd, Hamiltonian, Molecule};
 use serde::Serialize;
@@ -21,10 +21,18 @@ struct Point {
     millis: f64,
 }
 
-fn measure(h: &Hamiltonian) -> Point {
+fn measure(h: &Hamiltonian, tracer: &mut Tracer) -> Point {
+    // Timed without trace recording, so the reported numbers are clean;
+    // the trace (when requested) comes from a separate run.
     let t0 = Instant::now();
     let c = PhoenixCompiler::default().compile_to_cnot(h.num_qubits(), h.terms());
     let millis = t0.elapsed().as_secs_f64() * 1e3;
+    tracer.record_logical(
+        h.name(),
+        &PhoenixCompiler::default(),
+        h.num_qubits(),
+        h.terms(),
+    );
     Point {
         program: h.name().to_string(),
         qubits: h.num_qubits(),
@@ -37,30 +45,40 @@ fn measure(h: &Hamiltonian) -> Point {
 
 fn main() {
     let mut points = Vec::new();
+    let mut tracer = Tracer::from_env("scaling");
     // Heisenberg chains of growing width.
     for n in [8usize, 16, 32, 64, 96] {
-        points.push(measure(&models::heisenberg_chain(n, 1.0, 0.8, 0.6)));
+        points.push(measure(
+            &models::heisenberg_chain(n, 1.0, 0.8, 0.6),
+            &mut tracer,
+        ));
     }
     // Trotter-repeated molecular ansatz: term count grows linearly.
     let base = uccsd::ansatz(Molecule::nh(), true, uccsd::Encoding::JordanWigner, SEED);
     for r in [1usize, 2, 4, 8] {
-        points.push(measure(&base.repeated(r)));
+        points.push(measure(&base.repeated(r), &mut tracer));
     }
     // QAOA width sweep.
     for n in [16usize, 32, 64, 96] {
         let edges = qaoa::random_regular_graph(n, 4, SEED + n as u64);
-        points.push(measure(&qaoa::maxcut_program(
-            format!("Rand4-{n}"),
-            n,
-            &edges,
-            SEED,
-        )));
+        points.push(measure(
+            &qaoa::maxcut_program(format!("Rand4-{n}"), n, &edges, SEED),
+            &mut tracer,
+        ));
     }
 
     println!("# Scaling study (PHOENIX, logical CNOT ISA)\n");
     println!(
         "{}",
-        row(&["Program", "#Qubit", "#Pauli", "#CNOT", "Depth-2Q", "time (ms)"].map(String::from))
+        row(&[
+            "Program",
+            "#Qubit",
+            "#Pauli",
+            "#CNOT",
+            "Depth-2Q",
+            "time (ms)"
+        ]
+        .map(String::from))
     );
     println!("{}", row(&vec!["---".to_string(); 6]));
     for p in &points {
@@ -77,4 +95,5 @@ fn main() {
         );
     }
     write_results("scaling", &points);
+    tracer.finish();
 }

@@ -4,10 +4,10 @@
 //! 2Q instruction actually carries — and how far the CNOT-ISA outputs sit
 //! above their theoretical floors.
 
-use phoenix_baselines::Baseline;
-use phoenix_bench::{row, write_results, SEED};
+use phoenix_baselines::strategies;
+use phoenix_bench::{row, short_label, write_results, Tracer, SEED};
 use phoenix_circuit::{kak, peephole, rebase, weyl, Circuit, Gate};
-use phoenix_core::PhoenixCompiler;
+use phoenix_core::{CompilerStrategy, PhoenixCompiler};
 use phoenix_hamil::{uccsd, Molecule};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -46,13 +46,28 @@ fn histogram(su4_circuit: &Circuit) -> CostHistogram {
 }
 
 fn main() {
-    let mut results: BTreeMap<String, BTreeMap<String, (CostHistogram, usize, usize)>> = BTreeMap::new();
+    let mut results: BTreeMap<String, BTreeMap<String, (CostHistogram, usize, usize)>> =
+        BTreeMap::new();
+    let mut tracer = Tracer::from_env("su4_analysis");
+    // Baselines reach SU(4) by CNOT compile + rebase.
+    let baselines: Vec<Box<dyn CompilerStrategy>> = strategies()
+        .into_iter()
+        .filter(|s| matches!(s.name(), "Paulihedral-style" | "TKET-style"))
+        .collect();
     println!("# SU(4) block analysis: Weyl-class histogram and CNOT floors\n");
     println!(
         "{}",
         row(&[
-            "Benchmark", "Compiler", "#SU4", "c=0", "c=1", "c=2", "c=3", "CNOT floor",
-            "actual CNOT", "KAK-resynth CNOT",
+            "Benchmark",
+            "Compiler",
+            "#SU4",
+            "c=0",
+            "c=1",
+            "c=2",
+            "c=3",
+            "CNOT floor",
+            "actual CNOT",
+            "KAK-resynth CNOT",
         ]
         .map(String::from))
     );
@@ -71,16 +86,14 @@ fn main() {
                 "PHOENIX".to_string(),
                 (histogram(&p_su4), p_cnot, p_resynth),
             );
+            tracer.record_logical(h.name(), &phoenix, n, h.terms());
             // Baselines: CNOT compile + rebase.
-            for (name, b) in [
-                ("Paulihedral", Baseline::PaulihedralStyle),
-                ("TKET", Baseline::TketStyle),
-            ] {
-                let logical = peephole::optimize(&b.compile_logical(n, h.terms()));
+            for strategy in &baselines {
+                let logical = strategy.compile_optimized(n, h.terms());
                 let su4 = rebase::to_su4(&logical);
                 let resynth = peephole::optimize(&kak::resynthesize(&su4)).counts().cnot;
                 per.insert(
-                    name.to_string(),
+                    short_label(strategy.name()).to_string(),
                     (histogram(&su4), logical.counts().cnot, resynth),
                 );
             }
@@ -106,4 +119,5 @@ fn main() {
         }
     }
     write_results("su4_analysis", &results);
+    tracer.finish();
 }

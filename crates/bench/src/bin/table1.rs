@@ -5,7 +5,8 @@
 //! `Depth-2Q`.
 
 use phoenix_baselines::Baseline;
-use phoenix_bench::{row, write_results, Metrics, SEED};
+use phoenix_bench::{row, write_results, Metrics, Tracer, SEED};
+use phoenix_core::{CompilerStrategy, PhoenixCompiler};
 use phoenix_hamil::uccsd;
 use serde::Serialize;
 
@@ -22,14 +23,27 @@ fn main() {
     println!("# Table I: UCCSD benchmark suite\n");
     println!(
         "{}",
-        row(&["Benchmark", "#Qubit", "#Pauli", "w_max", "#Gate", "#CNOT", "Depth", "Depth-2Q"]
-            .map(String::from))
+        row(&[
+            "Benchmark",
+            "#Qubit",
+            "#Pauli",
+            "w_max",
+            "#Gate",
+            "#CNOT",
+            "Depth",
+            "Depth-2Q"
+        ]
+        .map(String::from))
     );
     println!("{}", row(&vec!["---".to_string(); 8]));
     let mut rows = Vec::new();
+    let mut tracer = Tracer::from_env("table1");
+    let original: &dyn CompilerStrategy = &Baseline::Naive;
+    let phoenix = PhoenixCompiler::default();
     for h in uccsd::table1_suite(SEED) {
-        let naive = Baseline::Naive.compile_logical(h.num_qubits(), h.terms());
+        let naive = original.compile_logical(h.num_qubits(), h.terms());
         let m = Metrics::of(&naive);
+        tracer.record_logical(h.name(), &phoenix, h.num_qubits(), h.terms());
         println!(
             "{}",
             row(&[
@@ -52,4 +66,5 @@ fn main() {
         });
     }
     write_results("table1", &rows);
+    tracer.finish();
 }

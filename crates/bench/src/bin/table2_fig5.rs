@@ -8,8 +8,7 @@
 //! "no O3" variants lower structurally without it, mirroring the paper's
 //! ablation of high-level-optimization strength.
 
-use phoenix_baselines::Baseline;
-use phoenix_bench::{geomean, row, write_results, Metrics, SEED};
+use phoenix_bench::{geomean, row, short_label, write_results, Metrics, Tracer, SEED};
 use phoenix_circuit::peephole;
 use phoenix_core::PhoenixCompiler;
 use phoenix_hamil::uccsd;
@@ -35,36 +34,37 @@ const COMPILERS: [&str; 7] = [
 
 fn main() {
     let mut entries: Vec<Entry> = Vec::new();
+    let mut tracer = Tracer::from_env("table2_fig5");
+    let strategies = phoenix_baselines::strategies();
     for h in uccsd::table1_suite(SEED) {
         let n = h.num_qubits();
         let terms = h.terms();
-        let original = Metrics::of(&Baseline::Naive.compile_logical(n, terms));
+        let mut original = None;
         let mut compilers = BTreeMap::new();
-        // TKET always carries its FullPeepholeOptimise analogue.
-        compilers.insert(
-            "TKET".to_string(),
-            Metrics::of(&peephole::optimize(&Baseline::TketStyle.compile_logical(n, terms))),
-        );
-        for (name, b) in [
-            ("Paulihedral", Baseline::PaulihedralStyle),
-            ("Tetris", Baseline::TetrisStyle),
-        ] {
-            let logical = b.compile_logical(n, terms);
-            compilers.insert(name.to_string(), Metrics::of(&logical.lower_to_cnot()));
-            compilers.insert(
-                format!("{name}+O3"),
-                Metrics::of(&peephole::optimize(&logical)),
-            );
+        for strategy in &strategies {
+            let label = short_label(strategy.name());
+            let logical = strategy.compile_logical(n, terms);
+            match label {
+                // The reference point every rate is measured against.
+                "original" => original = Some(Metrics::of(&logical)),
+                // TKET always carries its FullPeepholeOptimise analogue.
+                "TKET" => {
+                    compilers.insert(
+                        label.to_string(),
+                        Metrics::of(&peephole::optimize(&logical)),
+                    );
+                }
+                _ => {
+                    compilers.insert(label.to_string(), Metrics::of(&logical.lower_to_cnot()));
+                    compilers.insert(
+                        format!("{label}+O3"),
+                        Metrics::of(&peephole::optimize(&logical)),
+                    );
+                }
+            }
         }
-        let phoenix = PhoenixCompiler::default().compile(n, terms);
-        compilers.insert(
-            "PHOENIX".to_string(),
-            Metrics::of(&phoenix.circuit.lower_to_cnot()),
-        );
-        compilers.insert(
-            "PHOENIX+O3".to_string(),
-            Metrics::of(&peephole::optimize(&phoenix.circuit)),
-        );
+        let original = original.expect("the strategy set includes the original circuit");
+        tracer.record_logical(h.name(), &PhoenixCompiler::default(), n, terms);
         eprintln!("[fig5] {} done", h.name());
         entries.push(Entry {
             benchmark: h.name().to_string(),
@@ -85,7 +85,10 @@ fn main() {
         let mut cells = vec![e.benchmark.clone(), e.original.cnot.to_string()];
         for c in COMPILERS {
             let m = &e.compilers[c];
-            cells.push(format!("{:.1}", 100.0 * m.cnot as f64 / e.original.cnot as f64));
+            cells.push(format!(
+                "{:.1}",
+                100.0 * m.cnot as f64 / e.original.cnot as f64
+            ));
             cells.push(format!(
                 "{:.1}",
                 100.0 * m.depth_2q as f64 / e.original.depth_2q as f64
@@ -95,7 +98,10 @@ fn main() {
     }
 
     println!("\n# Table II: average (geometric-mean) optimization rates\n");
-    println!("{}", row(&["Compiler", "#CNOT opt.", "Depth-2Q opt."].map(String::from)));
+    println!(
+        "{}",
+        row(&["Compiler", "#CNOT opt.", "Depth-2Q opt."].map(String::from))
+    );
     println!("{}", row(&vec!["---".to_string(); 3]));
     let mut summary = BTreeMap::new();
     for c in COMPILERS {
@@ -111,9 +117,14 @@ fn main() {
         let gd = geomean(&depth_ratios);
         println!(
             "{}",
-            row(&[c.to_string(), format!("{:.2}%", 100.0 * gc), format!("{:.2}%", 100.0 * gd)])
+            row(&[
+                c.to_string(),
+                format!("{:.2}%", 100.0 * gc),
+                format!("{:.2}%", 100.0 * gd)
+            ])
         );
         summary.insert(c.to_string(), (gc, gd));
     }
     write_results("table2_fig5", &(entries, summary));
+    tracer.finish();
 }

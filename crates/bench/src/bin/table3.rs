@@ -6,10 +6,10 @@
 //! each of the four regimes. Baselines rebase CNOT circuits into SU(4) ISA;
 //! PHOENIX emits SU(4) blocks directly from its simplified IR.
 
-use phoenix_baselines::{hardware_aware, Baseline};
-use phoenix_bench::{geomean, row, write_results, SEED};
+use phoenix_baselines::{hardware_aware, strategies};
+use phoenix_bench::{geomean, row, short_label, write_results, Tracer, SEED};
 use phoenix_circuit::{peephole, rebase, Circuit};
-use phoenix_core::PhoenixCompiler;
+use phoenix_core::{CompilerStrategy, PhoenixCompiler};
 use phoenix_hamil::uccsd;
 use phoenix_topology::CouplingGraph;
 use serde::Serialize;
@@ -27,15 +27,15 @@ struct Regime {
     vs: BTreeMap<String, (f64, f64)>,
 }
 
-const BASELINES: [(&str, Baseline); 3] = [
-    ("TKET", Baseline::TketStyle),
-    ("Paulihedral", Baseline::PaulihedralStyle),
-    ("Tetris", Baseline::TetrisStyle),
-];
-
 fn main() {
     let device = CouplingGraph::manhattan65();
     let suite = uccsd::table1_suite(SEED);
+    let mut tracer = Tracer::from_env("table3");
+    // Every general-purpose baseline, as trait objects.
+    let baselines: Vec<Box<dyn CompilerStrategy>> = strategies()
+        .into_iter()
+        .filter(|s| !matches!(s.name(), "original" | "PHOENIX"))
+        .collect();
 
     // Per benchmark, per regime: metric for phoenix and each baseline.
     let mut ratios: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
@@ -47,8 +47,10 @@ fn main() {
         let p_su4 = phoenix.compile_to_su4(n, h.terms());
         let p_hw = phoenix.compile_hardware_aware(n, h.terms(), &device);
         let p_hw_su4 = rebase::to_su4(&p_hw.circuit);
-        for (name, b) in BASELINES {
-            let b_logical = peephole::optimize(&b.compile_logical(n, h.terms()));
+        tracer.record_hardware(h.name(), &phoenix, n, h.terms(), &device);
+        for strategy in &baselines {
+            let name = short_label(strategy.name());
+            let b_logical = peephole::optimize(&strategy.compile_logical(n, h.terms()));
             let b_su4 = rebase::to_su4(&b_logical);
             let b_hw = hardware_aware(&b_logical, &device);
             let b_hw_su4 = rebase::to_su4(&b_hw.circuit);
@@ -83,7 +85,8 @@ fn main() {
         "SU(4) heavy-hex",
     ] {
         let mut vs = BTreeMap::new();
-        for (name, _) in BASELINES {
+        for strategy in &baselines {
+            let name = short_label(strategy.name());
             let rs = &ratios[&(regime.to_string(), name.to_string())];
             let gc = geomean(&rs.iter().map(|r| r.0).collect::<Vec<_>>());
             let gd = geomean(&rs.iter().map(|r| r.1).collect::<Vec<_>>());
@@ -104,4 +107,5 @@ fn main() {
         });
     }
     write_results("table3", &regimes);
+    tracer.finish();
 }

@@ -6,9 +6,9 @@
 //! reported (both schedulers reach near-optimal depth there, as the paper
 //! notes).
 
-use phoenix_baselines::{hardware_aware, Baseline};
-use phoenix_bench::{row, write_results, Metrics, SEED};
-use phoenix_core::PhoenixCompiler;
+use phoenix_baselines::Baseline;
+use phoenix_bench::{row, write_results, Metrics, Tracer, SEED};
+use phoenix_core::{CompilerStrategy, HardwareProgram, PhoenixCompiler};
 use phoenix_hamil::qaoa;
 use phoenix_topology::CouplingGraph;
 use serde::Serialize;
@@ -29,26 +29,30 @@ struct Side {
     overhead: f64,
 }
 
+fn side(hw: &HardwareProgram) -> Side {
+    Side {
+        logical_depth_2q: hw.logical.depth_2q(),
+        mapped: Metrics::of(&hw.circuit),
+        swaps: hw.num_swaps,
+        overhead: hw.routing_overhead(),
+    }
+}
+
 fn main() {
     let device = CouplingGraph::manhattan65();
     let mut entries = Vec::new();
+    let mut tracer = Tracer::from_env("table4_fig7");
+    // The 2-local specialist against PHOENIX, as trait objects.
+    let contenders: [Box<dyn CompilerStrategy>; 2] = [
+        Box::new(Baseline::TwoQanStyle),
+        Box::new(PhoenixCompiler::default()),
+    ];
     for h in qaoa::table4_suite(SEED) {
         let n = h.num_qubits();
-        let qan_logical = Baseline::TwoQanStyle.compile_logical(n, h.terms());
-        let qan_hw = hardware_aware(&qan_logical, &device);
-        let qan = Side {
-            logical_depth_2q: qan_hw.logical.depth_2q(),
-            mapped: Metrics::of(&qan_hw.circuit),
-            swaps: qan_hw.num_swaps,
-            overhead: qan_hw.routing_overhead(),
-        };
-        let p_hw = PhoenixCompiler::default().compile_hardware_aware(n, h.terms(), &device);
-        let phoenix = Side {
-            logical_depth_2q: p_hw.logical.depth_2q(),
-            mapped: Metrics::of(&p_hw.circuit),
-            swaps: p_hw.num_swaps,
-            overhead: p_hw.routing_overhead(),
-        };
+        let [qan, phoenix] = contenders
+            .each_ref()
+            .map(|s| side(&s.compile_hardware(n, h.terms(), &device)));
+        tracer.record_hardware(h.name(), &PhoenixCompiler::default(), n, h.terms(), &device);
         eprintln!("[table4] {} done", h.name());
         entries.push(Entry {
             benchmark: h.name().to_string(),
@@ -62,8 +66,16 @@ fn main() {
     println!(
         "{}",
         row(&[
-            "Bench.", "#Pauli", "2QAN #CNOT", "PHX #CNOT", "2QAN D2Q", "PHX D2Q",
-            "2QAN #SWAP", "PHX #SWAP", "2QAN ovh", "PHX ovh",
+            "Bench.",
+            "#Pauli",
+            "2QAN #CNOT",
+            "PHX #CNOT",
+            "2QAN D2Q",
+            "PHX D2Q",
+            "2QAN #SWAP",
+            "PHX #SWAP",
+            "2QAN ovh",
+            "PHX ovh",
         ]
         .map(String::from))
     );
@@ -104,4 +116,5 @@ fn main() {
         );
     }
     write_results("table4_fig7", &entries);
+    tracer.finish();
 }

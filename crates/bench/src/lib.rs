@@ -7,11 +7,98 @@
 //! the workspace root for the paper-vs-measured record.
 
 use phoenix_circuit::Circuit;
+use phoenix_core::{PassTrace, PhoenixCompiler};
+use phoenix_pauli::PauliString;
+use phoenix_topology::CouplingGraph;
 use serde::Serialize;
 use std::path::Path;
 
 /// Default deterministic seed shared by every experiment binary.
 pub const SEED: u64 = 7;
+
+/// True when pass-trace emission was requested, either with `--trace` on
+/// the command line or via the `PHOENIX_TRACE` environment variable.
+pub fn trace_enabled() -> bool {
+    std::env::args().any(|a| a == "--trace")
+        || std::env::var("PHOENIX_TRACE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The paper's short column label for a strategy name
+/// (`"TKET-style"` → `"TKET"`).
+pub fn short_label(name: &str) -> &str {
+    name.strip_suffix("-style").unwrap_or(name)
+}
+
+/// Collects per-benchmark [`PassTrace`]s and writes them to
+/// `results/<experiment>_trace.json` — but only when tracing was requested
+/// (see [`trace_enabled`]), so default experiment output is unchanged.
+#[derive(Debug)]
+pub struct Tracer {
+    experiment: &'static str,
+    enabled: bool,
+    traces: Vec<(String, PassTrace)>,
+}
+
+impl Tracer {
+    /// A tracer for `experiment`, enabled per [`trace_enabled`].
+    pub fn from_env(experiment: &'static str) -> Self {
+        Tracer {
+            experiment,
+            enabled: trace_enabled(),
+            traces: Vec::new(),
+        }
+    }
+
+    /// Whether traces are being collected.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an already-obtained trace under `label`.
+    pub fn add(&mut self, label: impl Into<String>, trace: PassTrace) {
+        if self.enabled {
+            self.traces.push((label.into(), trace));
+        }
+    }
+
+    /// Records the trace of a logical PHOENIX compilation of `terms`
+    /// (no-op when disabled).
+    pub fn record_logical(
+        &mut self,
+        label: &str,
+        compiler: &PhoenixCompiler,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) {
+        if self.enabled {
+            let (_, trace) = compiler.compile_to_cnot_with_trace(n, terms);
+            self.add(label, trace);
+        }
+    }
+
+    /// Records the trace of a hardware-aware PHOENIX compilation of
+    /// `terms` on `device` (no-op when disabled).
+    pub fn record_hardware(
+        &mut self,
+        label: &str,
+        compiler: &PhoenixCompiler,
+        n: usize,
+        terms: &[(PauliString, f64)],
+        device: &CouplingGraph,
+    ) {
+        if self.enabled {
+            let (_, trace) = compiler.compile_hardware_aware_with_trace(n, terms, device);
+            self.add(label, trace);
+        }
+    }
+
+    /// Writes the collected traces (no-op when disabled or empty).
+    pub fn finish(self) {
+        if self.enabled && !self.traces.is_empty() {
+            write_results(&format!("{}_trace", self.experiment), &self.traces);
+        }
+    }
+}
 
 /// Circuit metrics in the paper's vocabulary.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -114,5 +201,47 @@ mod tests {
     #[test]
     fn row_renders_markdown() {
         assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+    }
+
+    #[test]
+    fn short_label_strips_the_style_suffix() {
+        assert_eq!(short_label("TKET-style"), "TKET");
+        assert_eq!(short_label("Paulihedral-style"), "Paulihedral");
+        assert_eq!(short_label("PHOENIX"), "PHOENIX");
+        assert_eq!(short_label("original"), "original");
+    }
+
+    #[test]
+    fn disabled_tracer_collects_nothing() {
+        let mut t = Tracer {
+            experiment: "test",
+            enabled: false,
+            traces: Vec::new(),
+        };
+        t.record_logical(
+            "x",
+            &PhoenixCompiler::default(),
+            2,
+            &[("ZZ".parse().unwrap(), 0.1)],
+        );
+        assert!(t.traces.is_empty());
+        t.finish();
+    }
+
+    #[test]
+    fn enabled_tracer_records_traces() {
+        let mut t = Tracer {
+            experiment: "test",
+            enabled: true,
+            traces: Vec::new(),
+        };
+        t.record_logical(
+            "x",
+            &PhoenixCompiler::default(),
+            2,
+            &[("ZZ".parse().unwrap(), 0.1)],
+        );
+        assert_eq!(t.traces.len(), 1);
+        assert!(!t.traces[0].1.passes.is_empty());
     }
 }

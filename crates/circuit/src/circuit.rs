@@ -55,7 +55,10 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit over `n` qubits.
     pub fn new(n: usize) -> Self {
-        Circuit { n, gates: Vec::new() }
+        Circuit {
+            n,
+            gates: Vec::new(),
+        }
     }
 
     /// Number of qubits.
@@ -230,10 +233,7 @@ fn conj_to_z(q: usize, p: Pauli) -> (Vec<Gate>, Vec<Gate>) {
     match p {
         Pauli::Z => (vec![], vec![]),
         Pauli::X => (vec![Gate::H(q)], vec![Gate::H(q)]),
-        Pauli::Y => (
-            vec![Gate::Sdg(q), Gate::H(q)],
-            vec![Gate::H(q), Gate::S(q)],
-        ),
+        Pauli::Y => (vec![Gate::Sdg(q), Gate::H(q)], vec![Gate::H(q), Gate::S(q)]),
         Pauli::I => unreachable!("identity needs no basis change"),
     }
 }
@@ -268,7 +268,13 @@ fn lower_gate(g: &Gate, out: &mut Circuit) {
                 out.push(gate);
             }
         }
-        Gate::PauliRot2 { a, b, pa, pb, theta } => {
+        Gate::PauliRot2 {
+            a,
+            b,
+            pa,
+            pb,
+            theta,
+        } => {
             let (pre_a, post_a) = conj_to_z(*a, *pa);
             let (pre_b, post_b) = conj_to_z(*b, *pb);
             for gate in pre_a.into_iter().chain(pre_b) {
@@ -293,7 +299,12 @@ fn lower_gate(g: &Gate, out: &mut Circuit) {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit on {} qubits, {} gates:", self.n, self.gates.len())?;
+        writeln!(
+            f,
+            "circuit on {} qubits, {} gates:",
+            self.n,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }
@@ -365,7 +376,10 @@ mod tests {
         let low = c.lower_to_cnot();
         assert_eq!(low.counts().cnot, 2);
         // One Rz plus basis changes.
-        assert!(low.gates().iter().any(|g| matches!(g, Gate::Rz(1, t) if (*t - 0.5).abs() < 1e-12)));
+        assert!(low
+            .gates()
+            .iter()
+            .any(|g| matches!(g, Gate::Rz(1, t) if (*t - 0.5).abs() < 1e-12)));
     }
 
     #[test]

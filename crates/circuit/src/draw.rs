@@ -38,9 +38,7 @@ pub fn ascii(c: &Circuit) -> String {
             columns.push(Vec::new());
         }
         columns[col].push(g);
-        for q in lo..=hi {
-            frontier[q] = col + 1;
-        }
+        frontier[lo..=hi].fill(col + 1);
     }
 
     // Render each column into per-qubit cells.
@@ -74,9 +72,9 @@ pub fn ascii(c: &Circuit) -> String {
         }
         // Vertical connectors on in-between wires.
         for (lo, hi) in spans {
-            for q in lo + 1..hi {
-                if cells[q] == "─" {
-                    cells[q] = "│".into();
+            for cell in &mut cells[lo + 1..hi] {
+                if cell == "─" {
+                    *cell = "│".into();
                 }
             }
         }
@@ -84,7 +82,7 @@ pub fn ascii(c: &Circuit) -> String {
         for (q, row) in rows.iter_mut().enumerate() {
             let cell = &cells[q];
             let pad = width - cell.chars().count();
-            row.push_str("─");
+            row.push('─');
             row.push_str(cell);
             for _ in 0..pad {
                 row.push(if cell == "│" { ' ' } else { '─' });
@@ -120,14 +118,10 @@ fn two_qubit_labels(g: &Gate) -> (String, String) {
             let k = c.kind.to_string();
             (format!("{k}◆"), format!("{k}◇"))
         }
-        Gate::PauliRot2 { pa, pb, theta, .. } => (
-            format!("R{pa}{pb}({theta:.2})"),
-            format!("R{pa}{pb}·"),
-        ),
-        Gate::Su4(blk) => (
-            format!("SU4[{}]", blk.inner.len()),
-            "SU4·".to_string(),
-        ),
+        Gate::PauliRot2 { pa, pb, theta, .. } => {
+            (format!("R{pa}{pb}({theta:.2})"), format!("R{pa}{pb}·"))
+        }
+        Gate::Su4(blk) => (format!("SU4[{}]", blk.inner.len()), "SU4·".to_string()),
         other => (format!("{other}"), "·".to_string()),
     }
 }

@@ -126,7 +126,13 @@ impl Gate {
             Gate::Cnot(a, b) => Gate::Cnot(f(*a), f(*b)),
             Gate::Swap(a, b) => Gate::Swap(f(*a), f(*b)),
             Gate::Clifford2(c) => Gate::Clifford2(Clifford2Q::new(c.kind, f(c.a), f(c.b))),
-            Gate::PauliRot2 { a, b, pa, pb, theta } => Gate::PauliRot2 {
+            Gate::PauliRot2 {
+                a,
+                b,
+                pa,
+                pb,
+                theta,
+            } => Gate::PauliRot2 {
                 a: f(*a),
                 b: f(*b),
                 pa: *pa,
@@ -171,12 +177,9 @@ impl Gate {
         let l = Complex::ONE;
         Some(match self {
             Gate::Cnot(..) => phoenix_pauli::Clifford2QKind::Czx.matrix4(),
-            Gate::Swap(..) => CMatrix::from_rows(&[
-                &[l, o, o, o],
-                &[o, o, l, o],
-                &[o, l, o, o],
-                &[o, o, o, l],
-            ]),
+            Gate::Swap(..) => {
+                CMatrix::from_rows(&[&[l, o, o, o], &[o, o, l, o], &[o, l, o, o], &[o, o, o, l]])
+            }
             Gate::Clifford2(c) => c.kind.matrix4(),
             Gate::PauliRot2 { pa, pb, theta, .. } => {
                 // exp(-iθ/2 (pb ⊗ pa)) in little-endian kron order.
@@ -207,12 +210,7 @@ fn rot_matrix(p: Pauli, theta: f64) -> CMatrix {
 }
 
 /// Embeds a gate acting on qubits {a, b} into the 4×4 local space.
-fn embed_local(
-    g: &Gate,
-    a: usize,
-    b: usize,
-    local: &impl Fn(usize) -> usize,
-) -> CMatrix {
+fn embed_local(g: &Gate, a: usize, b: usize, local: &impl Fn(usize) -> usize) -> CMatrix {
     if let Some(m1) = g.matrix1() {
         let (q, _) = g.qubits();
         assert!(q == a || q == b, "su4 inner gate leaves the block");
@@ -254,7 +252,13 @@ impl fmt::Display for Gate {
             Gate::Cnot(a, b) => write!(f, "cx q{a}, q{b}"),
             Gate::Swap(a, b) => write!(f, "swap q{a}, q{b}"),
             Gate::Clifford2(c) => write!(f, "{c}"),
-            Gate::PauliRot2 { a, b, pa, pb, theta } => {
+            Gate::PauliRot2 {
+                a,
+                b,
+                pa,
+                pb,
+                theta,
+            } => {
                 write!(f, "r{}{}({theta:.4}) q{a}, q{b}", pa, pb)
             }
             Gate::Su4(blk) => write!(f, "su4[{} gates] q{}, q{}", blk.inner.len(), blk.a, blk.b),

@@ -324,9 +324,7 @@ fn zyz_angles(u: &CMatrix) -> (f64, f64, f64) {
 fn kron_factor(u: &CMatrix) -> (CMatrix, CMatrix, f64) {
     // Blocks: u[(2r+i, 2s+j)] = high[r,s] · low[i,j].
     // Pick the block with the largest norm as a low-representative.
-    let block = |r: usize, s: usize| {
-        CMatrix::from_fn(2, 2, |i, j| u[(2 * r + i, 2 * s + j)])
-    };
+    let block = |r: usize, s: usize| CMatrix::from_fn(2, 2, |i, j| u[(2 * r + i, 2 * s + j)]);
     let (mut br, mut bs, mut best) = (0, 0, -1.0);
     for r in 0..2 {
         for s in 0..2 {
@@ -392,7 +390,11 @@ fn det4(u: &CMatrix) -> Complex {
     };
     let mut det = Complex::ZERO;
     for c in 0..4 {
-        let sign = if c % 2 == 0 { Complex::ONE } else { -Complex::ONE };
+        let sign = if c % 2 == 0 {
+            Complex::ONE
+        } else {
+            -Complex::ONE
+        };
         det += sign * u[(0, c)] * minor(0, c);
     }
     det

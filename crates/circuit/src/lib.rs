@@ -40,8 +40,10 @@ pub mod peephole;
 pub mod qasm;
 pub mod rebase;
 pub mod synthesis;
+pub mod transform;
 pub mod weyl;
 
 pub use circuit::{Circuit, GateCounts};
 pub use gate::{Gate, Su4Block};
 pub use layers::EndianVectors;
+pub use transform::CircuitTransform;

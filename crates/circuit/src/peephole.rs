@@ -48,10 +48,7 @@ pub fn optimize(c: &Circuit) -> Circuit {
             break;
         }
     }
-    Circuit::from_gates(
-        lowered.num_qubits(),
-        gates.into_iter().flatten().collect(),
-    )
+    Circuit::from_gates(lowered.num_qubits(), gates.into_iter().flatten().collect())
 }
 
 /// Rewrites phase-like Cliffords as rotations (up to global phase) so the
@@ -117,11 +114,8 @@ fn cancel_cnot_pass(gates: &mut [Option<Gate>]) -> bool {
                     changed = true;
                     break;
                 }
-                Some(g) => {
-                    if !commutes_with_cnot(g, a, b) {
-                        break;
-                    }
-                }
+                Some(g) if !commutes_with_cnot(g, a, b) => break,
+                Some(_) => {}
             }
             j += 1;
         }

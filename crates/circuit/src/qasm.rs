@@ -60,7 +60,11 @@ pub struct ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -92,7 +96,9 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
         {
             continue;
         }
-        let line = line.strip_suffix(';').ok_or_else(|| err(ln, "missing ';'"))?;
+        let line = line
+            .strip_suffix(';')
+            .ok_or_else(|| err(ln, "missing ';'"))?;
         if let Some(rest) = line.strip_prefix("qreg") {
             let n = rest
                 .trim()

@@ -40,7 +40,11 @@ pub fn append_pauli_rotation_ordered(
     {
         let mut sorted = order.to_vec();
         sorted.sort_unstable();
-        assert_eq!(sorted, p.support(), "order must be a permutation of the support");
+        assert_eq!(
+            sorted,
+            p.support(),
+            "order must be a permutation of the support"
+        );
     }
     let support = order;
     let theta = 2.0 * coeff;
@@ -97,16 +101,15 @@ pub fn append_pauli_rotation_ordered(
 /// # Panics
 ///
 /// Panics if `order` is not exactly the support of `p`.
-pub fn append_pauli_rotation_tree(
-    out: &mut Circuit,
-    p: &PauliString,
-    coeff: f64,
-    order: &[usize],
-) {
+pub fn append_pauli_rotation_tree(out: &mut Circuit, p: &PauliString, coeff: f64, order: &[usize]) {
     {
         let mut sorted = order.to_vec();
         sorted.sort_unstable();
-        assert_eq!(sorted, p.support(), "order must be a permutation of the support");
+        assert_eq!(
+            sorted,
+            p.support(),
+            "order must be a permutation of the support"
+        );
     }
     if order.len() < 2 {
         append_pauli_rotation_ordered(out, p, coeff, order);

@@ -1,0 +1,119 @@
+//! Named whole-circuit rewrites behind a common trait.
+//!
+//! [`CircuitTransform`] is the circuit-level counterpart of the compiler's
+//! pass abstraction: a pure `Circuit -> Circuit` rewrite with a stable name.
+//! The four unit structs here wrap the crate's existing back-end stages so
+//! higher layers (the phoenix-core pass manager, ad-hoc tooling) can compose
+//! and trace them uniformly without hard-coding free-function calls.
+
+use crate::{kak, peephole, rebase, Circuit};
+
+/// A named, pure circuit-to-circuit rewrite.
+pub trait CircuitTransform {
+    /// Stable display name (used in pass traces).
+    fn name(&self) -> &str;
+
+    /// Applies the rewrite, leaving the input untouched.
+    fn apply(&self, circuit: &Circuit) -> Circuit;
+}
+
+/// Fixed-point gate cancellation ([`peephole::optimize`]); lowers to the
+/// CNOT ISA first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Peephole;
+
+impl CircuitTransform for Peephole {
+    fn name(&self) -> &str {
+        "peephole"
+    }
+
+    fn apply(&self, circuit: &Circuit) -> Circuit {
+        peephole::optimize(circuit)
+    }
+}
+
+/// Rebase into the SU(4) ISA by fusing maximal same-pair runs
+/// ([`rebase::to_su4`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Su4Rebase;
+
+impl CircuitTransform for Su4Rebase {
+    fn name(&self) -> &str {
+        "su4-rebase"
+    }
+
+    fn apply(&self, circuit: &Circuit) -> Circuit {
+        rebase::to_su4(circuit)
+    }
+}
+
+/// KAK-resynthesize SU(4) blocks to their canonical ≤3-rotation forms
+/// ([`kak::resynthesize`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KakResynthesis;
+
+impl CircuitTransform for KakResynthesis {
+    fn name(&self) -> &str {
+        "kak-resynthesis"
+    }
+
+    fn apply(&self, circuit: &Circuit) -> Circuit {
+        kak::resynthesize(circuit)
+    }
+}
+
+/// Structural lowering into `{1Q, CNOT}` ([`Circuit::lower_to_cnot`]);
+/// idempotent, and the step that expands routed SWAPs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CnotLower;
+
+impl CircuitTransform for CnotLower {
+    fn name(&self) -> &str {
+        "cnot-lower"
+    }
+
+    fn apply(&self, circuit: &Circuit) -> Circuit {
+        circuit.lower_to_cnot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gate;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Cnot(1, 2));
+        c.push(Gate::Rz(2, 0.25));
+        c.push(Gate::Cnot(1, 2));
+        c.push(Gate::Cnot(0, 1));
+        c
+    }
+
+    #[test]
+    fn transforms_match_their_free_functions() {
+        let c = sample();
+        assert_eq!(Peephole.apply(&c), peephole::optimize(&c));
+        assert_eq!(Su4Rebase.apply(&c), rebase::to_su4(&c));
+        assert_eq!(KakResynthesis.apply(&c), kak::resynthesize(&c));
+        assert_eq!(CnotLower.apply(&c), c.lower_to_cnot());
+    }
+
+    #[test]
+    fn transforms_are_object_safe() {
+        let passes: Vec<Box<dyn CircuitTransform>> = vec![
+            Box::new(Peephole),
+            Box::new(Su4Rebase),
+            Box::new(KakResynthesis),
+            Box::new(CnotLower),
+        ];
+        let names: Vec<&str> = passes.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            ["peephole", "su4-rebase", "kak-resynthesis", "cnot-lower"]
+        );
+    }
+}

@@ -164,7 +164,11 @@ fn det4(u: &CMatrix) -> Complex {
     };
     let mut det = Complex::ZERO;
     for c in 0..4 {
-        let sign = if c % 2 == 0 { Complex::ONE } else { -Complex::ONE };
+        let sign = if c % 2 == 0 {
+            Complex::ONE
+        } else {
+            -Complex::ONE
+        };
         det += sign * u[(0, c)] * minor(0, c);
     }
     det
@@ -344,5 +348,4 @@ mod tests {
             assert!(c[1] >= -1e-9);
         }
     }
-
 }

@@ -33,8 +33,8 @@ pub fn cost_bsf(bsf: &Bsf) -> f64 {
     let mut pair_blocks = 0usize;
     for (i, ri) in rows.iter().enumerate() {
         for rj in &rows[i + 1..] {
-            pair_support += ((ri.x_mask() | ri.z_mask() | rj.x_mask() | rj.z_mask())
-                .count_ones()) as usize;
+            pair_support +=
+                ((ri.x_mask() | ri.z_mask() | rj.x_mask() | rj.z_mask()).count_ones()) as usize;
             pair_blocks += ((ri.x_mask() | rj.x_mask()).count_ones()
                 + (ri.z_mask() | rj.z_mask()).count_ones()) as usize;
         }

@@ -44,7 +44,9 @@ impl IrGroup {
 
     /// The support qubits in increasing order.
     pub fn support(&self) -> Vec<usize> {
-        (0..self.n).filter(|&q| self.support_mask >> q & 1 == 1).collect()
+        (0..self.n)
+            .filter(|&q| self.support_mask >> q & 1 == 1)
+            .collect()
     }
 
     /// The group's width (number of support qubits) — the pre-ordering sort

@@ -43,10 +43,18 @@
 pub mod cost;
 pub mod group;
 pub mod order;
+pub mod pass;
+pub mod passes;
 mod pipeline;
 pub mod simplify;
+mod strategy;
 pub mod synth;
 
 pub use group::IrGroup;
-pub use pipeline::{CompiledProgram, HardwareProgram, PhoenixCompiler, PhoenixOptions};
+pub use pass::{CompileContext, Pass, PassError, PassManager, PassTrace};
+pub use pipeline::{
+    hardware_backend, run_hardware_backend, run_hardware_backend_with_trace, CompiledProgram,
+    HardwareProgram, PhoenixCompiler, PhoenixOptions,
+};
 pub use simplify::{CfgItem, SimplifiedGroup};
+pub use strategy::CompilerStrategy;

@@ -1,0 +1,355 @@
+//! The pass-manager layer: compilation as a traced sequence of passes.
+//!
+//! Every stage of the PHOENIX pipeline — IR grouping, group-wise BSF
+//! simplification + synthesis, Tetris-like ordering, concatenation, and the
+//! circuit-level back ends (peephole, SU(4) rebase, KAK resynthesis, layout
+//! search, SABRE routing, SWAP lowering) — is expressed as a [`Pass`] over a
+//! shared [`CompileContext`]. A [`PassManager`] executes a sequence and
+//! records a serializable [`PassTrace`] with per-pass wall-clock time and
+//! before/after circuit statistics, so any pipeline assembled from passes is
+//! observable for free.
+//!
+//! [`PhoenixCompiler`](crate::PhoenixCompiler)'s entry points are thin
+//! wrappers that assemble canonical sequences from
+//! [`passes`](crate::passes); custom pipelines compose the same building
+//! blocks:
+//!
+//! ```
+//! use phoenix_core::pass::{CompileContext, PassManager};
+//! use phoenix_core::passes::{ConcatPass, GroupPass, OrderPass, SimplifySynthPass};
+//! use phoenix_pauli::PauliString;
+//!
+//! let terms: Vec<(PauliString, f64)> =
+//!     vec![("ZYY".parse().unwrap(), 0.1), ("XZY".parse().unwrap(), 0.2)];
+//! let mut ctx = CompileContext::new(3, &terms);
+//! let manager = PassManager::new()
+//!     .with(GroupPass)
+//!     .with(SimplifySynthPass::default())
+//!     .with(OrderPass::default())
+//!     .with(ConcatPass);
+//! let trace = manager.run(&mut ctx).unwrap();
+//! assert_eq!(trace.passes.len(), 4);
+//! assert!(!ctx.circuit.is_empty());
+//! ```
+
+use std::fmt;
+use std::time::Instant;
+
+use phoenix_circuit::Circuit;
+use phoenix_pauli::PauliString;
+use phoenix_topology::CouplingGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::group::IrGroup;
+
+/// The mutable state a pass sequence threads through compilation.
+///
+/// Early (IR-level) passes populate `groups` / `subcircuits` /
+/// `group_terms` / `order`; [`ConcatPass`](crate::passes::ConcatPass)
+/// collapses them into `circuit` + `term_order`; circuit-level passes then
+/// rewrite `circuit` in place. Hardware passes additionally use `device`,
+/// `logical` and `num_swaps`.
+#[derive(Debug, Clone)]
+pub struct CompileContext {
+    /// Number of qubits of the program.
+    pub num_qubits: usize,
+    /// The input Pauli exponentiation terms, in program order.
+    pub terms: Vec<(PauliString, f64)>,
+    /// IR groups (set by grouping).
+    pub groups: Vec<IrGroup>,
+    /// Per-group synthesized subcircuits (set by stage 2).
+    pub subcircuits: Vec<Circuit>,
+    /// Per-group term sequences as implemented (set by stage 2).
+    pub group_terms: Vec<Vec<(PauliString, f64)>>,
+    /// Group permutation chosen by ordering.
+    pub order: Vec<usize>,
+    /// The working circuit (set by concatenation, rewritten by circuit
+    /// passes).
+    pub circuit: Circuit,
+    /// The input terms in emitted order (a permutation of `terms`).
+    pub term_order: Vec<(PauliString, f64)>,
+    /// Number of IR groups the program decomposed into.
+    pub num_groups: usize,
+    /// Target device, when compiling hardware-aware.
+    pub device: Option<CouplingGraph>,
+    /// Snapshot of the logical circuit taken just before routing.
+    pub logical: Option<Circuit>,
+    /// SWAPs inserted by routing.
+    pub num_swaps: usize,
+}
+
+impl CompileContext {
+    /// A fresh context for logical compilation of `terms` on `num_qubits`.
+    pub fn new(num_qubits: usize, terms: &[(PauliString, f64)]) -> Self {
+        CompileContext {
+            num_qubits,
+            terms: terms.to_vec(),
+            groups: Vec::new(),
+            subcircuits: Vec::new(),
+            group_terms: Vec::new(),
+            order: Vec::new(),
+            circuit: Circuit::new(num_qubits),
+            term_order: Vec::new(),
+            num_groups: 0,
+            device: None,
+            logical: None,
+            num_swaps: 0,
+        }
+    }
+
+    /// Same as [`CompileContext::new`] with a routing target attached.
+    pub fn for_device(
+        num_qubits: usize,
+        terms: &[(PauliString, f64)],
+        device: &CouplingGraph,
+    ) -> Self {
+        let mut ctx = CompileContext::new(num_qubits, terms);
+        ctx.device = Some(device.clone());
+        ctx
+    }
+
+    /// A context that starts from an already-compiled circuit (used to run
+    /// back-end pass sequences on baseline compiler outputs).
+    pub fn from_circuit(circuit: Circuit) -> Self {
+        let mut ctx = CompileContext::new(circuit.num_qubits(), &[]);
+        ctx.circuit = circuit;
+        ctx
+    }
+}
+
+/// Error raised by a [`Pass`] whose preconditions are not met.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassError {
+    /// Name of the failing pass.
+    pub pass: String,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+impl PassError {
+    /// Builds an error for `pass`.
+    pub fn new(pass: &str, message: impl Into<String>) -> Self {
+        PassError {
+            pass: pass.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass `{}` failed: {}", self.pass, self.message)
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// One stage of a compilation pipeline.
+pub trait Pass {
+    /// Stable display name (used in traces).
+    fn name(&self) -> &str;
+
+    /// Executes the stage, mutating the context.
+    fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError>;
+}
+
+/// Size/shape statistics of the working circuit at a trace point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Total gate count.
+    pub gates: usize,
+    /// CNOT count.
+    pub cnot: usize,
+    /// Two-qubit gate count of any flavour.
+    pub two_qubit: usize,
+    /// Circuit depth.
+    pub depth: usize,
+    /// Two-qubit depth.
+    pub depth_2q: usize,
+}
+
+impl CircuitStats {
+    /// Measures `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let counts = circuit.counts();
+        CircuitStats {
+            gates: counts.total,
+            cnot: counts.cnot,
+            two_qubit: counts.two_qubit(),
+            depth: circuit.depth(),
+            depth_2q: circuit.depth_2q(),
+        }
+    }
+}
+
+/// Trace entry for a single executed pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PassRecord {
+    /// The pass name.
+    pub name: String,
+    /// Wall-clock time of this pass, in milliseconds.
+    pub millis: f64,
+    /// Wall-clock time since the pipeline started, in milliseconds.
+    pub cumulative_millis: f64,
+    /// Working-circuit statistics before the pass ran.
+    pub before: CircuitStats,
+    /// Working-circuit statistics after the pass ran.
+    pub after: CircuitStats,
+}
+
+/// The full observability record of one [`PassManager::run`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PassTrace {
+    /// One record per executed pass, in execution order.
+    pub passes: Vec<PassRecord>,
+}
+
+impl PassTrace {
+    /// Total pipeline wall-clock, in milliseconds.
+    pub fn total_millis(&self) -> f64 {
+        self.passes.last().map_or(0.0, |p| p.cumulative_millis)
+    }
+
+    /// The executed pass names, in order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name.as_str()).collect()
+    }
+}
+
+/// Executes a pass sequence over a [`CompileContext`], recording a
+/// [`PassTrace`].
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl PassManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// A manager over a prebuilt sequence.
+    pub fn with_passes(passes: Vec<Box<dyn Pass>>) -> Self {
+        PassManager { passes }
+    }
+
+    /// Appends one pass (builder style).
+    pub fn with(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Appends a boxed pass.
+    pub fn push(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    /// Concatenates another manager's sequence after this one's.
+    pub fn append(mut self, other: PassManager) -> Self {
+        self.passes.extend(other.passes);
+        self
+    }
+
+    /// The names of the registered passes, in order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the sequence, stopping at the first failing pass.
+    pub fn run(&self, ctx: &mut CompileContext) -> Result<PassTrace, PassError> {
+        let mut trace = PassTrace::default();
+        let t0 = Instant::now();
+        for pass in &self.passes {
+            let before = CircuitStats::of(&ctx.circuit);
+            let start = Instant::now();
+            pass.run(ctx)?;
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            trace.passes.push(PassRecord {
+                name: pass.name().to_string(),
+                millis,
+                cumulative_millis: t0.elapsed().as_secs_f64() * 1e3,
+                before,
+                after: CircuitStats::of(&ctx.circuit),
+            });
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AddTerms(usize);
+
+    impl Pass for AddTerms {
+        fn name(&self) -> &str {
+            "add-terms"
+        }
+
+        fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+            ctx.num_groups += self.0;
+            Ok(())
+        }
+    }
+
+    struct AlwaysFails;
+
+    impl Pass for AlwaysFails {
+        fn name(&self) -> &str {
+            "always-fails"
+        }
+
+        fn run(&self, _ctx: &mut CompileContext) -> Result<(), PassError> {
+            Err(PassError::new("always-fails", "by design"))
+        }
+    }
+
+    #[test]
+    fn manager_runs_passes_in_order_and_traces_them() {
+        let mut ctx = CompileContext::new(2, &[]);
+        let pm = PassManager::new().with(AddTerms(2)).with(AddTerms(3));
+        let trace = pm.run(&mut ctx).unwrap();
+        assert_eq!(ctx.num_groups, 5);
+        assert_eq!(trace.pass_names(), ["add-terms", "add-terms"]);
+        assert!(trace.total_millis() >= 0.0);
+    }
+
+    #[test]
+    fn manager_stops_at_first_error() {
+        let mut ctx = CompileContext::new(2, &[]);
+        let pm = PassManager::new()
+            .with(AddTerms(1))
+            .with(AlwaysFails)
+            .with(AddTerms(1));
+        let err = pm.run(&mut ctx).unwrap_err();
+        assert_eq!(err.pass, "always-fails");
+        // Only the first pass ran.
+        assert_eq!(ctx.num_groups, 1);
+    }
+
+    #[test]
+    fn cumulative_timings_are_monotone() {
+        let mut ctx = CompileContext::new(2, &[]);
+        let pm = PassManager::new()
+            .with(AddTerms(1))
+            .with(AddTerms(1))
+            .with(AddTerms(1));
+        let trace = pm.run(&mut ctx).unwrap();
+        for w in trace.passes.windows(2) {
+            assert!(w[0].cumulative_millis <= w[1].cumulative_millis);
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! The concrete passes of the PHOENIX pipeline.
+//!
+//! Each stage of the paper's flow is one [`Pass`] over a
+//! [`CompileContext`]:
+//!
+//! | Pass | Stage |
+//! |---|---|
+//! | [`GroupPass`] | IR grouping by qubit support (§IV-A) |
+//! | [`SimplifySynthPass`] | group-wise BSF simplification + synthesis (Algorithm 1) |
+//! | [`OrderPass`] | Tetris-like IR group ordering (§IV-C) |
+//! | [`ConcatPass`] | assembly of the ordered subcircuits |
+//! | [`TransformPass`] | any circuit-level rewrite (peephole, SU(4) rebase, KAK, SWAP lowering) |
+//! | [`SnapshotLogicalPass`] | records the pre-routing logical circuit |
+//! | [`LayoutRoutePass`] | layout search + SABRE routing on the target device |
+//!
+//! [`SimplifySynthPass`] fans the independent per-group work out over scoped
+//! threads; results are written back by group index, so the output is
+//! bit-identical for any thread count.
+
+use phoenix_circuit::transform::{
+    CircuitTransform, CnotLower, KakResynthesis, Peephole, Su4Rebase,
+};
+use phoenix_circuit::Circuit;
+use phoenix_pauli::PauliString;
+use phoenix_router::{route, search_layout, RouterOptions};
+
+use crate::group::{group_by_support, IrGroup};
+use crate::order::{order_groups, OrderOptions};
+use crate::pass::{CompileContext, Pass, PassError};
+use crate::simplify::simplify_terms;
+use crate::synth::synthesize_group;
+
+/// Stage 1: partition the terms into IR groups by qubit support.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupPass;
+
+impl Pass for GroupPass {
+    fn name(&self) -> &str {
+        "group"
+    }
+
+    fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+        ctx.groups = group_by_support(ctx.num_qubits, &ctx.terms);
+        ctx.num_groups = ctx.groups.len();
+        Ok(())
+    }
+}
+
+/// Stage 2: per-group BSF simplification + synthesis.
+///
+/// Groups are independent, so the pass distributes them over
+/// `threads` scoped OS threads (`0` = one per available core). Each worker
+/// writes into its own index-aligned slice of the result vector, making the
+/// output identical for every thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplifySynthPass {
+    /// Run Algorithm 1; when `false` each group is synthesized with
+    /// conventional CNOT chains (the ablation arm).
+    pub simplify: bool,
+    /// Worker threads (`0` = auto, `1` = sequential).
+    pub threads: usize,
+}
+
+impl Default for SimplifySynthPass {
+    fn default() -> Self {
+        SimplifySynthPass {
+            simplify: true,
+            threads: 1,
+        }
+    }
+}
+
+impl SimplifySynthPass {
+    fn compile_group(
+        n: usize,
+        group: &IrGroup,
+        simplify: bool,
+    ) -> (Circuit, Vec<(PauliString, f64)>) {
+        if simplify {
+            let s = simplify_terms(n, group.terms());
+            (synthesize_group(&s), s.term_sequence())
+        } else {
+            (
+                phoenix_circuit::synthesis::naive_circuit(n, group.terms()),
+                group.terms().to_vec(),
+            )
+        }
+    }
+}
+
+impl Pass for SimplifySynthPass {
+    fn name(&self) -> &str {
+        if self.simplify {
+            "simplify-synth"
+        } else {
+            "naive-synth"
+        }
+    }
+
+    fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+        let n = ctx.num_qubits;
+        let groups = &ctx.groups;
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        }
+        .min(groups.len().max(1));
+        type GroupResult = (Circuit, Vec<(PauliString, f64)>);
+        let (subcircuits, group_terms) = if threads <= 1 {
+            groups
+                .iter()
+                .map(|g| Self::compile_group(n, g, self.simplify))
+                .unzip()
+        } else {
+            let mut slots: Vec<Option<GroupResult>> = vec![None; groups.len()];
+            let chunk = groups.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (gs, out) in groups.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (g, slot) in gs.iter().zip(out.iter_mut()) {
+                            *slot = Some(Self::compile_group(n, g, self.simplify));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every chunk was processed"))
+                .unzip()
+        };
+        ctx.subcircuits = subcircuits;
+        ctx.group_terms = group_terms;
+        Ok(())
+    }
+}
+
+/// Stage 3: Tetris-like group ordering (or first-appearance order when
+/// disabled, the ablation arm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderPass {
+    /// Lookahead window of the greedy assembly.
+    pub lookahead: usize,
+    /// Apply the Eq. (7) routing-similarity factor.
+    pub routing_aware: bool,
+    /// When `false`, keep first-appearance order.
+    pub enabled: bool,
+}
+
+impl Default for OrderPass {
+    fn default() -> Self {
+        OrderPass {
+            lookahead: 20,
+            routing_aware: false,
+            enabled: true,
+        }
+    }
+}
+
+impl Pass for OrderPass {
+    fn name(&self) -> &str {
+        if self.enabled {
+            "tetris-order"
+        } else {
+            "program-order"
+        }
+    }
+
+    fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+        ctx.order = if self.enabled {
+            order_groups(
+                &ctx.subcircuits,
+                &OrderOptions {
+                    lookahead: self.lookahead,
+                    routing_aware: self.routing_aware,
+                },
+            )
+        } else {
+            (0..ctx.subcircuits.len()).collect()
+        };
+        Ok(())
+    }
+}
+
+/// Assembles the ordered subcircuits into the working circuit and records
+/// the emitted term order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConcatPass;
+
+impl Pass for ConcatPass {
+    fn name(&self) -> &str {
+        "concat"
+    }
+
+    fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+        if ctx.order.len() != ctx.subcircuits.len() {
+            return Err(PassError::new(
+                self.name(),
+                format!(
+                    "order permutes {} groups but stage 2 produced {}",
+                    ctx.order.len(),
+                    ctx.subcircuits.len()
+                ),
+            ));
+        }
+        let mut circuit = Circuit::new(ctx.num_qubits);
+        let mut term_order = Vec::with_capacity(ctx.terms.len());
+        for &i in &ctx.order {
+            circuit.append(&ctx.subcircuits[i]);
+            term_order.extend(ctx.group_terms[i].iter().copied());
+        }
+        ctx.circuit = circuit;
+        ctx.term_order = term_order;
+        Ok(())
+    }
+}
+
+/// Adapter running any [`CircuitTransform`] on the working circuit.
+pub struct TransformPass {
+    transform: Box<dyn CircuitTransform>,
+}
+
+impl std::fmt::Debug for TransformPass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("TransformPass")
+            .field(&self.transform.name())
+            .finish()
+    }
+}
+
+impl TransformPass {
+    /// Wraps a circuit transform as a pass.
+    pub fn new(transform: impl CircuitTransform + 'static) -> Self {
+        TransformPass {
+            transform: Box::new(transform),
+        }
+    }
+
+    /// The peephole-optimization pass.
+    pub fn peephole() -> Self {
+        TransformPass::new(Peephole)
+    }
+
+    /// The SU(4)-rebase pass.
+    pub fn su4_rebase() -> Self {
+        TransformPass::new(Su4Rebase)
+    }
+
+    /// The KAK-resynthesis pass.
+    pub fn kak_resynthesis() -> Self {
+        TransformPass::new(KakResynthesis)
+    }
+
+    /// The SWAP-/structural-lowering pass into `{1Q, CNOT}`.
+    pub fn swap_lower() -> Self {
+        TransformPass::new(CnotLower)
+    }
+}
+
+impl Pass for TransformPass {
+    fn name(&self) -> &str {
+        self.transform.name()
+    }
+
+    fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+        ctx.circuit = self.transform.apply(&ctx.circuit);
+        Ok(())
+    }
+}
+
+/// Records the working circuit as the pre-routing logical circuit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotLogicalPass;
+
+impl Pass for SnapshotLogicalPass {
+    fn name(&self) -> &str {
+        "snapshot-logical"
+    }
+
+    fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+        ctx.logical = Some(ctx.circuit.clone());
+        Ok(())
+    }
+}
+
+/// Layout search + SABRE routing on the context's device. The working
+/// circuit becomes the physical-indexed routed circuit (SWAPs still
+/// symbolic — follow with [`TransformPass::swap_lower`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutRoutePass {
+    /// SABRE tuning knobs.
+    pub router: RouterOptions,
+    /// Random-restart trials of the layout search.
+    pub layout_trials: usize,
+}
+
+impl Default for LayoutRoutePass {
+    fn default() -> Self {
+        LayoutRoutePass {
+            router: RouterOptions::default(),
+            layout_trials: 3,
+        }
+    }
+}
+
+impl Pass for LayoutRoutePass {
+    fn name(&self) -> &str {
+        "layout-route"
+    }
+
+    fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+        let device = ctx
+            .device
+            .as_ref()
+            .ok_or_else(|| PassError::new(self.name(), "no target device in context"))?;
+        let layout = search_layout(&ctx.circuit, device, &self.router, self.layout_trials);
+        let routed = route(&ctx.circuit, device, layout, &self.router);
+        ctx.circuit = routed.circuit;
+        ctx.num_swaps = routed.num_swaps;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::PassManager;
+    use phoenix_topology::CouplingGraph;
+
+    fn terms(labels: &[&str]) -> Vec<(PauliString, f64)> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.parse().unwrap(), 0.02 * (i + 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn stage2_is_identical_for_any_thread_count() {
+        let t = terms(&["ZYY", "ZZY", "XYY", "XZY", "ZZI", "IZZ", "XIX"]);
+        let run = |threads: usize| {
+            let mut ctx = CompileContext::new(3, &t);
+            GroupPass.run(&mut ctx).unwrap();
+            SimplifySynthPass {
+                simplify: true,
+                threads,
+            }
+            .run(&mut ctx)
+            .unwrap();
+            (ctx.subcircuits, ctx.group_terms)
+        };
+        let sequential = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_order() {
+        let t = terms(&["ZZI", "IXX"]);
+        let mut ctx = CompileContext::new(3, &t);
+        GroupPass.run(&mut ctx).unwrap();
+        SimplifySynthPass::default().run(&mut ctx).unwrap();
+        ctx.order = vec![0];
+        assert!(ConcatPass.run(&mut ctx).is_err());
+    }
+
+    #[test]
+    fn layout_route_requires_a_device() {
+        let mut ctx = CompileContext::new(2, &terms(&["ZZ"]));
+        let err = LayoutRoutePass::default().run(&mut ctx).unwrap_err();
+        assert_eq!(err.pass, "layout-route");
+    }
+
+    #[test]
+    fn full_hardware_sequence_respects_coupling() {
+        let t = terms(&["ZZII", "IZZI", "IIZZ", "ZIIZ"]);
+        let dev = CouplingGraph::line(4);
+        let mut ctx = CompileContext::for_device(4, &t, &dev);
+        let pm = PassManager::new()
+            .with(GroupPass)
+            .with(SimplifySynthPass::default())
+            .with(OrderPass {
+                routing_aware: true,
+                ..OrderPass::default()
+            })
+            .with(ConcatPass)
+            .with(TransformPass::peephole())
+            .with(SnapshotLogicalPass)
+            .with(LayoutRoutePass::default())
+            .with(TransformPass::swap_lower())
+            .with(TransformPass::peephole());
+        let trace = pm.run(&mut ctx).unwrap();
+        assert_eq!(trace.passes.len(), 9);
+        for g in ctx.circuit.gates() {
+            if let (a, Some(b)) = g.qubits() {
+                assert!(dev.contains_edge(a, b), "gate {g} violates coupling");
+            }
+        }
+        assert!(ctx.logical.is_some());
+    }
+}

@@ -1,12 +1,18 @@
 //! The end-to-end PHOENIX compiler.
+//!
+//! Every entry point is a thin wrapper that assembles a canonical
+//! [`PassManager`] sequence from [`passes`](crate::passes) and runs it over
+//! a [`CompileContext`]; the `*_with_trace` variants additionally return the
+//! recorded [`PassTrace`].
 
-use crate::group::group_by_support;
-use crate::order::{order_groups, OrderOptions};
-use crate::simplify::simplify_terms;
-use crate::synth::synthesize_group;
-use phoenix_circuit::{peephole, rebase, Circuit};
+use crate::pass::{CompileContext, PassManager, PassTrace};
+use crate::passes::{
+    ConcatPass, GroupPass, LayoutRoutePass, OrderPass, SimplifySynthPass, SnapshotLogicalPass,
+    TransformPass,
+};
+use phoenix_circuit::Circuit;
 use phoenix_pauli::PauliString;
-use phoenix_router::{route, search_layout, RoutedCircuit, RouterOptions};
+use phoenix_router::RouterOptions;
 use phoenix_topology::CouplingGraph;
 
 /// Compiler configuration.
@@ -27,6 +33,14 @@ pub struct PhoenixOptions {
     /// Run the Tetris-like group ordering. When disabled, groups keep their
     /// first-appearance order.
     pub enable_ordering: bool,
+    /// SABRE router tuning used by the hardware-aware back end.
+    pub router: RouterOptions,
+    /// Random-restart trials of the initial-layout search.
+    pub layout_trials: usize,
+    /// Worker threads for the per-group simplification+synthesis stage
+    /// (`0` = one per available core, `1` = sequential). The output is
+    /// identical for every value.
+    pub stage2_threads: usize,
 }
 
 impl Default for PhoenixOptions {
@@ -36,6 +50,9 @@ impl Default for PhoenixOptions {
             routing_aware: false,
             enable_simplification: true,
             enable_ordering: true,
+            router: RouterOptions::default(),
+            layout_trials: 3,
+            stage2_threads: 0,
         }
     }
 }
@@ -75,6 +92,57 @@ impl HardwareProgram {
     }
 }
 
+/// The shared hardware-aware back end as a pass sequence: peephole ("O3"),
+/// logical snapshot, layout search + SABRE routing, SWAP lowering, final
+/// peephole. Used both by [`PhoenixCompiler::compile_hardware_aware`] and by
+/// the baseline harness, so strategy differences dominate comparisons.
+pub fn hardware_backend(router: &RouterOptions, layout_trials: usize) -> PassManager {
+    PassManager::new()
+        .with(TransformPass::peephole())
+        .with(SnapshotLogicalPass)
+        .with(LayoutRoutePass {
+            router: router.clone(),
+            layout_trials,
+        })
+        .with(TransformPass::swap_lower())
+        .with(TransformPass::peephole())
+}
+
+/// Runs the shared hardware back end on an already-compiled logical
+/// circuit, returning the routed program and the pass trace.
+///
+/// # Panics
+///
+/// Panics if the device has fewer qubits than the circuit.
+pub fn run_hardware_backend_with_trace(
+    logical: &Circuit,
+    device: &CouplingGraph,
+    router: &RouterOptions,
+    layout_trials: usize,
+) -> (HardwareProgram, PassTrace) {
+    let mut ctx = CompileContext::from_circuit(logical.clone());
+    ctx.device = Some(device.clone());
+    let trace = hardware_backend(router, layout_trials)
+        .run(&mut ctx)
+        .expect("backend preconditions hold: device attached");
+    let program = HardwareProgram {
+        circuit: ctx.circuit,
+        logical: ctx.logical.expect("snapshot pass ran"),
+        num_swaps: ctx.num_swaps,
+    };
+    (program, trace)
+}
+
+/// [`run_hardware_backend_with_trace`] without the trace.
+pub fn run_hardware_backend(
+    logical: &Circuit,
+    device: &CouplingGraph,
+    router: &RouterOptions,
+    layout_trials: usize,
+) -> HardwareProgram {
+    run_hardware_backend_with_trace(logical, device, router, layout_trials).0
+}
+
 /// The PHOENIX compiler: grouping → BSF simplification → Tetris ordering,
 /// with CNOT-ISA, SU(4)-ISA and hardware-aware back ends.
 ///
@@ -104,76 +172,116 @@ impl PhoenixCompiler {
         PhoenixCompiler { options }
     }
 
+    /// The canonical logical pass sequence (stages 1–3 + concatenation),
+    /// parameterized by this compiler's options.
+    pub fn logical_passes(&self, routing_aware: bool) -> PassManager {
+        PassManager::new()
+            .with(GroupPass)
+            .with(SimplifySynthPass {
+                simplify: self.options.enable_simplification,
+                threads: self.options.stage2_threads,
+            })
+            .with(OrderPass {
+                lookahead: self.options.lookahead,
+                routing_aware: routing_aware || self.options.routing_aware,
+                enabled: self.options.enable_ordering,
+            })
+            .with(ConcatPass)
+    }
+
+    fn run_logical(
+        &self,
+        manager: PassManager,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> (CompileContext, PassTrace) {
+        let mut ctx = CompileContext::new(n, terms);
+        let trace = manager
+            .run(&mut ctx)
+            .expect("logical pipeline has no failing preconditions");
+        (ctx, trace)
+    }
+
     /// Logical compilation to the high-level IR-group circuit.
     ///
     /// # Panics
     ///
     /// Panics if a term does not act on exactly `n` qubits.
     pub fn compile(&self, n: usize, terms: &[(PauliString, f64)]) -> CompiledProgram {
-        let groups = group_by_support(n, terms);
-        // Stage 2: per-group subcircuits plus the term order each implements.
-        let (subcircuits, group_terms): (Vec<Circuit>, Vec<Vec<(PauliString, f64)>>) =
-            if self.options.enable_simplification {
-                groups
-                    .iter()
-                    .map(|g| {
-                        let s = simplify_terms(n, g.terms());
-                        (synthesize_group(&s), s.term_sequence())
-                    })
-                    .unzip()
-            } else {
-                groups
-                    .iter()
-                    .map(|g| {
-                        (
-                            phoenix_circuit::synthesis::naive_circuit(n, g.terms()),
-                            g.terms().to_vec(),
-                        )
-                    })
-                    .unzip()
-            };
-        // Stage 3: ordering.
-        let perm: Vec<usize> = if self.options.enable_ordering {
-            order_groups(
-                &subcircuits,
-                &OrderOptions {
-                    lookahead: self.options.lookahead,
-                    routing_aware: self.options.routing_aware,
-                },
-            )
-        } else {
-            (0..subcircuits.len()).collect()
-        };
-        let mut circuit = Circuit::new(n);
-        let mut term_order = Vec::with_capacity(terms.len());
-        for i in perm {
-            circuit.append(&subcircuits[i]);
-            term_order.extend(group_terms[i].iter().copied());
-        }
-        CompiledProgram {
-            circuit,
-            num_groups: groups.len(),
-            term_order,
-        }
+        self.compile_with_trace(n, terms).0
+    }
+
+    /// [`PhoenixCompiler::compile`] plus the recorded pass trace.
+    pub fn compile_with_trace(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> (CompiledProgram, PassTrace) {
+        let (ctx, trace) = self.run_logical(self.logical_passes(false), n, terms);
+        (
+            CompiledProgram {
+                circuit: ctx.circuit,
+                num_groups: ctx.num_groups,
+                term_order: ctx.term_order,
+            },
+            trace,
+        )
     }
 
     /// Logical compilation to the CNOT ISA (lowered + peephole-optimized).
     pub fn compile_to_cnot(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
-        peephole::optimize(&self.compile(n, terms).circuit)
+        self.compile_to_cnot_with_trace(n, terms).0
+    }
+
+    /// [`PhoenixCompiler::compile_to_cnot`] plus the recorded pass trace.
+    pub fn compile_to_cnot_with_trace(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> (Circuit, PassTrace) {
+        let manager = self.logical_passes(false).with(TransformPass::peephole());
+        let (ctx, trace) = self.run_logical(manager, n, terms);
+        (ctx.circuit, trace)
     }
 
     /// Logical compilation to the SU(4) ISA: PHOENIX emits SU(4) blocks
     /// directly from its simplified IR (no CNOT detour).
     pub fn compile_to_su4(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
-        rebase::to_su4(&self.compile(n, terms).circuit)
+        self.compile_to_su4_with_trace(n, terms).0
+    }
+
+    /// [`PhoenixCompiler::compile_to_su4`] plus the recorded pass trace.
+    pub fn compile_to_su4_with_trace(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> (Circuit, PassTrace) {
+        let manager = self.logical_passes(false).with(TransformPass::su4_rebase());
+        let (ctx, trace) = self.run_logical(manager, n, terms);
+        (ctx.circuit, trace)
     }
 
     /// Logical compilation to the CNOT ISA *through* the SU(4) layer:
     /// blocks are KAK-resynthesized to their ≤3-rotation canonical forms
     /// before lowering, capping every same-pair run at its Weyl floor.
     pub fn compile_to_cnot_via_kak(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
-        let su4 = self.compile_to_su4(n, terms);
-        peephole::optimize(&phoenix_circuit::kak::resynthesize(&su4))
+        self.compile_to_cnot_via_kak_with_trace(n, terms).0
+    }
+
+    /// [`PhoenixCompiler::compile_to_cnot_via_kak`] plus the recorded pass
+    /// trace.
+    pub fn compile_to_cnot_via_kak_with_trace(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> (Circuit, PassTrace) {
+        let manager = self
+            .logical_passes(false)
+            .with(TransformPass::su4_rebase())
+            .with(TransformPass::kak_resynthesis())
+            .with(TransformPass::peephole());
+        let (ctx, trace) = self.run_logical(manager, n, terms);
+        (ctx.circuit, trace)
     }
 
     /// Hardware-aware compilation: routing-aware ordering, CNOT lowering,
@@ -188,22 +296,31 @@ impl PhoenixCompiler {
         terms: &[(PauliString, f64)],
         device: &CouplingGraph,
     ) -> HardwareProgram {
-        let mut hw = self.clone();
-        hw.options.routing_aware = true;
-        let logical = peephole::optimize(&hw.compile(n, terms).circuit);
-        let opts = RouterOptions::default();
-        let layout = search_layout(&logical, device, &opts, 3);
-        let RoutedCircuit {
-            circuit: routed,
-            num_swaps,
-            ..
-        } = route(&logical, device, layout, &opts);
-        let physical = peephole::optimize(&routed);
-        HardwareProgram {
-            circuit: physical,
-            logical,
-            num_swaps,
-        }
+        self.compile_hardware_aware_with_trace(n, terms, device).0
+    }
+
+    /// [`PhoenixCompiler::compile_hardware_aware`] plus the recorded pass
+    /// trace.
+    pub fn compile_hardware_aware_with_trace(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+        device: &CouplingGraph,
+    ) -> (HardwareProgram, PassTrace) {
+        let manager = self.logical_passes(true).append(hardware_backend(
+            &self.options.router,
+            self.options.layout_trials,
+        ));
+        let mut ctx = CompileContext::for_device(n, terms, device);
+        let trace = manager
+            .run(&mut ctx)
+            .expect("hardware pipeline preconditions hold: device attached");
+        let program = HardwareProgram {
+            circuit: ctx.circuit,
+            logical: ctx.logical.expect("snapshot pass ran"),
+            num_swaps: ctx.num_swaps,
+        };
+        (program, trace)
     }
 }
 
@@ -268,5 +385,43 @@ mod tests {
         let out = PhoenixCompiler::default().compile(4, &t);
         assert_eq!(out.circuit.counts().clifford2, 0);
         assert_eq!(out.circuit.counts().pauli_rot2, 3);
+    }
+
+    #[test]
+    fn logical_trace_names_the_canonical_sequence() {
+        let t = terms(&["ZYY", "ZZY", "XYY", "XZY"]);
+        let (_, trace) = PhoenixCompiler::default().compile_to_cnot_with_trace(3, &t);
+        assert_eq!(
+            trace.pass_names(),
+            [
+                "group",
+                "simplify-synth",
+                "tetris-order",
+                "concat",
+                "peephole"
+            ]
+        );
+    }
+
+    #[test]
+    fn hardware_trace_covers_the_full_pipeline() {
+        let t = terms(&["ZZII", "IZZI", "IIZZ"]);
+        let dev = CouplingGraph::line(4);
+        let (hw, trace) = PhoenixCompiler::default().compile_hardware_aware_with_trace(4, &t, &dev);
+        assert_eq!(
+            trace.pass_names(),
+            [
+                "group",
+                "simplify-synth",
+                "tetris-order",
+                "concat",
+                "peephole",
+                "snapshot-logical",
+                "layout-route",
+                "cnot-lower",
+                "peephole"
+            ]
+        );
+        assert!(!hw.circuit.is_empty());
     }
 }

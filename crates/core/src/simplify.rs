@@ -25,9 +25,7 @@
 //! epoch count.
 
 use crate::cost::cost_bsf;
-use phoenix_pauli::{
-    Bsf, BsfRow, Clifford2Q, PauliString, CLIFFORD2Q_GENERATORS,
-};
+use phoenix_pauli::{Bsf, BsfRow, Clifford2Q, PauliString, CLIFFORD2Q_GENERATORS};
 
 /// One element of a simplified group's configuration sequence.
 #[derive(Debug, Clone, PartialEq)]
@@ -175,8 +173,11 @@ fn best_candidate(bsf: &Bsf) -> Option<(Clifford2Q, f64)> {
         let symmetric = kind.sigma0() == kind.sigma1();
         for (ia, &a) in support.iter().enumerate() {
             for &b in &support[ia + 1..] {
-                let orientations: &[(usize, usize)] =
-                    if symmetric { &[(a, b)] } else { &[(a, b), (b, a)] };
+                let orientations: &[(usize, usize)] = if symmetric {
+                    &[(a, b)]
+                } else {
+                    &[(a, b), (b, a)]
+                };
                 for &(x, y) in orientations {
                     let cand = Clifford2Q::new(kind, x, y);
                     let cost = cost_bsf(&bsf.conjugated(cand));

@@ -1,0 +1,103 @@
+//! A common interface over the compilers under comparison.
+//!
+//! The evaluation harness compares PHOENIX against several re-implemented
+//! baselines (TKET-, Paulihedral-, Tetris-, 2QAN-style). [`CompilerStrategy`]
+//! abstracts "a way of turning a Pauli-exponentiation program into a
+//! circuit" so harness code iterates `&dyn CompilerStrategy` trait objects
+//! instead of matching on per-compiler enums. The provided methods attach
+//! the *shared* peephole ("O3") and hardware back ends, so a strategy only
+//! has to define its logical compilation; PHOENIX overrides the hardware
+//! path to use its routing-aware ordering.
+
+use phoenix_circuit::{peephole, Circuit};
+use phoenix_pauli::PauliString;
+use phoenix_router::RouterOptions;
+use phoenix_topology::CouplingGraph;
+
+use crate::pipeline::{run_hardware_backend, HardwareProgram, PhoenixCompiler};
+
+/// A compilation strategy: logical synthesis plus shared back ends.
+pub trait CompilerStrategy {
+    /// Display name matching the paper's terminology.
+    fn name(&self) -> &str;
+
+    /// Logical compilation to `{1Q, CNOT}` (no final peephole — harnesses
+    /// decide whether to attach the "O3" pass, as the paper's Table II
+    /// ablates).
+    fn compile_logical(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit;
+
+    /// Logical compilation with the shared peephole ("O3") pass attached.
+    fn compile_optimized(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
+        peephole::optimize(&self.compile_logical(n, terms))
+    }
+
+    /// Hardware-aware compilation through the shared back end (peephole,
+    /// layout search, SABRE routing, SWAP lowering, final peephole).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device has fewer qubits than the program.
+    fn compile_hardware(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+        device: &CouplingGraph,
+    ) -> HardwareProgram {
+        run_hardware_backend(
+            &self.compile_logical(n, terms),
+            device,
+            &RouterOptions::default(),
+            3,
+        )
+    }
+}
+
+impl CompilerStrategy for PhoenixCompiler {
+    fn name(&self) -> &str {
+        "PHOENIX"
+    }
+
+    fn compile_logical(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
+        self.compile(n, terms).circuit
+    }
+
+    fn compile_optimized(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
+        self.compile_to_cnot(n, terms)
+    }
+
+    /// PHOENIX's hardware path re-runs ordering routing-aware (Eq. (7))
+    /// before the shared back end, and honours the configured router.
+    fn compile_hardware(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+        device: &CouplingGraph,
+    ) -> HardwareProgram {
+        self.compile_hardware_aware(n, terms, device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phoenix_strategy_matches_direct_calls() {
+        let t: Vec<(PauliString, f64)> = [("ZYY", 0.1), ("ZZY", 0.2), ("XYY", 0.3)]
+            .iter()
+            .map(|(s, c)| (s.parse().unwrap(), *c))
+            .collect();
+        let compiler = PhoenixCompiler::default();
+        let strategy: &dyn CompilerStrategy = &compiler;
+        assert_eq!(strategy.name(), "PHOENIX");
+        assert_eq!(
+            strategy.compile_optimized(3, &t),
+            compiler.compile_to_cnot(3, &t)
+        );
+        let dev = CouplingGraph::line(3);
+        assert_eq!(
+            strategy.compile_hardware(3, &t, &dev),
+            compiler.compile_hardware_aware(3, &t, &dev)
+        );
+    }
+}

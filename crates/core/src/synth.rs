@@ -101,8 +101,7 @@ mod tests {
         // fewer 2Q gates (Cliffords + one 2Q rotation).
         let c = synthesize_group(&simplify_terms(5, &terms(&["XYZXY"])));
         let lowered = phoenix_circuit::peephole::optimize(&c);
-        let naive =
-            phoenix_circuit::synthesis::naive_circuit(5, &terms(&["XYZXY"]));
+        let naive = phoenix_circuit::synthesis::naive_circuit(5, &terms(&["XYZXY"]));
         assert!(
             lowered.counts().cnot <= naive.counts().cnot,
             "phoenix {} vs naive {}",

@@ -89,13 +89,11 @@ fn random_programs_are_exact() {
 fn duplicate_support_groups_are_exact() {
     // Many strings over the same support stress the simultaneous
     // simplification path.
-    let terms: Vec<(PauliString, f64)> = [
-        "XXYY", "YYXX", "XYXY", "YXYX", "ZZZZ", "XXXX",
-    ]
-    .iter()
-    .enumerate()
-    .map(|(i, s)| (s.parse().unwrap(), 0.03 * (i as f64 + 1.0)))
-    .collect();
+    let terms: Vec<(PauliString, f64)> = ["XXYY", "YYXX", "XYXY", "YXYX", "ZZZZ", "XXXX"]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.parse().unwrap(), 0.03 * (i as f64 + 1.0)))
+        .collect();
     check_program(4, &terms, "same support");
 }
 

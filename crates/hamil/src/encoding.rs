@@ -66,7 +66,11 @@ impl FermionEncoding {
                 let k = (i + 1) as u128;
                 let low = k & k.wrapping_neg();
                 // Modes (k-low)..k, 0-based.
-                let hi_mask = if k >= 128 { u128::MAX } else { (1u128 << k) - 1 };
+                let hi_mask = if k >= 128 {
+                    u128::MAX
+                } else {
+                    (1u128 << k) - 1
+                };
                 let lo_mask = (1u128 << (k - low)) - 1;
                 hi_mask & !lo_mask
             })
@@ -77,7 +81,13 @@ impl FermionEncoding {
     /// Parity encoding: qubit `i` stores `n_0 ⊕ ⋯ ⊕ n_i`.
     pub fn parity(n: usize) -> Self {
         let rows = (0..n)
-            .map(|i| if i + 1 >= 128 { u128::MAX } else { (1u128 << (i + 1)) - 1 })
+            .map(|i| {
+                if i + 1 >= 128 {
+                    u128::MAX
+                } else {
+                    (1u128 << (i + 1)) - 1
+                }
+            })
             .collect();
         FermionEncoding::from_matrix("parity", n, rows)
     }
@@ -105,7 +115,9 @@ impl FermionEncoding {
 
     /// Qubits whose xor gives `n_j` (row `j` of `M⁻¹`).
     pub fn occupation_set(&self, j: usize) -> Vec<usize> {
-        (0..self.n).filter(|&i| self.minv[j] >> i & 1 == 1).collect()
+        (0..self.n)
+            .filter(|&i| self.minv[j] >> i & 1 == 1)
+            .collect()
     }
 
     fn update_mask(&self, j: usize) -> u128 {

@@ -38,11 +38,7 @@ impl Hamiltonian {
     /// # Panics
     ///
     /// Panics if a term's qubit count differs from `n`.
-    pub fn new(
-        name: impl Into<String>,
-        n: usize,
-        terms: Vec<(PauliString, f64)>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, n: usize, terms: Vec<(PauliString, f64)>) -> Self {
         for (p, _) in &terms {
             assert_eq!(p.num_qubits(), n, "term qubit count mismatch");
         }
@@ -80,7 +76,11 @@ impl Hamiltonian {
 
     /// Maximum Pauli weight over all terms (`w_max` in Table I).
     pub fn max_weight(&self) -> usize {
-        self.terms.iter().map(|(p, _)| p.weight()).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(|(p, _)| p.weight())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns a copy with every coefficient multiplied by `scale` — the
@@ -90,11 +90,7 @@ impl Hamiltonian {
         Hamiltonian {
             name: self.name.clone(),
             n: self.n,
-            terms: self
-                .terms
-                .iter()
-                .map(|(p, c)| (*p, c * scale))
-                .collect(),
+            terms: self.terms.iter().map(|(p, c)| (*p, c * scale)).collect(),
         }
     }
 }
@@ -121,10 +117,7 @@ mod tests {
         let h = Hamiltonian::new(
             "t",
             3,
-            vec![
-                ("XXI".parse().unwrap(), 1.0),
-                ("ZZZ".parse().unwrap(), 0.5),
-            ],
+            vec![("XXI".parse().unwrap(), 1.0), ("ZZZ".parse().unwrap(), 0.5)],
         );
         assert_eq!(h.name(), "t");
         assert_eq!(h.num_qubits(), 3);

@@ -17,11 +17,11 @@ use phoenix_pauli::{Pauli, PauliString};
 ///
 /// Panics if `n·d` is odd or `d >= n` (no such graph exists).
 pub fn random_regular_graph(n: usize, d: usize, seed: u64) -> Vec<(usize, usize)> {
-    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     assert!(d < n, "degree must be below vertex count");
     let mut rng = Xoshiro256::seed_from_u64(seed);
     'attempt: for _ in 0..10_000 {
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         rng.shuffle(&mut stubs);
         let mut edges = std::collections::BTreeSet::new();
         for pair in stubs.chunks(2) {

@@ -127,12 +127,14 @@ fn spin(orb: usize) -> usize {
     orb % 2
 }
 
+/// A single excitation `i → a`.
+pub type Single = (usize, usize);
+/// A double excitation `(i, j) → (a, b)`.
+pub type Double = (usize, usize, usize, usize);
+
 /// Enumerates spin-conserving UCCSD excitations for `n_so` spin orbitals
 /// with the lowest `n_elec` occupied. Returns `(singles, doubles)`.
-pub fn excitations(
-    n_so: usize,
-    n_elec: usize,
-) -> (Vec<(usize, usize)>, Vec<(usize, usize, usize, usize)>) {
+pub fn excitations(n_so: usize, n_elec: usize) -> (Vec<Single>, Vec<Double>) {
     let occ: Vec<usize> = (0..n_elec).collect();
     let virt: Vec<usize> = (n_elec..n_so).collect();
     let mut singles = Vec::new();
@@ -229,10 +231,9 @@ pub fn table1_suite(seed: u64) -> Vec<Hamiltonian> {
 
 /// Tiny deterministic string hash for seed mixing.
 fn fxhash(s: &str) -> u64 {
-    s.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-        })
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 #[cfg(test)]
@@ -313,8 +314,16 @@ mod tests {
     fn same_seed_same_amplitude_multiset_across_encodings() {
         let jw = ansatz(Molecule::nh(), true, Encoding::JordanWigner, 11);
         let bk = ansatz(Molecule::nh(), true, Encoding::BravyiKitaev, 11);
-        let mut a: Vec<i64> = jw.terms().iter().map(|t| (t.1.abs() * 1e12) as i64).collect();
-        let mut b: Vec<i64> = bk.terms().iter().map(|t| (t.1.abs() * 1e12) as i64).collect();
+        let mut a: Vec<i64> = jw
+            .terms()
+            .iter()
+            .map(|t| (t.1.abs() * 1e12) as i64)
+            .collect();
+        let mut b: Vec<i64> = bk
+            .terms()
+            .iter()
+            .map(|t| (t.1.abs() * 1e12) as i64)
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

@@ -1,8 +1,8 @@
 //! Property-based tests of the fermionic algebra and program generators.
 
 use phoenix_hamil::{
-    annihilation, creation, double_excitation, models, qaoa, single_excitation, trotter,
-    uccsd, FermionEncoding, Hamiltonian,
+    annihilation, creation, double_excitation, models, qaoa, single_excitation, trotter, uccsd,
+    FermionEncoding, Hamiltonian,
 };
 use phoenix_mathkit::Complex;
 use phoenix_pauli::PauliPolynomial;

@@ -28,9 +28,9 @@ pub fn jacobi_symmetric(a: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
     }
     for _sweep in 0..64 {
         let mut off = 0.0;
-        for p in 0..n {
-            for r in p + 1..n {
-                off += m[p][r] * m[p][r];
+        for (p, row) in m.iter().enumerate() {
+            for &v in &row[p + 1..] {
+                off += v * v;
             }
         }
         if off < 1e-28 {
@@ -46,20 +46,21 @@ pub fn jacobi_symmetric(a: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
                 let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
                 let c = 1.0 / (t * t + 1.0).sqrt();
                 let s = t * c;
-                for k in 0..n {
-                    let (mkp, mkr) = (m[k][p], m[k][r]);
-                    m[k][p] = c * mkp - s * mkr;
-                    m[k][r] = s * mkp + c * mkr;
+                for row in m.iter_mut() {
+                    let (mkp, mkr) = (row[p], row[r]);
+                    row[p] = c * mkp - s * mkr;
+                    row[r] = s * mkp + c * mkr;
                 }
-                for k in 0..n {
-                    let (mpk, mrk) = (m[p][k], m[r][k]);
-                    m[p][k] = c * mpk - s * mrk;
-                    m[r][k] = s * mpk + c * mrk;
+                let (head, tail) = m.split_at_mut(r);
+                for (mpk, mrk) in head[p].iter_mut().zip(tail[0].iter_mut()) {
+                    let (vp, vr) = (*mpk, *mrk);
+                    *mpk = c * vp - s * vr;
+                    *mrk = s * vp + c * vr;
                 }
-                for k in 0..n {
-                    let (qkp, qkr) = (q[k][p], q[k][r]);
-                    q[k][p] = c * qkp - s * qkr;
-                    q[k][r] = s * qkp + c * qkr;
+                for row in q.iter_mut() {
+                    let (qkp, qkr) = (row[p], row[r]);
+                    row[p] = c * qkp - s * qkr;
+                    row[r] = s * qkp + c * qkr;
                 }
             }
         }
@@ -79,10 +80,7 @@ pub fn jacobi_symmetric(a: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
 /// # Panics
 ///
 /// Panics if the shapes disagree.
-pub fn jacobi_simultaneous(
-    a: &[Vec<f64>],
-    b: &[Vec<f64>],
-) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
+pub fn jacobi_simultaneous(a: &[Vec<f64>], b: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
     let n = a.len();
     assert_eq!(b.len(), n, "shapes must match");
     let (alpha, mut q) = jacobi_symmetric(a);
@@ -126,8 +124,7 @@ pub fn jacobi_simultaneous(
             for (local, lam_l) in lam.iter().enumerate() {
                 beta[start + local] = *lam_l;
                 for i in 0..n {
-                    q[start + local][i] =
-                        (0..k).map(|m| old[m][i] * vecs[local][m]).sum();
+                    q[start + local][i] = (0..k).map(|m| old[m][i] * vecs[local][m]).sum();
                 }
             }
         }
@@ -150,6 +147,8 @@ mod tests {
     fn random_symmetric(n: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut a = vec![vec![0.0; n]; n];
+        // Symmetric fill: (i, j) and (j, i) get the same draw.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in i..n {
                 let x = rng.next_range_f64(-1.0, 1.0);

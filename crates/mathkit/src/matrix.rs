@@ -124,9 +124,8 @@ impl CMatrix {
     pub fn matvec(&self, v: &[Complex]) -> Vec<Complex> {
         assert_eq!(v.len(), self.cols, "vector length must equal column count");
         let mut out = vec![Complex::ZERO; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
+        for (o, row) in out.iter_mut().zip(self.data.chunks(self.cols)) {
+            *o = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
         }
         out
     }
@@ -344,11 +343,17 @@ mod tests {
     use super::*;
 
     fn pauli_x() -> CMatrix {
-        CMatrix::from_rows(&[&[Complex::ZERO, Complex::ONE], &[Complex::ONE, Complex::ZERO]])
+        CMatrix::from_rows(&[
+            &[Complex::ZERO, Complex::ONE],
+            &[Complex::ONE, Complex::ZERO],
+        ])
     }
 
     fn pauli_z() -> CMatrix {
-        CMatrix::from_rows(&[&[Complex::ONE, Complex::ZERO], &[Complex::ZERO, -Complex::ONE]])
+        CMatrix::from_rows(&[
+            &[Complex::ONE, Complex::ZERO],
+            &[Complex::ZERO, -Complex::ONE],
+        ])
     }
 
     #[test]
@@ -386,9 +391,7 @@ mod tests {
         let x = pauli_x();
         let z = pauli_z();
         let a = x.matmul(&z);
-        assert!(a
-            .dagger()
-            .approx_eq(&z.dagger().matmul(&x.dagger()), 1e-15));
+        assert!(a.dagger().approx_eq(&z.dagger().matmul(&x.dagger()), 1e-15));
     }
 
     #[test]

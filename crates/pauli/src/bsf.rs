@@ -120,7 +120,10 @@ pub struct Bsf {
 impl Bsf {
     /// Creates an empty tableau over `n` qubits.
     pub fn new(n: usize) -> Self {
-        Bsf { n, rows: Vec::new() }
+        Bsf {
+            n,
+            rows: Vec::new(),
+        }
     }
 
     /// Builds a tableau from `(string, coefficient)` terms.
@@ -296,8 +299,8 @@ mod tests {
 
     #[test]
     fn qubit_count_mismatch_is_an_error() {
-        let err = Bsf::from_terms(3, vec![("XX".parse::<PauliString>().unwrap(), 1.0)])
-            .unwrap_err();
+        let err =
+            Bsf::from_terms(3, vec![("XX".parse::<PauliString>().unwrap(), 1.0)]).unwrap_err();
         assert_eq!(
             err,
             BsfError::QubitCountMismatch {
@@ -326,10 +329,7 @@ mod tests {
         let mut bsf = bsf_from(&["ZYY", "ZZY", "XYY", "XZY"]);
         assert!(bsf.rows().iter().all(|r| r.weight() == 3));
         bsf.apply_clifford2q(Clifford2Q::new(Clifford2QKind::Cxy, 1, 2));
-        assert!(
-            bsf.rows().iter().all(|r| r.weight() == 2),
-            "got {bsf}"
-        );
+        assert!(bsf.rows().iter().all(|r| r.weight() == 2), "got {bsf}");
         // The whole tableau collapses onto qubits {0, 1}: directly
         // synthesizable (w_tot ≤ 2) after a single Clifford conjugation.
         assert_eq!(bsf.total_weight(), 2);

@@ -292,15 +292,10 @@ mod tests {
             &[Complex::from_re(1.0), Complex::from_re(-1.0)],
         ])
         .scale(Complex::from_re(std::f64::consts::FRAC_1_SQRT_2));
-        let s = CMatrix::from_rows(&[
-            &[Complex::ONE, Complex::ZERO],
-            &[Complex::ZERO, Complex::I],
-        ]);
+        let s = CMatrix::from_rows(&[&[Complex::ONE, Complex::ZERO], &[Complex::ZERO, Complex::I]]);
         let hs = s.kron(&h); // H on qubit a, S on qubit b
         let hsdg = s.dagger().kron(&h);
-        let built = hs
-            .matmul(&Clifford2QKind::Czx.matrix4())
-            .matmul(&hsdg);
+        let built = hs.matmul(&Clifford2QKind::Czx.matrix4()).matmul(&hsdg);
         let cxy = Clifford2QKind::Cxy.matrix4();
         // Equal up to a global phase ⇒ unit overlap.
         assert!((built.unitary_overlap(&cxy) - 1.0).abs() < 1e-12);

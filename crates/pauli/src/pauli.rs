@@ -72,6 +72,9 @@ impl Pauli {
     ///
     /// Uses the convention `pauli(x, z) = i^{x·z} XˣZᶻ` so that
     /// `pauli(1,1) = Y` exactly.
+    // Not `std::ops::Mul`: the product carries an `i^k` phase alongside
+    // the operator, so the signature is `(Pauli, u8)`, not `Pauli`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Pauli) -> (Pauli, u8) {
         let (x1, z1) = (self.x_bit() as i32, self.z_bit() as i32);
         let (x2, z2) = (rhs.x_bit() as i32, rhs.z_bit() as i32);
@@ -152,10 +155,7 @@ mod tests {
                 };
                 let lhs = a.to_matrix().matmul(&b.to_matrix());
                 let rhs = p.to_matrix().scale(phase);
-                assert!(
-                    lhs.approx_eq(&rhs, 1e-15),
-                    "{a}·{b} != i^{k}·{p}"
-                );
+                assert!(lhs.approx_eq(&rhs, 1e-15), "{a}·{b} != i^{k}·{p}");
             }
         }
     }

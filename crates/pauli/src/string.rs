@@ -57,11 +57,7 @@ impl PauliString {
         let valid = mask_below(n);
         assert_eq!(x & !valid, 0, "x mask exceeds qubit count");
         assert_eq!(z & !valid, 0, "z mask exceeds qubit count");
-        PauliString {
-            n: n as u32,
-            x,
-            z,
-        }
+        PauliString { n: n as u32, x, z }
     }
 
     /// Creates an `n`-qubit string that is `p` on qubit `q` and identity
@@ -169,7 +165,7 @@ impl PauliString {
     /// Panics if the qubit counts differ.
     pub fn commutes(&self, other: &PauliString) -> bool {
         assert_eq!(self.n, other.n, "qubit counts must match");
-        ((self.x & other.z).count_ones() + (self.z & other.x).count_ones()) % 2 == 0
+        ((self.x & other.z).count_ones() + (self.z & other.x).count_ones()).is_multiple_of(2)
     }
 
     /// Multiplies two strings, returning `(product, k)` with
@@ -246,9 +242,13 @@ impl PauliString {
             let zpar = ((b as u128) & self.z).count_ones() % 2;
             let ycnt = (self.x & self.z).count_ones() % 4;
             // pauli(x,z) = i^{x z} X^x Z^z acting on |b>: Z first then X.
-            let mut phase = if zpar == 1 { -Complex::ONE } else { Complex::ONE };
+            let mut phase = if zpar == 1 {
+                -Complex::ONE
+            } else {
+                Complex::ONE
+            };
             for _ in 0..ycnt {
-                phase = phase * Complex::I;
+                phase *= Complex::I;
             }
             m[(target, b)] = phase;
         }
@@ -257,7 +257,9 @@ impl PauliString {
 
     /// The textual label, qubit 0 first.
     pub fn label(&self) -> String {
-        (0..self.num_qubits()).map(|q| self.get(q).to_char()).collect()
+        (0..self.num_qubits())
+            .map(|q| self.get(q).to_char())
+            .collect()
     }
 }
 
@@ -369,11 +371,7 @@ mod tests {
                 let pb: PauliString = b.parse().unwrap();
                 let ab = pa.to_matrix().matmul(&pb.to_matrix());
                 let ba = pb.to_matrix().matmul(&pa.to_matrix());
-                assert_eq!(
-                    pa.commutes(&pb),
-                    ab.approx_eq(&ba, 1e-14),
-                    "{a} vs {b}"
-                );
+                assert_eq!(pa.commutes(&pb), ab.approx_eq(&ba, 1e-14), "{a} vs {b}");
             }
         }
     }

@@ -1,9 +1,7 @@
 //! Property-based tests of the Pauli/Clifford algebra.
 
 use phoenix_mathkit::Complex;
-use phoenix_pauli::{
-    Bsf, Clifford2Q, Pauli, PauliPolynomial, PauliString, CLIFFORD2Q_GENERATORS,
-};
+use phoenix_pauli::{Bsf, Clifford2Q, Pauli, PauliPolynomial, PauliString, CLIFFORD2Q_GENERATORS};
 use proptest::prelude::*;
 
 const PHASES: [Complex; 4] = [

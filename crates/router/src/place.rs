@@ -34,23 +34,32 @@ pub fn greedy_layout(circuit: &Circuit, device: &CouplingGraph) -> Layout {
 
     // Device center: minimum eccentricity.
     let center = (0..n_phys)
-        .min_by_key(|&p| (0..n_phys).map(|q| device.distance(p, q)).max().unwrap_or(0))
+        .min_by_key(|&p| {
+            (0..n_phys)
+                .map(|q| device.distance(p, q))
+                .max()
+                .unwrap_or(0)
+        })
         .unwrap_or(0);
 
     let mut assignment = vec![usize::MAX; n_log];
     let mut free: Vec<usize> = (0..n_phys).collect();
     for (rank, &l) in order.iter().enumerate() {
         let best = if rank == 0 {
-            free.iter()
-                .position(|&p| p == center)
-                .unwrap_or(0)
+            free.iter().position(|&p| p == center).unwrap_or(0)
         } else {
             let mut best_pos = 0;
             let mut best_cost = f64::INFINITY;
             for (pos, &p) in free.iter().enumerate() {
                 let mut cost = 0.0;
                 for (&(a, b), &weight) in &w {
-                    let partner = if a == l { b } else if b == l { a } else { continue };
+                    let partner = if a == l {
+                        b
+                    } else if b == l {
+                        a
+                    } else {
+                        continue;
+                    };
                     if assignment[partner] != usize::MAX {
                         cost += weight * device.distance(p, assignment[partner]) as f64;
                     }
@@ -129,7 +138,7 @@ mod tests {
         let pairs: Vec<(usize, usize)> = (0..8).map(|i| (i, (i + 4) % 8)).collect();
         let many: Vec<(usize, usize)> = pairs
             .iter()
-            .flat_map(|&p| std::iter::repeat(p).take(4))
+            .flat_map(|&p| std::iter::repeat_n(p, 4))
             .collect();
         let c = program(8, &many);
         let dev = CouplingGraph::grid(2, 4);

@@ -93,8 +93,7 @@ pub fn route(
 
     let ready = |queues: &[std::collections::VecDeque<usize>], gi: usize, g: &Gate| -> bool {
         let (a, b) = g.qubits();
-        queues[a].front() == Some(&gi)
-            && b.is_none_or(|b| queues[b].front() == Some(&gi))
+        queues[a].front() == Some(&gi) && b.is_none_or(|b| queues[b].front() == Some(&gi))
     };
 
     loop {
@@ -104,10 +103,7 @@ pub fn route(
         while progressed {
             progressed = false;
             // Scan the front of each queue once.
-            let fronts: Vec<usize> = queues
-                .iter()
-                .filter_map(|q| q.front().copied())
-                .collect();
+            let fronts: Vec<usize> = queues.iter().filter_map(|q| q.front().copied()).collect();
             for gi in fronts {
                 let g = &gates[gi];
                 if !ready(&queues, gi, g) {
@@ -256,10 +252,8 @@ fn extended_set(
     queues: &[std::collections::VecDeque<usize>],
     k: usize,
 ) -> Vec<(usize, usize)> {
-    let executed_before: std::collections::BTreeSet<usize> = queues
-        .iter()
-        .filter_map(|q| q.front().copied())
-        .collect();
+    let executed_before: std::collections::BTreeSet<usize> =
+        queues.iter().filter_map(|q| q.front().copied()).collect();
     let min_pending = match executed_before.iter().next() {
         Some(&m) => m,
         None => return Vec::new(),
@@ -421,7 +415,10 @@ mod tests {
         let mut o = opts();
         o.use_bridge = true;
         let r = route(&c, &dev, Layout::trivial(3, 3), &o);
-        assert!(r.num_swaps >= 1, "recurring pair should be moved, not bridged");
+        assert!(
+            r.num_swaps >= 1,
+            "recurring pair should be moved, not bridged"
+        );
     }
 
     #[test]

@@ -90,8 +90,10 @@ proptest! {
 
     #[test]
     fn bridged_routing_is_legal(c in arb_program(8)) {
-        let mut opts = RouterOptions::default();
-        opts.use_bridge = true;
+        let opts = RouterOptions {
+            use_bridge: true,
+            ..RouterOptions::default()
+        };
         for device in devices() {
             check(&c, &device, &opts);
         }

@@ -149,12 +149,25 @@ mod tests {
     #[test]
     fn trotter_error_shrinks_with_coefficients() {
         // Rescaling coefficients by s shrinks first-order error ~ s².
-        let terms = |s: f64| vec![(ps("XY"), 0.4 * s), (ps("ZZ"), 0.3 * s), (ps("YX"), 0.2 * s)];
-        let err =
-            |s: f64| infidelity(&exact_evolution(2, &terms(s)), &trotter_unitary(2, &terms(s)));
+        let terms = |s: f64| {
+            vec![
+                (ps("XY"), 0.4 * s),
+                (ps("ZZ"), 0.3 * s),
+                (ps("YX"), 0.2 * s),
+            ]
+        };
+        let err = |s: f64| {
+            infidelity(
+                &exact_evolution(2, &terms(s)),
+                &trotter_unitary(2, &terms(s)),
+            )
+        };
         let e1 = err(1.0);
         let e2 = err(0.25);
-        assert!(e2 < e1 / 8.0, "error should shrink superlinearly: {e1} vs {e2}");
+        assert!(
+            e2 < e1 / 8.0,
+            "error should shrink superlinearly: {e1} vs {e2}"
+        );
     }
 
     #[test]

@@ -32,12 +32,14 @@
 //! ```
 
 mod evolution;
-mod observable;
 pub mod noise;
+mod observable;
 mod stabilizer;
 mod statevector;
 
-pub use evolution::{exact_evolution, hamiltonian_matrix, pauli_apply_left, pauli_exp_apply_left, trotter_unitary};
+pub use evolution::{
+    exact_evolution, hamiltonian_matrix, pauli_apply_left, pauli_exp_apply_left, trotter_unitary,
+};
 pub use observable::{energy, expectation};
 pub use stabilizer::{NonCliffordGateError, StabilizerState};
 pub use statevector::{circuit_unitary, State};

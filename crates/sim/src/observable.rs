@@ -54,10 +54,7 @@ pub fn expectation(state: &State, p: &PauliString) -> f64 {
 ///
 /// Panics if any term's qubit count differs from the state's.
 pub fn energy(state: &State, terms: &[(PauliString, f64)]) -> f64 {
-    terms
-        .iter()
-        .map(|(p, c)| c * expectation(state, p))
-        .sum()
+    terms.iter().map(|(p, c)| c * expectation(state, p)).sum()
 }
 
 #[cfg(test)]
@@ -127,10 +124,7 @@ mod tests {
             let v = s.amplitudes();
             let mv = m.matvec(v);
             let want: Complex = v.iter().zip(&mv).map(|(a, b)| a.conj() * *b).sum();
-            assert!(
-                (expectation(&s, &p) - want.re).abs() < 1e-12,
-                "{label}"
-            );
+            assert!((expectation(&s, &p) - want.re).abs() < 1e-12, "{label}");
         }
     }
 

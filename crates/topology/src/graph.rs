@@ -108,7 +108,10 @@ impl CouplingGraph {
     ///
     /// Panics if `rows == 0` or `row_len == 0`.
     pub fn heavy_hex(rows: usize, row_len: usize) -> Self {
-        assert!(rows > 0 && row_len > 0, "heavy-hex needs positive dimensions");
+        assert!(
+            rows > 0 && row_len > 0,
+            "heavy-hex needs positive dimensions"
+        );
         let row_cols: Vec<(usize, usize)> = (0..rows).map(|_| (0, row_len)).collect();
         heavy_hex_from_rows(&row_cols)
     }
@@ -339,7 +342,7 @@ mod tests {
         assert!(g.is_connected());
         assert!(g.max_degree() <= 3);
         // 3 connectors per row pair × 4 pairs.
-        let degree2_connectors = (g.num_qubits() - 53) as usize;
+        let degree2_connectors = g.num_qubits() - 53;
         assert_eq!(degree2_connectors, 12);
         // Heavy-hex edge count: 52 horizontal + 24 connector edges.
         assert_eq!(g.edges().len(), 72);

@@ -5,7 +5,11 @@ use proptest::prelude::*;
 
 fn arb_connected_graph() -> impl Strategy<Value = CouplingGraph> {
     // A random spanning-tree-plus-extras construction: always connected.
-    (3usize..12, proptest::collection::vec((0usize..64, 0usize..64), 0..12), any::<u64>())
+    (
+        3usize..12,
+        proptest::collection::vec((0usize..64, 0usize..64), 0..12),
+        any::<u64>(),
+    )
         .prop_map(|(n, extras, seed)| {
             let mut edges = Vec::new();
             // Deterministic "random" spanning tree via the seed.

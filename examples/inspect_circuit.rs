@@ -10,15 +10,11 @@ use phoenix::pauli::PauliString;
 use phoenix::sim::noise::ErrorModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let terms: Vec<(PauliString, f64)> = [
-        ("ZYY", 0.12),
-        ("ZZY", -0.34),
-        ("XYY", 0.56),
-        ("XZY", 0.78),
-    ]
-    .iter()
-    .map(|(s, c)| Ok::<_, phoenix::pauli::ParsePauliStringError>((s.parse()?, *c)))
-    .collect::<Result<_, _>>()?;
+    let terms: Vec<(PauliString, f64)> =
+        [("ZYY", 0.12), ("ZZY", -0.34), ("XYY", 0.56), ("XZY", 0.78)]
+            .iter()
+            .map(|(s, c)| Ok::<_, phoenix::pauli::ParsePauliStringError>((s.parse()?, *c)))
+            .collect::<Result<_, _>>()?;
 
     let compiler = PhoenixCompiler::default();
     let high = compiler.compile(3, &terms).circuit;

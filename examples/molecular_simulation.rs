@@ -25,7 +25,11 @@ fn main() {
             naive.counts().cnot,
             naive.depth_2q()
         );
-        for baseline in [Baseline::TketStyle, Baseline::PaulihedralStyle, Baseline::TetrisStyle] {
+        for baseline in [
+            Baseline::TketStyle,
+            Baseline::PaulihedralStyle,
+            Baseline::TetrisStyle,
+        ] {
             let c = peephole::optimize(
                 &baseline.compile_logical(program.num_qubits(), program.terms()),
             );
@@ -46,11 +50,7 @@ fn main() {
         );
 
         // Hardware-aware on the heavy-hex device.
-        let hw = compiler.compile_hardware_aware(
-            program.num_qubits(),
-            program.terms(),
-            &device,
-        );
+        let hw = compiler.compile_hardware_aware(program.num_qubits(), program.terms(), &device);
         println!(
             "  PHOENIX on heavy-hex: {:5} CNOTs, 2Q depth {:5}, {} SWAPs, {:.2}x routing overhead",
             hw.circuit.counts().cnot,

@@ -31,11 +31,7 @@ fn main() {
                 qan.num_swaps
             );
 
-            let hw = PhoenixCompiler::default().compile_hardware_aware(
-                n,
-                program.terms(),
-                &device,
-            );
+            let hw = PhoenixCompiler::default().compile_hardware_aware(n, program.terms(), &device);
             println!(
                 "  PHOENIX    : logical 2Q depth {:2} | mapped: {:3} CNOTs, depth {:3}, {:2} SWAPs",
                 hw.logical.depth_2q(),

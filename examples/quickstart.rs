@@ -11,15 +11,11 @@ use phoenix::sim::{circuit_unitary, infidelity, trotter_unitary};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The motivating example of the paper's Fig. 1(b): four weight-3 Pauli
     // exponentiations over the same qubits.
-    let terms: Vec<(PauliString, f64)> = [
-        ("ZYY", 0.12),
-        ("ZZY", -0.34),
-        ("XYY", 0.56),
-        ("XZY", 0.78),
-    ]
-    .iter()
-    .map(|(s, c)| Ok::<_, phoenix::pauli::ParsePauliStringError>((s.parse()?, *c)))
-    .collect::<Result<_, _>>()?;
+    let terms: Vec<(PauliString, f64)> =
+        [("ZYY", 0.12), ("ZZY", -0.34), ("XYY", 0.56), ("XZY", 0.78)]
+            .iter()
+            .map(|(s, c)| Ok::<_, phoenix::pauli::ParsePauliStringError>((s.parse()?, *c)))
+            .collect::<Result<_, _>>()?;
 
     // Conventional synthesis: one CNOT chain per exponentiation.
     let naive = Baseline::Naive.compile_logical(3, &terms);
@@ -51,6 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And the SU(4)-ISA view: the whole group fuses into a few blocks.
     let su4 = compiler.compile_to_su4(3, &terms);
-    println!("SU(4) ISA   : {:3} native 2Q instructions", su4.counts().su4);
+    println!(
+        "SU(4) ISA   : {:3} native 2Q instructions",
+        su4.counts().su4
+    );
     Ok(())
 }

@@ -204,9 +204,7 @@ fn parse_topology(spec: &str, n: usize) -> Result<CouplingGraph, String> {
             Ok(CouplingGraph::line(k))
         }
         s if s.starts_with("grid:") => {
-            let (r, c) = s[5..]
-                .split_once('x')
-                .ok_or("grid spec is grid:RxC")?;
+            let (r, c) = s[5..].split_once('x').ok_or("grid spec is grid:RxC")?;
             let r: usize = r.parse().map_err(|e| format!("bad grid rows: {e}"))?;
             let c: usize = c.parse().map_err(|e| format!("bad grid cols: {e}"))?;
             Ok(CouplingGraph::grid(r, c))

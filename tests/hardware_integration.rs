@@ -22,11 +22,7 @@ fn assert_respects_coupling(c: &Circuit, device: &CouplingGraph, label: &str) {
 fn phoenix_mapped_output_respects_heavy_hex() {
     let device = CouplingGraph::manhattan65();
     let h = uccsd::ansatz(Molecule::lih(), true, uccsd::Encoding::JordanWigner, 7);
-    let hw = PhoenixCompiler::default().compile_hardware_aware(
-        h.num_qubits(),
-        h.terms(),
-        &device,
-    );
+    let hw = PhoenixCompiler::default().compile_hardware_aware(h.num_qubits(), h.terms(), &device);
     assert_respects_coupling(&hw.circuit, &device, "PHOENIX");
     assert!(hw.routing_overhead() >= 1.0);
     assert!(hw.circuit.counts().cnot >= hw.logical.counts().cnot);
@@ -50,11 +46,7 @@ fn baselines_mapped_output_respects_heavy_hex() {
 fn all_to_all_needs_no_routing() {
     let device = CouplingGraph::all_to_all(10);
     let h = uccsd::ansatz(Molecule::lih(), true, uccsd::Encoding::BravyiKitaev, 7);
-    let hw = PhoenixCompiler::default().compile_hardware_aware(
-        h.num_qubits(),
-        h.terms(),
-        &device,
-    );
+    let hw = PhoenixCompiler::default().compile_hardware_aware(h.num_qubits(), h.terms(), &device);
     assert_eq!(hw.num_swaps, 0);
 }
 
@@ -63,11 +55,8 @@ fn smaller_devices_also_work() {
     // Route a 10-qubit program onto a 3×4 grid and a 12-qubit line.
     let h = uccsd::ansatz(Molecule::nh(), true, uccsd::Encoding::JordanWigner, 7);
     for device in [CouplingGraph::grid(3, 4), CouplingGraph::line(12)] {
-        let hw = PhoenixCompiler::default().compile_hardware_aware(
-            h.num_qubits(),
-            h.terms(),
-            &device,
-        );
+        let hw =
+            PhoenixCompiler::default().compile_hardware_aware(h.num_qubits(), h.terms(), &device);
         assert_respects_coupling(&hw.circuit, &device, "grid/line");
         assert!(hw.num_swaps > 0, "sparse devices need swaps");
     }

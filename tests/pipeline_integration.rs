@@ -15,8 +15,7 @@ fn phoenix_beats_original_on_uccsd_suite() {
             continue;
         }
         let naive = Baseline::Naive.compile_logical(h.num_qubits(), h.terms());
-        let phoenix =
-            PhoenixCompiler::default().compile_to_cnot(h.num_qubits(), h.terms());
+        let phoenix = PhoenixCompiler::default().compile_to_cnot(h.num_qubits(), h.terms());
         assert!(
             phoenix.counts().cnot * 2 < naive.counts().cnot,
             "{}: {} vs {}",

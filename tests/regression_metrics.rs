@@ -16,7 +16,11 @@ use phoenix::topology::CouplingGraph;
 fn lih_frz_jw_logical_band() {
     let h = uccsd::ansatz(Molecule::lih(), true, uccsd::Encoding::JordanWigner, 7);
     let naive = Baseline::Naive.compile_logical(h.num_qubits(), h.terms());
-    assert_eq!(naive.counts().cnot, 1376, "naive synthesis is deterministic");
+    assert_eq!(
+        naive.counts().cnot,
+        1376,
+        "naive synthesis is deterministic"
+    );
     let phoenix = PhoenixCompiler::default().compile_to_cnot(h.num_qubits(), h.terms());
     let ratio = phoenix.counts().cnot as f64 / naive.counts().cnot as f64;
     assert!(
@@ -47,7 +51,10 @@ fn compiler_ranking_is_stable() {
     let tetris = count(Baseline::TetrisStyle);
     assert!(phoenix < ph, "{phoenix} vs paulihedral {ph}");
     assert!(phoenix < tket, "{phoenix} vs tket {tket}");
-    assert!(ph < tetris && tket < tetris, "tetris worst at logical level");
+    assert!(
+        ph < tetris && tket < tetris,
+        "tetris worst at logical level"
+    );
     assert!(tetris <= naive);
 }
 
@@ -55,11 +62,7 @@ fn compiler_ranking_is_stable() {
 fn hardware_aware_band_on_heavy_hex() {
     let h = uccsd::ansatz(Molecule::lih(), true, uccsd::Encoding::BravyiKitaev, 7);
     let device = CouplingGraph::manhattan65();
-    let hw = PhoenixCompiler::default().compile_hardware_aware(
-        h.num_qubits(),
-        h.terms(),
-        &device,
-    );
+    let hw = PhoenixCompiler::default().compile_hardware_aware(h.num_qubits(), h.terms(), &device);
     let multiple = hw.routing_overhead();
     assert!(
         (1.2..5.0).contains(&multiple),

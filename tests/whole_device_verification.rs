@@ -72,11 +72,15 @@ fn routed_clifford_circuits_match_logical_state_on_heavy_hex() {
 fn bridge_routing_matches_logical_state() {
     let device = CouplingGraph::manhattan65();
     let logical = random_clifford_circuit(12, 60, 5);
-    let mut opts = RouterOptions::default();
-    opts.use_bridge = true;
+    let opts = RouterOptions {
+        use_bridge: true,
+        ..RouterOptions::default()
+    };
     let layout = search_layout(&logical, &device, &opts, 2);
     let routed = route(&logical, &device, layout, &opts);
-    let ref_state = StabilizerState::zero(12).evolved(&logical).expect("clifford");
+    let ref_state = StabilizerState::zero(12)
+        .evolved(&logical)
+        .expect("clifford");
     let phys_state = StabilizerState::zero(65)
         .evolved(&routed.circuit)
         .expect("clifford");
@@ -84,7 +88,10 @@ fn bridge_routing_matches_logical_state() {
     for _ in 0..20 {
         let mut obs = PauliString::identity(12);
         for q in 0..12 {
-            obs.set(q, [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z][rng.next_below(4)]);
+            obs.set(
+                q,
+                [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z][rng.next_below(4)],
+            );
         }
         let placement: Vec<usize> = (0..12).map(|q| routed.final_layout.phys(q)).collect();
         let phys_obs = obs.embed(65, &placement);

@@ -1,0 +1,215 @@
+//! A minimal, self-contained stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the benchmark-harness surface it uses: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark runs one
+//! warm-up iteration plus `sample_size` timed iterations and prints the
+//! mean/min wall-clock time — enough to compare implementations locally.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark harness root.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("[bench group] {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&name.into(), self.sample_size, &mut f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group (a no-op beyond parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, usually `BenchmarkId::new(function, parameter)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warm-up draw.
+        std_black_box(routine());
+        for _ in 0..self.budget {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("  {label}: no samples");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().expect("nonempty samples");
+    eprintln!(
+        "  {label}: mean {:.3} ms, min {:.3} ms ({} samples)",
+        mean.as_secs_f64() * 1e3,
+        min.as_secs_f64() * 1e3,
+        b.samples.len(),
+    );
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_function("count", |b| {
+            b.iter(|| runs += 1);
+        });
+        g.finish();
+        // 1 warm-up + 3 timed.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("id", 42), &41usize, |b, &x| {
+            b.iter(|| assert_eq!(x + 1, 42));
+        });
+        g.finish();
+    }
+}

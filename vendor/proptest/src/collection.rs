@@ -1,0 +1,105 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for [`vec`]: a fixed `usize`, `lo..hi`, or
+/// `lo..=hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range {r:?}");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range {r:?}");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Generates a `Vec` whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let span = self.size.hi - self.size.lo;
+        let len = self.size.lo + rng.next_below(span as u64 + 1) as usize;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Redraw rejected elements a bounded number of times before
+            // rejecting the whole vector.
+            let mut element = None;
+            for _ in 0..100 {
+                if let Some(v) = self.element.generate(rng) {
+                    element = Some(v);
+                    break;
+                }
+            }
+            out.push(element?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_from_all_three_forms() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            assert_eq!(vec(0usize..5, 3usize).generate(&mut rng).unwrap().len(), 3);
+            let l = vec(0usize..5, 1..4).generate(&mut rng).unwrap().len();
+            assert!((1..4).contains(&l));
+            let l = vec(0usize..5, 1..=4).generate(&mut rng).unwrap().len();
+            assert!((1..=4).contains(&l));
+        }
+    }
+
+    #[test]
+    fn filtered_elements_redraw() {
+        let mut rng = TestRng::new(13);
+        let s = vec((0usize..10).prop_filter("even", |v| v % 2 == 0), 4usize);
+        let v = s.generate(&mut rng).unwrap();
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|x| x % 2 == 0));
+    }
+}

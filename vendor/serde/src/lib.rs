@@ -1,0 +1,326 @@
+//! A minimal, self-contained stand-in for the `serde` crate.
+//!
+//! This build environment has no crates.io access, so the workspace vendors
+//! the small slice of serde it actually uses: a self-describing [`Content`]
+//! tree, [`Serialize`]/[`Deserialize`] traits that convert to and from it,
+//! and derive macros (re-exported from the sibling `serde_derive` stub) for
+//! plain structs with named fields.
+//!
+//! The data model is deliberately tiny — exactly what JSON can express —
+//! because the only consumer in this workspace is `serde_json`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// A self-describing serialized value: the stub's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer (all Rust integer types funnel here).
+    Int(i64),
+    /// A non-integral or explicitly floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence (JSON array).
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (JSON object). Insertion order is
+    /// preserved so serialization is deterministic.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a [`Content::Map`].
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::Int(i) => Some(*i as f64),
+            Content::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization into the [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization out of the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the tree's shape does not
+    /// match `Self`.
+    fn from_content(content: &Content) -> Result<Self, String>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match content {
+                    Content::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| format!("integer {i} out of range for {}", stringify!($t))),
+                    other => Err(format!("expected integer, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                match content {
+                    Content::Float(f) => Ok(*f as $t),
+                    Content::Int(i) => Ok(*i as $t),
+                    other => Err(format!("expected number, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        Ok(content.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Seq(v) => v.iter().map(T::from_content).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| V::from_content(v).map(|v| (k.clone(), v)))
+                .collect(),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                const LEN: usize = [$($idx),+].len();
+                match content {
+                    Content::Seq(v) if v.len() == LEN => {
+                        Ok(($($name::from_content(&v[$idx])?,)+))
+                    }
+                    other => Err(format!("expected {LEN}-tuple, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(usize::from_content(&42usize.to_content()).unwrap(), 42);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert!(bool::from_content(&true.to_content()).unwrap());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1usize, 2.0f64), (3, 4.0)];
+        let back: Vec<(usize, f64)> = Vec::from_content(&v.to_content()).unwrap();
+        assert_eq!(back, v);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        let back: BTreeMap<String, u64> = BTreeMap::from_content(&m.to_content()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(Option::<u32>::None.to_content(), Content::Null);
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(Some(3u32).to_content(), Content::Int(3));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        assert!(u32::from_content(&Content::Str("x".into())).is_err());
+        assert!(u8::from_content(&Content::Int(300)).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! Supports exactly what this workspace needs: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` on non-generic structs with named fields. The
+//! input is parsed directly from the token stream (the environment has no
+//! crates.io access, so `syn`/`quote` are unavailable).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let fields: String = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(::std::vec![{fields}])\n\
+             }}\n\
+         }}",
+        name = s.name,
+    )
+    .parse()
+    .expect("derived Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let fields: String = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: {{\n\
+                     let v = map.iter().find(|(k, _)| k == \"{f}\")\n\
+                         .ok_or_else(|| ::std::format!(\"missing field `{f}` in {name}\"))?;\n\
+                     ::serde::Deserialize::from_content(&v.1)?\n\
+                 }},",
+                name = s.name,
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 let map = match content {{\n\
+                     ::serde::Content::Map(m) => m,\n\
+                     other => return ::std::result::Result::Err(\n\
+                         ::std::format!(\"expected object for {name}, got {{other:?}}\")),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{ {fields} }})\n\
+             }}\n\
+         }}",
+        name = s.name,
+    )
+    .parse()
+    .expect("derived Deserialize impl parses")
+}
+
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and its named-field identifiers from a derive
+/// input stream. Panics (a compile error at the derive site) on tuple
+/// structs, enums, or generic structs — none of which this workspace
+/// serializes.
+fn parse_struct(input: TokenStream) -> StructDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility, find `struct Name`.
+    let mut name = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match &tokens[i + 1] {
+                    TokenTree::Ident(n) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, got {other}"),
+                }
+                i += 2;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = name.expect("derive input contains `struct`");
+
+    // The next top-level token must be the `{ ... }` field group (generics
+    // and tuple structs are unsupported).
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("#[derive(Serialize/Deserialize)] stub does not support generic structs")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("#[derive(Serialize/Deserialize)] stub does not support tuple structs")
+            }
+            Some(_) => i += 1,
+            None => panic!(
+                "#[derive(Serialize/Deserialize)] stub supports only structs with named fields"
+            ),
+        }
+    };
+
+    // Walk the field list: [attrs] [vis] name `:` type `,`
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        // Skip field attributes (`#[...]`, includes doc comments).
+        while matches!(&body[j], TokenTree::Punct(p) if p.as_char() == '#') {
+            j += 2;
+        }
+        // Skip visibility.
+        if matches!(&body[j], TokenTree::Ident(id) if id.to_string() == "pub") {
+            j += 1;
+            if matches!(&body[j], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                j += 1; // `pub(crate)` etc.
+            }
+        }
+        match &body[j] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("expected field name, got {other}"),
+        }
+        j += 1; // past the name
+        assert!(
+            matches!(&body[j], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field name"
+        );
+        j += 1;
+        // Skip the type up to the next top-level comma. Angle brackets are
+        // plain punctuation in token streams, so track their nesting.
+        let mut angle = 0i32;
+        while j < body.len() {
+            match &body[j] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    StructDef { name, fields }
+}
