@@ -1,0 +1,135 @@
+//! Perf-regression harness for stage 2 (Algorithm 1 BSF simplification).
+//!
+//! Times the incremental [`CostEvaluator`]-backed candidate scan against the
+//! naive clone-and-rescore reference on the UCCSD molecules, plus the
+//! end-to-end logical compile, and writes `results/BENCH_stage2.json`.
+//! While timing it also cross-checks that both paths produce identical
+//! `SimplifiedGroup`s, so a perf run doubles as an exactness check.
+//!
+//! Usage: `perfbench [--quick]` — `--quick` runs one repetition of LiH only
+//! (the CI smoke configuration).
+
+use phoenix_bench::{row, write_results, SEED};
+use phoenix_core::group::group_by_support;
+use phoenix_core::simplify::simplify_terms_with;
+use phoenix_core::{PhoenixCompiler, SimplifiedGroup, SimplifyOptions};
+use phoenix_hamil::{uccsd, Molecule};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: String,
+    qubits: usize,
+    groups: usize,
+    reps: usize,
+    /// Stage-2 wall-clock with the naive clone-and-rescore evaluator ("before").
+    stage2_naive_ms: f64,
+    /// Stage-2 wall-clock with the incremental evaluator ("after").
+    stage2_incremental_ms: f64,
+    /// naive / incremental.
+    stage2_speedup: f64,
+    /// End-to-end `compile_to_cnot` wall-clock (incremental evaluator).
+    end_to_end_ms: f64,
+}
+
+/// Runs stage 2 over every group, returning (best wall-clock over `reps`
+/// runs in ms, outputs of the last run).
+fn time_stage2(
+    n: usize,
+    groups: &[phoenix_core::IrGroup],
+    opts: &SimplifyOptions,
+    reps: usize,
+) -> (f64, Vec<SimplifiedGroup>) {
+    let mut best = f64::INFINITY;
+    let mut out = Vec::new();
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = groups
+            .iter()
+            .map(|g| simplify_terms_with(n, g.terms(), opts))
+            .collect();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 1 } else { 3 };
+    let molecules: &[(Molecule, bool, &str)] = if quick {
+        &[(Molecule::lih(), true, "LiH_frz")]
+    } else {
+        &[
+            (Molecule::lih(), true, "LiH_frz"),
+            (Molecule::nh(), true, "NH_frz"),
+            (Molecule::h2o(), false, "H2O_cmplt"),
+        ]
+    };
+
+    println!("# Stage-2 perf regression: naive vs incremental candidate evaluation\n");
+    println!(
+        "{}",
+        row(&[
+            "Benchmark",
+            "#Qubit",
+            "#Group",
+            "naive ms",
+            "incr ms",
+            "speedup",
+            "e2e ms"
+        ]
+        .map(String::from))
+    );
+    println!("{}", row(&vec!["---".to_string(); 7]));
+
+    let naive_opts = SimplifyOptions {
+        naive_cost: true,
+        ..SimplifyOptions::default()
+    };
+    let incr_opts = SimplifyOptions::default();
+
+    let mut rows = Vec::new();
+    for &(mol, frozen, label) in molecules {
+        let h = uccsd::ansatz(mol, frozen, uccsd::Encoding::JordanWigner, SEED);
+        let n = h.num_qubits();
+        let groups = group_by_support(n, h.terms());
+
+        let (naive_ms, naive_out) = time_stage2(n, &groups, &naive_opts, reps);
+        let (incr_ms, incr_out) = time_stage2(n, &groups, &incr_opts, reps);
+        assert_eq!(naive_out, incr_out, "{label}: evaluator paths diverge");
+
+        let mut e2e_ms = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let _ = PhoenixCompiler::default().compile_to_cnot(n, h.terms());
+            e2e_ms = e2e_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+
+        let speedup = naive_ms / incr_ms;
+        println!(
+            "{}",
+            row(&[
+                label.to_string(),
+                n.to_string(),
+                groups.len().to_string(),
+                format!("{naive_ms:.2}"),
+                format!("{incr_ms:.2}"),
+                format!("{speedup:.2}x"),
+                format!("{e2e_ms:.2}"),
+            ])
+        );
+        rows.push(Row {
+            benchmark: label.to_string(),
+            qubits: n,
+            groups: groups.len(),
+            reps,
+            stage2_naive_ms: naive_ms,
+            stage2_incremental_ms: incr_ms,
+            stage2_speedup: speedup,
+            end_to_end_ms: e2e_ms,
+        });
+    }
+
+    write_results("BENCH_stage2", &rows);
+}

@@ -1,0 +1,524 @@
+//! Allocation-free incremental evaluation of the Eq. (6) cost for the
+//! Algorithm 1 candidate search.
+//!
+//! The naive search scores each `Clifford2Q` candidate by conjugating a full
+//! copy of the tableau (`bsf.conjugated(cand)`) and re-running the O(R²)
+//! pairwise sweep of [`cost_bsf`] — a heap allocation plus quadratic work
+//! for every one of the ~`6·s²·2` candidates of an epoch. This module
+//! exploits two structural facts to replace that with O(R) work per qubit
+//! pair and O(1) work per candidate:
+//!
+//! 1. **Locality of conjugation.** A `Clifford2Q` on qubits `(a, b)` only
+//!    rewrites bits `a` and `b` of each row ([`Bsf::apply_clifford2q`]), so
+//!    every component of Eq. (6) splits into a part over the *other* bits —
+//!    invariant under all 12 candidates of the pair — plus a part derivable
+//!    from each row's 4-bit `(x_a, z_a, x_b, z_b)` nibble.
+//!
+//! 2. **Column decomposition of the pairwise sums.** For any bit `q` with
+//!    column count `c_q` (rows having the bit set),
+//!    `Σ_{i<j} [q ∈ m_i ∨ m_j] = C(R,2) − C(R−c_q,2)`, so the pairwise
+//!    union-popcount sums of Eq. (6) are per-bit functions of column
+//!    counts: no row pair is ever enumerated.
+//!
+//! Concretely, [`CostEvaluator::prepare`] makes one O(R·w) pass computing
+//! per-qubit column counts and per-row weights; each qubit pair then gets
+//! one O(R) pass bucketing rows into the 16 nibble classes (× 3 capped
+//! rest-weight classes for the nonlocal count), after which every generator
+//! and orientation is scored from the class counts through the cached
+//! [`Clifford2QKind::nibble_map`] in O(16). All scratch lives on the stack
+//! or in buffers reused across epochs — the scan allocates nothing.
+//!
+//! **Exactness:** every quantity is assembled as the same integers the
+//! naive path counts, then combined with the identical float expression, so
+//! costs are bit-identical and — with the tie-breaking described on
+//! [`CostEvaluator::best_candidate`] — the argmin is the identical
+//! candidate. Debug builds cross-check the winner against the naive path.
+
+#[cfg(debug_assertions)]
+use crate::cost::cost_bsf;
+use phoenix_pauli::{nibble_weight, Bsf, Clifford2Q, CLIFFORD2Q_GENERATORS};
+
+/// Rest-weight classes per nibble: 0, 1, or ≥2 qubits of support outside
+/// the candidate pair (capped — only "does the row stay nonlocal" matters).
+const REST_CLASSES: usize = 3;
+
+/// Per-pair scan context: class counts plus the pair-invariant partial sums
+/// of Eq. (6). Lives on the stack.
+struct PairCtx {
+    /// Row counts per `(nibble, capped rest weight)` class.
+    cls: [u32; 16 * REST_CLASSES],
+    /// Row counts per nibble (the `cls` row-sums, kept for the O(16) scan).
+    nib_cnt: [u32; 16],
+    /// `Σ_{i<j} ‖(s_i ∨ s_j) \ {a,b}‖` — support-union pairs off the pair.
+    rest_s: u64,
+    /// Same for the X blocks.
+    rest_x: u64,
+    /// Same for the Z blocks.
+    rest_z: u64,
+    /// Total weight contributed by qubits outside `{a, b}`.
+    w_rest: u64,
+}
+
+/// Incremental evaluator for the Eq. (6) cost under 2Q Clifford candidates.
+///
+/// Usage: call [`prepare`](CostEvaluator::prepare) after every tableau
+/// mutation, then any number of [`current_cost`](CostEvaluator::current_cost)
+/// / [`candidate_cost`](CostEvaluator::candidate_cost) /
+/// [`best_candidate`](CostEvaluator::best_candidate) /
+/// [`progress_candidate`](CostEvaluator::progress_candidate) queries.
+/// Buffers are reused across `prepare` calls, so one evaluator per
+/// simplification loop allocates only on its first epoch.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_core::cost::cost_bsf;
+/// use phoenix_core::CostEvaluator;
+/// use phoenix_pauli::{Bsf, Clifford2Q, Clifford2QKind, PauliString};
+///
+/// let bsf = Bsf::from_terms(3, vec![("ZYY".parse::<PauliString>()?, 1.0)])?;
+/// let mut eval = CostEvaluator::new();
+/// eval.prepare(&bsf);
+/// let cand = Clifford2Q::new(Clifford2QKind::Cxy, 1, 2);
+/// assert_eq!(eval.candidate_cost(&bsf, cand), cost_bsf(&bsf.conjugated(cand)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CostEvaluator {
+    /// Number of rows of the prepared tableau.
+    rows: u64,
+    /// Per-qubit X-block column counts.
+    col_x: Vec<u32>,
+    /// Per-qubit Z-block column counts.
+    col_z: Vec<u32>,
+    /// Per-qubit support (X∨Z) column counts.
+    col_s: Vec<u32>,
+    /// Per-row weights.
+    row_weight: Vec<u32>,
+    /// Qubits with any support, ascending (the candidate pair universe).
+    support: Vec<usize>,
+    /// `Σ_q (C(R,2) − C(R−c_q^s,2))` — the full pairwise support sum.
+    sum_s: u64,
+    /// Same for the X blocks.
+    sum_x: u64,
+    /// Same for the Z blocks.
+    sum_z: u64,
+    /// The paper's `w_tot` (Eq. (4)).
+    w_tot: u64,
+    /// The paper's `n_n.l.` — rows of weight > 1.
+    n_nl: u64,
+}
+
+/// `C(k, 2)` in u64.
+#[inline]
+fn pairs2(k: u64) -> u64 {
+    k * k.saturating_sub(1) / 2
+}
+
+impl CostEvaluator {
+    /// An empty evaluator; call [`prepare`](CostEvaluator::prepare) before
+    /// querying.
+    pub fn new() -> Self {
+        CostEvaluator::default()
+    }
+
+    /// Rebuilds column counts, row weights, and the Eq. (6) partial sums
+    /// from `bsf` in one O(R·w) pass. Must be called after every tableau
+    /// mutation and before any query.
+    pub fn prepare(&mut self, bsf: &Bsf) {
+        let n = bsf.num_qubits();
+        self.rows = bsf.rows().len() as u64;
+        for col in [&mut self.col_x, &mut self.col_z, &mut self.col_s] {
+            col.clear();
+            col.resize(n, 0);
+        }
+        self.row_weight.clear();
+        self.n_nl = 0;
+        for row in bsf.rows() {
+            let w = row.weight() as u32;
+            self.row_weight.push(w);
+            if w > 1 {
+                self.n_nl += 1;
+            }
+            let mut m = row.x_mask();
+            while m != 0 {
+                self.col_x[m.trailing_zeros() as usize] += 1;
+                m &= m - 1;
+            }
+            let mut m = row.z_mask();
+            while m != 0 {
+                self.col_z[m.trailing_zeros() as usize] += 1;
+                m &= m - 1;
+            }
+            let mut m = row.support_mask();
+            while m != 0 {
+                self.col_s[m.trailing_zeros() as usize] += 1;
+                m &= m - 1;
+            }
+        }
+        self.support.clear();
+        self.sum_s = 0;
+        self.sum_x = 0;
+        self.sum_z = 0;
+        for q in 0..n {
+            if self.col_s[q] > 0 {
+                self.support.push(q);
+            }
+            self.sum_s += self.union_pairs(self.col_s[q]);
+            self.sum_x += self.union_pairs(self.col_x[q]);
+            self.sum_z += self.union_pairs(self.col_z[q]);
+        }
+        self.w_tot = self.support.len() as u64;
+    }
+
+    /// Pairs of rows whose union has a bit with column count `c`:
+    /// `C(R,2) − C(R−c,2)`.
+    #[inline]
+    fn union_pairs(&self, c: u32) -> u64 {
+        pairs2(self.rows) - pairs2(self.rows - c as u64)
+    }
+
+    /// The Eq. (6) cost of the prepared tableau, bit-identical to
+    /// [`cost_bsf`] on it.
+    pub fn current_cost(&self) -> f64 {
+        let n_nl = self.n_nl as f64;
+        self.w_tot as f64 * n_nl * n_nl + self.sum_s as f64 + 0.5 * (self.sum_x + self.sum_z) as f64
+    }
+
+    /// Builds the per-pair scan context for ordered qubits `(a, b)`: one
+    /// O(R) pass over the rows plus O(1) column-count arithmetic.
+    fn pair_ctx(&self, bsf: &Bsf, a: usize, b: usize) -> PairCtx {
+        debug_assert_eq!(self.rows as usize, bsf.rows().len(), "prepare() is stale");
+        let mut cls = [0u32; 16 * REST_CLASSES];
+        let mut nib_cnt = [0u32; 16];
+        for (row, &w) in bsf.rows().iter().zip(&self.row_weight) {
+            let nib = row.nibble(a, b);
+            let rest = (w as usize - nibble_weight(nib)).min(REST_CLASSES - 1);
+            cls[nib * REST_CLASSES + rest] += 1;
+            nib_cnt[nib] += 1;
+        }
+        PairCtx {
+            cls,
+            nib_cnt,
+            rest_s: self.sum_s - self.union_pairs(self.col_s[a]) - self.union_pairs(self.col_s[b]),
+            rest_x: self.sum_x - self.union_pairs(self.col_x[a]) - self.union_pairs(self.col_x[b]),
+            rest_z: self.sum_z - self.union_pairs(self.col_z[a]) - self.union_pairs(self.col_z[b]),
+            w_rest: self.w_tot - (self.col_s[a] > 0) as u64 - (self.col_s[b] > 0) as u64,
+        }
+    }
+
+    /// Scores one candidate (a generator's oriented nibble map) against a
+    /// pair context in O(16), assembling the exact integers of [`cost_bsf`].
+    fn score(&self, ctx: &PairCtx, map: &[u8; 16]) -> f64 {
+        let (mut cax, mut caz, mut cbx, mut cbz, mut cas, mut cbs) =
+            (0u32, 0u32, 0u32, 0u32, 0u32, 0u32);
+        let mut n_nl = 0u64;
+        for (nib, &mapped) in map.iter().enumerate() {
+            let cnt = ctx.nib_cnt[nib];
+            if cnt == 0 {
+                continue;
+            }
+            let out = mapped as usize;
+            cax += cnt * (out & 1) as u32;
+            caz += cnt * ((out >> 1) & 1) as u32;
+            cbx += cnt * ((out >> 2) & 1) as u32;
+            cbz += cnt * ((out >> 3) & 1) as u32;
+            cas += cnt * (out & 0b0011 != 0) as u32;
+            cbs += cnt * (out & 0b1100 != 0) as u32;
+            // A row stays nonlocal iff rest weight + output nibble weight ≥ 2.
+            let base = nib * REST_CLASSES;
+            n_nl += match nibble_weight(out) {
+                0 => ctx.cls[base + 2] as u64,
+                1 => (ctx.cls[base + 1] + ctx.cls[base + 2]) as u64,
+                _ => cnt as u64,
+            };
+        }
+        let pair_support = ctx.rest_s + self.union_pairs(cas) + self.union_pairs(cbs);
+        let pair_blocks = ctx.rest_x
+            + ctx.rest_z
+            + self.union_pairs(cax)
+            + self.union_pairs(cbx)
+            + self.union_pairs(caz)
+            + self.union_pairs(cbz);
+        let w_tot = ctx.w_rest + (cas > 0) as u64 + (cbs > 0) as u64;
+        let n_nl = n_nl as f64;
+        w_tot as f64 * n_nl * n_nl + pair_support as f64 + 0.5 * pair_blocks as f64
+    }
+
+    /// The Eq. (6) cost of `bsf.conjugated(cand)`, bit-identical to
+    /// `cost_bsf(&bsf.conjugated(cand))` — without materializing the
+    /// conjugated tableau.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if [`prepare`](CostEvaluator::prepare) was
+    /// not called for this exact tableau.
+    pub fn candidate_cost(&self, bsf: &Bsf, cand: Clifford2Q) -> f64 {
+        let (a, b) = (cand.a.min(cand.b), cand.a.max(cand.b));
+        let ctx = self.pair_ctx(bsf, a, b);
+        self.score(&ctx, cand.kind.nibble_map(cand.a > cand.b))
+    }
+
+    /// The greedy choice of Algorithm 1: the generator/qubit-pair/orientation
+    /// minimizing Eq. (6) on the conjugated tableau.
+    ///
+    /// Ties are broken exactly as the naive kind-major scan does — by the
+    /// lexicographic visiting order (generator index, support-pair rank,
+    /// orientation) — so the returned candidate is *identical* to the naive
+    /// path's, not merely equally good.
+    pub fn best_candidate(&self, bsf: &Bsf) -> Option<(Clifford2Q, f64)> {
+        self.best_candidate_scan(bsf, 1)
+    }
+
+    /// [`best_candidate`](CostEvaluator::best_candidate) with the pair scan
+    /// fanned out over `threads` scoped OS threads (`0` = one per core,
+    /// `1` = sequential). Each worker reduces its pair range to a local
+    /// minimum under the same total order, so the result is identical for
+    /// every thread count.
+    pub fn best_candidate_scan(&self, bsf: &Bsf, threads: usize) -> Option<(Clifford2Q, f64)> {
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        };
+        let num_pairs = pairs2(self.support.len() as u64) as usize;
+        let best = if threads <= 1 || num_pairs < 2 * threads {
+            self.scan_pair_range(bsf, 0, num_pairs)
+        } else {
+            let threads = threads.min(num_pairs);
+            let chunk = num_pairs.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(num_pairs);
+                        scope.spawn(move || self.scan_pair_range(bsf, lo, hi))
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .filter_map(|w| w.join().expect("scan worker panicked"))
+                    .min_by(|x, y| {
+                        (x.0, x.1)
+                            .partial_cmp(&(y.0, y.1))
+                            .expect("Eq. (6) costs are never NaN")
+                    })
+            })
+        };
+        let result = best.map(|(cost, _, cand)| (cand, cost));
+        #[cfg(debug_assertions)]
+        if let Some((cand, cost)) = result {
+            debug_assert_eq!(
+                cost.to_bits(),
+                cost_bsf(&bsf.conjugated(cand)).to_bits(),
+                "incremental cost diverged from the naive path for {cand}"
+            );
+        }
+        result
+    }
+
+    /// Scans support-pair ranks `lo..hi` over all generators/orientations,
+    /// returning the local minimum keyed by
+    /// `(cost, (generator index, pair rank, orientation))`.
+    #[allow(clippy::type_complexity)]
+    fn scan_pair_range(
+        &self,
+        bsf: &Bsf,
+        lo: usize,
+        hi: usize,
+    ) -> Option<(f64, (usize, usize, usize), Clifford2Q)> {
+        let mut best: Option<(f64, (usize, usize, usize), Clifford2Q)> = None;
+        let mut rank = 0usize;
+        for (ia, &a) in self.support.iter().enumerate() {
+            for &b in &self.support[ia + 1..] {
+                let pair_rank = rank;
+                rank += 1;
+                if pair_rank < lo {
+                    continue;
+                }
+                if pair_rank >= hi {
+                    return best;
+                }
+                let ctx = self.pair_ctx(bsf, a, b);
+                for (k, &kind) in CLIFFORD2Q_GENERATORS.iter().enumerate() {
+                    let orientations = if kind.sigma0() == kind.sigma1() { 1 } else { 2 };
+                    for o in 0..orientations {
+                        let cost = self.score(&ctx, kind.nibble_map(o == 1));
+                        let key = (k, pair_rank, o);
+                        if best
+                            .as_ref()
+                            .is_none_or(|&(bc, bk, _)| cost < bc || (cost == bc && key < bk))
+                        {
+                            let (x, y) = if o == 0 { (a, b) } else { (b, a) };
+                            best = Some((cost, key, Clifford2Q::new(kind, x, y)));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The guaranteed-progress fallback: strictly reduce the heaviest row's
+    /// weight, breaking ties by Eq. (6) and then by the naive visiting
+    /// order. Identical to the naive path's choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tableau is empty or no weight-reducing Clifford exists
+    /// (impossible for rows of weight ≥ 2).
+    pub fn progress_candidate(&self, bsf: &Bsf) -> Clifford2Q {
+        let heavy = bsf
+            .rows()
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| r.weight())
+            .map(|(i, _)| i)
+            .expect("nonempty tableau");
+        let row = bsf.rows()[heavy];
+        let old_w = row.weight();
+        type Entry = ((usize, f64), (usize, usize, usize), Clifford2Q);
+        let mut best: Option<Entry> = None;
+        let mut pair_rank = 0usize;
+        let mut ma = row.support_mask();
+        while ma != 0 {
+            let a = ma.trailing_zeros() as usize;
+            ma &= ma - 1;
+            let mut mb = ma;
+            while mb != 0 {
+                let b = mb.trailing_zeros() as usize;
+                mb &= mb - 1;
+                let ctx = self.pair_ctx(bsf, a, b);
+                let nib = row.nibble(a, b);
+                let rest_w = old_w - nibble_weight(nib);
+                for (k, &kind) in CLIFFORD2Q_GENERATORS.iter().enumerate() {
+                    // The naive fallback tries both orientations even for
+                    // symmetric generators; mirror that exactly.
+                    for o in 0..2 {
+                        let map = kind.nibble_map(o == 1);
+                        let w = rest_w + nibble_weight(map[nib] as usize);
+                        if w >= old_w {
+                            continue;
+                        }
+                        let cost = self.score(&ctx, map);
+                        let val = (w, cost);
+                        let key = (k, pair_rank, o);
+                        if best
+                            .as_ref()
+                            .is_none_or(|&(bv, bk, _)| val < bv || (val == bv && key < bk))
+                        {
+                            let (x, y) = if o == 0 { (a, b) } else { (b, a) };
+                            best = Some((val, key, Clifford2Q::new(kind, x, y)));
+                        }
+                    }
+                }
+                pair_rank += 1;
+            }
+        }
+        let cand = best
+            .expect("a weight-reducing clifford always exists for weight ≥ 2 rows")
+            .2;
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            bsf.conjugated(cand).rows()[heavy].weight() < old_w,
+            "progress candidate {cand} failed to reduce the heavy row"
+        );
+        cand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::cost_bsf;
+    use phoenix_pauli::PauliString;
+
+    fn bsf(labels: &[&str]) -> Bsf {
+        let n = labels[0].len();
+        Bsf::from_terms(
+            n,
+            labels
+                .iter()
+                .enumerate()
+                .map(|(i, l)| (l.parse::<PauliString>().unwrap(), 0.1 * (i + 1) as f64)),
+        )
+        .unwrap()
+    }
+
+    fn all_candidates(n: usize) -> Vec<Clifford2Q> {
+        let mut out = Vec::new();
+        for kind in CLIFFORD2Q_GENERATORS {
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b {
+                        out.push(Clifford2Q::new(kind, a, b));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn candidate_cost_matches_naive_on_fig1b() {
+        let bsf = bsf(&["ZYY", "ZZY", "XYY", "XZY"]);
+        let mut eval = CostEvaluator::new();
+        eval.prepare(&bsf);
+        for cand in all_candidates(3) {
+            assert_eq!(
+                eval.candidate_cost(&bsf, cand).to_bits(),
+                cost_bsf(&bsf.conjugated(cand)).to_bits(),
+                "{cand}"
+            );
+        }
+    }
+
+    #[test]
+    fn current_cost_matches_naive() {
+        for labels in [
+            vec!["ZYY", "ZZY", "XYY", "XZY"],
+            vec!["XXXX", "YYII", "ZZZZ", "XYZX"],
+            vec!["XZZY", "YIZZ"],
+            vec!["ZIIII"],
+        ] {
+            let b = bsf(&labels);
+            let mut eval = CostEvaluator::new();
+            eval.prepare(&b);
+            assert_eq!(eval.current_cost().to_bits(), cost_bsf(&b).to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_tableau_costs_zero_and_has_no_candidates() {
+        let b = Bsf::new(4);
+        let mut eval = CostEvaluator::new();
+        eval.prepare(&b);
+        assert_eq!(eval.current_cost(), 0.0);
+        assert!(eval.best_candidate(&b).is_none());
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let b = bsf(&["XXYYZ", "YZXZI", "ZZZXX", "XYIYX", "IXYZX"]);
+        let mut eval = CostEvaluator::new();
+        eval.prepare(&b);
+        let seq = eval.best_candidate(&b);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                eval.best_candidate_scan(&b, threads),
+                seq,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn prepare_is_reusable_across_mutations() {
+        let mut b = bsf(&["ZYY", "ZZY", "XYY", "XZY"]);
+        let mut eval = CostEvaluator::new();
+        eval.prepare(&b);
+        let (cand, _) = eval.best_candidate(&b).unwrap();
+        b.apply_clifford2q(cand);
+        eval.prepare(&b);
+        assert_eq!(eval.current_cost().to_bits(), cost_bsf(&b).to_bits());
+    }
+}

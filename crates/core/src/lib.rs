@@ -41,6 +41,7 @@
 //! ```
 
 pub mod cost;
+pub mod evaluator;
 pub mod group;
 pub mod order;
 pub mod pass;
@@ -50,11 +51,12 @@ pub mod simplify;
 mod strategy;
 pub mod synth;
 
+pub use evaluator::CostEvaluator;
 pub use group::IrGroup;
 pub use pass::{CompileContext, Pass, PassError, PassManager, PassTrace};
 pub use pipeline::{
     hardware_backend, run_hardware_backend, run_hardware_backend_with_trace, CompiledProgram,
     HardwareProgram, PhoenixCompiler, PhoenixOptions,
 };
-pub use simplify::{CfgItem, SimplifiedGroup};
+pub use simplify::{CfgItem, SimplifiedGroup, SimplifyOptions};
 pub use strategy::CompilerStrategy;

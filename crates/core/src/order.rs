@@ -84,10 +84,34 @@ impl Frontier {
 
     /// 2Q layers added if `c` were appended (ASAP scheduling), without
     /// mutating the frontier.
+    ///
+    /// Tracks trial layers only for the qubits `c` actually touches (a
+    /// stack mask + scratch array) instead of cloning the full per-qubit
+    /// layer vector for every ordering candidate.
     pub fn depth_added(&self, c: &Circuit) -> usize {
-        let mut trial = self.clone();
-        trial.push(c);
-        trial.depth - self.depth
+        let mut touched = 0u128;
+        let mut trial = [0usize; 128];
+        let mut depth = self.depth;
+        for g in c.gates() {
+            if let (a, Some(b)) = g.qubits() {
+                let la = if touched >> a & 1 == 1 {
+                    trial[a]
+                } else {
+                    self.layers[a]
+                };
+                let lb = if touched >> b & 1 == 1 {
+                    trial[b]
+                } else {
+                    self.layers[b]
+                };
+                let layer = la.max(lb) + 1;
+                trial[a] = layer;
+                trial[b] = layer;
+                touched |= (1u128 << a) | (1u128 << b);
+                depth = depth.max(layer);
+            }
+        }
+        depth - self.depth
     }
 }
 

@@ -27,7 +27,7 @@ use phoenix_router::{route, search_layout, RouterOptions};
 use crate::group::{group_by_support, IrGroup};
 use crate::order::{order_groups, OrderOptions};
 use crate::pass::{CompileContext, Pass, PassError};
-use crate::simplify::simplify_terms;
+use crate::simplify::{simplify_terms_with, SimplifyOptions};
 use crate::synth::synthesize_group;
 
 /// Stage 1: partition the terms into IR groups by qubit support.
@@ -59,6 +59,10 @@ pub struct SimplifySynthPass {
     pub simplify: bool,
     /// Worker threads (`0` = auto, `1` = sequential).
     pub threads: usize,
+    /// Per-group candidate-scan worker threads (`0` = auto, `1` =
+    /// sequential), composing multiplicatively with `threads`. The output
+    /// is identical for every value.
+    pub scan_threads: usize,
 }
 
 impl Default for SimplifySynthPass {
@@ -66,6 +70,7 @@ impl Default for SimplifySynthPass {
         SimplifySynthPass {
             simplify: true,
             threads: 1,
+            scan_threads: 1,
         }
     }
 }
@@ -75,9 +80,10 @@ impl SimplifySynthPass {
         n: usize,
         group: &IrGroup,
         simplify: bool,
+        opts: &SimplifyOptions,
     ) -> (Circuit, Vec<(PauliString, f64)>) {
         if simplify {
-            let s = simplify_terms(n, group.terms());
+            let s = simplify_terms_with(n, group.terms(), opts);
             (synthesize_group(&s), s.term_sequence())
         } else {
             (
@@ -100,6 +106,10 @@ impl Pass for SimplifySynthPass {
     fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
         let n = ctx.num_qubits;
         let groups = &ctx.groups;
+        let opts = SimplifyOptions {
+            scan_threads: self.scan_threads,
+            ..SimplifyOptions::default()
+        };
         let threads = match self.threads {
             0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
             t => t,
@@ -109,7 +119,7 @@ impl Pass for SimplifySynthPass {
         let (subcircuits, group_terms) = if threads <= 1 {
             groups
                 .iter()
-                .map(|g| Self::compile_group(n, g, self.simplify))
+                .map(|g| Self::compile_group(n, g, self.simplify, &opts))
                 .unzip()
         } else {
             let mut slots: Vec<Option<GroupResult>> = vec![None; groups.len()];
@@ -118,7 +128,7 @@ impl Pass for SimplifySynthPass {
                 for (gs, out) in groups.chunks(chunk).zip(slots.chunks_mut(chunk)) {
                     scope.spawn(move || {
                         for (g, slot) in gs.iter().zip(out.iter_mut()) {
-                            *slot = Some(Self::compile_group(n, g, self.simplify));
+                            *slot = Some(Self::compile_group(n, g, self.simplify, &opts));
                         }
                     });
                 }
@@ -341,8 +351,8 @@ mod tests {
             let mut ctx = CompileContext::new(3, &t);
             GroupPass.run(&mut ctx).unwrap();
             SimplifySynthPass {
-                simplify: true,
                 threads,
+                ..SimplifySynthPass::default()
             }
             .run(&mut ctx)
             .unwrap();

@@ -41,6 +41,12 @@ pub struct PhoenixOptions {
     /// (`0` = one per available core, `1` = sequential). The output is
     /// identical for every value.
     pub stage2_threads: usize,
+    /// Worker threads for the candidate scan inside each group's greedy
+    /// epoch (`0` = one per available core, `1` = sequential), composing
+    /// multiplicatively with `stage2_threads`. The output is identical for
+    /// every value. Useful for programs with few, very wide groups where
+    /// group-level parallelism alone cannot saturate the machine.
+    pub stage2_scan_threads: usize,
 }
 
 impl Default for PhoenixOptions {
@@ -53,6 +59,7 @@ impl Default for PhoenixOptions {
             router: RouterOptions::default(),
             layout_trials: 3,
             stage2_threads: 0,
+            stage2_scan_threads: 1,
         }
     }
 }
@@ -180,6 +187,7 @@ impl PhoenixCompiler {
             .with(SimplifySynthPass {
                 simplify: self.options.enable_simplification,
                 threads: self.options.stage2_threads,
+                scan_threads: self.options.stage2_scan_threads,
             })
             .with(OrderPass {
                 lookahead: self.options.lookahead,

@@ -25,7 +25,9 @@
 //! epoch count.
 
 use crate::cost::cost_bsf;
+use crate::evaluator::CostEvaluator;
 use phoenix_pauli::{Bsf, BsfRow, Clifford2Q, PauliString, CLIFFORD2Q_GENERATORS};
+use std::sync::OnceLock;
 
 /// One element of a simplified group's configuration sequence.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,15 +114,64 @@ impl SimplifiedGroup {
     }
 }
 
-/// Runs Algorithm 1 on one group's term list.
+/// Tuning knobs of [`simplify_terms_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplifyOptions {
+    /// Worker threads for the candidate scan of each greedy epoch
+    /// (`0` = one per core, `1` = sequential). The output is identical for
+    /// every value; composes with the group-level `stage2_threads`.
+    pub scan_threads: usize,
+    /// Force the naive clone-and-rescore cost path instead of the
+    /// incremental [`CostEvaluator`] — for differential testing. Also
+    /// switchable at run time with `PHOENIX_NAIVE_COST=1`.
+    pub naive_cost: bool,
+}
+
+impl Default for SimplifyOptions {
+    fn default() -> Self {
+        SimplifyOptions {
+            scan_threads: 1,
+            naive_cost: false,
+        }
+    }
+}
+
+/// Whether `PHOENIX_NAIVE_COST` forces the naive cost path (read once).
+fn naive_cost_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("PHOENIX_NAIVE_COST").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// Runs Algorithm 1 on one group's term list with default options.
 ///
 /// # Panics
 ///
 /// Panics if any term does not act on exactly `n` qubits.
 pub fn simplify_terms(n: usize, terms: &[(PauliString, f64)]) -> SimplifiedGroup {
+    simplify_terms_with(n, terms, &SimplifyOptions::default())
+}
+
+/// Runs Algorithm 1 on one group's term list.
+///
+/// Candidate evaluation goes through the incremental [`CostEvaluator`]
+/// unless `opts.naive_cost` (or `PHOENIX_NAIVE_COST=1`) selects the naive
+/// clone-and-rescore path; the two produce bit-identical output.
+///
+/// # Panics
+///
+/// Panics if any term does not act on exactly `n` qubits.
+pub fn simplify_terms_with(
+    n: usize,
+    terms: &[(PauliString, f64)],
+    opts: &SimplifyOptions,
+) -> SimplifiedGroup {
     let mut bsf = Bsf::from_terms(n, terms.iter().copied()).expect("terms fit the register");
     let mut nest: Vec<(Vec<BsfRow>, Clifford2Q)> = Vec::new();
     let mut core_locals: Vec<BsfRow> = Vec::new();
+    let naive = opts.naive_cost || naive_cost_forced();
+    let mut eval = CostEvaluator::new();
 
     // Generous bound; past it we force guaranteed-progress steps.
     let budget = 64 + 8 * bsf.rows().len() * bsf.total_weight().max(1);
@@ -133,11 +184,19 @@ pub fn simplify_terms(n: usize, terms: &[(PauliString, f64)]) -> SimplifiedGroup
             break;
         }
         steps += 1;
-        let current = cost_bsf(&bsf);
-        let greedy = best_candidate(&bsf);
-        let cliff = match greedy {
-            Some((c, cost)) if cost < current && steps <= budget => c,
-            _ => progress_candidate(&bsf),
+        let cliff = if naive {
+            let current = cost_bsf(&bsf);
+            match best_candidate_naive(&bsf) {
+                Some((c, cost)) if cost < current && steps <= budget => c,
+                _ => progress_candidate_naive(&bsf),
+            }
+        } else {
+            eval.prepare(&bsf);
+            let current = eval.current_cost();
+            match eval.best_candidate_scan(&bsf, opts.scan_threads) {
+                Some((c, cost)) if cost < current && steps <= budget => c,
+                _ => eval.progress_candidate(&bsf),
+            }
         };
         bsf.apply_clifford2q(cliff);
         nest.push((locals, cliff));
@@ -146,18 +205,19 @@ pub fn simplify_terms(n: usize, terms: &[(PauliString, f64)]) -> SimplifiedGroup
     let mut core_rows = core_locals;
     core_rows.extend(bsf.rows().iter().copied());
 
+    let cliffords: Vec<Clifford2Q> = nest.iter().map(|(_, c)| *c).collect();
     let mut items = Vec::new();
-    for (locals, cliff) in &nest {
+    for (locals, cliff) in nest {
         if !locals.is_empty() {
-            items.push(CfgItem::Rotations(locals.clone()));
+            items.push(CfgItem::Rotations(locals));
         }
-        items.push(CfgItem::Clifford(*cliff));
+        items.push(CfgItem::Clifford(cliff));
     }
     if !core_rows.is_empty() {
         items.push(CfgItem::Rotations(core_rows));
     }
-    for (_, cliff) in nest.iter().rev() {
-        items.push(CfgItem::Clifford(*cliff));
+    for &cliff in cliffords.iter().rev() {
+        items.push(CfgItem::Clifford(cliff));
     }
     SimplifiedGroup { n, items }
 }
@@ -166,7 +226,10 @@ pub fn simplify_terms(n: usize, terms: &[(PauliString, f64)]) -> SimplifiedGroup
 /// conjugated tableau. Asymmetric generators are tried in both
 /// orientations (the reverse orientation is still inside the 2Q Clifford
 /// group the six generators span).
-fn best_candidate(bsf: &Bsf) -> Option<(Clifford2Q, f64)> {
+///
+/// This is the reference clone-and-rescore implementation the incremental
+/// [`CostEvaluator::best_candidate`] is differentially tested against.
+pub fn best_candidate_naive(bsf: &Bsf) -> Option<(Clifford2Q, f64)> {
     let support = bsf.support();
     let mut best: Option<(Clifford2Q, f64)> = None;
     for kind in CLIFFORD2Q_GENERATORS {
@@ -193,7 +256,9 @@ fn best_candidate(bsf: &Bsf) -> Option<(Clifford2Q, f64)> {
 
 /// Guaranteed-progress fallback: strictly reduce the heaviest row's weight,
 /// breaking ties by Eq. (6).
-fn progress_candidate(bsf: &Bsf) -> Clifford2Q {
+///
+/// Reference implementation for [`CostEvaluator::progress_candidate`].
+pub fn progress_candidate_naive(bsf: &Bsf) -> Clifford2Q {
     let heavy = bsf
         .rows()
         .iter()

@@ -1,0 +1,106 @@
+//! Differential tests: the incremental [`CostEvaluator`] must be
+//! *bit-identical* to the naive clone-and-rescore path on random tableaux —
+//! every candidate cost, the argmin (including tie-breaking), the
+//! guaranteed-progress fallback, and the end-to-end `simplify_terms` output.
+
+use phoenix_core::cost::cost_bsf;
+use phoenix_core::simplify::{best_candidate_naive, progress_candidate_naive, simplify_terms_with};
+use phoenix_core::{CostEvaluator, SimplifyOptions};
+use phoenix_pauli::{Bsf, BsfRow, Clifford2Q, PauliString, CLIFFORD2Q_GENERATORS};
+use proptest::prelude::*;
+
+/// A random tableau on `n ∈ 2..=7` qubits with `1..=6` rows of random
+/// X/Z masks (truncated to the register) and coefficients.
+fn arb_bsf() -> impl Strategy<Value = Bsf> {
+    (
+        2usize..=7,
+        proptest::collection::vec((0u64..128, 0u64..128, -1.0f64..1.0), 1..=6),
+    )
+        .prop_map(|(n, rows)| {
+            let mask = (1u128 << n) - 1;
+            let mut bsf = Bsf::new(n);
+            for (x, z, coeff) in rows {
+                bsf.push_row(BsfRow::new(x as u128 & mask, z as u128 & mask, coeff));
+            }
+            bsf
+        })
+}
+
+proptest! {
+    /// Every generator, every ordered qubit pair: the O(1) incremental
+    /// score equals the naive conjugate-then-rescore cost down to the
+    /// last bit.
+    #[test]
+    fn candidate_cost_matches_naive_for_every_candidate(bsf in arb_bsf()) {
+        let mut eval = CostEvaluator::new();
+        eval.prepare(&bsf);
+        prop_assert_eq!(eval.current_cost().to_bits(), cost_bsf(&bsf).to_bits());
+        let n = bsf.num_qubits();
+        for kind in CLIFFORD2Q_GENERATORS {
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let cand = Clifford2Q::new(kind, a, b);
+                    let fast = eval.candidate_cost(&bsf, cand);
+                    let naive = cost_bsf(&bsf.conjugated(cand));
+                    prop_assert_eq!(
+                        fast.to_bits(),
+                        naive.to_bits(),
+                        "{} on ({},{}): fast {} vs naive {}",
+                        kind, a, b, fast, naive
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same winner (gate *and* cost bits) as the naive scan, sequentially
+    /// and with a parallel scan — tie-breaking included.
+    #[test]
+    fn best_candidate_matches_naive_argmin(bsf in arb_bsf()) {
+        let mut eval = CostEvaluator::new();
+        eval.prepare(&bsf);
+        let naive = best_candidate_naive(&bsf);
+        for threads in [1usize, 4] {
+            let fast = eval.best_candidate_scan(&bsf, threads);
+            match (fast, naive) {
+                (Some((fc, fcost)), Some((nc, ncost))) => {
+                    prop_assert_eq!(fc, nc, "threads={}", threads);
+                    prop_assert_eq!(fcost.to_bits(), ncost.to_bits());
+                }
+                (f, n) => prop_assert_eq!(f.is_none(), n.is_none()),
+            }
+        }
+    }
+
+    /// The guaranteed-progress fallback picks the identical gate.
+    #[test]
+    fn progress_candidate_matches_naive(bsf in arb_bsf()) {
+        prop_assume!(bsf.rows().iter().any(|r| r.weight() >= 2));
+        let mut eval = CostEvaluator::new();
+        eval.prepare(&bsf);
+        prop_assert_eq!(eval.progress_candidate(&bsf), progress_candidate_naive(&bsf));
+    }
+
+    /// Algorithm 1's full output is invariant under the evaluator choice:
+    /// incremental (sequential or parallel scan) and forced-naive runs
+    /// produce the same `SimplifiedGroup`, item for item.
+    #[test]
+    fn simplify_output_invariant_under_evaluator_choice(bsf in arb_bsf()) {
+        let n = bsf.num_qubits();
+        let terms: Vec<(PauliString, f64)> = bsf
+            .rows()
+            .iter()
+            .map(|r| (r.to_pauli_string(n), r.coeff()))
+            .collect();
+        let reference = simplify_terms_with(n, &terms, &SimplifyOptions::default());
+        for opts in [
+            SimplifyOptions { naive_cost: true, ..SimplifyOptions::default() },
+            SimplifyOptions { scan_threads: 4, ..SimplifyOptions::default() },
+        ] {
+            prop_assert_eq!(&simplify_terms_with(n, &terms, &opts), &reference);
+        }
+    }
+}

@@ -65,6 +65,25 @@ impl BsfRow {
     pub fn to_pauli_string(&self, n: usize) -> PauliString {
         PauliString::from_masks(n, self.x, self.z)
     }
+
+    /// The 4-bit restriction of this row to qubits `(a, b)`, encoded as
+    /// `x_a | z_a·2 | x_b·4 | z_b·8` — the index into a generator's
+    /// conjugation table (see [`Clifford2QKind::conjugation_table`]).
+    ///
+    /// [`Clifford2QKind::conjugation_table`]: crate::Clifford2QKind::conjugation_table
+    #[inline]
+    pub fn nibble(&self, a: usize, b: usize) -> usize {
+        ((self.x >> a & 1) as usize)
+            | ((self.z >> a & 1) as usize) << 1
+            | ((self.x >> b & 1) as usize) << 2
+            | ((self.z >> b & 1) as usize) << 3
+    }
+}
+
+/// Number of non-identity slots of a 2Q nibble: `(p_a ≠ I) + (p_b ≠ I)`.
+#[inline]
+pub fn nibble_weight(nib: usize) -> usize {
+    (nib & 0b0011 != 0) as usize + (nib & 0b1100 != 0) as usize
 }
 
 /// Error constructing a [`Bsf`].
@@ -231,11 +250,7 @@ impl Bsf {
         let table = c.kind.conjugation_table();
         let (ba, bb) = (1u128 << c.a, 1u128 << c.b);
         for row in &mut self.rows {
-            let nib = ((row.x & ba != 0) as usize)
-                | ((row.z & ba != 0) as usize) << 1
-                | ((row.x & bb != 0) as usize) << 2
-                | ((row.z & bb != 0) as usize) << 3;
-            let (out, sign) = table[nib];
+            let (out, sign) = table[row.nibble(c.a, c.b)];
             row.x = (row.x & !(ba | bb))
                 | if out & 1 != 0 { ba } else { 0 }
                 | if out & 4 != 0 { bb } else { 0 };
@@ -381,6 +396,19 @@ mod tests {
             }
         }
         assert!(found_flip, "at least one generator flips some sign");
+    }
+
+    #[test]
+    fn nibble_encodes_the_two_qubit_restriction() {
+        // XYZ: qubit 0 = X (x only), 1 = Y (x and z), 2 = Z (z only).
+        let bsf = bsf_from(&["XYZ"]);
+        let row = bsf.rows()[0];
+        assert_eq!(row.nibble(0, 1), 0b1101, "(X, Y)");
+        assert_eq!(row.nibble(1, 2), 0b1011, "(Y, Z)");
+        assert_eq!(row.nibble(2, 0), 0b0110, "(Z, X)");
+        assert_eq!(nibble_weight(0b0000), 0);
+        assert_eq!(nibble_weight(0b0010), 1);
+        assert_eq!(nibble_weight(0b1101), 2);
     }
 
     #[test]

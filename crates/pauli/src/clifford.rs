@@ -99,6 +99,36 @@ impl Clifford2QKind {
         &conjugation_tables()[self.index()]
     }
 
+    /// The conjugation table's *output nibbles only*, with the two qubit
+    /// roles optionally reversed.
+    ///
+    /// Entry `k` of `nibble_map(false)` is `conjugation_table()[k].0`. Entry
+    /// `k` of `nibble_map(true)` is the output nibble of conjugating `k` by
+    /// this generator applied with its control side on the qubit that bits
+    /// 2–3 of `k` describe — i.e. both the input and output keep a *fixed*
+    /// `(a, b)` bit order while the gate's orientation flips. This lets a
+    /// caller bucket rows by their `(a, b)` nibble once and score both
+    /// orientations of an asymmetric generator from the same buckets,
+    /// without re-reading any row.
+    ///
+    /// Signs are deliberately dropped: the Eq. (6) cost is coefficient-blind.
+    pub fn nibble_map(self, reversed: bool) -> &'static [u8; 16] {
+        static MAPS: OnceLock<[[[u8; 16]; 2]; 6]> = OnceLock::new();
+        let maps = MAPS.get_or_init(|| {
+            let swap = |nib: u8| (nib >> 2) | ((nib & 0b11) << 2);
+            let mut maps = [[[0u8; 16]; 2]; 6];
+            for (ti, kind) in CLIFFORD2Q_GENERATORS.iter().enumerate() {
+                let table = kind.conjugation_table();
+                for nib in 0..16 {
+                    maps[ti][0][nib] = table[nib].0;
+                    maps[ti][1][nib] = swap(table[swap(nib as u8) as usize].0);
+                }
+            }
+            maps
+        });
+        &maps[self.index()][reversed as usize]
+    }
+
     /// Conjugates the two-qubit restriction `(p_a, p_b)`, returning
     /// `(p_a', p_b', sign)` with `C (p_a ⊗ p_b) C† = sign · (p_a' ⊗ p_b')`.
     pub fn conjugate(self, pa: Pauli, pb: Pauli) -> (Pauli, Pauli, i8) {
@@ -310,6 +340,36 @@ mod tests {
             assert_eq!(kind.conjugate(s0, Pauli::I), (s0, Pauli::I, 1));
             assert_eq!(kind.conjugate(Pauli::I, s1), (Pauli::I, s1, 1));
             assert_eq!(kind.conjugate(s0, s1), (s0, s1, 1));
+        }
+    }
+
+    #[test]
+    fn nibble_map_forward_matches_conjugation_table() {
+        for kind in CLIFFORD2Q_GENERATORS {
+            let map = kind.nibble_map(false);
+            let table = kind.conjugation_table();
+            for nib in 0..16 {
+                assert_eq!(map[nib], table[nib].0, "{kind} nibble {nib}");
+            }
+        }
+    }
+
+    #[test]
+    fn nibble_map_reversed_swaps_the_qubit_roles() {
+        // Entry `k` of the reversed map keeps the fixed (a, b) bit order
+        // while the control moves to b: conjugate (p_b, p_a) and re-encode.
+        for kind in CLIFFORD2Q_GENERATORS {
+            let map = kind.nibble_map(true);
+            for nib in 0u8..16 {
+                let pa = Pauli::from_xz(nib & 1 == 1, nib >> 1 & 1 == 1);
+                let pb = Pauli::from_xz(nib >> 2 & 1 == 1, nib >> 3 & 1 == 1);
+                let (qb, qa, _) = kind.conjugate(pb, pa);
+                let want = (qa.x_bit() as u8)
+                    | (qa.z_bit() as u8) << 1
+                    | (qb.x_bit() as u8) << 2
+                    | (qb.z_bit() as u8) << 3;
+                assert_eq!(map[nib as usize], want, "{kind} nibble {nib}");
+            }
         }
     }
 

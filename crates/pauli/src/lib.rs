@@ -42,7 +42,7 @@ mod pauli;
 mod string;
 
 pub use algebra::{PauliPolynomial, PauliTerm};
-pub use bsf::{Bsf, BsfError, BsfRow};
+pub use bsf::{nibble_weight, Bsf, BsfError, BsfRow};
 pub use clifford::{Clifford2Q, Clifford2QKind, CLIFFORD2Q_GENERATORS};
 pub use pauli::Pauli;
 pub use string::{ParsePauliStringError, PauliString};

@@ -90,12 +90,15 @@ impl State {
     fn apply_1q(&mut self, q: usize, m: &CMatrix) {
         assert!(q < self.n, "qubit {q} out of range");
         let bit = 1usize << q;
-        for i in 0..self.amps.len() {
-            if i & bit == 0 {
-                let (a0, a1) = (self.amps[i], self.amps[i | bit]);
-                self.amps[i] = m[(0, 0)] * a0 + m[(0, 1)] * a1;
-                self.amps[i | bit] = m[(1, 0)] * a0 + m[(1, 1)] * a1;
-            }
+        // Enumerate only the 2ⁿ⁻¹ base indices (bit q clear) by splicing a
+        // zero into position q, instead of scanning and mask-filtering all
+        // 2ⁿ amplitudes.
+        let low = bit - 1;
+        for k in 0..self.amps.len() >> 1 {
+            let i = ((k & !low) << 1) | (k & low);
+            let (a0, a1) = (self.amps[i], self.amps[i | bit]);
+            self.amps[i] = m[(0, 0)] * a0 + m[(0, 1)] * a1;
+            self.amps[i | bit] = m[(1, 0)] * a0 + m[(1, 1)] * a1;
         }
     }
 
@@ -105,17 +108,20 @@ impl State {
         assert!(a < self.n && b < self.n, "qubit out of range");
         assert_ne!(a, b, "2q gate needs distinct qubits");
         let (ba, bb) = (1usize << a, 1usize << b);
-        for i in 0..self.amps.len() {
-            if i & (ba | bb) == 0 {
-                let idx = [i, i | ba, i | bb, i | ba | bb];
-                let old = idx.map(|k| self.amps[k]);
-                for (r, &k) in idx.iter().enumerate() {
-                    let mut acc = Complex::ZERO;
-                    for (c, &o) in old.iter().enumerate() {
-                        acc += m[(r, c)] * o;
-                    }
-                    self.amps[k] = acc;
+        // Enumerate only the 2ⁿ⁻² base indices (both bits clear) by
+        // splicing zeros into the two bit positions, low bit first.
+        let (lo, hi) = (ba.min(bb) - 1, ba.max(bb) - 1);
+        for k in 0..self.amps.len() >> 2 {
+            let t = ((k & !lo) << 1) | (k & lo);
+            let i = ((t & !hi) << 1) | (t & hi);
+            let idx = [i, i | ba, i | bb, i | ba | bb];
+            let old = idx.map(|k| self.amps[k]);
+            for (r, &k) in idx.iter().enumerate() {
+                let mut acc = Complex::ZERO;
+                for (c, &o) in old.iter().enumerate() {
+                    acc += m[(r, c)] * o;
                 }
+                self.amps[k] = acc;
             }
         }
     }
