@@ -12,7 +12,7 @@
 //!   hardware-aware mode;
 //! - **lookahead-1** — greedy ordering without a window.
 
-use phoenix_bench::{row, write_results, Tracer, SEED};
+use phoenix_bench::{or_exit, row, write_results, Tracer, SEED};
 use phoenix_core::{PhoenixCompiler, PhoenixOptions};
 use phoenix_hamil::{uccsd, Molecule};
 use phoenix_topology::CouplingGraph;
@@ -69,8 +69,11 @@ fn main() {
             let mut rows = BTreeMap::new();
             for (name, opts) in variants() {
                 let compiler = PhoenixCompiler::new(opts);
-                let logical = compiler.compile_to_cnot(n, h.terms());
-                let hw = compiler.compile_hardware_aware(n, h.terms(), &device);
+                let logical = or_exit(compiler.try_compile_to_cnot(n, h.terms()), h.name());
+                let hw = or_exit(
+                    compiler.try_compile_hardware_aware(n, h.terms(), &device),
+                    h.name(),
+                );
                 tracer.record_logical(&format!("{}/{name}", h.name()), &compiler, n, h.terms());
                 rows.insert(
                     name.to_string(),

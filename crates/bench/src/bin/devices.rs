@@ -2,7 +2,7 @@
 //! across heavy-hex generations (Falcon-27, Manhattan-65, Eagle-127) and
 //! non-heavy-hex shapes (grid, line), with noise-model success estimates.
 
-use phoenix_bench::{row, write_results, Tracer, SEED};
+use phoenix_bench::{or_exit, row, write_results, Tracer, SEED};
 use phoenix_core::PhoenixCompiler;
 use phoenix_hamil::{uccsd, Molecule};
 use phoenix_sim::noise::ErrorModel;
@@ -55,10 +55,13 @@ fn main() {
             if device.num_qubits() < h.num_qubits() {
                 continue;
             }
-            let hw = PhoenixCompiler::default().compile_hardware_aware(
-                h.num_qubits(),
-                h.terms(),
-                &device,
+            let hw = or_exit(
+                PhoenixCompiler::default().try_compile_hardware_aware(
+                    h.num_qubits(),
+                    h.terms(),
+                    &device,
+                ),
+                h.name(),
             );
             tracer.record_hardware(
                 &format!("{}/{name}", h.name()),

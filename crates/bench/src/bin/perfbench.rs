@@ -9,7 +9,7 @@
 //! Usage: `perfbench [--quick]` — `--quick` runs one repetition of LiH only
 //! (the CI smoke configuration).
 
-use phoenix_bench::{row, write_results, SEED};
+use phoenix_bench::{or_exit, row, write_results, SEED};
 use phoenix_core::group::group_by_support;
 use phoenix_core::simplify::simplify_terms_with;
 use phoenix_core::{PhoenixCompiler, SimplifiedGroup, SimplifyOptions};
@@ -102,7 +102,10 @@ fn main() {
         let mut e2e_ms = f64::INFINITY;
         for _ in 0..reps {
             let t = Instant::now();
-            let _ = PhoenixCompiler::default().compile_to_cnot(n, h.terms());
+            let _ = or_exit(
+                PhoenixCompiler::default().try_compile_to_cnot(n, h.terms()),
+                label,
+            );
             e2e_ms = e2e_ms.min(t.elapsed().as_secs_f64() * 1e3);
         }
 

@@ -5,7 +5,7 @@
 //! thousands of Pauli strings … in dozens of seconds" — in Python; this
 //! implementation is ~1000× faster).
 
-use phoenix_bench::{row, write_results, Tracer, SEED};
+use phoenix_bench::{or_exit, row, write_results, Tracer, SEED};
 use phoenix_core::PhoenixCompiler;
 use phoenix_hamil::{models, qaoa, uccsd, Hamiltonian, Molecule};
 use serde::Serialize;
@@ -25,7 +25,10 @@ fn measure(h: &Hamiltonian, tracer: &mut Tracer) -> Point {
     // Timed without trace recording, so the reported numbers are clean;
     // the trace (when requested) comes from a separate run.
     let t0 = Instant::now();
-    let c = PhoenixCompiler::default().compile_to_cnot(h.num_qubits(), h.terms());
+    let c = or_exit(
+        PhoenixCompiler::default().try_compile_to_cnot(h.num_qubits(), h.terms()),
+        h.name(),
+    );
     let millis = t0.elapsed().as_secs_f64() * 1e3;
     tracer.record_logical(
         h.name(),

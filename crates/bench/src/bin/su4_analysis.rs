@@ -5,7 +5,7 @@
 //! above their theoretical floors.
 
 use phoenix_baselines::strategies;
-use phoenix_bench::{row, short_label, write_results, Tracer, SEED};
+use phoenix_bench::{or_exit, row, short_label, write_results, Tracer, SEED};
 use phoenix_circuit::{kak, peephole, rebase, weyl, Circuit, Gate};
 use phoenix_core::{CompilerStrategy, PhoenixCompiler};
 use phoenix_hamil::{uccsd, Molecule};
@@ -79,8 +79,10 @@ fn main() {
             let mut per = BTreeMap::new();
             // PHOENIX: direct SU(4) emission.
             let phoenix = PhoenixCompiler::default();
-            let p_su4 = phoenix.compile_to_su4(n, h.terms());
-            let p_cnot = phoenix.compile_to_cnot(n, h.terms()).counts().cnot;
+            let p_su4 = or_exit(phoenix.try_compile_to_su4(n, h.terms()), h.name());
+            let p_cnot = or_exit(phoenix.try_compile_to_cnot(n, h.terms()), h.name())
+                .counts()
+                .cnot;
             let p_resynth = peephole::optimize(&kak::resynthesize(&p_su4)).counts().cnot;
             per.insert(
                 "PHOENIX".to_string(),

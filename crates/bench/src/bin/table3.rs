@@ -7,7 +7,7 @@
 //! PHOENIX emits SU(4) blocks directly from its simplified IR.
 
 use phoenix_baselines::{hardware_aware, strategies};
-use phoenix_bench::{geomean, row, short_label, write_results, Tracer, SEED};
+use phoenix_bench::{geomean, or_exit, row, short_label, write_results, Tracer, SEED};
 use phoenix_circuit::{peephole, rebase, Circuit};
 use phoenix_core::{CompilerStrategy, PhoenixCompiler};
 use phoenix_hamil::uccsd;
@@ -43,9 +43,12 @@ fn main() {
         let n = h.num_qubits();
         let phoenix = PhoenixCompiler::default();
         // Logical circuits.
-        let p_cnot = phoenix.compile_to_cnot(n, h.terms());
-        let p_su4 = phoenix.compile_to_su4(n, h.terms());
-        let p_hw = phoenix.compile_hardware_aware(n, h.terms(), &device);
+        let p_cnot = or_exit(phoenix.try_compile_to_cnot(n, h.terms()), h.name());
+        let p_su4 = or_exit(phoenix.try_compile_to_su4(n, h.terms()), h.name());
+        let p_hw = or_exit(
+            phoenix.try_compile_hardware_aware(n, h.terms(), &device),
+            h.name(),
+        );
         let p_hw_su4 = rebase::to_su4(&p_hw.circuit);
         tracer.record_hardware(h.name(), &phoenix, n, h.terms(), &device);
         for strategy in &baselines {

@@ -62,7 +62,7 @@ impl Tracer {
     }
 
     /// Records the trace of a logical PHOENIX compilation of `terms`
-    /// (no-op when disabled).
+    /// (no-op when disabled; exits nonzero on compile errors).
     pub fn record_logical(
         &mut self,
         label: &str,
@@ -71,13 +71,14 @@ impl Tracer {
         terms: &[(PauliString, f64)],
     ) {
         if self.enabled {
-            let (_, trace) = compiler.compile_to_cnot_with_trace(n, terms);
+            let (_, trace) = or_exit(compiler.try_compile_to_cnot_with_trace(n, terms), label);
             self.add(label, trace);
         }
     }
 
     /// Records the trace of a hardware-aware PHOENIX compilation of
-    /// `terms` on `device` (no-op when disabled).
+    /// `terms` on `device` (no-op when disabled; exits nonzero on compile
+    /// errors).
     pub fn record_hardware(
         &mut self,
         label: &str,
@@ -87,7 +88,10 @@ impl Tracer {
         device: &CouplingGraph,
     ) {
         if self.enabled {
-            let (_, trace) = compiler.compile_hardware_aware_with_trace(n, terms, device);
+            let (_, trace) = or_exit(
+                compiler.try_compile_hardware_aware_with_trace(n, terms, device),
+                label,
+            );
             self.add(label, trace);
         }
     }
@@ -146,17 +150,33 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (log_sum / xs.len() as f64).exp()
 }
 
+/// Unwraps an experiment step, printing the diagnostic to stderr and
+/// exiting with status 1 on failure — a failing experiment binary should
+/// report what went wrong, not dump a panic backtrace.
+pub fn or_exit<T, E: std::fmt::Display>(result: Result<T, E>, what: &str) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {what}: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// Writes a JSON result file under `results/`, creating the directory.
-///
-/// # Panics
-///
-/// Panics on I/O errors (experiment binaries want loud failures).
+/// Prints a diagnostic to stderr and exits nonzero on I/O errors.
 pub fn write_results(name: &str, value: &impl Serialize) {
     let dir = Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results dir");
+    or_exit(
+        std::fs::create_dir_all(dir),
+        &format!("creating {}", dir.display()),
+    );
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize results");
-    std::fs::write(&path, json).expect("write results file");
+    let json = or_exit(
+        serde_json::to_string_pretty(value),
+        &format!("serializing {name} results"),
+    );
+    or_exit(
+        std::fs::write(&path, json),
+        &format!("writing {}", path.display()),
+    );
     eprintln!("[results] wrote {}", path.display());
 }
 

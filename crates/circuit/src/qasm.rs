@@ -51,20 +51,118 @@ pub fn to_qasm(c: &Circuit) -> String {
     out
 }
 
-/// Error from [`from_qasm`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseQasmError {
-    line: usize,
-    message: String,
+/// Error from [`from_qasm`]. Every variant names the 1-based source line
+/// it was raised on ([`ParseQasmError::line`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseQasmError {
+    /// A statement is missing its terminating `;`.
+    MissingSemicolon {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A `qreg` declaration that is not of the form `qreg q[N];`.
+    MalformedQreg {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A gate appeared before any `qreg` declaration, or the program has no
+    /// `qreg` at all (then `line` is the last line of the input).
+    MissingQreg {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A gate statement without a `q[...]` operand list.
+    MissingOperands {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// An operand that is not of the form `q[N]`.
+    MalformedOperand {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// An angle argument that does not parse as a number.
+    MalformedAngle {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// An angle argument that parses but is NaN or infinite.
+    NonFiniteAngle {
+        /// 1-based source line.
+        line: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A gate applied to the wrong number of qubits.
+    WrongArity {
+        /// 1-based source line.
+        line: usize,
+        /// Operands the gate requires.
+        expected: usize,
+        /// Operands the statement supplied.
+        found: usize,
+    },
+    /// A gate referencing a qubit outside the declared register.
+    QubitOutOfRange {
+        /// 1-based source line.
+        line: usize,
+        /// The referenced qubit index.
+        qubit: usize,
+        /// The declared register size.
+        size: usize,
+    },
+    /// A gate name outside the supported subset.
+    UnsupportedGate {
+        /// 1-based source line.
+        line: usize,
+        /// The unrecognized gate name.
+        name: String,
+    },
+}
+
+impl ParseQasmError {
+    /// The 1-based source line the error was raised on.
+    pub fn line(&self) -> usize {
+        match *self {
+            ParseQasmError::MissingSemicolon { line }
+            | ParseQasmError::MalformedQreg { line }
+            | ParseQasmError::MissingQreg { line }
+            | ParseQasmError::MissingOperands { line }
+            | ParseQasmError::MalformedOperand { line }
+            | ParseQasmError::MalformedAngle { line }
+            | ParseQasmError::NonFiniteAngle { line, .. }
+            | ParseQasmError::WrongArity { line, .. }
+            | ParseQasmError::QubitOutOfRange { line, .. }
+            | ParseQasmError::UnsupportedGate { line, .. } => line,
+        }
+    }
 }
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "qasm parse error at line {}: {}",
-            self.line, self.message
-        )
+        write!(f, "qasm parse error at line {}: ", self.line())?;
+        match self {
+            ParseQasmError::MissingSemicolon { .. } => write!(f, "missing ';'"),
+            ParseQasmError::MalformedQreg { .. } => write!(f, "malformed qreg"),
+            ParseQasmError::MissingQreg { .. } => {
+                write!(f, "gate before qreg declaration (or no qreg at all)")
+            }
+            ParseQasmError::MissingOperands { .. } => write!(f, "missing operands"),
+            ParseQasmError::MalformedOperand { .. } => write!(f, "malformed qubit operand"),
+            ParseQasmError::MalformedAngle { .. } => write!(f, "malformed angle"),
+            ParseQasmError::NonFiniteAngle { value, .. } => {
+                write!(f, "non-finite angle {value}")
+            }
+            ParseQasmError::WrongArity {
+                expected, found, ..
+            } => write!(f, "expected {expected} qubit operand(s), found {found}"),
+            ParseQasmError::QubitOutOfRange { qubit, size, .. } => {
+                write!(f, "qubit q[{qubit}] out of range for qreg of size {size}")
+            }
+            ParseQasmError::UnsupportedGate { name, .. } => {
+                write!(f, "unsupported gate '{name}'")
+            }
+        }
     }
 }
 
@@ -77,53 +175,64 @@ impl std::error::Error for ParseQasmError {}
 ///
 /// # Errors
 ///
-/// Returns [`ParseQasmError`] on unknown gates, malformed operands, or a
-/// missing `qreg` declaration.
+/// Returns [`ParseQasmError`] (with the offending line number) on unknown
+/// gates, malformed operands, non-finite angles, gates referencing qubits
+/// outside the declared register, or a missing `qreg` declaration. No
+/// input, however corrupted, makes this function panic.
 pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
-    let err = |line: usize, message: &str| ParseQasmError {
-        line: line + 1,
-        message: message.to_string(),
-    };
     let mut circuit: Option<Circuit> = None;
+    let mut last_line = 0usize;
     for (ln, raw) in text.lines().enumerate() {
-        let line = raw.split("//").next().unwrap_or("").trim();
-        if line.is_empty()
-            || line.starts_with("OPENQASM")
-            || line.starts_with("include")
-            || line.starts_with("barrier")
-            || line.starts_with("creg")
-            || line.starts_with("measure")
+        let line = ln + 1; // 1-based for diagnostics
+        last_line = line;
+        let stmt = raw.split("//").next().unwrap_or("").trim();
+        if stmt.is_empty()
+            || stmt.starts_with("OPENQASM")
+            || stmt.starts_with("include")
+            || stmt.starts_with("barrier")
+            || stmt.starts_with("creg")
+            || stmt.starts_with("measure")
         {
             continue;
         }
-        let line = line
+        let stmt = stmt
             .strip_suffix(';')
-            .ok_or_else(|| err(ln, "missing ';'"))?;
-        if let Some(rest) = line.strip_prefix("qreg") {
+            .ok_or(ParseQasmError::MissingSemicolon { line })?;
+        if let Some(rest) = stmt.strip_prefix("qreg") {
             let n = rest
                 .trim()
                 .strip_prefix("q[")
                 .and_then(|s| s.strip_suffix(']'))
                 .and_then(|s| s.parse::<usize>().ok())
-                .ok_or_else(|| err(ln, "malformed qreg"))?;
+                .ok_or(ParseQasmError::MalformedQreg { line })?;
             circuit = Some(Circuit::new(n));
             continue;
         }
         let c = circuit
             .as_mut()
-            .ok_or_else(|| err(ln, "gate before qreg declaration"))?;
-        let (head, operands) = line
+            .ok_or(ParseQasmError::MissingQreg { line })?;
+        let size = c.num_qubits();
+        let (head, operands) = stmt
             .split_once(" q[")
             .map(|(h, rest)| (h.trim(), format!("q[{rest}")))
-            .ok_or_else(|| err(ln, "missing operands"))?;
+            .ok_or(ParseQasmError::MissingOperands { line })?;
         let qubits: Vec<usize> = operands
             .split(',')
             .map(|tok| {
-                tok.trim()
+                let q = tok
+                    .trim()
                     .strip_prefix("q[")
                     .and_then(|s| s.strip_suffix(']'))
                     .and_then(|s| s.parse::<usize>().ok())
-                    .ok_or_else(|| err(ln, "malformed qubit operand"))
+                    .ok_or(ParseQasmError::MalformedOperand { line })?;
+                if q >= size {
+                    return Err(ParseQasmError::QubitOutOfRange {
+                        line,
+                        qubit: q,
+                        size,
+                    });
+                }
+                Ok(q)
             })
             .collect::<Result<_, _>>()?;
         let (name, angle) = match head.split_once('(') {
@@ -131,24 +240,32 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
                 let a = rest
                     .strip_suffix(')')
                     .and_then(|s| s.trim().parse::<f64>().ok())
-                    .ok_or_else(|| err(ln, "malformed angle"))?;
+                    .ok_or(ParseQasmError::MalformedAngle { line })?;
+                if !a.is_finite() {
+                    return Err(ParseQasmError::NonFiniteAngle { line, value: a });
+                }
                 (n.trim(), Some(a))
             }
             None => (head, None),
         };
-        let one = |qs: &[usize]| -> Result<usize, ParseQasmError> {
-            if qs.len() == 1 {
-                Ok(qs[0])
+        let arity = |expected: usize, qs: &[usize]| -> Result<(), ParseQasmError> {
+            if qs.len() == expected {
+                Ok(())
             } else {
-                Err(err(ln, "expected one qubit"))
+                Err(ParseQasmError::WrongArity {
+                    line,
+                    expected,
+                    found: qs.len(),
+                })
             }
         };
+        let one = |qs: &[usize]| -> Result<usize, ParseQasmError> {
+            arity(1, qs)?;
+            Ok(qs[0])
+        };
         let two = |qs: &[usize]| -> Result<(usize, usize), ParseQasmError> {
-            if qs.len() == 2 {
-                Ok((qs[0], qs[1]))
-            } else {
-                Err(err(ln, "expected two qubits"))
-            }
+            arity(2, qs)?;
+            Ok((qs[0], qs[1]))
         };
         let gate = match (name, angle) {
             ("h", None) => Gate::H(one(&qubits)?),
@@ -168,11 +285,16 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
                 let (a, b) = two(&qubits)?;
                 Gate::Swap(a, b)
             }
-            _ => return Err(err(ln, &format!("unsupported gate '{name}'"))),
+            _ => {
+                return Err(ParseQasmError::UnsupportedGate {
+                    line,
+                    name: name.to_string(),
+                })
+            }
         };
         c.push(gate);
     }
-    circuit.ok_or_else(|| err(0, "no qreg declaration found"))
+    circuit.ok_or(ParseQasmError::MissingQreg { line: last_line })
 }
 
 #[cfg(test)]
@@ -235,19 +357,75 @@ mod tests {
     fn errors_carry_line_numbers() {
         let text = "qreg q[2];\nfoo q[0];";
         let e = from_qasm(text).unwrap_err();
+        assert_eq!(e.line(), 2);
         assert!(e.to_string().contains("line 2"));
         assert!(e.to_string().contains("foo"));
+        assert!(matches!(e, ParseQasmError::UnsupportedGate { .. }));
     }
 
     #[test]
     fn gate_before_qreg_is_an_error() {
-        assert!(from_qasm("h q[0];").is_err());
+        assert!(matches!(
+            from_qasm("h q[0];"),
+            Err(ParseQasmError::MissingQreg { line: 1 })
+        ));
     }
 
     #[test]
-    fn out_of_range_qubit_panics_via_circuit_push() {
-        // Circuit::push validates; surface as panic for now.
+    fn out_of_range_qubit_is_rejected_with_a_diagnostic() {
         let text = "qreg q[1];\nh q[5];";
-        assert!(std::panic::catch_unwind(|| from_qasm(text)).is_err());
+        let e = from_qasm(text).unwrap_err();
+        assert_eq!(
+            e,
+            ParseQasmError::QubitOutOfRange {
+                line: 2,
+                qubit: 5,
+                size: 1
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_angles_are_rejected() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let text = format!("qreg q[1];\nrz({bad}) q[0];");
+            let e = from_qasm(&text).unwrap_err();
+            assert!(
+                matches!(e, ParseQasmError::NonFiniteAngle { line: 2, .. }),
+                "{bad}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        let e = from_qasm("qreg q[3];\ncx q[0], q[1], q[2];").unwrap_err();
+        assert!(matches!(
+            e,
+            ParseQasmError::WrongArity {
+                line: 2,
+                expected: 2,
+                found: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn no_input_panics_the_parser() {
+        // A selection of hostile inputs: all must return Err or Ok, never
+        // panic (the fault-injection suite fuzzes this further).
+        for text in [
+            "",
+            ";",
+            "qreg q[];",
+            "qreg q[99999999999999999999999];",
+            "qreg q[2];\ncx q[0],;",
+            "qreg q[2];\nrz() q[0];",
+            "qreg q[2];\nrz(1e999) q[0];",
+            "qreg q[2];\nh q[18446744073709551615];",
+        ] {
+            let r = std::panic::catch_unwind(|| from_qasm(text));
+            assert!(r.is_ok(), "parser panicked on {text:?}");
+        }
     }
 }

@@ -41,21 +41,30 @@
 //! ```
 
 pub mod cost;
+pub mod error;
 pub mod evaluator;
 pub mod group;
 pub mod order;
+#[deny(clippy::unwrap_used)]
 pub mod pass;
+#[deny(clippy::unwrap_used)]
 pub mod passes;
+#[deny(clippy::unwrap_used)]
 mod pipeline;
 pub mod simplify;
 mod strategy;
 pub mod synth;
 
+pub use error::{validate_device, validate_program, PhoenixError};
 pub use evaluator::CostEvaluator;
 pub use group::IrGroup;
-pub use pass::{CompileContext, Pass, PassError, PassManager, PassTrace};
+pub use pass::{
+    CompileContext, Pass, PassError, PassManager, PassTrace, TraceEvent, EVENT_DEGRADED,
+    EVENT_RETRIED, EVENT_SKIPPED, EVENT_TRUNCATED,
+};
 pub use pipeline::{
-    hardware_backend, run_hardware_backend, run_hardware_backend_with_trace, CompiledProgram,
+    hardware_backend, run_hardware_backend, run_hardware_backend_with_trace,
+    try_run_hardware_backend, try_run_hardware_backend_with_trace, CompiledProgram,
     HardwareProgram, PhoenixCompiler, PhoenixOptions,
 };
 pub use simplify::{CfgItem, SimplifiedGroup, SimplifyOptions};

@@ -33,7 +33,8 @@
 //! ```
 
 use std::fmt;
-use std::time::Instant;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use phoenix_circuit::Circuit;
 use phoenix_pauli::PauliString;
@@ -76,6 +77,13 @@ pub struct CompileContext {
     pub logical: Option<Circuit>,
     /// SWAPs inserted by routing.
     pub num_swaps: usize,
+    /// Robustness events raised by passes (degradations, retries,
+    /// truncations); drained into the [`PassTrace`] after each pass.
+    pub events: Vec<TraceEvent>,
+    /// Wall-clock deadline for optimization effort, set from the pass
+    /// budget. Passes consult [`CompileContext::past_deadline`] to cut
+    /// optional work short; correctness-critical work always completes.
+    pub deadline: Option<Instant>,
 }
 
 impl CompileContext {
@@ -94,7 +102,23 @@ impl CompileContext {
             device: None,
             logical: None,
             num_swaps: 0,
+            events: Vec::new(),
+            deadline: None,
         }
+    }
+
+    /// Whether the optimization deadline (if any) has elapsed.
+    pub fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Records a robustness event against `pass`.
+    pub fn record_event(&mut self, pass: &str, kind: &str, detail: impl Into<String>) {
+        self.events.push(TraceEvent {
+            pass: pass.to_string(),
+            kind: kind.to_string(),
+            detail: detail.into(),
+        });
     }
 
     /// Same as [`CompileContext::new`] with a routing target attached.
@@ -151,7 +175,45 @@ pub trait Pass {
 
     /// Executes the stage, mutating the context.
     fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError>;
+
+    /// Whether this pass is pure optimization that may be skipped when the
+    /// pass budget runs out. Passes the pipeline's correctness depends on
+    /// (grouping, synthesis, concatenation, rebase, routing) return
+    /// `false`; gate-count polish (peephole, KAK resynthesis) returns
+    /// `true`.
+    fn optional(&self) -> bool {
+        false
+    }
 }
+
+/// A robustness event recorded during compilation: a degradation to a
+/// fallback path, a routing retry, or budget-driven truncation of
+/// optimization effort.
+///
+/// `kind` is one of the `EVENT_*` constants of this module; `detail` is a
+/// human-readable elaboration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Name of the pass that raised the event.
+    pub pass: String,
+    /// Event class (`degraded`, `retried`, `truncated`, or `skipped`).
+    pub kind: String,
+    /// Human-readable elaboration.
+    pub detail: String,
+}
+
+/// Event kind: a unit of work panicked or failed and was replaced by its
+/// unoptimized fallback.
+pub const EVENT_DEGRADED: &str = "degraded";
+/// Event kind: routing abandoned an attempt and retried with a different
+/// strategy.
+pub const EVENT_RETRIED: &str = "retried";
+/// Event kind: the pass budget elapsed and remaining optimization effort
+/// inside a pass was cut short.
+pub const EVENT_TRUNCATED: &str = "truncated";
+/// Event kind: an optional pass was skipped entirely because the budget
+/// had elapsed before it started.
+pub const EVENT_SKIPPED: &str = "skipped";
 
 /// Size/shape statistics of the working circuit at a trace point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -202,6 +264,9 @@ pub struct PassRecord {
 pub struct PassTrace {
     /// One record per executed pass, in execution order.
     pub passes: Vec<PassRecord>,
+    /// Robustness events (degradations, retries, truncations, skips), in
+    /// the order they were raised.
+    pub events: Vec<TraceEvent>,
 }
 
 impl PassTrace {
@@ -214,6 +279,16 @@ impl PassTrace {
     pub fn pass_names(&self) -> Vec<&str> {
         self.passes.iter().map(|p| p.name.as_str()).collect()
     }
+
+    /// The events of a given kind (one of the `EVENT_*` constants).
+    pub fn events_of_kind(&self, kind: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Whether any unit of work fell back to its unoptimized path.
+    pub fn is_degraded(&self) -> bool {
+        self.events.iter().any(|e| e.kind == EVENT_DEGRADED)
+    }
 }
 
 /// Executes a pass sequence over a [`CompileContext`], recording a
@@ -221,6 +296,7 @@ impl PassTrace {
 #[derive(Default)]
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
+    budget: Option<Duration>,
 }
 
 impl fmt::Debug for PassManager {
@@ -230,6 +306,7 @@ impl fmt::Debug for PassManager {
                 "passes",
                 &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
             )
+            .field("budget", &self.budget)
             .finish()
     }
 }
@@ -237,12 +314,25 @@ impl fmt::Debug for PassManager {
 impl PassManager {
     /// An empty manager.
     pub fn new() -> Self {
-        PassManager { passes: Vec::new() }
+        PassManager::default()
     }
 
     /// A manager over a prebuilt sequence.
     pub fn with_passes(passes: Vec<Box<dyn Pass>>) -> Self {
-        PassManager { passes }
+        PassManager {
+            passes,
+            budget: None,
+        }
+    }
+
+    /// Sets a wall-clock budget for optimization effort. Once it elapses,
+    /// optional passes are skipped (recorded as `skipped` events) and
+    /// budget-aware passes cut their remaining work short (`truncated`
+    /// events); correctness-critical passes still run to completion, so
+    /// the output is always a valid compilation — just less optimized.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
     }
 
     /// Appends one pass (builder style).
@@ -268,14 +358,33 @@ impl PassManager {
     }
 
     /// Runs the sequence, stopping at the first failing pass.
+    ///
+    /// Each pass runs under a panic guard: a panicking pass is contained
+    /// and surfaced as a [`PassError`] rather than unwinding through the
+    /// caller. With a budget set ([`PassManager::with_budget`]), optional
+    /// passes whose start time falls past the deadline are skipped and
+    /// recorded as `skipped` events in the trace.
     pub fn run(&self, ctx: &mut CompileContext) -> Result<PassTrace, PassError> {
         let mut trace = PassTrace::default();
         let t0 = Instant::now();
+        if let Some(budget) = self.budget {
+            ctx.deadline = Some(t0 + budget);
+        }
         for pass in &self.passes {
+            if pass.optional() && ctx.past_deadline() {
+                ctx.record_event(
+                    pass.name(),
+                    EVENT_SKIPPED,
+                    "pass budget elapsed before this optional pass started",
+                );
+                trace.events.append(&mut ctx.events);
+                continue;
+            }
             let before = CircuitStats::of(&ctx.circuit);
             let start = Instant::now();
-            pass.run(ctx)?;
+            run_contained(pass.as_ref(), ctx)?;
             let millis = start.elapsed().as_secs_f64() * 1e3;
+            trace.events.append(&mut ctx.events);
             trace.passes.push(PassRecord {
                 name: pass.name().to_string(),
                 millis,
@@ -288,7 +397,34 @@ impl PassManager {
     }
 }
 
+/// Runs one pass with panics contained: an unwinding pass becomes a
+/// [`PassError`] carrying the panic payload, so a bug deep inside a stage
+/// surfaces as a typed compile error at the API boundary instead of
+/// aborting the caller.
+fn run_contained(pass: &dyn Pass, ctx: &mut CompileContext) -> Result<(), PassError> {
+    let name = pass.name().to_string();
+    match panic::catch_unwind(AssertUnwindSafe(|| pass.run(ctx))) {
+        Ok(result) => result,
+        Err(payload) => Err(PassError::new(
+            &name,
+            format!("panicked: {}", panic_message(payload.as_ref())),
+        )),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -338,6 +474,74 @@ mod tests {
         assert_eq!(err.pass, "always-fails");
         // Only the first pass ran.
         assert_eq!(ctx.num_groups, 1);
+    }
+
+    struct AlwaysPanics;
+
+    impl Pass for AlwaysPanics {
+        fn name(&self) -> &str {
+            "always-panics"
+        }
+
+        fn run(&self, _ctx: &mut CompileContext) -> Result<(), PassError> {
+            panic!("simulated in-pass bug");
+        }
+    }
+
+    struct OptionalMarker;
+
+    impl Pass for OptionalMarker {
+        fn name(&self) -> &str {
+            "optional-marker"
+        }
+
+        fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+            ctx.num_groups += 100;
+            Ok(())
+        }
+
+        fn optional(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn panicking_pass_is_contained_as_a_pass_error() {
+        let mut ctx = CompileContext::new(2, &[]);
+        let pm = PassManager::new().with(AddTerms(1)).with(AlwaysPanics);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let err = pm.run(&mut ctx).unwrap_err();
+        std::panic::set_hook(prev);
+        assert_eq!(err.pass, "always-panics");
+        assert!(err.message.contains("simulated in-pass bug"));
+    }
+
+    #[test]
+    fn elapsed_budget_skips_optional_passes_only() {
+        let mut ctx = CompileContext::new(2, &[]);
+        let pm = PassManager::new()
+            .with(AddTerms(1))
+            .with(OptionalMarker)
+            .with(AddTerms(1))
+            .with_budget(Duration::ZERO);
+        let trace = pm.run(&mut ctx).unwrap();
+        // Required passes ran; the optional one did not.
+        assert_eq!(ctx.num_groups, 2);
+        assert_eq!(trace.pass_names(), ["add-terms", "add-terms"]);
+        let skipped = trace.events_of_kind(EVENT_SKIPPED);
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].pass, "optional-marker");
+    }
+
+    #[test]
+    fn without_budget_optional_passes_run() {
+        let mut ctx = CompileContext::new(2, &[]);
+        let pm = PassManager::new().with(OptionalMarker);
+        let trace = pm.run(&mut ctx).unwrap();
+        assert_eq!(ctx.num_groups, 100);
+        assert!(trace.events.is_empty());
+        assert!(!trace.is_degraded());
     }
 
     #[test]

@@ -17,16 +17,21 @@
 //! threads; results are written back by group index, so the output is
 //! bit-identical for any thread count.
 
+use std::panic::{self, AssertUnwindSafe};
+use std::time::Instant;
+
 use phoenix_circuit::transform::{
     CircuitTransform, CnotLower, KakResynthesis, Peephole, Su4Rebase,
 };
 use phoenix_circuit::Circuit;
 use phoenix_pauli::PauliString;
-use phoenix_router::{route, search_layout, RouterOptions};
+use phoenix_router::{route_with_retry, RouterOptions};
 
 use crate::group::{group_by_support, IrGroup};
 use crate::order::{order_groups, OrderOptions};
-use crate::pass::{CompileContext, Pass, PassError};
+use crate::pass::{
+    CompileContext, Pass, PassError, EVENT_DEGRADED, EVENT_RETRIED, EVENT_TRUNCATED,
+};
 use crate::simplify::{simplify_terms_with, SimplifyOptions};
 use crate::synth::synthesize_group;
 
@@ -63,6 +68,10 @@ pub struct SimplifySynthPass {
     /// sequential), composing multiplicatively with `threads`. The output
     /// is identical for every value.
     pub scan_threads: usize,
+    /// Test hook: force the group at this index to panic mid-optimization,
+    /// exercising the degradation path deterministically. Leave `None`
+    /// outside fault-injection tests.
+    pub fault_inject_group: Option<usize>,
 }
 
 impl Default for SimplifySynthPass {
@@ -71,25 +80,52 @@ impl Default for SimplifySynthPass {
             simplify: true,
             threads: 1,
             scan_threads: 1,
+            fault_inject_group: None,
         }
     }
 }
 
+/// Outcome class of one group's compilation (reported as a trace event
+/// when not `None`).
+type GroupOutcome = Option<&'static str>;
+
 impl SimplifySynthPass {
+    /// Compiles one group with the failure modes contained: a panic inside
+    /// Algorithm 1 or synthesis (reported as [`EVENT_DEGRADED`]) and an
+    /// elapsed optimization deadline (reported as [`EVENT_TRUNCATED`])
+    /// both fall back to the group's unsimplified conventional synthesis,
+    /// which is always available and semantically equivalent.
     fn compile_group(
         n: usize,
+        index: usize,
         group: &IrGroup,
         simplify: bool,
         opts: &SimplifyOptions,
-    ) -> (Circuit, Vec<(PauliString, f64)>) {
-        if simplify {
-            let s = simplify_terms_with(n, group.terms(), opts);
-            (synthesize_group(&s), s.term_sequence())
-        } else {
+        fault_inject_group: Option<usize>,
+        deadline: Option<Instant>,
+    ) -> ((Circuit, Vec<(PauliString, f64)>), GroupOutcome) {
+        let naive = || {
             (
                 phoenix_circuit::synthesis::naive_circuit(n, group.terms()),
                 group.terms().to_vec(),
             )
+        };
+        if !simplify {
+            return (naive(), None);
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return (naive(), Some(EVENT_TRUNCATED));
+        }
+        let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+            if fault_inject_group == Some(index) {
+                panic!("fault injection: forced panic in group {index}");
+            }
+            let s = simplify_terms_with(n, group.terms(), opts);
+            (synthesize_group(&s), s.term_sequence())
+        }));
+        match attempt {
+            Ok(result) => (result, None),
+            Err(_) => (naive(), Some(EVENT_DEGRADED)),
         }
     }
 }
@@ -106,6 +142,8 @@ impl Pass for SimplifySynthPass {
     fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
         let n = ctx.num_qubits;
         let groups = &ctx.groups;
+        let deadline = ctx.deadline;
+        let fault = self.fault_inject_group;
         let opts = SimplifyOptions {
             scan_threads: self.scan_threads,
             ..SimplifyOptions::default()
@@ -115,20 +153,34 @@ impl Pass for SimplifySynthPass {
             t => t,
         }
         .min(groups.len().max(1));
-        type GroupResult = (Circuit, Vec<(PauliString, f64)>);
-        let (subcircuits, group_terms) = if threads <= 1 {
+        type GroupResult = ((Circuit, Vec<(PauliString, f64)>), GroupOutcome);
+        let results: Vec<GroupResult> = if threads <= 1 {
             groups
                 .iter()
-                .map(|g| Self::compile_group(n, g, self.simplify, &opts))
-                .unzip()
+                .enumerate()
+                .map(|(i, g)| Self::compile_group(n, i, g, self.simplify, &opts, fault, deadline))
+                .collect()
         } else {
             let mut slots: Vec<Option<GroupResult>> = vec![None; groups.len()];
             let chunk = groups.len().div_ceil(threads);
             std::thread::scope(|scope| {
-                for (gs, out) in groups.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                for (c, (gs, out)) in groups
+                    .chunks(chunk)
+                    .zip(slots.chunks_mut(chunk))
+                    .enumerate()
+                {
                     scope.spawn(move || {
-                        for (g, slot) in gs.iter().zip(out.iter_mut()) {
-                            *slot = Some(Self::compile_group(n, g, self.simplify, &opts));
+                        for (j, (g, slot)) in gs.iter().zip(out.iter_mut()).enumerate() {
+                            let i = c * chunk + j;
+                            *slot = Some(Self::compile_group(
+                                n,
+                                i,
+                                g,
+                                self.simplify,
+                                &opts,
+                                fault,
+                                deadline,
+                            ));
                         }
                     });
                 }
@@ -136,8 +188,27 @@ impl Pass for SimplifySynthPass {
             slots
                 .into_iter()
                 .map(|s| s.expect("every chunk was processed"))
-                .unzip()
+                .collect()
         };
+        // Events are recorded in group-index order on the coordinating
+        // thread, keeping the trace deterministic for any thread count.
+        let mut subcircuits = Vec::with_capacity(results.len());
+        let mut group_terms = Vec::with_capacity(results.len());
+        for (i, ((circuit, terms), outcome)) in results.into_iter().enumerate() {
+            if let Some(kind) = outcome {
+                let why = match kind {
+                    EVENT_TRUNCATED => "pass budget elapsed",
+                    _ => "optimization panicked",
+                };
+                ctx.record_event(
+                    self.name(),
+                    kind,
+                    format!("group {i} fell back to conventional synthesis ({why})"),
+                );
+            }
+            subcircuits.push(circuit);
+            group_terms.push(terms);
+        }
         ctx.subcircuits = subcircuits;
         ctx.group_terms = group_terms;
         Ok(())
@@ -176,6 +247,17 @@ impl Pass for OrderPass {
     }
 
     fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+        if self.enabled && ctx.past_deadline() {
+            // Ordering is pure optimization: past the budget deadline keep
+            // first-appearance order, which is always valid.
+            ctx.record_event(
+                self.name(),
+                EVENT_TRUNCATED,
+                "pass budget elapsed; keeping first-appearance group order",
+            );
+            ctx.order = (0..ctx.subcircuits.len()).collect();
+            return Ok(());
+        }
         ctx.order = if self.enabled {
             order_groups(
                 &ctx.subcircuits,
@@ -227,6 +309,7 @@ impl Pass for ConcatPass {
 /// Adapter running any [`CircuitTransform`] on the working circuit.
 pub struct TransformPass {
     transform: Box<dyn CircuitTransform>,
+    optional: bool,
 }
 
 impl std::fmt::Debug for TransformPass {
@@ -238,29 +321,41 @@ impl std::fmt::Debug for TransformPass {
 }
 
 impl TransformPass {
-    /// Wraps a circuit transform as a pass.
+    /// Wraps a circuit transform as a required pass.
     pub fn new(transform: impl CircuitTransform + 'static) -> Self {
         TransformPass {
             transform: Box::new(transform),
+            optional: false,
         }
     }
 
-    /// The peephole-optimization pass.
-    pub fn peephole() -> Self {
-        TransformPass::new(Peephole)
+    /// Marks the pass as skippable under an elapsed pass budget (builder
+    /// style). Only safe for transforms that purely reduce gate count —
+    /// a representation-changing transform (rebase, lowering) must stay
+    /// required.
+    pub fn skippable(mut self) -> Self {
+        self.optional = true;
+        self
     }
 
-    /// The SU(4)-rebase pass.
+    /// The peephole-optimization pass (skippable under budget pressure).
+    pub fn peephole() -> Self {
+        TransformPass::new(Peephole).skippable()
+    }
+
+    /// The SU(4)-rebase pass (required: later stages expect the SU(4)
+    /// gate set).
     pub fn su4_rebase() -> Self {
         TransformPass::new(Su4Rebase)
     }
 
-    /// The KAK-resynthesis pass.
+    /// The KAK-resynthesis pass (skippable under budget pressure).
     pub fn kak_resynthesis() -> Self {
-        TransformPass::new(KakResynthesis)
+        TransformPass::new(KakResynthesis).skippable()
     }
 
-    /// The SWAP-/structural-lowering pass into `{1Q, CNOT}`.
+    /// The SWAP-/structural-lowering pass into `{1Q, CNOT}` (required:
+    /// output must not contain symbolic SWAPs).
     pub fn swap_lower() -> Self {
         TransformPass::new(CnotLower)
     }
@@ -274,6 +369,10 @@ impl Pass for TransformPass {
     fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
         ctx.circuit = self.transform.apply(&ctx.circuit);
         Ok(())
+    }
+
+    fn optional(&self) -> bool {
+        self.optional
     }
 }
 
@@ -322,8 +421,17 @@ impl Pass for LayoutRoutePass {
             .device
             .as_ref()
             .ok_or_else(|| PassError::new(self.name(), "no target device in context"))?;
-        let layout = search_layout(&ctx.circuit, device, &self.router, self.layout_trials);
-        let routed = route(&ctx.circuit, device, layout, &self.router);
+        let (routed, retries) =
+            route_with_retry(&ctx.circuit, device, &self.router, self.layout_trials)
+                .map_err(|e| PassError::new(self.name(), format!("routing failed: {e}")))?;
+        let name = self.name().to_string();
+        for r in &retries {
+            ctx.record_event(
+                &name,
+                EVENT_RETRIED,
+                format!("{} layout abandoned ({}); retried", r.strategy, r.error),
+            );
+        }
         ctx.circuit = routed.circuit;
         ctx.num_swaps = routed.num_swaps;
         Ok(())
@@ -331,6 +439,7 @@ impl Pass for LayoutRoutePass {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pass::PassManager;
@@ -362,6 +471,78 @@ mod tests {
         for threads in [2, 3, 8] {
             assert_eq!(run(threads), sequential, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn fault_injected_group_degrades_to_naive_synthesis() {
+        let t = terms(&["ZYY", "ZZY", "IZZ", "XIX"]);
+        let mut ctx = CompileContext::new(3, &t);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // contained panics stay quiet
+        let pm = PassManager::new().with(GroupPass).with(SimplifySynthPass {
+            fault_inject_group: Some(0),
+            ..SimplifySynthPass::default()
+        });
+        let trace = pm.run(&mut ctx).unwrap();
+        std::panic::set_hook(prev);
+        assert!(trace.is_degraded());
+        let degraded = trace.events_of_kind(crate::pass::EVENT_DEGRADED);
+        assert_eq!(degraded.len(), 1);
+        assert!(degraded[0].detail.contains("group 0"));
+        // The failed group carries its conventional synthesis; the others
+        // are untouched.
+        let naive = phoenix_circuit::synthesis::naive_circuit(3, ctx.groups[0].terms());
+        assert_eq!(ctx.subcircuits[0], naive);
+        assert_eq!(ctx.group_terms[0], ctx.groups[0].terms().to_vec());
+        assert_eq!(ctx.subcircuits.len(), ctx.groups.len());
+    }
+
+    #[test]
+    fn fault_injection_is_contained_for_any_thread_count() {
+        let t = terms(&["ZYY", "ZZY", "XYY", "XZY", "ZZI", "IZZ", "XIX"]);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let run = |threads: usize| {
+            let mut ctx = CompileContext::new(3, &t);
+            let pm = PassManager::new().with(GroupPass).with(SimplifySynthPass {
+                threads,
+                fault_inject_group: Some(1),
+                ..SimplifySynthPass::default()
+            });
+            let trace = pm.run(&mut ctx).unwrap();
+            (ctx.subcircuits, ctx.group_terms, trace.events)
+        };
+        let sequential = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), sequential, "threads = {threads}");
+        }
+        std::panic::set_hook(prev);
+        assert!(sequential
+            .2
+            .iter()
+            .any(|e| e.kind == crate::pass::EVENT_DEGRADED));
+    }
+
+    #[test]
+    fn zero_budget_truncates_stage2_and_ordering_but_compiles() {
+        let t = terms(&["ZYY", "ZZY", "IZZ", "XIX"]);
+        let mut ctx = CompileContext::new(3, &t);
+        let pm = PassManager::new()
+            .with(GroupPass)
+            .with(SimplifySynthPass::default())
+            .with(OrderPass::default())
+            .with(ConcatPass)
+            .with(TransformPass::peephole())
+            .with_budget(std::time::Duration::ZERO);
+        let trace = pm.run(&mut ctx).unwrap();
+        assert!(!ctx.circuit.is_empty());
+        // Stage 2 and ordering truncated; peephole skipped outright.
+        assert!(!trace
+            .events_of_kind(crate::pass::EVENT_TRUNCATED)
+            .is_empty());
+        assert_eq!(trace.events_of_kind(crate::pass::EVENT_SKIPPED).len(), 1);
+        // Emitted terms are still a permutation of the input.
+        assert_eq!(ctx.term_order.len(), t.len());
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! a [`CompileContext`]; the `*_with_trace` variants additionally return the
 //! recorded [`PassTrace`].
 
-use crate::pass::{CompileContext, PassManager, PassTrace};
+use std::time::Duration;
+
+use crate::error::{validate_device, validate_program, PhoenixError};
+use crate::pass::{CompileContext, PassError, PassManager, PassTrace};
 use crate::passes::{
     ConcatPass, GroupPass, LayoutRoutePass, OrderPass, SimplifySynthPass, SnapshotLogicalPass,
     TransformPass,
@@ -47,6 +50,13 @@ pub struct PhoenixOptions {
     /// every value. Useful for programs with few, very wide groups where
     /// group-level parallelism alone cannot saturate the machine.
     pub stage2_scan_threads: usize,
+    /// Wall-clock budget for optimization effort. Once elapsed, remaining
+    /// optimization epochs are cut short (each affected unit of work falls
+    /// back to its unoptimized form, recorded as `truncated`/`skipped`
+    /// events in the [`PassTrace`]) while correctness-critical stages run
+    /// to completion — the output is always valid, just less optimized.
+    /// `None` (the default) never truncates.
+    pub pass_budget: Option<Duration>,
 }
 
 impl Default for PhoenixOptions {
@@ -60,6 +70,7 @@ impl Default for PhoenixOptions {
             layout_trials: 3,
             stage2_threads: 0,
             stage2_scan_threads: 1,
+            pass_budget: None,
         }
     }
 }
@@ -115,29 +126,57 @@ pub fn hardware_backend(router: &RouterOptions, layout_trials: usize) -> PassMan
         .with(TransformPass::peephole())
 }
 
+/// Fallible [`run_hardware_backend_with_trace`]: validates that the
+/// circuit fits the device before routing, and surfaces pass failures
+/// (including contained panics) as a typed [`PhoenixError`].
+pub fn try_run_hardware_backend_with_trace(
+    logical: &Circuit,
+    device: &CouplingGraph,
+    router: &RouterOptions,
+    layout_trials: usize,
+) -> Result<(HardwareProgram, PassTrace), PhoenixError> {
+    validate_device(logical.num_qubits(), device)?;
+    let mut ctx = CompileContext::from_circuit(logical.clone());
+    ctx.device = Some(device.clone());
+    let trace = hardware_backend(router, layout_trials).run(&mut ctx)?;
+    let snapshot = ctx
+        .logical
+        .ok_or_else(|| PassError::new("snapshot-logical", "logical snapshot missing"))?;
+    Ok((
+        HardwareProgram {
+            circuit: ctx.circuit,
+            logical: snapshot,
+            num_swaps: ctx.num_swaps,
+        },
+        trace,
+    ))
+}
+
+/// [`try_run_hardware_backend_with_trace`] without the trace.
+pub fn try_run_hardware_backend(
+    logical: &Circuit,
+    device: &CouplingGraph,
+    router: &RouterOptions,
+    layout_trials: usize,
+) -> Result<HardwareProgram, PhoenixError> {
+    try_run_hardware_backend_with_trace(logical, device, router, layout_trials).map(|(p, _)| p)
+}
+
 /// Runs the shared hardware back end on an already-compiled logical
 /// circuit, returning the routed program and the pass trace.
 ///
 /// # Panics
 ///
-/// Panics if the device has fewer qubits than the circuit.
+/// Panics if the device does not fit the circuit or routing fails — use
+/// [`try_run_hardware_backend_with_trace`] for graceful rejection.
 pub fn run_hardware_backend_with_trace(
     logical: &Circuit,
     device: &CouplingGraph,
     router: &RouterOptions,
     layout_trials: usize,
 ) -> (HardwareProgram, PassTrace) {
-    let mut ctx = CompileContext::from_circuit(logical.clone());
-    ctx.device = Some(device.clone());
-    let trace = hardware_backend(router, layout_trials)
-        .run(&mut ctx)
-        .expect("backend preconditions hold: device attached");
-    let program = HardwareProgram {
-        circuit: ctx.circuit,
-        logical: ctx.logical.expect("snapshot pass ran"),
-        num_swaps: ctx.num_swaps,
-    };
-    (program, trace)
+    try_run_hardware_backend_with_trace(logical, device, router, layout_trials)
+        .unwrap_or_else(|e| panic!("hardware backend failed: {e}"))
 }
 
 /// [`run_hardware_backend_with_trace`] without the trace.
@@ -180,43 +219,60 @@ impl PhoenixCompiler {
     }
 
     /// The canonical logical pass sequence (stages 1–3 + concatenation),
-    /// parameterized by this compiler's options.
+    /// parameterized by this compiler's options (including the pass
+    /// budget, which survives [`PassManager::append`]).
     pub fn logical_passes(&self, routing_aware: bool) -> PassManager {
-        PassManager::new()
+        let manager = PassManager::new()
             .with(GroupPass)
             .with(SimplifySynthPass {
                 simplify: self.options.enable_simplification,
                 threads: self.options.stage2_threads,
                 scan_threads: self.options.stage2_scan_threads,
+                fault_inject_group: None,
             })
             .with(OrderPass {
                 lookahead: self.options.lookahead,
                 routing_aware: routing_aware || self.options.routing_aware,
                 enabled: self.options.enable_ordering,
             })
-            .with(ConcatPass)
+            .with(ConcatPass);
+        match self.options.pass_budget {
+            Some(budget) => manager.with_budget(budget),
+            None => manager,
+        }
     }
 
-    fn run_logical(
+    fn try_run_logical(
         &self,
         manager: PassManager,
         n: usize,
         terms: &[(PauliString, f64)],
-    ) -> (CompileContext, PassTrace) {
+    ) -> Result<(CompileContext, PassTrace), PhoenixError> {
+        validate_program(n, terms)?;
         let mut ctx = CompileContext::new(n, terms);
-        let trace = manager
-            .run(&mut ctx)
-            .expect("logical pipeline has no failing preconditions");
-        (ctx, trace)
+        let trace = manager.run(&mut ctx)?;
+        Ok((ctx, trace))
     }
 
     /// Logical compilation to the high-level IR-group circuit.
     ///
     /// # Panics
     ///
-    /// Panics if a term does not act on exactly `n` qubits.
+    /// Panics on invalid input — use [`PhoenixCompiler::try_compile`] for
+    /// graceful rejection.
     pub fn compile(&self, n: usize, terms: &[(PauliString, f64)]) -> CompiledProgram {
-        self.compile_with_trace(n, terms).0
+        self.try_compile(n, terms)
+            .unwrap_or_else(|e| panic!("phoenix compilation failed: {e}"))
+    }
+
+    /// Fallible [`PhoenixCompiler::compile`]: validates the program up
+    /// front and returns a typed [`PhoenixError`] instead of panicking.
+    pub fn try_compile(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> Result<CompiledProgram, PhoenixError> {
+        self.try_compile_with_trace(n, terms).map(|(p, _)| p)
     }
 
     /// [`PhoenixCompiler::compile`] plus the recorded pass trace.
@@ -225,20 +281,45 @@ impl PhoenixCompiler {
         n: usize,
         terms: &[(PauliString, f64)],
     ) -> (CompiledProgram, PassTrace) {
-        let (ctx, trace) = self.run_logical(self.logical_passes(false), n, terms);
-        (
+        self.try_compile_with_trace(n, terms)
+            .unwrap_or_else(|e| panic!("phoenix compilation failed: {e}"))
+    }
+
+    /// [`PhoenixCompiler::try_compile`] plus the recorded pass trace.
+    pub fn try_compile_with_trace(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> Result<(CompiledProgram, PassTrace), PhoenixError> {
+        let (ctx, trace) = self.try_run_logical(self.logical_passes(false), n, terms)?;
+        Ok((
             CompiledProgram {
                 circuit: ctx.circuit,
                 num_groups: ctx.num_groups,
                 term_order: ctx.term_order,
             },
             trace,
-        )
+        ))
     }
 
     /// Logical compilation to the CNOT ISA (lowered + peephole-optimized).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid input — use [`PhoenixCompiler::try_compile_to_cnot`].
     pub fn compile_to_cnot(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
-        self.compile_to_cnot_with_trace(n, terms).0
+        self.try_compile_to_cnot(n, terms)
+            .unwrap_or_else(|e| panic!("phoenix compilation failed: {e}"))
+    }
+
+    /// Fallible [`PhoenixCompiler::compile_to_cnot`].
+    pub fn try_compile_to_cnot(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> Result<Circuit, PhoenixError> {
+        self.try_compile_to_cnot_with_trace(n, terms)
+            .map(|(c, _)| c)
     }
 
     /// [`PhoenixCompiler::compile_to_cnot`] plus the recorded pass trace.
@@ -247,15 +328,40 @@ impl PhoenixCompiler {
         n: usize,
         terms: &[(PauliString, f64)],
     ) -> (Circuit, PassTrace) {
+        self.try_compile_to_cnot_with_trace(n, terms)
+            .unwrap_or_else(|e| panic!("phoenix compilation failed: {e}"))
+    }
+
+    /// [`PhoenixCompiler::try_compile_to_cnot`] plus the recorded pass
+    /// trace.
+    pub fn try_compile_to_cnot_with_trace(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> Result<(Circuit, PassTrace), PhoenixError> {
         let manager = self.logical_passes(false).with(TransformPass::peephole());
-        let (ctx, trace) = self.run_logical(manager, n, terms);
-        (ctx.circuit, trace)
+        let (ctx, trace) = self.try_run_logical(manager, n, terms)?;
+        Ok((ctx.circuit, trace))
     }
 
     /// Logical compilation to the SU(4) ISA: PHOENIX emits SU(4) blocks
     /// directly from its simplified IR (no CNOT detour).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid input — use [`PhoenixCompiler::try_compile_to_su4`].
     pub fn compile_to_su4(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
-        self.compile_to_su4_with_trace(n, terms).0
+        self.try_compile_to_su4(n, terms)
+            .unwrap_or_else(|e| panic!("phoenix compilation failed: {e}"))
+    }
+
+    /// Fallible [`PhoenixCompiler::compile_to_su4`].
+    pub fn try_compile_to_su4(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> Result<Circuit, PhoenixError> {
+        self.try_compile_to_su4_with_trace(n, terms).map(|(c, _)| c)
     }
 
     /// [`PhoenixCompiler::compile_to_su4`] plus the recorded pass trace.
@@ -264,16 +370,43 @@ impl PhoenixCompiler {
         n: usize,
         terms: &[(PauliString, f64)],
     ) -> (Circuit, PassTrace) {
+        self.try_compile_to_su4_with_trace(n, terms)
+            .unwrap_or_else(|e| panic!("phoenix compilation failed: {e}"))
+    }
+
+    /// [`PhoenixCompiler::try_compile_to_su4`] plus the recorded pass
+    /// trace.
+    pub fn try_compile_to_su4_with_trace(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> Result<(Circuit, PassTrace), PhoenixError> {
         let manager = self.logical_passes(false).with(TransformPass::su4_rebase());
-        let (ctx, trace) = self.run_logical(manager, n, terms);
-        (ctx.circuit, trace)
+        let (ctx, trace) = self.try_run_logical(manager, n, terms)?;
+        Ok((ctx.circuit, trace))
     }
 
     /// Logical compilation to the CNOT ISA *through* the SU(4) layer:
     /// blocks are KAK-resynthesized to their ≤3-rotation canonical forms
     /// before lowering, capping every same-pair run at its Weyl floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid input — use
+    /// [`PhoenixCompiler::try_compile_to_cnot_via_kak`].
     pub fn compile_to_cnot_via_kak(&self, n: usize, terms: &[(PauliString, f64)]) -> Circuit {
-        self.compile_to_cnot_via_kak_with_trace(n, terms).0
+        self.try_compile_to_cnot_via_kak(n, terms)
+            .unwrap_or_else(|e| panic!("phoenix compilation failed: {e}"))
+    }
+
+    /// Fallible [`PhoenixCompiler::compile_to_cnot_via_kak`].
+    pub fn try_compile_to_cnot_via_kak(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> Result<Circuit, PhoenixError> {
+        self.try_compile_to_cnot_via_kak_with_trace(n, terms)
+            .map(|(c, _)| c)
     }
 
     /// [`PhoenixCompiler::compile_to_cnot_via_kak`] plus the recorded pass
@@ -283,13 +416,24 @@ impl PhoenixCompiler {
         n: usize,
         terms: &[(PauliString, f64)],
     ) -> (Circuit, PassTrace) {
+        self.try_compile_to_cnot_via_kak_with_trace(n, terms)
+            .unwrap_or_else(|e| panic!("phoenix compilation failed: {e}"))
+    }
+
+    /// [`PhoenixCompiler::try_compile_to_cnot_via_kak`] plus the recorded
+    /// pass trace.
+    pub fn try_compile_to_cnot_via_kak_with_trace(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+    ) -> Result<(Circuit, PassTrace), PhoenixError> {
         let manager = self
             .logical_passes(false)
             .with(TransformPass::su4_rebase())
             .with(TransformPass::kak_resynthesis())
             .with(TransformPass::peephole());
-        let (ctx, trace) = self.run_logical(manager, n, terms);
-        (ctx.circuit, trace)
+        let (ctx, trace) = self.try_run_logical(manager, n, terms)?;
+        Ok((ctx.circuit, trace))
     }
 
     /// Hardware-aware compilation: routing-aware ordering, CNOT lowering,
@@ -297,14 +441,28 @@ impl PhoenixCompiler {
     ///
     /// # Panics
     ///
-    /// Panics if the device has fewer qubits than the program.
+    /// Panics on invalid input or an unroutable device — use
+    /// [`PhoenixCompiler::try_compile_hardware_aware`].
     pub fn compile_hardware_aware(
         &self,
         n: usize,
         terms: &[(PauliString, f64)],
         device: &CouplingGraph,
     ) -> HardwareProgram {
-        self.compile_hardware_aware_with_trace(n, terms, device).0
+        self.try_compile_hardware_aware(n, terms, device)
+            .unwrap_or_else(|e| panic!("phoenix compilation failed: {e}"))
+    }
+
+    /// Fallible [`PhoenixCompiler::compile_hardware_aware`]: additionally
+    /// validates that the device fits the program and is connected.
+    pub fn try_compile_hardware_aware(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+        device: &CouplingGraph,
+    ) -> Result<HardwareProgram, PhoenixError> {
+        self.try_compile_hardware_aware_with_trace(n, terms, device)
+            .map(|(p, _)| p)
     }
 
     /// [`PhoenixCompiler::compile_hardware_aware`] plus the recorded pass
@@ -315,24 +473,42 @@ impl PhoenixCompiler {
         terms: &[(PauliString, f64)],
         device: &CouplingGraph,
     ) -> (HardwareProgram, PassTrace) {
+        self.try_compile_hardware_aware_with_trace(n, terms, device)
+            .unwrap_or_else(|e| panic!("phoenix compilation failed: {e}"))
+    }
+
+    /// [`PhoenixCompiler::try_compile_hardware_aware`] plus the recorded
+    /// pass trace.
+    pub fn try_compile_hardware_aware_with_trace(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+        device: &CouplingGraph,
+    ) -> Result<(HardwareProgram, PassTrace), PhoenixError> {
+        validate_program(n, terms)?;
+        validate_device(n, device)?;
         let manager = self.logical_passes(true).append(hardware_backend(
             &self.options.router,
             self.options.layout_trials,
         ));
         let mut ctx = CompileContext::for_device(n, terms, device);
-        let trace = manager
-            .run(&mut ctx)
-            .expect("hardware pipeline preconditions hold: device attached");
-        let program = HardwareProgram {
-            circuit: ctx.circuit,
-            logical: ctx.logical.expect("snapshot pass ran"),
-            num_swaps: ctx.num_swaps,
-        };
-        (program, trace)
+        let trace = manager.run(&mut ctx)?;
+        let snapshot = ctx
+            .logical
+            .ok_or_else(|| PassError::new("snapshot-logical", "logical snapshot missing"))?;
+        Ok((
+            HardwareProgram {
+                circuit: ctx.circuit,
+                logical: snapshot,
+                num_swaps: ctx.num_swaps,
+            },
+            trace,
+        ))
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use phoenix_circuit::synthesis::naive_circuit;
@@ -409,6 +585,77 @@ mod tests {
                 "peephole"
             ]
         );
+    }
+
+    #[test]
+    fn try_compile_rejects_malformed_programs_without_panicking() {
+        let c = PhoenixCompiler::default();
+        let mixed = terms(&["ZZ", "ZZI"]);
+        assert!(matches!(
+            c.try_compile(2, &mixed),
+            Err(crate::error::PhoenixError::TermWidthMismatch { index: 1, .. })
+        ));
+        let nan = vec![("XX".parse::<PauliString>().unwrap(), f64::NAN)];
+        assert!(c.try_compile_to_cnot(2, &nan).is_err());
+        assert!(c.try_compile_to_su4(2, &nan).is_err());
+        assert!(c.try_compile_to_cnot_via_kak(2, &nan).is_err());
+        let dev = CouplingGraph::line(2);
+        assert!(matches!(
+            c.try_compile_hardware_aware(3, &terms(&["ZZI"]), &dev),
+            Err(crate::error::PhoenixError::DeviceTooSmall {
+                program: 3,
+                device: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn try_paths_match_infallible_paths_on_valid_input() {
+        let t = terms(&["ZYY", "ZZY", "XYY", "XZY"]);
+        let c = PhoenixCompiler::default();
+        assert_eq!(c.try_compile(3, &t).unwrap(), c.compile(3, &t));
+        assert_eq!(
+            c.try_compile_to_cnot(3, &t).unwrap(),
+            c.compile_to_cnot(3, &t)
+        );
+        let dev = CouplingGraph::line(3);
+        assert_eq!(
+            c.try_compile_hardware_aware(3, &t, &dev).unwrap(),
+            c.compile_hardware_aware(3, &t, &dev)
+        );
+    }
+
+    #[test]
+    fn pass_budget_truncates_but_still_compiles_hardware_aware() {
+        let t = terms(&["ZZII", "IZZI", "IIZZ", "ZIIZ"]);
+        let dev = CouplingGraph::line(4);
+        let c = PhoenixCompiler::new(PhoenixOptions {
+            pass_budget: Some(Duration::ZERO),
+            ..PhoenixOptions::default()
+        });
+        let (hw, trace) = c
+            .try_compile_hardware_aware_with_trace(4, &t, &dev)
+            .unwrap();
+        for g in hw.circuit.gates() {
+            if let (a, Some(b)) = g.qubits() {
+                assert!(dev.contains_edge(a, b), "gate {g} violates coupling");
+            }
+        }
+        // Required passes (lowering, routing) still ran; optimization was
+        // truncated or skipped and the trace says so.
+        assert!(!trace.events.is_empty());
+        assert!(trace
+            .pass_names()
+            .iter()
+            .all(|p| *p != "peephole" && *p != "kak-resynthesis"));
+    }
+
+    #[test]
+    fn try_run_hardware_backend_rejects_undersized_devices() {
+        let t = terms(&["ZZZ"]);
+        let logical = PhoenixCompiler::default().compile_to_cnot(3, &t);
+        let small = CouplingGraph::line(2);
+        assert!(try_run_hardware_backend(&logical, &small, &RouterOptions::default(), 1).is_err());
     }
 
     #[test]

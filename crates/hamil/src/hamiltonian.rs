@@ -3,6 +3,48 @@
 use phoenix_pauli::PauliString;
 use std::fmt;
 
+/// Why a program was rejected by [`Hamiltonian::try_new`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum HamilError {
+    /// A term acts on a different number of qubits than the program
+    /// declares.
+    TermWidthMismatch {
+        /// Index of the offending term.
+        index: usize,
+        /// Declared program width.
+        expected: usize,
+        /// The term's width.
+        found: usize,
+    },
+    /// A coefficient is NaN or infinite.
+    NonFiniteCoefficient {
+        /// Index of the offending term.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for HamilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HamilError::TermWidthMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "term {index} acts on {found} qubits but the program declares {expected}"
+            ),
+            HamilError::NonFiniteCoefficient { index, value } => {
+                write!(f, "term {index} has non-finite coefficient {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HamilError {}
+
 /// A Hamiltonian-simulation program: an ordered list of Pauli
 /// exponentiations `exp(-i·cⱼ·Pⱼ)` (one Trotter step), plus a display name.
 ///
@@ -37,7 +79,8 @@ impl Hamiltonian {
     ///
     /// # Panics
     ///
-    /// Panics if a term's qubit count differs from `n`.
+    /// Panics if a term's qubit count differs from `n` — use
+    /// [`Hamiltonian::try_new`] for graceful rejection.
     pub fn new(name: impl Into<String>, n: usize, terms: Vec<(PauliString, f64)>) -> Self {
         for (p, _) in &terms {
             assert_eq!(p.num_qubits(), n, "term qubit count mismatch");
@@ -47,6 +90,33 @@ impl Hamiltonian {
             n,
             terms,
         }
+    }
+
+    /// Fallible [`Hamiltonian::new`]: additionally validates that every
+    /// coefficient is finite, returning a typed [`HamilError`] instead of
+    /// panicking on malformed input.
+    pub fn try_new(
+        name: impl Into<String>,
+        n: usize,
+        terms: Vec<(PauliString, f64)>,
+    ) -> Result<Self, HamilError> {
+        for (index, (p, c)) in terms.iter().enumerate() {
+            if p.num_qubits() != n {
+                return Err(HamilError::TermWidthMismatch {
+                    index,
+                    expected: n,
+                    found: p.num_qubits(),
+                });
+            }
+            if !c.is_finite() {
+                return Err(HamilError::NonFiniteCoefficient { index, value: *c });
+            }
+        }
+        Ok(Hamiltonian {
+            name: name.into(),
+            n,
+            terms,
+        })
     }
 
     /// The program name (e.g. `"LiH_frz_JW"`).
@@ -138,6 +208,36 @@ mod tests {
     #[should_panic(expected = "mismatch")]
     fn wrong_arity_panics() {
         let _ = Hamiltonian::new("t", 2, vec![("X".parse().unwrap(), 1.0)]);
+    }
+
+    #[test]
+    fn try_new_rejects_wrong_arity_gracefully() {
+        let e = Hamiltonian::try_new("t", 2, vec![("X".parse().unwrap(), 1.0)]).unwrap_err();
+        assert_eq!(
+            e,
+            HamilError::TermWidthMismatch {
+                index: 0,
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite_coefficients() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let e = Hamiltonian::try_new("t", 1, vec![("X".parse().unwrap(), bad)]).unwrap_err();
+            assert!(matches!(
+                e,
+                HamilError::NonFiniteCoefficient { index: 0, .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn try_new_accepts_valid_programs() {
+        let h = Hamiltonian::try_new("t", 2, vec![("XY".parse().unwrap(), 0.3)]).unwrap();
+        assert_eq!(h.len(), 1);
     }
 
     #[test]

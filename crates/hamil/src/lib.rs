@@ -40,5 +40,5 @@ pub mod uccsd;
 
 pub use encoding::FermionEncoding;
 pub use fermion::{annihilation, creation, double_excitation, number_operator, single_excitation};
-pub use hamiltonian::Hamiltonian;
+pub use hamiltonian::{HamilError, Hamiltonian};
 pub use uccsd::Molecule;

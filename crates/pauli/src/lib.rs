@@ -45,4 +45,4 @@ pub use algebra::{PauliPolynomial, PauliTerm};
 pub use bsf::{nibble_weight, Bsf, BsfError, BsfRow};
 pub use clifford::{Clifford2Q, Clifford2QKind, CLIFFORD2Q_GENERATORS};
 pub use pauli::Pauli;
-pub use string::{ParsePauliStringError, PauliString};
+pub use string::{ParsePauliStringError, PauliString, MAX_QUBITS};

@@ -13,9 +13,10 @@ use std::fmt;
 /// use phoenix_router::Layout;
 ///
 /// let mut l = Layout::trivial(2, 4);
-/// assert_eq!(l.phys(1), 1);
+/// assert_eq!(l.phys(1), Some(1));
 /// l.swap_physical(1, 3);
-/// assert_eq!(l.phys(1), 3);
+/// assert_eq!(l.phys(1), Some(3));
+/// assert_eq!(l.phys(7), None); // unmapped logical qubit
 /// assert_eq!(l.logical(3), Some(1));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,22 +69,20 @@ impl Layout {
         self.p2l.len()
     }
 
-    /// Physical location of logical qubit `l`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `l` is out of range.
+    /// Physical location of logical qubit `l`, or `None` if `l` is not a
+    /// logical qubit of this layout.
     #[inline]
-    pub fn phys(&self, l: usize) -> usize {
-        self.l2p[l]
+    pub fn phys(&self, l: usize) -> Option<usize> {
+        self.l2p.get(l).copied()
     }
 
-    /// Logical qubit on physical `p`, if any.
+    /// Logical qubit on physical `p`, if any (`None` also for out-of-range
+    /// physical indices).
     #[inline]
     pub fn logical(&self, p: usize) -> Option<usize> {
-        match self.p2l[p] {
-            usize::MAX => None,
-            l => Some(l),
+        match self.p2l.get(p).copied() {
+            None | Some(usize::MAX) => None,
+            Some(l) => Some(l),
         }
     }
 
@@ -117,7 +116,7 @@ mod tests {
     fn trivial_is_identity() {
         let l = Layout::trivial(3, 5);
         for q in 0..3 {
-            assert_eq!(l.phys(q), q);
+            assert_eq!(l.phys(q), Some(q));
             assert_eq!(l.logical(q), Some(q));
         }
         assert_eq!(l.logical(4), None);
@@ -127,12 +126,20 @@ mod tests {
     fn swap_updates_both_tables() {
         let mut l = Layout::trivial(2, 3);
         l.swap_physical(0, 2); // qubit 0 moves to empty slot 2
-        assert_eq!(l.phys(0), 2);
+        assert_eq!(l.phys(0), Some(2));
         assert_eq!(l.logical(0), None);
         assert_eq!(l.logical(2), Some(0));
         l.swap_physical(1, 2);
-        assert_eq!(l.phys(0), 1);
-        assert_eq!(l.phys(1), 2);
+        assert_eq!(l.phys(0), Some(1));
+        assert_eq!(l.phys(1), Some(2));
+    }
+
+    #[test]
+    fn unmapped_lookups_return_none_instead_of_panicking() {
+        let l = Layout::trivial(2, 3);
+        assert_eq!(l.phys(2), None);
+        assert_eq!(l.phys(usize::MAX), None);
+        assert_eq!(l.logical(3), None);
     }
 
     #[test]

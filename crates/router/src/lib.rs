@@ -25,5 +25,5 @@ mod place;
 mod sabre;
 
 pub use layout::Layout;
-pub use place::{greedy_layout, search_layout};
-pub use sabre::{route, RoutedCircuit, RouterOptions};
+pub use place::{greedy_layout, route_with_retry, search_layout, RouteRetry};
+pub use sabre::{route, try_route, RouteError, RoutedCircuit, RouterOptions};

@@ -6,7 +6,7 @@
 //! (each pass routes the circuit, adopts the final layout, and routes the
 //! reversed circuit back).
 
-use crate::{route, Layout, RouterOptions};
+use crate::{try_route, Layout, RouteError, RoutedCircuit, RouterOptions};
 use phoenix_circuit::Circuit;
 use phoenix_topology::CouplingGraph;
 use std::collections::BTreeMap;
@@ -79,6 +79,11 @@ pub fn greedy_layout(circuit: &Circuit, device: &CouplingGraph) -> Layout {
 /// SabreLayout-style refinement: starting from [`greedy_layout`], route
 /// forward and backward `iters` times, adopting final layouts, and return
 /// the layout that produced the fewest forward swaps.
+///
+/// Candidates whose trial routing fails (e.g. the SWAP budget runs out on
+/// a pathological instance) are skipped rather than aborting the search;
+/// if every candidate fails the greedy seed is returned and the caller's
+/// own routing attempt surfaces the error.
 pub fn search_layout(
     circuit: &Circuit,
     device: &CouplingGraph,
@@ -90,29 +95,99 @@ pub fn search_layout(
         lowered.num_qubits(),
         lowered.gates().iter().rev().cloned().collect(),
     );
-    let mut current = greedy_layout(&lowered, device);
-    let mut best = current.clone();
+    let seed = greedy_layout(&lowered, device);
+    let mut current = seed.clone();
+    let mut best = seed.clone();
     let mut best_swaps = usize::MAX;
     for _ in 0..iters.max(1) {
-        let fwd = route(&lowered, device, current.clone(), opts);
+        let fwd = match try_route(&lowered, device, current.clone(), opts) {
+            Ok(r) => r,
+            Err(_) => return if best_swaps == usize::MAX { seed } else { best },
+        };
         if fwd.num_swaps < best_swaps {
             best_swaps = fwd.num_swaps;
             best = current.clone();
         }
-        let bwd = route(&reversed, device, fwd.final_layout, opts);
-        current = bwd.final_layout;
+        match try_route(&reversed, device, fwd.final_layout, opts) {
+            Ok(bwd) => current = bwd.final_layout,
+            Err(_) => return best,
+        }
     }
     // Final check on the last candidate.
-    let fwd = route(&lowered, device, current.clone(), opts);
-    if fwd.num_swaps < best_swaps {
-        best = current;
+    if let Ok(fwd) = try_route(&lowered, device, current.clone(), opts) {
+        if fwd.num_swaps < best_swaps {
+            best = current;
+        }
     }
     best
+}
+
+/// One abandoned routing attempt inside [`route_with_retry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteRetry {
+    /// Which layout strategy was tried (`"searched"`, `"greedy-seed"`,
+    /// `"trivial"`).
+    pub strategy: &'static str,
+    /// Why the attempt was abandoned.
+    pub error: RouteError,
+}
+
+/// Routing with a graceful-degradation ladder instead of a panic: try the
+/// refined [`search_layout`] placement first, then the plain greedy seed
+/// (an alternate starting point that often escapes a budget blow-up), and
+/// finally the trivial layout with a quadrupled SWAP budget. Returns the
+/// first success together with the abandoned attempts, or the last error
+/// when even the trivial fallback fails (the instance is genuinely
+/// unroutable, e.g. a disconnected device region).
+pub fn route_with_retry(
+    circuit: &Circuit,
+    device: &CouplingGraph,
+    opts: &RouterOptions,
+    layout_trials: usize,
+) -> Result<(RoutedCircuit, Vec<RouteRetry>), RouteError> {
+    let lowered = circuit.lower_to_cnot();
+    let n_log = lowered.num_qubits();
+    let n_phys = device.num_qubits();
+    if n_log > n_phys {
+        return Err(RouteError::DeviceTooSmall {
+            logical: n_log,
+            physical: n_phys,
+        });
+    }
+    let mut relaxed = opts.clone();
+    relaxed.max_swaps = opts
+        .swap_budget(lowered.counts().two_qubit(), n_phys)
+        .saturating_mul(4);
+    let attempts: [(&'static str, Layout, &RouterOptions); 3] = [
+        (
+            "searched",
+            search_layout(&lowered, device, opts, layout_trials),
+            opts,
+        ),
+        ("greedy-seed", greedy_layout(&lowered, device), opts),
+        ("trivial", Layout::trivial(n_log, n_phys), &relaxed),
+    ];
+    let mut retries = Vec::new();
+    let mut last_err = None;
+    for (strategy, layout, o) in attempts {
+        match try_route(&lowered, device, layout, o) {
+            Ok(routed) => return Ok((routed, retries)),
+            Err(error) => {
+                retries.push(RouteRetry {
+                    strategy,
+                    error: error.clone(),
+                });
+                last_err = Some(error);
+            }
+        }
+    }
+    Err(last_err.expect("all three attempts recorded an error"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::route;
     use phoenix_circuit::Gate;
 
     fn program(n: usize, pairs: &[(usize, usize)]) -> Circuit {
@@ -129,7 +204,7 @@ mod tests {
         let c = program(4, &[(0, 3), (0, 3), (0, 3), (1, 2)]);
         let dev = CouplingGraph::line(6);
         let l = greedy_layout(&c, &dev);
-        assert_eq!(dev.distance(l.phys(0), l.phys(3)), 1);
+        assert_eq!(dev.distance(l.phys(0).unwrap(), l.phys(3).unwrap()), 1);
     }
 
     #[test]
@@ -156,7 +231,50 @@ mod tests {
         let l = search_layout(&c, &dev, &RouterOptions::default(), 2);
         let mut seen = std::collections::BTreeSet::new();
         for q in 0..5 {
-            assert!(seen.insert(l.phys(q)), "physical slot reused");
+            assert!(seen.insert(l.phys(q).unwrap()), "physical slot reused");
         }
+    }
+
+    #[test]
+    fn retry_ladder_succeeds_on_a_routable_program() {
+        let c = program(5, &[(0, 4), (1, 3), (0, 2)]);
+        let dev = CouplingGraph::line(5);
+        let (routed, retries) =
+            route_with_retry(&c, &dev, &RouterOptions::default(), 2).expect("routable");
+        assert!(retries.is_empty(), "first attempt should succeed");
+        assert!(routed.circuit.len() >= c.len());
+    }
+
+    #[test]
+    fn retry_ladder_falls_back_when_the_budget_is_tight() {
+        // A budget of 1 makes the searched and greedy attempts fail on a
+        // program needing several swaps; the trivial fallback gets 4×.
+        let pairs: Vec<(usize, usize)> = (0..6).map(|i| (i, (i + 3) % 6)).collect();
+        let c = program(6, &pairs);
+        let dev = CouplingGraph::line(6);
+        let opts = RouterOptions {
+            max_swaps: 1,
+            ..RouterOptions::default()
+        };
+        match route_with_retry(&c, &dev, &opts, 1) {
+            Ok((_, retries)) => assert!(!retries.is_empty(), "must have retried"),
+            Err(RouteError::SwapBudgetExceeded { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn retry_ladder_reports_unroutable_instances() {
+        // All three logical qubits interact pairwise but physical qubit 2
+        // is isolated: whichever logical lands there is stranded, so no
+        // layout can route the whole program.
+        let c = program(3, &[(0, 1), (1, 2), (0, 2)]);
+        let dev = CouplingGraph::from_edges(3, [(0, 1)]);
+        let err = route_with_retry(&c, &dev, &RouterOptions::default(), 1)
+            .expect_err("disconnected region is unroutable");
+        assert!(matches!(
+            err,
+            RouteError::SwapBudgetExceeded { .. } | RouteError::NoSwapCandidate { .. }
+        ));
     }
 }

@@ -3,6 +3,7 @@
 use crate::Layout;
 use phoenix_circuit::{Circuit, Gate};
 use phoenix_topology::CouplingGraph;
+use std::fmt;
 
 /// Tuning knobs for the router.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +21,12 @@ pub struct RouterOptions {
     /// no layout change — Itoko et al.) when the pair does not recur in the
     /// lookahead window; otherwise fall back to SWAPs.
     pub use_bridge: bool,
+    /// Hard cap on inserted SWAPs before the router gives up with
+    /// [`RouteError::SwapBudgetExceeded`] instead of looping on a
+    /// pathological instance. `0` selects an automatic budget generous
+    /// enough for any legitimately routable program (see
+    /// [`RouterOptions::swap_budget`]).
+    pub max_swaps: usize,
 }
 
 impl Default for RouterOptions {
@@ -30,9 +37,85 @@ impl Default for RouterOptions {
             decay: 0.001,
             decay_reset: 5,
             use_bridge: false,
+            max_swaps: 0,
         }
     }
 }
+
+impl RouterOptions {
+    /// The effective SWAP budget for a circuit with `num_2q` two-qubit
+    /// gates on an `n_phys`-qubit device: `max_swaps` when nonzero,
+    /// otherwise an automatic bound. Every 2Q gate needs at most
+    /// `diameter − 1 < n_phys` swaps, so the automatic budget is only hit
+    /// when routing cannot make progress (e.g. a disconnected region).
+    pub fn swap_budget(&self, num_2q: usize, n_phys: usize) -> usize {
+        if self.max_swaps != 0 {
+            return self.max_swaps;
+        }
+        64usize.saturating_add(num_2q.saturating_mul(n_phys.max(1)))
+    }
+}
+
+/// Why routing was rejected or abandoned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The circuit uses more qubits than the device offers.
+    DeviceTooSmall {
+        /// Logical qubits required.
+        logical: usize,
+        /// Physical qubits available.
+        physical: usize,
+    },
+    /// The initial layout maps a different number of logical qubits than
+    /// the circuit declares.
+    LayoutMismatch {
+        /// Logical qubits of the layout.
+        layout: usize,
+        /// Logical qubits of the circuit.
+        circuit: usize,
+    },
+    /// A blocked 2Q gate has no candidate SWAP — one of its qubits sits on
+    /// an isolated physical qubit.
+    NoSwapCandidate {
+        /// The blocked logical pair.
+        pair: (usize, usize),
+    },
+    /// The SWAP budget ran out before all gates executed — the instance is
+    /// pathological (typically a disconnected device region) or the
+    /// configured [`RouterOptions::max_swaps`] was too tight.
+    SwapBudgetExceeded {
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::DeviceTooSmall { logical, physical } => write!(
+                f,
+                "device too small: {logical} logical qubits vs {physical} physical"
+            ),
+            RouteError::LayoutMismatch { layout, circuit } => write!(
+                f,
+                "layout maps {layout} logical qubits but the circuit uses {circuit}"
+            ),
+            RouteError::NoSwapCandidate { pair: (a, b) } => write!(
+                f,
+                "no swap candidate for blocked gate on logical pair ({a}, {b}); \
+                 is the device region disconnected?"
+            ),
+            RouteError::SwapBudgetExceeded { budget } => {
+                write!(
+                    f,
+                    "swap budget of {budget} exhausted before routing finished"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// The result of routing: a physical circuit plus bookkeeping.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,19 +141,46 @@ pub struct RoutedCircuit {
 ///
 /// # Panics
 ///
-/// Panics if the circuit needs more qubits than the device offers or the
-/// relevant device region is disconnected.
+/// Panics on any [`RouteError`] — use [`try_route`] for graceful rejection.
 pub fn route(
     logical: &Circuit,
     device: &CouplingGraph,
     initial_layout: Layout,
     opts: &RouterOptions,
 ) -> RoutedCircuit {
+    try_route(logical, device, initial_layout, opts)
+        .unwrap_or_else(|e| panic!("routing failed: {e}"))
+}
+
+/// Fallible [`route`]: rejects undersized devices, mismatched layouts, and
+/// instances whose SWAP budget runs out (disconnected regions included)
+/// with a typed [`RouteError`] instead of panicking or looping.
+pub fn try_route(
+    logical: &Circuit,
+    device: &CouplingGraph,
+    initial_layout: Layout,
+    opts: &RouterOptions,
+) -> Result<RoutedCircuit, RouteError> {
     let lowered = logical.lower_to_cnot();
     let n_log = lowered.num_qubits();
     let n_phys = device.num_qubits();
-    assert!(n_log <= n_phys, "device too small");
-    assert_eq!(initial_layout.num_logical(), n_log, "layout arity mismatch");
+    if n_log > n_phys {
+        return Err(RouteError::DeviceTooSmall {
+            logical: n_log,
+            physical: n_phys,
+        });
+    }
+    if initial_layout.num_logical() != n_log {
+        return Err(RouteError::LayoutMismatch {
+            layout: initial_layout.num_logical(),
+            circuit: n_log,
+        });
+    }
+    // Arity was just validated, so every logical qubit of the circuit maps.
+    let ph = |layout: &Layout, l: usize| -> usize {
+        layout.phys(l).expect("layout arity validated above")
+    };
+    let budget = opts.swap_budget(lowered.counts().two_qubit(), n_phys);
 
     // Per-qubit gate queues: gate g is ready when it heads the queue of
     // each of its qubits.
@@ -112,10 +222,10 @@ pub fn route(
                 let (a, b) = g.qubits();
                 let executable = match b {
                     None => true,
-                    Some(b) => device.contains_edge(layout.phys(a), layout.phys(b)),
+                    Some(b) => device.contains_edge(ph(&layout, a), ph(&layout, b)),
                 };
                 if executable {
-                    out.push(g.map_qubits(&mut |q| layout.phys(q)));
+                    out.push(g.map_qubits(&mut |q| ph(&layout, q)));
                     queues[a].pop_front();
                     if let Some(b) = b {
                         queues[b].pop_front();
@@ -156,7 +266,7 @@ pub fn route(
         if opts.use_bridge {
             let mut bridged = false;
             for &(a, b) in &front {
-                let (pa, pb) = (layout.phys(a), layout.phys(b));
+                let (pa, pb) = (ph(&layout, a), ph(&layout, b));
                 if device.distance(pa, pb) != 2 {
                     continue;
                 }
@@ -198,8 +308,8 @@ pub fn route(
         let mut best: Option<((usize, usize), f64)> = None;
         for &(a, b) in &front {
             for &l in &[a, b] {
-                let p = layout.phys(l);
-                for &nb in device.neighbors(p) {
+                let p = ph(&layout, l);
+                for &nb in device.neighbors(p).unwrap_or(&[]) {
                     let edge = (p.min(nb), p.max(nb));
                     if Some(edge) == last_swap {
                         continue;
@@ -208,12 +318,12 @@ pub fn route(
                     trial.swap_physical(edge.0, edge.1);
                     let mut score = 0.0;
                     for &(fa, fb) in &front {
-                        score += device.distance(trial.phys(fa), trial.phys(fb)) as f64;
+                        score += device.distance(ph(&trial, fa), ph(&trial, fb)) as f64;
                     }
                     if !extended.is_empty() {
                         let mut ext = 0.0;
                         for &(ea, eb) in &extended {
-                            ext += device.distance(trial.phys(ea), trial.phys(eb)) as f64;
+                            ext += device.distance(ph(&trial, ea), ph(&trial, eb)) as f64;
                         }
                         score += opts.extended_weight * ext / extended.len() as f64;
                     }
@@ -224,7 +334,10 @@ pub fn route(
                 }
             }
         }
-        let ((p1, p2), _) = best.expect("front layer implies swap candidates");
+        let ((p1, p2), _) = best.ok_or(RouteError::NoSwapCandidate { pair: front[0] })?;
+        if num_swaps >= budget {
+            return Err(RouteError::SwapBudgetExceeded { budget });
+        }
         out.push(Gate::Swap(p1, p2));
         layout.swap_physical(p1, p2);
         last_swap = Some((p1, p2));
@@ -238,11 +351,11 @@ pub fn route(
         }
     }
 
-    RoutedCircuit {
+    Ok(RoutedCircuit {
         circuit: out,
         num_swaps,
         final_layout: layout,
-    }
+    })
 }
 
 /// Collects up to `k` upcoming 2Q gates past the front layer (in program
@@ -419,6 +532,70 @@ mod tests {
             r.num_swaps >= 1,
             "recurring pair should be moved, not bridged"
         );
+    }
+
+    #[test]
+    fn try_route_rejects_undersized_device() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cnot(0, 3));
+        let dev = CouplingGraph::line(2);
+        let err = try_route(&c, &dev, Layout::trivial(2, 2), &opts()).unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::DeviceTooSmall {
+                logical: 4,
+                physical: 2
+            }
+        );
+    }
+
+    #[test]
+    fn try_route_rejects_mismatched_layout() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot(0, 1));
+        let dev = CouplingGraph::line(3);
+        let err = try_route(&c, &dev, Layout::trivial(2, 3), &opts()).unwrap_err();
+        assert!(matches!(
+            err,
+            RouteError::LayoutMismatch {
+                layout: 2,
+                circuit: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn tight_swap_budget_is_reported_not_looped() {
+        let mut c = Circuit::new(5);
+        c.push(Gate::Cnot(0, 4)); // needs ≥3 swaps on a line
+        let dev = CouplingGraph::line(5);
+        let mut o = opts();
+        o.max_swaps = 1;
+        let err = try_route(&c, &dev, Layout::trivial(5, 5), &o).unwrap_err();
+        assert_eq!(err, RouteError::SwapBudgetExceeded { budget: 1 });
+    }
+
+    #[test]
+    fn disconnected_region_errs_instead_of_hanging() {
+        // Qubit 2 is isolated; the gate can never execute, and without a
+        // budget the router would ping-pong forever.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot(0, 2));
+        let dev = CouplingGraph::from_edges(3, [(0, 1)]);
+        let err = try_route(&c, &dev, Layout::trivial(3, 3), &opts()).unwrap_err();
+        assert!(matches!(
+            err,
+            RouteError::SwapBudgetExceeded { .. } | RouteError::NoSwapCandidate { .. }
+        ));
+    }
+
+    #[test]
+    fn default_budget_never_trips_on_routable_programs() {
+        let o = opts();
+        assert_eq!(o.swap_budget(10, 8), 64 + 80);
+        let mut tight = opts();
+        tight.max_swaps = 7;
+        assert_eq!(tight.swap_budget(10, 8), 7);
     }
 
     #[test]

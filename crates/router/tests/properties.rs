@@ -105,7 +105,7 @@ proptest! {
         let l: Layout = greedy_layout(&c, &device);
         let mut seen = std::collections::BTreeSet::new();
         for q in 0..8 {
-            prop_assert!(seen.insert(l.phys(q)));
+            prop_assert!(seen.insert(l.phys(q).expect("mapped")));
         }
     }
 }

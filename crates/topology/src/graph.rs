@@ -172,14 +172,11 @@ impl CouplingGraph {
         &self.edges
     }
 
-    /// Neighbours of qubit `q`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q >= self.num_qubits()`.
+    /// Neighbours of qubit `q`, or `None` if `q` is not a qubit of this
+    /// graph.
     #[inline]
-    pub fn neighbors(&self, q: usize) -> &[usize] {
-        &self.adj[q]
+    pub fn neighbors(&self, q: usize) -> Option<&[usize]> {
+        self.adj.get(q).map(Vec::as_slice)
     }
 
     /// Whether qubits `a` and `b` are directly coupled.
@@ -355,7 +352,9 @@ mod tests {
         assert!(g.is_connected());
         assert!(g.max_degree() <= 3);
         // The two added pendants plus the two connector-less row corners.
-        let pendants = (0..27).filter(|&q| g.neighbors(q).len() == 1).count();
+        let pendants = (0..27)
+            .filter(|&q| g.neighbors(q).is_some_and(|nb| nb.len() == 1))
+            .count();
         assert_eq!(pendants, 4);
     }
 

@@ -84,11 +84,13 @@ proptest! {
     fn neighbors_match_edges(g in arb_connected_graph()) {
         let n = g.num_qubits();
         for a in 0..n {
-            for &b in g.neighbors(a) {
+            let adjacent = g.neighbors(a).expect("in-range qubit has a list");
+            for &b in adjacent {
                 prop_assert!(g.contains_edge(a, b));
             }
             let degree = (0..n).filter(|&b| g.contains_edge(a, b)).count();
-            prop_assert_eq!(g.neighbors(a).len(), degree);
+            prop_assert_eq!(adjacent.len(), degree);
         }
+        prop_assert_eq!(g.neighbors(n), None);
     }
 }

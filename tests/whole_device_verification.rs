@@ -56,7 +56,7 @@ fn routed_clifford_circuits_match_logical_state_on_heavy_hex() {
                 );
             }
             let placement: Vec<usize> = (0..n_logical)
-                .map(|q| routed.final_layout.phys(q))
+                .map(|q| routed.final_layout.phys(q).expect("mapped"))
                 .collect();
             let phys_obs = logical_obs.embed(device.num_qubits(), &placement);
             assert_eq!(
@@ -93,7 +93,9 @@ fn bridge_routing_matches_logical_state() {
                 [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z][rng.next_below(4)],
             );
         }
-        let placement: Vec<usize> = (0..12).map(|q| routed.final_layout.phys(q)).collect();
+        let placement: Vec<usize> = (0..12)
+            .map(|q| routed.final_layout.phys(q).expect("mapped"))
+            .collect();
         let phys_obs = obs.embed(65, &placement);
         assert_eq!(
             ref_state.expectation(&obs),
