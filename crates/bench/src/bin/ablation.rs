@@ -27,7 +27,10 @@ struct Entry {
 }
 
 fn variants() -> Vec<(&'static str, PhoenixOptions)> {
-    let full = PhoenixOptions::default();
+    let full = PhoenixOptions {
+        verify: phoenix_bench::verify_enabled(),
+        ..PhoenixOptions::default()
+    };
     vec![
         ("full", full.clone()),
         (

@@ -2,8 +2,8 @@
 //! across heavy-hex generations (Falcon-27, Manhattan-65, Eagle-127) and
 //! non-heavy-hex shapes (grid, line), with noise-model success estimates.
 
-use phoenix_bench::{or_exit, row, write_results, Tracer, SEED};
-use phoenix_core::PhoenixCompiler;
+use phoenix_bench::{or_exit, phoenix_compiler, row, write_results, Tracer, SEED};
+
 use phoenix_hamil::{uccsd, Molecule};
 use phoenix_sim::noise::ErrorModel;
 use phoenix_topology::CouplingGraph;
@@ -56,16 +56,12 @@ fn main() {
                 continue;
             }
             let hw = or_exit(
-                PhoenixCompiler::default().try_compile_hardware_aware(
-                    h.num_qubits(),
-                    h.terms(),
-                    &device,
-                ),
+                phoenix_compiler().try_compile_hardware_aware(h.num_qubits(), h.terms(), &device),
                 h.name(),
             );
             tracer.record_hardware(
                 &format!("{}/{name}", h.name()),
-                &PhoenixCompiler::default(),
+                &phoenix_compiler(),
                 h.num_qubits(),
                 h.terms(),
                 &device,

@@ -6,8 +6,10 @@
 //! routing-overhead multiple (the dashed lines).
 
 use phoenix_baselines::strategies;
-use phoenix_bench::{geomean, row, short_label, write_results, Metrics, Tracer, SEED};
-use phoenix_core::{CompilerStrategy, PhoenixCompiler};
+use phoenix_bench::{
+    geomean, phoenix_compiler, row, short_label, write_results, Metrics, Tracer, SEED,
+};
+use phoenix_core::CompilerStrategy;
 use phoenix_hamil::uccsd;
 use phoenix_topology::CouplingGraph;
 use serde::Serialize;
@@ -53,7 +55,7 @@ fn main() {
                 },
             );
         }
-        tracer.record_hardware(h.name(), &PhoenixCompiler::default(), n, h.terms(), &device);
+        tracer.record_hardware(h.name(), &phoenix_compiler(), n, h.terms(), &device);
         eprintln!("[fig6] {} done", h.name());
         entries.push(Entry {
             benchmark: h.name().to_string(),

@@ -8,8 +8,8 @@
 //! per scale point.
 
 use phoenix_baselines::Baseline;
-use phoenix_bench::{write_results, Tracer, SEED};
-use phoenix_core::{CompilerStrategy, PhoenixCompiler};
+use phoenix_bench::{phoenix_compiler, write_results, Tracer, SEED};
+use phoenix_core::CompilerStrategy;
 use phoenix_hamil::{uccsd, Molecule};
 use phoenix_sim::{circuit_unitary, exact_evolution, infidelity};
 use serde::Serialize;
@@ -28,7 +28,7 @@ fn main() {
     let mut out: Vec<Series> = Vec::new();
     let mut tracer = Tracer::from_env("fig8");
     let tket: &dyn CompilerStrategy = &Baseline::TketStyle;
-    let phoenix_compiler = PhoenixCompiler::default();
+    let phoenix_compiler = phoenix_compiler();
     let phoenix_strategy: &dyn CompilerStrategy = &phoenix_compiler;
     println!("# Fig. 8: algorithmic error (unitary infidelity vs exact evolution)\n");
     for mol in [Molecule::lih(), Molecule::nh()] {

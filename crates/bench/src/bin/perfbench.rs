@@ -9,10 +9,10 @@
 //! Usage: `perfbench [--quick]` — `--quick` runs one repetition of LiH only
 //! (the CI smoke configuration).
 
-use phoenix_bench::{or_exit, row, write_results, SEED};
+use phoenix_bench::{or_exit, phoenix_compiler, row, write_results, SEED};
 use phoenix_core::group::group_by_support;
 use phoenix_core::simplify::simplify_terms_with;
-use phoenix_core::{PhoenixCompiler, SimplifiedGroup, SimplifyOptions};
+use phoenix_core::{SimplifiedGroup, SimplifyOptions};
 use phoenix_hamil::{uccsd, Molecule};
 use serde::Serialize;
 use std::time::Instant;
@@ -102,10 +102,7 @@ fn main() {
         let mut e2e_ms = f64::INFINITY;
         for _ in 0..reps {
             let t = Instant::now();
-            let _ = or_exit(
-                PhoenixCompiler::default().try_compile_to_cnot(n, h.terms()),
-                label,
-            );
+            let _ = or_exit(phoenix_compiler().try_compile_to_cnot(n, h.terms()), label);
             e2e_ms = e2e_ms.min(t.elapsed().as_secs_f64() * 1e3);
         }
 

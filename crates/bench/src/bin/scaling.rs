@@ -5,8 +5,8 @@
 //! thousands of Pauli strings … in dozens of seconds" — in Python; this
 //! implementation is ~1000× faster).
 
-use phoenix_bench::{or_exit, row, write_results, Tracer, SEED};
-use phoenix_core::PhoenixCompiler;
+use phoenix_bench::{or_exit, phoenix_compiler, row, write_results, Tracer, SEED};
+
 use phoenix_hamil::{models, qaoa, uccsd, Hamiltonian, Molecule};
 use serde::Serialize;
 use std::time::Instant;
@@ -26,16 +26,11 @@ fn measure(h: &Hamiltonian, tracer: &mut Tracer) -> Point {
     // the trace (when requested) comes from a separate run.
     let t0 = Instant::now();
     let c = or_exit(
-        PhoenixCompiler::default().try_compile_to_cnot(h.num_qubits(), h.terms()),
+        phoenix_compiler().try_compile_to_cnot(h.num_qubits(), h.terms()),
         h.name(),
     );
     let millis = t0.elapsed().as_secs_f64() * 1e3;
-    tracer.record_logical(
-        h.name(),
-        &PhoenixCompiler::default(),
-        h.num_qubits(),
-        h.terms(),
-    );
+    tracer.record_logical(h.name(), &phoenix_compiler(), h.num_qubits(), h.terms());
     Point {
         program: h.name().to_string(),
         qubits: h.num_qubits(),

@@ -5,9 +5,9 @@
 //! above their theoretical floors.
 
 use phoenix_baselines::strategies;
-use phoenix_bench::{or_exit, row, short_label, write_results, Tracer, SEED};
+use phoenix_bench::{or_exit, phoenix_compiler, row, short_label, write_results, Tracer, SEED};
 use phoenix_circuit::{kak, peephole, rebase, weyl, Circuit, Gate};
-use phoenix_core::{CompilerStrategy, PhoenixCompiler};
+use phoenix_core::CompilerStrategy;
 use phoenix_hamil::{uccsd, Molecule};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -78,7 +78,7 @@ fn main() {
             let n = h.num_qubits();
             let mut per = BTreeMap::new();
             // PHOENIX: direct SU(4) emission.
-            let phoenix = PhoenixCompiler::default();
+            let phoenix = phoenix_compiler();
             let p_su4 = or_exit(phoenix.try_compile_to_su4(n, h.terms()), h.name());
             let p_cnot = or_exit(phoenix.try_compile_to_cnot(n, h.terms()), h.name())
                 .counts()

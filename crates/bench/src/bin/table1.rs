@@ -5,8 +5,8 @@
 //! `Depth-2Q`.
 
 use phoenix_baselines::Baseline;
-use phoenix_bench::{row, write_results, Metrics, Tracer, SEED};
-use phoenix_core::{CompilerStrategy, PhoenixCompiler};
+use phoenix_bench::{phoenix_compiler, row, write_results, Metrics, Tracer, SEED};
+use phoenix_core::CompilerStrategy;
 use phoenix_hamil::uccsd;
 use serde::Serialize;
 
@@ -39,7 +39,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut tracer = Tracer::from_env("table1");
     let original: &dyn CompilerStrategy = &Baseline::Naive;
-    let phoenix = PhoenixCompiler::default();
+    let phoenix = phoenix_compiler();
     for h in uccsd::table1_suite(SEED) {
         let naive = original.compile_logical(h.num_qubits(), h.terms());
         let m = Metrics::of(&naive);

@@ -8,9 +8,11 @@
 //! "no O3" variants lower structurally without it, mirroring the paper's
 //! ablation of high-level-optimization strength.
 
-use phoenix_bench::{geomean, row, short_label, write_results, Metrics, Tracer, SEED};
+use phoenix_bench::{
+    geomean, phoenix_compiler, row, short_label, write_results, Metrics, Tracer, SEED,
+};
 use phoenix_circuit::peephole;
-use phoenix_core::PhoenixCompiler;
+
 use phoenix_hamil::uccsd;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -64,7 +66,7 @@ fn main() {
             }
         }
         let original = original.expect("the strategy set includes the original circuit");
-        tracer.record_logical(h.name(), &PhoenixCompiler::default(), n, terms);
+        tracer.record_logical(h.name(), &phoenix_compiler(), n, terms);
         eprintln!("[fig5] {} done", h.name());
         entries.push(Entry {
             benchmark: h.name().to_string(),

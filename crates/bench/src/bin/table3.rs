@@ -7,9 +7,11 @@
 //! PHOENIX emits SU(4) blocks directly from its simplified IR.
 
 use phoenix_baselines::{hardware_aware, strategies};
-use phoenix_bench::{geomean, or_exit, row, short_label, write_results, Tracer, SEED};
+use phoenix_bench::{
+    geomean, or_exit, phoenix_compiler, row, short_label, write_results, Tracer, SEED,
+};
 use phoenix_circuit::{peephole, rebase, Circuit};
-use phoenix_core::{CompilerStrategy, PhoenixCompiler};
+use phoenix_core::CompilerStrategy;
 use phoenix_hamil::uccsd;
 use phoenix_topology::CouplingGraph;
 use serde::Serialize;
@@ -41,7 +43,7 @@ fn main() {
     let mut ratios: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
     for h in &suite {
         let n = h.num_qubits();
-        let phoenix = PhoenixCompiler::default();
+        let phoenix = phoenix_compiler();
         // Logical circuits.
         let p_cnot = or_exit(phoenix.try_compile_to_cnot(n, h.terms()), h.name());
         let p_su4 = or_exit(phoenix.try_compile_to_su4(n, h.terms()), h.name());

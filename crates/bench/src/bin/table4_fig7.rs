@@ -7,8 +7,8 @@
 //! notes).
 
 use phoenix_baselines::Baseline;
-use phoenix_bench::{row, write_results, Metrics, Tracer, SEED};
-use phoenix_core::{CompilerStrategy, HardwareProgram, PhoenixCompiler};
+use phoenix_bench::{phoenix_compiler, row, write_results, Metrics, Tracer, SEED};
+use phoenix_core::{CompilerStrategy, HardwareProgram};
 use phoenix_hamil::qaoa;
 use phoenix_topology::CouplingGraph;
 use serde::Serialize;
@@ -45,14 +45,14 @@ fn main() {
     // The 2-local specialist against PHOENIX, as trait objects.
     let contenders: [Box<dyn CompilerStrategy>; 2] = [
         Box::new(Baseline::TwoQanStyle),
-        Box::new(PhoenixCompiler::default()),
+        Box::new(phoenix_compiler()),
     ];
     for h in qaoa::table4_suite(SEED) {
         let n = h.num_qubits();
         let [qan, phoenix] = contenders
             .each_ref()
             .map(|s| side(&s.compile_hardware(n, h.terms(), &device)));
-        tracer.record_hardware(h.name(), &PhoenixCompiler::default(), n, h.terms(), &device);
+        tracer.record_hardware(h.name(), &phoenix_compiler(), n, h.terms(), &device);
         eprintln!("[table4] {} done", h.name());
         entries.push(Entry {
             benchmark: h.name().to_string(),

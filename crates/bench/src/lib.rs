@@ -23,6 +23,25 @@ pub fn trace_enabled() -> bool {
         || std::env::var("PHOENIX_TRACE").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// True when pass-boundary translation validation was requested, either
+/// with `--verify` on the command line or via the `PHOENIX_VERIFY`
+/// environment variable. Every experiment binary honors this; a
+/// miscompiled pass then aborts the run with the offending pass named.
+pub fn verify_enabled() -> bool {
+    std::env::args().any(|a| a == "--verify")
+        || std::env::var("PHOENIX_VERIFY").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The PHOENIX compiler every experiment binary should use: default
+/// options, with pass-boundary verification attached when requested via
+/// [`verify_enabled`].
+pub fn phoenix_compiler() -> PhoenixCompiler {
+    PhoenixCompiler::new(phoenix_core::PhoenixOptions {
+        verify: verify_enabled(),
+        ..phoenix_core::PhoenixOptions::default()
+    })
+}
+
 /// The paper's short column label for a strategy name
 /// (`"TKET-style"` → `"TKET"`).
 pub fn short_label(name: &str) -> &str {
@@ -238,12 +257,7 @@ mod tests {
             enabled: false,
             traces: Vec::new(),
         };
-        t.record_logical(
-            "x",
-            &PhoenixCompiler::default(),
-            2,
-            &[("ZZ".parse().unwrap(), 0.1)],
-        );
+        t.record_logical("x", &phoenix_compiler(), 2, &[("ZZ".parse().unwrap(), 0.1)]);
         assert!(t.traces.is_empty());
         t.finish();
     }
@@ -255,12 +269,7 @@ mod tests {
             enabled: true,
             traces: Vec::new(),
         };
-        t.record_logical(
-            "x",
-            &PhoenixCompiler::default(),
-            2,
-            &[("ZZ".parse().unwrap(), 0.1)],
-        );
+        t.record_logical("x", &phoenix_compiler(), 2, &[("ZZ".parse().unwrap(), 0.1)]);
         assert_eq!(t.traces.len(), 1);
         assert!(!t.traces[0].1.passes.is_empty());
     }

@@ -76,6 +76,70 @@ proptest! {
         prop_assert_eq!(back, c.lower_to_cnot());
     }
 
+    /// Parse → emit is a textual fixpoint: once a circuit has been through
+    /// one emit/parse cycle, further cycles reproduce the text verbatim
+    /// (angles are emitted with `{:?}`, which round-trips f64 exactly).
+    #[test]
+    fn qasm_parse_emit_parse_is_a_fixpoint(c in arb_circuit(4, 16)) {
+        let text = qasm::to_qasm(&c);
+        let once = qasm::from_qasm(&text).unwrap();
+        let text2 = qasm::to_qasm(&once);
+        prop_assert_eq!(&text, &text2);
+        prop_assert_eq!(qasm::from_qasm(&text2).unwrap(), once);
+    }
+
+    /// Replacing any single emitted gate statement with garbage yields an
+    /// error that names exactly that 1-based line.
+    #[test]
+    fn qasm_errors_name_the_corrupted_line(
+        c in arb_circuit(4, 16),
+        pick in 0usize..4096,
+        which in 0usize..6,
+    ) {
+        const GARBAGE: [&str; 6] = [
+            "frobnicate q[0];",
+            "h q[0]",          // missing semicolon
+            "h q[99];",        // out of range
+            "rz(nope) q[0];",
+            "cx q[0];",        // wrong arity
+            "h [0];",          // missing operand list
+        ];
+        let text = qasm::to_qasm(&c);
+        let mut lines: Vec<&str> = text.lines().collect();
+        // Lines 1-3 are the header + qreg; only corrupt gate statements.
+        prop_assume!(lines.len() > 3);
+        let target = 3 + pick % (lines.len() - 3);
+        lines[target] = GARBAGE[which];
+        let corrupted = lines.join("\n");
+        let err = qasm::from_qasm(&corrupted).unwrap_err();
+        prop_assert_eq!(err.line(), target + 1, "{}", err);
+        prop_assert!(err.to_string().contains(&format!("line {}", target + 1)));
+    }
+
+    /// No byte-level mutation of valid output makes the parser panic — it
+    /// always returns `Ok` or a line-numbered `Err` within the input.
+    #[test]
+    fn qasm_parser_never_panics_on_mutated_text(
+        c in arb_circuit(3, 10),
+        pos in any::<usize>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = qasm::to_qasm(&c).into_bytes();
+        prop_assume!(!bytes.is_empty());
+        let at = pos % bytes.len();
+        bytes[at] = byte;
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            match qasm::from_qasm(&mutated) {
+                Ok(_) => {}
+                Err(e) => {
+                    let line = e.line();
+                    prop_assert!(line >= 1);
+                    prop_assert!(line <= mutated.lines().count().max(1));
+                }
+            }
+        }
+    }
+
     /// SU(4) rebase covers every 2Q gate and never stretches 2Q depth.
     #[test]
     fn rebase_bounds(c in arb_circuit(5, 24)) {

@@ -54,13 +54,15 @@ mod pipeline;
 pub mod simplify;
 mod strategy;
 pub mod synth;
+#[deny(clippy::unwrap_used)]
+pub mod verify;
 
 pub use error::{validate_device, validate_program, PhoenixError};
 pub use evaluator::CostEvaluator;
 pub use group::IrGroup;
 pub use pass::{
-    CompileContext, Pass, PassError, PassManager, PassTrace, TraceEvent, EVENT_DEGRADED,
-    EVENT_RETRIED, EVENT_SKIPPED, EVENT_TRUNCATED,
+    CompileContext, Pass, PassError, PassManager, PassObserver, PassTrace, TraceEvent,
+    EVENT_DEGRADED, EVENT_RETRIED, EVENT_SKIPPED, EVENT_TRUNCATED, EVENT_VERIFIED,
 };
 pub use pipeline::{
     hardware_backend, run_hardware_backend, run_hardware_backend_with_trace,
@@ -69,3 +71,4 @@ pub use pipeline::{
 };
 pub use simplify::{CfgItem, SimplifiedGroup, SimplifyOptions};
 pub use strategy::CompilerStrategy;
+pub use verify::BoundaryVerifier;

@@ -34,6 +34,7 @@
 
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use phoenix_circuit::Circuit;
@@ -77,6 +78,12 @@ pub struct CompileContext {
     pub logical: Option<Circuit>,
     /// SWAPs inserted by routing.
     pub num_swaps: usize,
+    /// Logical→physical placement the routed circuit starts from
+    /// (set by routing; `initial_layout[l]` is the physical qubit logical
+    /// qubit `l` enters at).
+    pub initial_layout: Option<Vec<usize>>,
+    /// Logical→physical placement after the last routed gate.
+    pub final_layout: Option<Vec<usize>>,
     /// Robustness events raised by passes (degradations, retries,
     /// truncations); drained into the [`PassTrace`] after each pass.
     pub events: Vec<TraceEvent>,
@@ -102,6 +109,8 @@ impl CompileContext {
             device: None,
             logical: None,
             num_swaps: 0,
+            initial_layout: None,
+            final_layout: None,
             events: Vec::new(),
             deadline: None,
         }
@@ -214,6 +223,32 @@ pub const EVENT_TRUNCATED: &str = "truncated";
 /// Event kind: an optional pass was skipped entirely because the budget
 /// had elapsed before it started.
 pub const EVENT_SKIPPED: &str = "skipped";
+/// Event kind: a [`PassObserver`] validated the context at a pass boundary
+/// (raised once per verified boundary, so a trace shows exactly which
+/// transformations were checked).
+pub const EVENT_VERIFIED: &str = "verified";
+
+/// A hook invoked after every executed pass — the attachment point for
+/// translation validation.
+///
+/// An observer sees the full [`CompileContext`] at each pass boundary and
+/// may reject it with a [`PassError`], failing compilation the same way a
+/// broken pass would. Observers must not mutate compilation state; they may
+/// record events via the returned error path only (the manager itself
+/// records an [`EVENT_VERIFIED`] event for each accepted boundary).
+///
+/// The canonical implementation is
+/// [`BoundaryVerifier`](crate::verify::BoundaryVerifier), which re-simulates
+/// the working circuit against the exact Trotter reference after every
+/// semantic transformation (`PhoenixOptions::verify`).
+pub trait PassObserver: Send + Sync {
+    /// Stable display name (used in `verified` trace events).
+    fn name(&self) -> &str;
+
+    /// Validates the context after `pass` ran. Returning an error aborts
+    /// the pipeline.
+    fn after_pass(&self, pass: &str, ctx: &CompileContext) -> Result<(), PassError>;
+}
 
 /// Size/shape statistics of the working circuit at a trace point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -297,6 +332,7 @@ impl PassTrace {
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     budget: Option<Duration>,
+    observer: Option<Arc<dyn PassObserver>>,
 }
 
 impl fmt::Debug for PassManager {
@@ -307,6 +343,7 @@ impl fmt::Debug for PassManager {
                 &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
             )
             .field("budget", &self.budget)
+            .field("observer", &self.observer.as_ref().map(|o| o.name()))
             .finish()
     }
 }
@@ -322,6 +359,7 @@ impl PassManager {
         PassManager {
             passes,
             budget: None,
+            observer: None,
         }
     }
 
@@ -332,6 +370,14 @@ impl PassManager {
     /// the output is always a valid compilation — just less optimized.
     pub fn with_budget(mut self, budget: Duration) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Attaches a [`PassObserver`] invoked after every executed pass
+    /// (builder style). At most one observer is active; a later call
+    /// replaces the earlier one.
+    pub fn with_observer(mut self, observer: Arc<dyn PassObserver>) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -383,6 +429,14 @@ impl PassManager {
             let before = CircuitStats::of(&ctx.circuit);
             let start = Instant::now();
             run_contained(pass.as_ref(), ctx)?;
+            if let Some(observer) = &self.observer {
+                observer.after_pass(pass.name(), ctx)?;
+                ctx.record_event(
+                    pass.name(),
+                    EVENT_VERIFIED,
+                    format!("boundary accepted by observer `{}`", observer.name()),
+                );
+            }
             let millis = start.elapsed().as_secs_f64() * 1e3;
             trace.events.append(&mut ctx.events);
             trace.passes.push(PassRecord {

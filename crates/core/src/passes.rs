@@ -432,6 +432,13 @@ impl Pass for LayoutRoutePass {
                 format!("{} layout abandoned ({}); retried", r.strategy, r.error),
             );
         }
+        let l2p = |layout: &phoenix_router::Layout| -> Vec<usize> {
+            (0..ctx.num_qubits)
+                .map(|l| layout.phys(l).expect("routed layout maps every logical"))
+                .collect()
+        };
+        ctx.initial_layout = Some(l2p(&routed.initial_layout));
+        ctx.final_layout = Some(l2p(&routed.final_layout));
         ctx.circuit = routed.circuit;
         ctx.num_swaps = routed.num_swaps;
         Ok(())

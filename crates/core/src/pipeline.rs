@@ -5,6 +5,7 @@
 //! a [`CompileContext`]; the `*_with_trace` variants additionally return the
 //! recorded [`PassTrace`].
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::error::{validate_device, validate_program, PhoenixError};
@@ -13,6 +14,7 @@ use crate::passes::{
     ConcatPass, GroupPass, LayoutRoutePass, OrderPass, SimplifySynthPass, SnapshotLogicalPass,
     TransformPass,
 };
+use crate::verify::BoundaryVerifier;
 use phoenix_circuit::Circuit;
 use phoenix_pauli::PauliString;
 use phoenix_router::RouterOptions;
@@ -57,6 +59,15 @@ pub struct PhoenixOptions {
     /// to completion — the output is always valid, just less optimized.
     /// `None` (the default) never truncates.
     pub pass_budget: Option<Duration>,
+    /// Translation validation: attach a [`BoundaryVerifier`] so every pass
+    /// boundary is semantically re-checked (the `--verify` flag of the
+    /// experiment binaries). Compilation fails with a pass-pinpointing
+    /// error on the first violated invariant. Dense equivalence checks run
+    /// only up to [`BoundaryVerifier::max_qubits`] — beyond that only the
+    /// structural invariants are enforced. Orthogonal to `pass_budget`:
+    /// a budget may *skip* optimization passes (never verified, never run),
+    /// but every pass that does execute is verified.
+    pub verify: bool,
 }
 
 impl Default for PhoenixOptions {
@@ -71,6 +82,7 @@ impl Default for PhoenixOptions {
             stage2_threads: 0,
             stage2_scan_threads: 1,
             pass_budget: None,
+            verify: false,
         }
     }
 }
@@ -99,6 +111,14 @@ pub struct HardwareProgram {
     pub logical: Circuit,
     /// Number of SWAPs the router inserted.
     pub num_swaps: usize,
+    /// Physical position of each logical qubit before the first gate:
+    /// logical `l` enters at physical `initial_layout[l]`. The routed
+    /// circuit's unitary equals the logical circuit embedded at this layout,
+    /// composed with the qubit permutation taking `initial_layout` to
+    /// `final_layout`.
+    pub initial_layout: Vec<usize>,
+    /// Physical position of each logical qubit after the last gate.
+    pub final_layout: Vec<usize>,
 }
 
 impl HardwareProgram {
@@ -139,17 +159,27 @@ pub fn try_run_hardware_backend_with_trace(
     let mut ctx = CompileContext::from_circuit(logical.clone());
     ctx.device = Some(device.clone());
     let trace = hardware_backend(router, layout_trials).run(&mut ctx)?;
+    extract_hardware_program(ctx).map(|p| (p, trace))
+}
+
+/// Pulls a [`HardwareProgram`] out of a routed [`CompileContext`].
+fn extract_hardware_program(ctx: CompileContext) -> Result<HardwareProgram, PhoenixError> {
     let snapshot = ctx
         .logical
         .ok_or_else(|| PassError::new("snapshot-logical", "logical snapshot missing"))?;
-    Ok((
-        HardwareProgram {
-            circuit: ctx.circuit,
-            logical: snapshot,
-            num_swaps: ctx.num_swaps,
-        },
-        trace,
-    ))
+    let initial_layout = ctx
+        .initial_layout
+        .ok_or_else(|| PassError::new("layout-route", "initial layout missing"))?;
+    let final_layout = ctx
+        .final_layout
+        .ok_or_else(|| PassError::new("layout-route", "final layout missing"))?;
+    Ok(HardwareProgram {
+        circuit: ctx.circuit,
+        logical: snapshot,
+        num_swaps: ctx.num_swaps,
+        initial_layout,
+        final_layout,
+    })
 }
 
 /// [`try_run_hardware_backend_with_trace`] without the trace.
@@ -236,9 +266,17 @@ impl PhoenixCompiler {
                 enabled: self.options.enable_ordering,
             })
             .with(ConcatPass);
-        match self.options.pass_budget {
+        let manager = match self.options.pass_budget {
             Some(budget) => manager.with_budget(budget),
             None => manager,
+        };
+        if self.options.verify {
+            // One verifier per compilation: it carries a unitary snapshot
+            // across rewrites. `append` keeps the observer, so the
+            // hardware back end is verified by the same instance.
+            manager.with_observer(Arc::new(BoundaryVerifier::default()))
+        } else {
+            manager
         }
     }
 
@@ -493,17 +531,7 @@ impl PhoenixCompiler {
         ));
         let mut ctx = CompileContext::for_device(n, terms, device);
         let trace = manager.run(&mut ctx)?;
-        let snapshot = ctx
-            .logical
-            .ok_or_else(|| PassError::new("snapshot-logical", "logical snapshot missing"))?;
-        Ok((
-            HardwareProgram {
-                circuit: ctx.circuit,
-                logical: snapshot,
-                num_swaps: ctx.num_swaps,
-            },
-            trace,
-        ))
+        extract_hardware_program(ctx).map(|p| (p, trace))
     }
 }
 
@@ -648,6 +676,79 @@ mod tests {
             .pass_names()
             .iter()
             .all(|p| *p != "peephole" && *p != "kak-resynthesis"));
+    }
+
+    #[test]
+    fn verify_option_validates_every_executed_boundary() {
+        use crate::pass::EVENT_VERIFIED;
+        let t = terms(&["ZYY", "ZZY", "XYY", "XZY"]);
+        let c = PhoenixCompiler::new(PhoenixOptions {
+            verify: true,
+            ..PhoenixOptions::default()
+        });
+        let (_, trace) = c.try_compile_to_cnot_with_trace(3, &t).unwrap();
+        let verified: Vec<&str> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EVENT_VERIFIED)
+            .map(|e| e.pass.as_str())
+            .collect();
+        assert_eq!(
+            verified,
+            [
+                "group",
+                "simplify-synth",
+                "tetris-order",
+                "concat",
+                "peephole"
+            ]
+        );
+
+        let dev = CouplingGraph::line(3);
+        let (hw, trace) = c
+            .try_compile_hardware_aware_with_trace(3, &t, &dev)
+            .unwrap();
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.kind == EVENT_VERIFIED && e.pass == "layout-route"));
+        assert_eq!(hw.initial_layout.len(), 3);
+        assert_eq!(hw.final_layout.len(), 3);
+
+        // The verified output is identical to the unverified one.
+        let plain = PhoenixCompiler::default();
+        assert_eq!(c.compile_to_cnot(3, &t), plain.compile_to_cnot(3, &t));
+    }
+
+    #[test]
+    fn verify_option_catches_an_injected_miscompilation() {
+        use crate::pass::Pass;
+
+        /// A rewrite that silently corrupts the circuit — the kind of bug
+        /// translation validation exists to catch.
+        struct SabotagePass;
+        impl Pass for SabotagePass {
+            fn name(&self) -> &str {
+                "peephole" // masquerades as a legitimate rewrite
+            }
+            fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+                ctx.circuit.push(phoenix_circuit::Gate::H(0));
+                Ok(())
+            }
+        }
+
+        let t = terms(&["ZYY", "ZZY", "XYY", "XZY"]);
+        let compiler = PhoenixCompiler::default();
+        let manager = compiler
+            .logical_passes(false)
+            .with(SabotagePass)
+            .with_observer(Arc::new(crate::verify::BoundaryVerifier::default()));
+        let mut ctx = CompileContext::new(3, &t);
+        let err = manager.run(&mut ctx).unwrap_err();
+        assert!(
+            err.to_string().contains("translation validation failed"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

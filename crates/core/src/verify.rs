@@ -1,0 +1,366 @@
+//! Pass-boundary translation validation.
+//!
+//! [`BoundaryVerifier`] is a [`PassObserver`] that re-validates the
+//! [`CompileContext`] after every executed pass, so a miscompilation is
+//! pinned to the exact pass that introduced it instead of surfacing as an
+//! end-to-end mismatch. It is attached by setting
+//! [`PhoenixOptions::verify`](crate::PhoenixOptions) (the `--verify` flag of
+//! the experiment binaries) and records one `verified` [`TraceEvent`] per
+//! accepted boundary.
+//!
+//! What is checked where:
+//!
+//! | boundary | invariant |
+//! |---|---|
+//! | `group` | groups partition the input terms |
+//! | `simplify-synth` / `naive-synth` | each subcircuit ≡ exact Trotter product of its group's emitted terms (dense, `n ≤ max_qubits`) |
+//! | `tetris-order` / `program-order` | the order is a permutation of the groups |
+//! | `concat` | working circuit ≡ exact Trotter product of `term_order`; `term_order` is a permutation of the input |
+//! | circuit rewrites (`peephole`, `su4-rebase`, `kak-resynthesis`, pre-routing `cnot-lower`) | unitary unchanged up to global phase |
+//! | `layout-route`, post-routing `cnot-lower` | routed circuit ≡ qubit-permutation ∘ embedded logical circuit, with the permutation matching SABRE's initial→final layouts |
+//!
+//! Dense checks are skipped (not failed) above `max_qubits`; the structural
+//! checks run at any size.
+//!
+//! [`TraceEvent`]: crate::pass::TraceEvent
+//! [`PassObserver`]: crate::pass::PassObserver
+
+use std::sync::Mutex;
+
+use phoenix_mathkit::CMatrix;
+use phoenix_pauli::PauliString;
+use phoenix_sim::{circuit_unitary, infidelity, trotter_unitary};
+
+use crate::pass::{CompileContext, PassError, PassObserver};
+
+/// Default dense-simulation ceiling: the paper's "standard PC" regime.
+pub const DEFAULT_MAX_QUBITS: usize = 10;
+
+/// Default infidelity tolerance for exact (up-to-global-phase) equivalence.
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;
+
+/// A [`PassObserver`] that validates semantic invariants at every pass
+/// boundary (see the module docs for the per-pass table).
+#[derive(Debug)]
+pub struct BoundaryVerifier {
+    /// Dense unitary checks are skipped for programs or devices wider than
+    /// this (structural checks still run).
+    pub max_qubits: usize,
+    /// Infidelity tolerance (`1 − |Tr(U†V)|/N`) for equivalence checks.
+    pub tolerance: f64,
+    /// Unitary snapshot carried across circuit-level rewrites.
+    prev: Mutex<Option<CMatrix>>,
+}
+
+impl Default for BoundaryVerifier {
+    fn default() -> Self {
+        BoundaryVerifier {
+            max_qubits: DEFAULT_MAX_QUBITS,
+            tolerance: DEFAULT_TOLERANCE,
+            prev: Mutex::new(None),
+        }
+    }
+}
+
+/// Canonical multiset key of a term list (coefficients quantized well below
+/// any meaningful tolerance). Identity terms are excluded — they are pure
+/// global phase and the grouping stage legitimately drops them.
+fn term_multiset(terms: &[(PauliString, f64)]) -> Vec<(u128, u128, i64)> {
+    let mut v: Vec<_> = terms
+        .iter()
+        .filter(|(p, _)| !p.is_identity())
+        .map(|(p, c)| (p.x_mask(), p.z_mask(), (c * 1e12).round() as i64))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Decodes a basis-state permutation matrix `d` (up to global phase) into
+/// the qubit permutation `π` that induces it, or explains why it is not
+/// one. This is the workhorse of permutation-aware routed-circuit
+/// equivalence: for a correctly routed circuit `R` with embedded logical
+/// circuit `L`, `R·L†` must decode, and the decoded `π` must map the
+/// initial layout to the final layout.
+pub fn decode_qubit_permutation(d: &CMatrix, n: usize, tol: f64) -> Result<Vec<usize>, String> {
+    let dim = 1usize << n;
+    // Column j must hold exactly one entry of unit magnitude, all columns
+    // sharing one global phase.
+    let mut sigma = vec![0usize; dim];
+    let mut phase = None;
+    for j in 0..dim {
+        let mut hit = None;
+        for i in 0..dim {
+            let mag = d[(i, j)].norm_sqr().sqrt();
+            if mag > 0.5 {
+                if hit.is_some() {
+                    return Err(format!("column {j} has multiple large entries"));
+                }
+                if (mag - 1.0).abs() > tol {
+                    return Err(format!("column {j} entry has magnitude {mag}"));
+                }
+                hit = Some(i);
+            } else if mag > tol {
+                return Err(format!("column {j} has residual entry of magnitude {mag}"));
+            }
+        }
+        let i = hit.ok_or_else(|| format!("column {j} is numerically zero"))?;
+        sigma[j] = i;
+        let p = d[(i, j)];
+        match phase {
+            None => phase = Some(p),
+            Some(q) => {
+                if (p - q).norm_sqr().sqrt() > tol {
+                    return Err(format!("column {j} carries a relative phase"));
+                }
+            }
+        }
+    }
+    // σ must be induced by a qubit permutation: σ(b) = ⊕ over set bits of
+    // σ(1<<q), with σ(0) = 0 and each σ(1<<q) a distinct power of two.
+    if sigma[0] != 0 {
+        return Err("permutation does not fix |0…0⟩".to_string());
+    }
+    let mut pi = vec![0usize; n];
+    for (q, slot) in pi.iter_mut().enumerate() {
+        let img = sigma[1 << q];
+        if !img.is_power_of_two() {
+            return Err(format!("basis image of qubit {q} is not a single bit"));
+        }
+        *slot = img.trailing_zeros() as usize;
+    }
+    for (b, &img) in sigma.iter().enumerate() {
+        let mut want = 0usize;
+        for (q, &pq) in pi.iter().enumerate() {
+            if b >> q & 1 == 1 {
+                want |= 1 << pq;
+            }
+        }
+        if img != want {
+            return Err(format!("index map is not bit-wise at basis state {b}"));
+        }
+    }
+    Ok(pi)
+}
+
+impl BoundaryVerifier {
+    /// A verifier with a custom dense-check ceiling.
+    pub fn with_max_qubits(max_qubits: usize) -> Self {
+        BoundaryVerifier {
+            max_qubits,
+            ..BoundaryVerifier::default()
+        }
+    }
+
+    fn fail(&self, pass: &str, msg: impl Into<String>) -> PassError {
+        PassError::new(
+            pass,
+            format!("translation validation failed: {}", msg.into()),
+        )
+    }
+
+    fn check_groups(&self, pass: &str, ctx: &CompileContext) -> Result<(), PassError> {
+        let grouped: Vec<(PauliString, f64)> = ctx
+            .groups
+            .iter()
+            .flat_map(|g| g.terms().iter().copied())
+            .collect();
+        if term_multiset(&grouped) != term_multiset(&ctx.terms) {
+            return Err(self.fail(pass, "groups do not partition the input terms"));
+        }
+        Ok(())
+    }
+
+    fn check_stage2(&self, pass: &str, ctx: &CompileContext) -> Result<(), PassError> {
+        if ctx.subcircuits.len() != ctx.groups.len() {
+            return Err(self.fail(pass, "subcircuit count differs from group count"));
+        }
+        for (i, (group, terms)) in ctx.groups.iter().zip(&ctx.group_terms).enumerate() {
+            if term_multiset(terms) != term_multiset(group.terms()) {
+                return Err(self.fail(
+                    pass,
+                    format!("group {i} emitted terms that are not a permutation of its input"),
+                ));
+            }
+        }
+        if ctx.num_qubits > self.max_qubits {
+            return Ok(());
+        }
+        for (i, (sub, terms)) in ctx.subcircuits.iter().zip(&ctx.group_terms).enumerate() {
+            let infid = infidelity(
+                &circuit_unitary(sub),
+                &trotter_unitary(ctx.num_qubits, terms),
+            );
+            if infid > self.tolerance {
+                return Err(self.fail(
+                    pass,
+                    format!("group {i} subcircuit deviates from its Trotter product (infidelity {infid:.3e})"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_order(&self, pass: &str, ctx: &CompileContext) -> Result<(), PassError> {
+        let mut seen = vec![false; ctx.subcircuits.len()];
+        for &i in &ctx.order {
+            if i >= seen.len() || seen[i] {
+                return Err(self.fail(pass, "order is not a permutation of the groups"));
+            }
+            seen[i] = true;
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(self.fail(pass, "order drops at least one group"));
+        }
+        Ok(())
+    }
+
+    fn check_concat(&self, pass: &str, ctx: &CompileContext) -> Result<(), PassError> {
+        if term_multiset(&ctx.term_order) != term_multiset(&ctx.terms) {
+            return Err(self.fail(pass, "term_order is not a permutation of the input terms"));
+        }
+        if ctx.num_qubits > self.max_qubits {
+            return Ok(());
+        }
+        let u = circuit_unitary(&ctx.circuit);
+        let infid = infidelity(&u, &trotter_unitary(ctx.num_qubits, &ctx.term_order));
+        if infid > self.tolerance {
+            return Err(self.fail(
+                pass,
+                format!("assembled circuit deviates from the Trotter product of term_order (infidelity {infid:.3e})"),
+            ));
+        }
+        *self.prev.lock().expect("verifier mutex") = Some(u);
+        Ok(())
+    }
+
+    /// A logical (pre-routing) circuit rewrite: the unitary must be
+    /// preserved up to global phase against the running snapshot — or, with
+    /// no snapshot yet, against the Trotter reference (or recorded as the
+    /// first snapshot when the context started from a bare circuit).
+    fn check_rewrite(&self, pass: &str, ctx: &CompileContext) -> Result<(), PassError> {
+        if ctx.num_qubits > self.max_qubits {
+            return Ok(());
+        }
+        let u = circuit_unitary(&ctx.circuit);
+        let mut prev = self.prev.lock().expect("verifier mutex");
+        let infid = match prev.as_ref() {
+            Some(reference) => infidelity(&u, reference),
+            None if !ctx.term_order.is_empty() || ctx.terms.is_empty() => {
+                infidelity(&u, &trotter_unitary(ctx.num_qubits, &ctx.term_order))
+            }
+            // A from_circuit context before any reference exists: adopt the
+            // current unitary as the baseline for later rewrites.
+            None => 0.0,
+        };
+        if infid > self.tolerance {
+            return Err(self.fail(
+                pass,
+                format!("rewrite changed the circuit unitary (infidelity {infid:.3e})"),
+            ));
+        }
+        *prev = Some(u);
+        Ok(())
+    }
+
+    /// A routed (physical-indexed) circuit: it must equal a qubit
+    /// permutation composed with the logical snapshot embedded at the
+    /// initial layout, and that permutation must relocate every logical
+    /// qubit from its initial to its final physical position.
+    fn check_routed(&self, pass: &str, ctx: &CompileContext) -> Result<(), PassError> {
+        let device = ctx
+            .device
+            .as_ref()
+            .ok_or_else(|| self.fail(pass, "routed circuit with no device in context"))?;
+        let logical = ctx
+            .logical
+            .as_ref()
+            .ok_or_else(|| self.fail(pass, "routed circuit with no logical snapshot"))?;
+        let initial = ctx
+            .initial_layout
+            .as_ref()
+            .ok_or_else(|| self.fail(pass, "routing did not record its initial layout"))?;
+        let fin = ctx
+            .final_layout
+            .as_ref()
+            .ok_or_else(|| self.fail(pass, "routing did not record its final layout"))?;
+        let n_phys = device.num_qubits();
+        if n_phys > self.max_qubits {
+            return Ok(());
+        }
+        let embedded = logical.map_qubits(n_phys, |q| initial[q]);
+        let d = circuit_unitary(&ctx.circuit).matmul(&circuit_unitary(&embedded).dagger());
+        let pi = decode_qubit_permutation(&d, n_phys, 1e-6)
+            .map_err(|why| self.fail(pass, format!("routed ≠ permutation ∘ logical: {why}")))?;
+        for (l, (&p0, &pf)) in initial.iter().zip(fin).enumerate() {
+            if pi[p0] != pf {
+                return Err(self.fail(
+                    pass,
+                    format!(
+                        "routing permutation moves logical {l} from physical {p0} to {} but the final layout says {pf}",
+                        pi[p0]
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl PassObserver for BoundaryVerifier {
+    fn name(&self) -> &str {
+        "boundary-verifier"
+    }
+
+    fn after_pass(&self, pass: &str, ctx: &CompileContext) -> Result<(), PassError> {
+        match pass {
+            "group" => self.check_groups(pass, ctx),
+            "simplify-synth" | "naive-synth" => self.check_stage2(pass, ctx),
+            "tetris-order" | "program-order" => self.check_order(pass, ctx),
+            "concat" => self.check_concat(pass, ctx),
+            // `cnot-lower` appears both pre-routing (logical lowering) and
+            // post-routing (SWAP lowering); the recorded final layout
+            // disambiguates.
+            "peephole" | "su4-rebase" | "kak-resynthesis" | "cnot-lower"
+                if ctx.final_layout.is_none() =>
+            {
+                self.check_rewrite(pass, ctx)
+            }
+            "layout-route" | "cnot-lower" | "peephole" if ctx.final_layout.is_some() => {
+                self.check_routed(pass, ctx)
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use phoenix_circuit::{Circuit, Gate};
+
+    #[test]
+    fn decodes_a_swap_permutation() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Swap(0, 2));
+        let d = circuit_unitary(&c);
+        assert_eq!(
+            decode_qubit_permutation(&d, 3, 1e-9).unwrap(),
+            vec![2, 1, 0]
+        );
+    }
+
+    #[test]
+    fn rejects_a_non_permutation() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        let d = circuit_unitary(&c);
+        assert!(decode_qubit_permutation(&d, 2, 1e-9).is_err());
+    }
+
+    #[test]
+    fn identity_decodes_to_identity_permutation() {
+        let d = CMatrix::identity(4);
+        assert_eq!(decode_qubit_permutation(&d, 2, 1e-9).unwrap(), vec![0, 1]);
+    }
+}

@@ -14,8 +14,14 @@ use phoenix_core::synth::synthesize_group;
 use phoenix_core::{HardwareProgram, PhoenixCompiler, PhoenixOptions};
 use phoenix_hamil::{uccsd, Molecule};
 use phoenix_pauli::PauliString;
-use phoenix_router::{route, search_layout, RouterOptions};
+use phoenix_router::{route, search_layout, Layout, RouterOptions};
 use phoenix_topology::CouplingGraph;
+
+/// Logical-to-physical map of a [`Layout`], as recorded on
+/// [`HardwareProgram`].
+fn l2p(layout: &Layout, n: usize) -> Vec<usize> {
+    (0..n).map(|l| layout.phys(l).unwrap()).collect()
+}
 
 /// The Fig. 1(b) example program.
 fn fig1b() -> (usize, Vec<(PauliString, f64)>) {
@@ -96,6 +102,8 @@ fn monolithic_hardware(
     let routed = route(&logical, device, layout, &opts);
     HardwareProgram {
         circuit: peephole::optimize(&routed.circuit),
+        initial_layout: l2p(&routed.initial_layout, logical.num_qubits()),
+        final_layout: l2p(&routed.final_layout, logical.num_qubits()),
         logical,
         num_swaps: routed.num_swaps,
     }
@@ -165,6 +173,8 @@ fn baseline_hardware_wrapper_matches_the_monolithic_backend() {
         let routed = route(&logical, &device, layout, &opts);
         HardwareProgram {
             circuit: peephole::optimize(&routed.circuit),
+            initial_layout: l2p(&routed.initial_layout, logical.num_qubits()),
+            final_layout: l2p(&routed.final_layout, logical.num_qubits()),
             logical,
             num_swaps: routed.num_swaps,
         }

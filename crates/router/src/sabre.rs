@@ -125,7 +125,13 @@ pub struct RoutedCircuit {
     pub circuit: Circuit,
     /// Number of inserted SWAPs.
     pub num_swaps: usize,
-    /// Layout after the last gate.
+    /// Layout before the first gate — the placement the routed circuit's
+    /// semantics are defined against (logical qubit `l` enters at physical
+    /// qubit `initial_layout.phys(l)`). Needed for permutation-aware
+    /// equivalence checking of routed circuits.
+    pub initial_layout: Layout,
+    /// Layout after the last gate (logical qubit `l` ends at physical
+    /// qubit `final_layout.phys(l)`).
     pub final_layout: Layout,
 }
 
@@ -194,6 +200,7 @@ pub fn try_route(
         }
     }
 
+    let start_layout = initial_layout.clone();
     let mut layout = initial_layout;
     let mut out = Circuit::new(n_phys);
     let mut num_swaps = 0usize;
@@ -354,6 +361,7 @@ pub fn try_route(
     Ok(RoutedCircuit {
         circuit: out,
         num_swaps,
+        initial_layout: start_layout,
         final_layout: layout,
     })
 }

@@ -41,7 +41,7 @@ pub use evolution::{
     exact_evolution, hamiltonian_matrix, pauli_apply_left, pauli_exp_apply_left, trotter_unitary,
 };
 pub use observable::{energy, expectation};
-pub use stabilizer::{NonCliffordGateError, StabilizerState};
+pub use stabilizer::{conjugate_pauli, NonCliffordGateError, StabilizerState};
 pub use statevector::{circuit_unitary, State};
 
 use phoenix_mathkit::CMatrix;

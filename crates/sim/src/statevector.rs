@@ -1,7 +1,8 @@
 //! Dense state-vector simulation.
 
 use phoenix_circuit::{Circuit, Gate};
-use phoenix_mathkit::{CMatrix, Complex};
+use phoenix_mathkit::{CMatrix, Complex, Xoshiro256};
+use phoenix_pauli::PauliString;
 
 /// A dense `2ⁿ` state vector in little-endian qubit order (qubit 0 is the
 /// least-significant basis bit).
@@ -48,6 +49,80 @@ impl State {
         let mut amps = vec![Complex::ZERO; dim];
         amps[index] = Complex::ONE;
         State { n, amps }
+    }
+
+    /// A random product state `⊗ᵩ (cos θᵩ|0⟩ + e^{iφᵩ} sin θᵩ|1⟩)`,
+    /// deterministic in the generator state.
+    ///
+    /// Product states are the cheap-to-prepare inputs of tier-3
+    /// observable spot checks: they are expressive enough that two
+    /// different unitaries almost surely disagree on some product-state
+    /// expectation, yet need no reference circuit to construct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 24` (dense simulation limit).
+    pub fn random_product(n: usize, rng: &mut Xoshiro256) -> Self {
+        assert!(n <= 24, "dense simulation supports at most 24 qubits");
+        let mut amps = vec![Complex::ONE; 1];
+        for _ in 0..n {
+            let theta = rng.next_range_f64(0.0, std::f64::consts::PI);
+            let phi = rng.next_range_f64(0.0, 2.0 * std::f64::consts::PI);
+            let a0 = Complex::from_re((theta / 2.0).cos());
+            let a1 = Complex::new(phi.cos(), phi.sin()) * Complex::from_re((theta / 2.0).sin());
+            // New qubit becomes the most-significant bit: |ψ⟩ ⊗ (a0|0⟩+a1|1⟩).
+            let mut next = Vec::with_capacity(amps.len() * 2);
+            next.extend(amps.iter().map(|&a| a0 * a));
+            next.extend(amps.iter().map(|&a| a1 * a));
+            amps = next;
+        }
+        State { n, amps }
+    }
+
+    /// Applies a Pauli string in place: `|ψ⟩ ← P|ψ⟩` (a phased bit-flip
+    /// permutation, `O(2ⁿ)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string's qubit count differs from the state's.
+    pub fn apply_pauli(&mut self, p: &PauliString) {
+        assert_eq!(p.num_qubits(), self.n, "pauli arity mismatch");
+        let x = p.x_mask() as usize;
+        let z = p.z_mask();
+        let ycnt = (p.x_mask() & z).count_ones() % 4;
+        let ybase = [Complex::ONE, Complex::I, -Complex::ONE, -Complex::I][ycnt as usize];
+        let mut out = vec![Complex::ZERO; self.amps.len()];
+        for (r, slot) in out.iter_mut().enumerate() {
+            let k = r ^ x;
+            // P[r, k] = i^{|x∧z|} (−1)^{|k∧z|}, as in `pauli_apply_left`.
+            let phase = if ((k as u128) & z).count_ones() % 2 == 1 {
+                -ybase
+            } else {
+                ybase
+            };
+            *slot = phase * self.amps[k];
+        }
+        self.amps = out;
+    }
+
+    /// Applies a Pauli exponential in place:
+    /// `|ψ⟩ ← exp(-i·c·P)|ψ⟩ = cos(c)|ψ⟩ − i·sin(c)·P|ψ⟩`.
+    ///
+    /// Chaining this over a term list evolves a state by the exact Trotter
+    /// product without ever materializing a `2ⁿ × 2ⁿ` matrix — the
+    /// reference evolution of tier-3 checks at sizes where
+    /// [`trotter_unitary`](crate::trotter_unitary) is out of reach.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string's qubit count differs from the state's.
+    pub fn apply_pauli_exp(&mut self, p: &PauliString, c: f64) {
+        let mut flipped = self.clone();
+        flipped.apply_pauli(p);
+        let (cos, sin) = (Complex::from_re(c.cos()), Complex::new(0.0, -c.sin()));
+        for (a, f) in self.amps.iter_mut().zip(&flipped.amps) {
+            *a = cos * *a + sin * *f;
+        }
     }
 
     /// Number of qubits.

@@ -1,0 +1,114 @@
+//! Stabilizer-vs-statevector cross-check.
+//!
+//! The two simulators are independent implementations of Clifford
+//! semantics (binary symplectic tableau vs dense 2ⁿ amplitudes). On random
+//! Clifford circuits at `n ≤ 8` they must agree on every Pauli
+//! expectation, and `conjugate_pauli` must match dense conjugation
+//! `U P U†`. This agreement is what lets translation validation trust the
+//! tableau at 65 qubits, where the statevector cannot follow.
+
+use phoenix_circuit::{Circuit, Gate};
+use phoenix_mathkit::Xoshiro256;
+use phoenix_pauli::{Pauli, PauliString};
+use phoenix_sim::{circuit_unitary, conjugate_pauli, StabilizerState, State};
+
+fn random_clifford(n: usize, gates: usize, rng: &mut Xoshiro256) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        let a = rng.next_below(n);
+        let b = (a + 1 + rng.next_below(n - 1)) % n;
+        match rng.next_below(8) {
+            0 => c.push(Gate::H(a)),
+            1 => c.push(Gate::S(a)),
+            2 => c.push(Gate::Sdg(a)),
+            3 => c.push(Gate::X(a)),
+            4 => c.push(Gate::Y(a)),
+            5 => c.push(Gate::Z(a)),
+            6 => c.push(Gate::Cnot(a, b)),
+            _ => c.push(Gate::Swap(a, b)),
+        }
+    }
+    c
+}
+
+fn random_pauli(n: usize, rng: &mut Xoshiro256) -> PauliString {
+    let mut p = PauliString::identity(n);
+    for q in 0..n {
+        p.set(
+            q,
+            [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z][rng.next_below(4)],
+        );
+    }
+    p
+}
+
+#[test]
+fn expectations_agree_with_the_statevector() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7ab1e);
+    for n in 2..=8 {
+        for trial in 0..4 {
+            let c = random_clifford(n, 12 * n, &mut rng);
+            let tableau = StabilizerState::zero(n).evolved(&c).expect("clifford");
+            let dense = State::zero(n).evolved(&c);
+            for _ in 0..16 {
+                let obs = random_pauli(n, &mut rng);
+                let from_tableau = tableau.expectation(&obs);
+                let from_dense = phoenix_sim::expectation(&dense, &obs);
+                assert!(
+                    (from_tableau - from_dense).abs() < 1e-9,
+                    "n={n} trial={trial} obs={obs}: tableau {from_tableau} vs dense {from_dense}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conjugate_pauli_matches_dense_conjugation() {
+    let mut rng = Xoshiro256::seed_from_u64(0xc0de);
+    for n in 2..=5 {
+        for _ in 0..6 {
+            let c = random_clifford(n, 10 * n, &mut rng);
+            let u = circuit_unitary(&c);
+            let p = random_pauli(n, &mut rng);
+            let (q, sign) = conjugate_pauli(&c, &p, 1).expect("clifford");
+
+            // Dense check: U · P · U† == sign · Q.
+            let lhs = u.matmul(&p.to_matrix()).matmul(&u.dagger());
+            let rhs = q
+                .to_matrix()
+                .scale(phoenix_mathkit::Complex::from_re(sign as f64));
+            assert!(
+                lhs.approx_eq(&rhs, 1e-9),
+                "n={n} P={p}: U P U† does not equal {sign}·{q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn from_generators_reconstructs_evolved_stabilizers() {
+    // Seeding a tableau with the conjugated generators of |0…0⟩ must give
+    // the same state as evolving |0…0⟩ directly.
+    let mut rng = Xoshiro256::seed_from_u64(0x9e9e);
+    for n in [3usize, 6, 8] {
+        let c = random_clifford(n, 15 * n, &mut rng);
+        let direct = StabilizerState::zero(n).evolved(&c).expect("clifford");
+        let gens: Vec<(PauliString, i8)> = (0..n)
+            .map(|q| {
+                let mut z = PauliString::identity(n);
+                z.set(q, Pauli::Z);
+                conjugate_pauli(&c, &z, 1).expect("clifford")
+            })
+            .collect();
+        let rebuilt = StabilizerState::from_generators(n, gens);
+        for _ in 0..24 {
+            let obs = random_pauli(n, &mut rng);
+            assert_eq!(
+                direct.expectation(&obs),
+                rebuilt.expectation(&obs),
+                "n={n} obs={obs}"
+            );
+        }
+    }
+}

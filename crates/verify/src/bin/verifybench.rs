@@ -1,0 +1,250 @@
+//! Differential & metamorphic verification harness.
+//!
+//! Generates seeded random programs across the three families, drives
+//! PHOENIX (all five compile paths) and the four baselines over each, and
+//! reports per-pipeline pass/fail. Failures are shrunk to minimized
+//! counterexamples and written to `results/verifybench.json`.
+//!
+//! Usage:
+//!   verifybench [--programs N] [--seed S] [--max-qubits N]
+//!               [--no-hardware] [--verify-passes] [--quick] [--sabotage]
+//!
+//! `--quick` is the CI smoke configuration (24 programs, n ≤ 6).
+//! `--sabotage` (needs the `sabotage` feature) proves the engine catches an
+//! injected miscompilation — the run fails if the bug goes *undetected*.
+//! Exit status: 0 iff every check behaved as expected.
+
+use std::collections::BTreeMap;
+
+use phoenix_verify::gen::{Family, Program, RandomProgramGen};
+use phoenix_verify::{metamorphic_failures, shrink, verify_program, Failure, VerifyConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Counterexample {
+    seed: u64,
+    family: String,
+    num_qubits: usize,
+    terms: Vec<(String, f64)>,
+    failures: Vec<Failure>,
+    minimized_terms: Vec<(String, f64)>,
+    minimized_qubits: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    programs: usize,
+    seed: u64,
+    max_qubits: usize,
+    pipelines: BTreeMap<String, PipelineStats>,
+    counterexamples: Vec<Counterexample>,
+}
+
+#[derive(Serialize, Default, Clone)]
+struct PipelineStats {
+    checks: usize,
+    failures: usize,
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn program_terms(p: &Program) -> Vec<(String, f64)> {
+    p.terms.iter().map(|(t, c)| (t.label(), *c)).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let programs = flag_value(&args, "--programs").unwrap_or(if quick { 24 } else { 200 }) as usize;
+    let seed = flag_value(&args, "--seed").unwrap_or(7);
+    let max_qubits =
+        flag_value(&args, "--max-qubits").unwrap_or(if quick { 6 } else { 10 }) as usize;
+    let cfg = VerifyConfig {
+        hardware: !args.iter().any(|a| a == "--no-hardware"),
+        verify_passes: args.iter().any(|a| a == "--verify-passes"),
+        ..VerifyConfig::default()
+    };
+
+    if args.iter().any(|a| a == "--sabotage") {
+        return sabotage_mode(seed);
+    }
+
+    println!("# verifybench: {programs} programs, seed {seed}, n ∈ [2, {max_qubits}]\n");
+    let mut gen = RandomProgramGen::new(seed);
+    let mut pipelines: BTreeMap<String, PipelineStats> = BTreeMap::new();
+    let mut counterexamples = Vec::new();
+    let mut total_failures = 0usize;
+
+    for i in 0..programs {
+        let family = Family::ALL[i % Family::ALL.len()];
+        let n = 2 + i % (max_qubits - 1);
+        let num_terms = 4 + (i / 3) % 9;
+        let program = gen.program(family, n, num_terms);
+
+        let mut failures = verify_program(&program, &cfg);
+        // Metamorphic properties on the dense tier, on a rotating subset
+        // (they recompile the program several times over).
+        if n <= cfg.unitary_max_qubits && i % 4 == 0 {
+            failures.extend(metamorphic_failures(&program, seed ^ i as u64));
+        }
+
+        for f in &failures {
+            pipelines.entry(f.pipeline.clone()).or_default().failures += 1;
+        }
+        for name in pipeline_names(&cfg, n) {
+            pipelines.entry(name).or_default().checks += 1;
+        }
+
+        if !failures.is_empty() {
+            total_failures += failures.len();
+            let minimized = shrink(&program, |cand| !verify_program(cand, &cfg).is_empty());
+            eprintln!(
+                "FAIL [{i}] {} n={} terms={}: {} failure(s); minimized to n={} terms={}",
+                family.name(),
+                n,
+                program.terms.len(),
+                failures.len(),
+                minimized.num_qubits,
+                minimized.terms.len()
+            );
+            for f in &failures {
+                eprintln!("    {} :: {} :: {}", f.pipeline, f.check, f.detail);
+            }
+            counterexamples.push(Counterexample {
+                seed,
+                family: family.name().to_string(),
+                num_qubits: program.num_qubits,
+                terms: program_terms(&program),
+                failures,
+                minimized_terms: program_terms(&minimized),
+                minimized_qubits: minimized.num_qubits,
+            });
+        }
+        if (i + 1) % 50 == 0 {
+            eprintln!("[progress] {}/{programs} programs verified", i + 1);
+        }
+    }
+
+    println!("| pipeline | programs | failures |");
+    println!("|---|---|---|");
+    for (name, stats) in &pipelines {
+        println!("| {name} | {} | {} |", stats.checks, stats.failures);
+    }
+    println!(
+        "\n{programs} programs, {total_failures} failure(s), {} counterexample(s)",
+        counterexamples.len()
+    );
+
+    let report = Report {
+        programs,
+        seed,
+        max_qubits,
+        pipelines,
+        counterexamples,
+    };
+    write_results("verifybench", &report);
+    if total_failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Pipeline labels exercised for an `n`-qubit program (for the checks
+/// column of the report).
+fn pipeline_names(cfg: &VerifyConfig, _n: usize) -> Vec<String> {
+    let mut v: Vec<String> = [
+        "PHOENIX/high-level",
+        "PHOENIX/cnot",
+        "PHOENIX/su4",
+        "PHOENIX/kak",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for b in [
+        "original",
+        "TKET-style",
+        "Paulihedral-style",
+        "Tetris-style",
+    ] {
+        v.push(format!("{b}/logical"));
+        v.push(format!("{b}/optimized"));
+    }
+    if cfg.hardware {
+        for b in [
+            "PHOENIX",
+            "original",
+            "TKET-style",
+            "Paulihedral-style",
+            "Tetris-style",
+        ] {
+            v.push(format!("{b}/hardware"));
+        }
+    }
+    v
+}
+
+#[cfg(feature = "sabotage")]
+fn sabotage_mode(seed: u64) {
+    use phoenix_verify::sabotage::{sabotage_failures, SabotageMode};
+    let mut gen = RandomProgramGen::new(seed);
+    let mut caught = 0usize;
+    let mut missed = 0usize;
+    for i in 0..20 {
+        let family = Family::ALL[i % Family::ALL.len()];
+        let program = gen.program(family, 3 + i % 4, 6 + i % 6);
+        for mode in [SabotageMode::FlipRotationSign, SabotageMode::ExtraGate] {
+            let failures = sabotage_failures(&program, mode);
+            if failures.is_empty() {
+                missed += 1;
+                eprintln!("MISSED: {mode:?} on program {i} went undetected");
+            } else {
+                caught += 1;
+                let min = shrink(&program, |cand| !sabotage_failures(cand, mode).is_empty());
+                eprintln!(
+                    "caught {mode:?} on program {i} (metric {:.3e}); minimized to {} term(s)",
+                    failures[0].metric.unwrap_or(f64::NAN),
+                    min.terms.len()
+                );
+            }
+        }
+    }
+    println!("sabotage: {caught} caught, {missed} missed");
+    if missed > 0 {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(feature = "sabotage"))]
+fn sabotage_mode(_seed: u64) {
+    eprintln!("error: --sabotage requires building with `--features phoenix-verify/sabotage`");
+    std::process::exit(2);
+}
+
+/// Writes a JSON result file under `results/` (mirrors
+/// `phoenix_bench::write_results` without the crate dependency).
+fn write_results(name: &str, value: &impl Serialize) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: creating {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[results] wrote {}", path.display());
+        }
+        Err(e) => {
+            eprintln!("error: serializing {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Seeded random Pauli-program generation with counterexample shrinking.
+//!
+//! Coefficient magnitudes are deliberately tiny (≈10⁻³). Differential
+//! checks compare compiled circuits against a *reference ordering* of the
+//! same Trotter product, so legitimate term reordering contributes
+//! infidelity of order `B²` where `B = Σ_{i<j, non-commuting} |cᵢcⱼ|` is
+//! the first-order Trotter bound, while a genuine miscompilation of one
+//! term contributes at least `c²/2`. With `|c| ∈ [10⁻³, 2·10⁻³]` and ≲16
+//! terms, `B² ≲ 4·10⁻⁸` sits two orders of magnitude below the smallest
+//! bug signal (`5·10⁻⁷`), so the tolerance band separates cleanly (see
+//! DESIGN.md §2.8 for the derivation).
+
+use phoenix_mathkit::Xoshiro256;
+use phoenix_pauli::{Pauli, PauliString};
+
+/// Smallest coefficient magnitude the generator emits.
+pub const COEFF_MIN: f64 = 1e-3;
+/// Largest coefficient magnitude the generator emits.
+pub const COEFF_MAX: f64 = 2e-3;
+
+/// Program families mirroring the paper's benchmark mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Unstructured terms with a locality profile biased toward low weight.
+    Random,
+    /// Ising-like: `ZZ` couplings on random pairs plus `X`/`Z` fields —
+    /// the QAOA-shaped regime.
+    IsingLike,
+    /// UCCSD-like: weight-2/4 `X`/`Y` excitations with Jordan–Wigner `Z`
+    /// chains between the excitation sites.
+    UccsdLike,
+}
+
+impl Family {
+    /// All families, in generation rotation order.
+    pub const ALL: [Family; 3] = [Family::Random, Family::IsingLike, Family::UccsdLike];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Random => "random",
+            Family::IsingLike => "ising-like",
+            Family::UccsdLike => "uccsd-like",
+        }
+    }
+}
+
+/// A generated program plus its provenance (enough to regenerate it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Seed the program was generated from.
+    pub seed: u64,
+    /// Family it was drawn from.
+    pub family: Family,
+    /// Register width.
+    pub num_qubits: usize,
+    /// The Pauli terms.
+    pub terms: Vec<(PauliString, f64)>,
+}
+
+/// Seeded random program generator.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_verify::gen::{Family, RandomProgramGen};
+///
+/// let mut g = RandomProgramGen::new(7);
+/// let p = g.program(Family::UccsdLike, 6, 8);
+/// assert_eq!(p.num_qubits, 6);
+/// assert!(!p.terms.is_empty());
+/// // Same seed, same program.
+/// let q = RandomProgramGen::new(7).program(Family::UccsdLike, 6, 8);
+/// assert_eq!(p, q);
+/// ```
+#[derive(Debug)]
+pub struct RandomProgramGen {
+    seed: u64,
+    rng: Xoshiro256,
+}
+
+impl RandomProgramGen {
+    /// A generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomProgramGen {
+            seed,
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    fn coeff(&mut self) -> f64 {
+        let mag = self.rng.next_range_f64(COEFF_MIN, COEFF_MAX);
+        if self.rng.next_below(2) == 0 {
+            mag
+        } else {
+            -mag
+        }
+    }
+
+    /// `k` distinct qubits out of `n`, ascending.
+    fn support(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut all: Vec<usize> = (0..n).collect();
+        self.rng.shuffle(&mut all);
+        let mut s = all[..k].to_vec();
+        s.sort_unstable();
+        s
+    }
+
+    fn random_term(&mut self, n: usize) -> PauliString {
+        // Locality profile: weight 1–2 common, 3–4 rarer (capped at n).
+        let w = match self.rng.next_below(8) {
+            0..=2 => 1,
+            3..=5 => 2,
+            6 => 3,
+            _ => 4,
+        }
+        .min(n);
+        let support = self.support(n, w);
+        let mut p = PauliString::identity(n);
+        for q in support {
+            p.set(q, [Pauli::X, Pauli::Y, Pauli::Z][self.rng.next_below(3)]);
+        }
+        p
+    }
+
+    fn ising_term(&mut self, n: usize) -> PauliString {
+        if n >= 2 && self.rng.next_below(3) < 2 {
+            let s = self.support(n, 2);
+            let mut p = PauliString::identity(n);
+            p.set(s[0], Pauli::Z);
+            p.set(s[1], Pauli::Z);
+            p
+        } else {
+            let q = self.rng.next_below(n);
+            let axis = if self.rng.next_below(2) == 0 {
+                Pauli::X
+            } else {
+                Pauli::Z
+            };
+            PauliString::single(n, q, axis)
+        }
+    }
+
+    fn uccsd_term(&mut self, n: usize) -> PauliString {
+        // Single (weight-2) or double (weight-4) excitation under JW: X/Y
+        // with odd Y parity on the excitation sites, Z chain in between.
+        let w = if n >= 4 && self.rng.next_below(2) == 0 {
+            4
+        } else {
+            2.min(n)
+        };
+        if w < 2 {
+            return PauliString::single(n, 0, Pauli::X);
+        }
+        let sites = self.support(n, w);
+        let mut p = PauliString::identity(n);
+        // Odd number of Y's keeps the term anti-Hermitian-generator-shaped.
+        let y_at = self.rng.next_below(w);
+        for (i, &q) in sites.iter().enumerate() {
+            p.set(q, if i == y_at { Pauli::Y } else { Pauli::X });
+        }
+        for q in sites[0] + 1..sites[w - 1] {
+            if p.get(q) == Pauli::I {
+                p.set(q, Pauli::Z);
+            }
+        }
+        p
+    }
+
+    /// Generates a program of `num_terms` non-identity terms on `num_qubits`
+    /// qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero.
+    pub fn program(&mut self, family: Family, num_qubits: usize, num_terms: usize) -> Program {
+        assert!(num_qubits > 0, "program needs at least one qubit");
+        let mut terms = Vec::with_capacity(num_terms);
+        while terms.len() < num_terms {
+            let p = match family {
+                Family::Random => self.random_term(num_qubits),
+                Family::IsingLike => self.ising_term(num_qubits),
+                Family::UccsdLike => self.uccsd_term(num_qubits),
+            };
+            if p.is_identity() {
+                continue;
+            }
+            let c = self.coeff();
+            terms.push((p, c));
+        }
+        Program {
+            seed: self.seed,
+            family,
+            num_qubits,
+            terms,
+        }
+    }
+}
+
+/// Shrinks a failing program to a (locally) minimal counterexample.
+///
+/// `still_fails` re-runs the failing check on a candidate program and
+/// returns `true` while the failure persists. Shrinking is greedy and
+/// deterministic: repeatedly try dropping each term, then compact away
+/// unused qubits, until neither step makes progress. The result is the
+/// smallest program reached, which still fails.
+pub fn shrink(program: &Program, still_fails: impl Fn(&Program) -> bool) -> Program {
+    let mut best = program.clone();
+    loop {
+        let mut progressed = false;
+        // Drop terms, largest index first so removal indices stay stable.
+        let mut i = best.terms.len();
+        while i > 0 {
+            i -= 1;
+            if best.terms.len() <= 1 {
+                break;
+            }
+            let mut candidate = best.clone();
+            candidate.terms.remove(i);
+            if still_fails(&candidate) {
+                best = candidate;
+                progressed = true;
+            }
+        }
+        // Compact unused qubits.
+        if let Some(candidate) = compact_qubits(&best) {
+            if still_fails(&candidate) {
+                best = candidate;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return best;
+        }
+    }
+}
+
+/// Relabels the program onto its actually-used qubits, or `None` if every
+/// qubit is used (or none are).
+fn compact_qubits(p: &Program) -> Option<Program> {
+    let mut used: Vec<usize> = (0..p.num_qubits)
+        .filter(|&q| p.terms.iter().any(|(t, _)| t.get(q) != Pauli::I))
+        .collect();
+    used.sort_unstable();
+    if used.is_empty() || used.len() == p.num_qubits {
+        return None;
+    }
+    let terms = p
+        .terms
+        .iter()
+        .map(|(t, c)| (t.restrict(&used), *c))
+        .collect();
+    Some(Program {
+        seed: p.seed,
+        family: p.family,
+        num_qubits: used.len(),
+        terms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_generate_requested_shape() {
+        let mut g = RandomProgramGen::new(42);
+        for family in Family::ALL {
+            let p = g.program(family, 6, 10);
+            assert_eq!(p.terms.len(), 10);
+            for (t, c) in &p.terms {
+                assert!(!t.is_identity());
+                assert_eq!(t.num_qubits(), 6);
+                assert!((COEFF_MIN..=COEFF_MAX).contains(&c.abs()), "|c| = {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn ising_terms_are_z_z_or_fields() {
+        let mut g = RandomProgramGen::new(3);
+        let p = g.program(Family::IsingLike, 5, 20);
+        for (t, _) in &p.terms {
+            assert!(t.weight() <= 2);
+        }
+    }
+
+    #[test]
+    fn uccsd_terms_have_jw_chains() {
+        let mut g = RandomProgramGen::new(9);
+        let p = g.program(Family::UccsdLike, 8, 20);
+        for (t, _) in &p.terms {
+            // Support is contiguous once the Z chain is included.
+            let s = t.support();
+            assert_eq!(s.last().unwrap() - s[0] + 1, s.len(), "{t}");
+        }
+    }
+
+    #[test]
+    fn shrink_finds_the_single_bad_term() {
+        let mut g = RandomProgramGen::new(11);
+        let p = g.program(Family::Random, 6, 12);
+        // Pretend the failure is caused by term #7 (tracked by its
+        // coefficient, which survives qubit compaction).
+        let culprit = p.terms[7];
+        let min = shrink(&p, |cand| cand.terms.iter().any(|(_, c)| *c == culprit.1));
+        assert_eq!(min.terms.len(), 1);
+        assert_eq!(min.num_qubits, culprit.0.weight());
+    }
+}

@@ -8,6 +8,8 @@ use phoenix::pauli::{Pauli, PauliString};
 use phoenix::router::{route, search_layout, RouterOptions};
 use phoenix::sim::StabilizerState;
 use phoenix::topology::CouplingGraph;
+use phoenix_verify::check_routed_equivalence;
+use phoenix_verify::gen::{Family, RandomProgramGen};
 
 fn random_clifford_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
     let mut rng = Xoshiro256::seed_from_u64(seed);
@@ -102,5 +104,110 @@ fn bridge_routing_matches_logical_state() {
             phys_state.expectation(&phys_obs),
             "observable {obs}"
         );
+    }
+}
+
+/// The tests above start from |0…0⟩, which every qubit permutation fixes —
+/// so they cannot tell a correct initial layout from a wrong one. Here a
+/// nontrivial stabilizer input is prepared at the *initial* layout before
+/// the routed circuit runs, so the routed/logical comparison fails for any
+/// placement other than `routed.initial_layout`.
+#[test]
+fn routed_circuit_respects_the_initial_layout_on_heavy_hex() {
+    let device = CouplingGraph::manhattan65();
+    let n_logical = 16;
+    for seed in [11u64, 42] {
+        let logical = random_clifford_circuit(n_logical, 100, seed);
+        let prep = random_clifford_circuit(n_logical, 40, seed ^ 0xfeed);
+
+        let opts = RouterOptions::default();
+        let layout = search_layout(&logical, &device, &opts, 2);
+        let routed = route(&logical, &device, layout, &opts);
+
+        let initial: Vec<usize> = (0..n_logical)
+            .map(|q| routed.initial_layout.phys(q).expect("mapped"))
+            .collect();
+        let final_placement: Vec<usize> = (0..n_logical)
+            .map(|q| routed.final_layout.phys(q).expect("mapped"))
+            .collect();
+
+        // Logical reference: prep then circuit, all at logical indices.
+        let ref_state = StabilizerState::zero(n_logical)
+            .evolved(&prep)
+            .expect("clifford")
+            .evolved(&logical)
+            .expect("clifford");
+        // Physical run: prep embedded at the initial layout, then the
+        // routed circuit on the whole device.
+        let phys_prep = prep.map_qubits(device.num_qubits(), |q| initial[q]);
+        let phys_state = StabilizerState::zero(device.num_qubits())
+            .evolved(&phys_prep)
+            .expect("clifford")
+            .evolved(&routed.circuit)
+            .expect("clifford");
+
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x1a10);
+        for _ in 0..25 {
+            let mut obs = PauliString::identity(n_logical);
+            for q in 0..n_logical {
+                obs.set(
+                    q,
+                    [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z][rng.next_below(4)],
+                );
+            }
+            let phys_obs = obs.embed(device.num_qubits(), &final_placement);
+            assert_eq!(
+                ref_state.expectation(&obs),
+                phys_state.expectation(&phys_obs),
+                "seed {seed}, observable {obs}"
+            );
+        }
+    }
+}
+
+/// Dense permutation-aware equivalence on a small device: the routed
+/// unitary times the inverse of the logical unitary (embedded at the
+/// initial layout) must decode to exactly the basis permutation that maps
+/// the initial layout to the final layout. Covers PHOENIX's hardware-aware
+/// path and every baseline through the shared hardware backend.
+#[test]
+fn routed_unitaries_decode_to_the_layout_permutation() {
+    use phoenix::baselines::Baseline;
+    use phoenix::core::{try_run_hardware_backend, PhoenixCompiler};
+
+    let device = CouplingGraph::line(5);
+    let mut gen = RandomProgramGen::new(0x10c4);
+    for family in Family::ALL {
+        let program = gen.program(family, 5, 8);
+        let n = program.num_qubits;
+
+        let hw = PhoenixCompiler::default()
+            .try_compile_hardware_aware(n, &program.terms, &device)
+            .expect("hardware compile");
+        let outcome = check_routed_equivalence(
+            &hw.circuit,
+            &hw.logical,
+            &hw.initial_layout,
+            &hw.final_layout,
+        );
+        assert!(!outcome.is_fail(), "PHOENIX {}: {outcome:?}", family.name());
+
+        for b in [Baseline::Naive, Baseline::TetrisStyle] {
+            let logical = b.compile_logical(n, &program.terms);
+            let hw = try_run_hardware_backend(&logical, &device, &RouterOptions::default(), 3)
+                .expect("hardware backend");
+            let outcome = check_routed_equivalence(
+                &hw.circuit,
+                &hw.logical,
+                &hw.initial_layout,
+                &hw.final_layout,
+            );
+            assert!(
+                !outcome.is_fail(),
+                "{} {}: {outcome:?}",
+                Baseline::name(b),
+                family.name()
+            );
+        }
     }
 }
