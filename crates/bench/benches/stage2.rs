@@ -1,11 +1,14 @@
 //! Criterion micro-benchmarks for stage 2's candidate evaluation: the
 //! incremental nibble-class [`CostEvaluator`] vs the naive
-//! clone-and-rescore scan, on the largest UCCSD groups (NH- and H2O-scale).
+//! clone-and-rescore scan, on the largest UCCSD groups (NH- and H2O-scale),
+//! plus the observability layer's overhead (instrumentation disabled vs
+//! enabled) on the end-to-end logical compile — the disabled arm is the
+//! tentpole's < 2% budget.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use phoenix_core::group::group_by_support;
 use phoenix_core::simplify::{best_candidate_naive, simplify_terms_with};
-use phoenix_core::{CostEvaluator, SimplifyOptions};
+use phoenix_core::{CompileRequest, CostEvaluator, SimplifyOptions, Target};
 use phoenix_hamil::{uccsd, Molecule};
 use phoenix_pauli::Bsf;
 
@@ -70,5 +73,32 @@ fn bench_simplify_full(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_best_candidate, bench_simplify_full);
+/// End-to-end CNOT-target compiles with observability off vs on. The
+/// "off" arm is the default production path (one relaxed atomic load per
+/// instrumentation site); the "on" arm shows the full span/metric cost.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10);
+    let h = uccsd::ansatz(Molecule::lih(), true, uccsd::Encoding::JordanWigner, 7);
+    let n = h.num_qubits();
+    for (label, obs) in [("disabled", false), ("enabled", true)] {
+        g.bench_function(BenchmarkId::new(label, "LiH_frz"), |b| {
+            b.iter(|| {
+                CompileRequest::new(n, h.terms())
+                    .target(Target::Cnot)
+                    .obs(obs)
+                    .run()
+                    .expect("valid program compiles")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_best_candidate,
+    bench_simplify_full,
+    bench_obs_overhead
+);
 criterion_main!(benches);

@@ -6,10 +6,11 @@
 //! While timing it also cross-checks that both paths produce identical
 //! `SimplifiedGroup`s, so a perf run doubles as an exactness check.
 //!
-//! Usage: `perfbench [--quick]` — `--quick` runs one repetition of LiH only
-//! (the CI smoke configuration).
+//! Usage: `perfbench [--quick] [--trace] [--obs]` — `--quick` runs one
+//! repetition of LiH only (the CI smoke configuration); `--trace`/`--obs`
+//! file pass traces and observability reports under `results/`.
 
-use phoenix_bench::{or_exit, phoenix_compiler, row, write_results, SEED};
+use phoenix_bench::{or_exit, phoenix_compiler, row, write_results, Tracer, SEED};
 use phoenix_core::group::group_by_support;
 use phoenix_core::simplify::simplify_terms_with;
 use phoenix_core::{SimplifiedGroup, SimplifyOptions};
@@ -89,6 +90,7 @@ fn main() {
     };
     let incr_opts = SimplifyOptions::default();
 
+    let mut tracer = Tracer::from_env("perfbench");
     let mut rows = Vec::new();
     for &(mol, frozen, label) in molecules {
         let h = uccsd::ansatz(mol, frozen, uccsd::Encoding::JordanWigner, SEED);
@@ -105,6 +107,7 @@ fn main() {
             let _ = or_exit(phoenix_compiler().try_compile_to_cnot(n, h.terms()), label);
             e2e_ms = e2e_ms.min(t.elapsed().as_secs_f64() * 1e3);
         }
+        tracer.record_logical(label, &phoenix_compiler(), n, h.terms());
 
         let speedup = naive_ms / incr_ms;
         println!(
@@ -131,5 +134,6 @@ fn main() {
         });
     }
 
+    tracer.finish();
     write_results("BENCH_stage2", &rows);
 }

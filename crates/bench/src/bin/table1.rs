@@ -3,6 +3,10 @@
 //! For each of the 16 UCCSD benchmarks: qubit count, `#Pauli`, `w_max`, and
 //! the conventional ("original") circuit's `#Gate`, `#CNOT`, `Depth`,
 //! `Depth-2Q`.
+//!
+//! Usage: `table1 [--quick] [--trace] [--obs]` — `--quick` runs the two
+//! smallest benchmarks only (the CI smoke configuration); `--trace`/`--obs`
+//! file pass traces and observability reports under `results/`.
 
 use phoenix_baselines::Baseline;
 use phoenix_bench::{phoenix_compiler, row, write_results, Metrics, Tracer, SEED};
@@ -20,6 +24,7 @@ struct Row {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     println!("# Table I: UCCSD benchmark suite\n");
     println!(
         "{}",
@@ -40,7 +45,9 @@ fn main() {
     let mut tracer = Tracer::from_env("table1");
     let original: &dyn CompilerStrategy = &Baseline::Naive;
     let phoenix = phoenix_compiler();
-    for h in uccsd::table1_suite(SEED) {
+    let suite = uccsd::table1_suite(SEED);
+    let take = if quick { 2 } else { suite.len() };
+    for h in suite.into_iter().take(take) {
         let naive = original.compile_logical(h.num_qubits(), h.terms());
         let m = Metrics::of(&naive);
         tracer.record_logical(h.name(), &phoenix, h.num_qubits(), h.terms());

@@ -7,7 +7,8 @@
 //! the workspace root for the paper-vs-measured record.
 
 use phoenix_circuit::Circuit;
-use phoenix_core::{PassTrace, PhoenixCompiler};
+use phoenix_core::phoenix_obs::{perfetto, ObsReport};
+use phoenix_core::{CompileRequest, PassTrace, PhoenixCompiler, Target};
 use phoenix_pauli::PauliString;
 use phoenix_topology::CouplingGraph;
 use serde::Serialize;
@@ -21,6 +22,17 @@ pub const SEED: u64 = 7;
 pub fn trace_enabled() -> bool {
     std::env::args().any(|a| a == "--trace")
         || std::env::var("PHOENIX_TRACE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// True when observability instrumentation was requested, either with
+/// `--obs` on the command line or via the `PHOENIX_OBS` environment
+/// variable. Every experiment binary honors this; the collected reports
+/// land in `results/<bin>_perfetto.json` (Chrome/Perfetto loadable),
+/// `results/<bin>_obs.json` (machine-readable), and
+/// `results/<bin>_report.txt` (human-readable).
+pub fn obs_enabled() -> bool {
+    std::env::args().any(|a| a == "--obs")
+        || std::env::var("PHOENIX_OBS").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// True when pass-boundary translation validation was requested, either
@@ -48,40 +60,66 @@ pub fn short_label(name: &str) -> &str {
     name.strip_suffix("-style").unwrap_or(name)
 }
 
-/// Collects per-benchmark [`PassTrace`]s and writes them to
-/// `results/<experiment>_trace.json` — but only when tracing was requested
-/// (see [`trace_enabled`]), so default experiment output is unchanged.
+/// Collects per-benchmark observability artifacts — [`PassTrace`]s when
+/// `--trace`/`PHOENIX_TRACE` is set, [`ObsReport`]s when
+/// `--obs`/`PHOENIX_OBS` is set — and writes them under `results/` on
+/// [`Tracer::finish`]. With neither flag set every recording method is a
+/// no-op, so default experiment output is unchanged.
+///
+/// Compilations are replayed through the unified [`CompileRequest`] API,
+/// so both artifacts come from the same instrumented run.
 #[derive(Debug)]
 pub struct Tracer {
     experiment: &'static str,
-    enabled: bool,
+    trace: bool,
+    obs: bool,
     traces: Vec<(String, PassTrace)>,
+    reports: Vec<(String, ObsReport)>,
 }
 
 impl Tracer {
-    /// A tracer for `experiment`, enabled per [`trace_enabled`].
+    /// A tracer for `experiment`, enabled per [`trace_enabled`] /
+    /// [`obs_enabled`].
     pub fn from_env(experiment: &'static str) -> Self {
         Tracer {
             experiment,
-            enabled: trace_enabled(),
+            trace: trace_enabled(),
+            obs: obs_enabled(),
             traces: Vec::new(),
+            reports: Vec::new(),
         }
     }
 
-    /// Whether traces are being collected.
+    /// Whether any artifact (trace or obs report) is being collected.
     pub fn enabled(&self) -> bool {
-        self.enabled
+        self.trace || self.obs
     }
 
     /// Records an already-obtained trace under `label`.
     pub fn add(&mut self, label: impl Into<String>, trace: PassTrace) {
-        if self.enabled {
+        if self.trace {
             self.traces.push((label.into(), trace));
         }
     }
 
-    /// Records the trace of a logical PHOENIX compilation of `terms`
-    /// (no-op when disabled; exits nonzero on compile errors).
+    /// Runs `request` with the tracer's retention flags and files whatever
+    /// artifacts come back (no-op when disabled; exits nonzero on compile
+    /// errors).
+    pub fn record(&mut self, label: &str, request: CompileRequest) {
+        if !self.enabled() {
+            return;
+        }
+        let outcome = or_exit(request.trace(self.trace).obs(self.obs).run(), label);
+        if let Some(trace) = outcome.trace {
+            self.traces.push((label.to_string(), trace));
+        }
+        if let Some(report) = outcome.obs {
+            self.reports.push((label.to_string(), report));
+        }
+    }
+
+    /// Records an instrumented logical (CNOT-target) PHOENIX compilation
+    /// of `terms` (no-op when disabled; exits nonzero on compile errors).
     pub fn record_logical(
         &mut self,
         label: &str,
@@ -89,13 +127,10 @@ impl Tracer {
         n: usize,
         terms: &[(PauliString, f64)],
     ) {
-        if self.enabled {
-            let (_, trace) = or_exit(compiler.try_compile_to_cnot_with_trace(n, terms), label);
-            self.add(label, trace);
-        }
+        self.record(label, compiler.request(n, terms).target(Target::Cnot));
     }
 
-    /// Records the trace of a hardware-aware PHOENIX compilation of
+    /// Records an instrumented hardware-aware PHOENIX compilation of
     /// `terms` on `device` (no-op when disabled; exits nonzero on compile
     /// errors).
     pub fn record_hardware(
@@ -106,19 +141,32 @@ impl Tracer {
         terms: &[(PauliString, f64)],
         device: &CouplingGraph,
     ) {
-        if self.enabled {
-            let (_, trace) = or_exit(
-                compiler.try_compile_hardware_aware_with_trace(n, terms, device),
-                label,
-            );
-            self.add(label, trace);
-        }
+        self.record(
+            label,
+            compiler
+                .request(n, terms)
+                .target(Target::Hardware(device.clone())),
+        );
     }
 
-    /// Writes the collected traces (no-op when disabled or empty).
+    /// Writes the collected artifacts (no-op for whichever side is
+    /// disabled or empty): `results/<bin>_trace.json`, and under `--obs`
+    /// additionally `results/<bin>_perfetto.json`,
+    /// `results/<bin>_obs.json`, and `results/<bin>_report.txt`.
     pub fn finish(self) {
-        if self.enabled && !self.traces.is_empty() {
+        if !self.traces.is_empty() {
             write_results(&format!("{}_trace", self.experiment), &self.traces);
+        }
+        if !self.reports.is_empty() {
+            write_results(&format!("{}_obs", self.experiment), &self.reports);
+            let file = perfetto::to_trace_file_batch(&self.reports);
+            let json = or_exit(perfetto::to_json(&file), "serializing perfetto trace");
+            write_text(&format!("{}_perfetto.json", self.experiment), &json);
+            let mut text = String::new();
+            for (label, report) in &self.reports {
+                text.push_str(&format!("=== {label} ===\n{}\n", report.render()));
+            }
+            write_text(&format!("{}_report.txt", self.experiment), &text);
         }
     }
 }
@@ -199,6 +247,23 @@ pub fn write_results(name: &str, value: &impl Serialize) {
     eprintln!("[results] wrote {}", path.display());
 }
 
+/// Writes a verbatim text file under `results/` (`name` includes the
+/// extension), creating the directory. Prints a diagnostic to stderr and
+/// exits nonzero on I/O errors.
+pub fn write_text(name: &str, text: &str) {
+    let dir = Path::new("results");
+    or_exit(
+        std::fs::create_dir_all(dir),
+        &format!("creating {}", dir.display()),
+    );
+    let path = dir.join(name);
+    or_exit(
+        std::fs::write(&path, text),
+        &format!("writing {}", path.display()),
+    );
+    eprintln!("[results] wrote {}", path.display());
+}
+
 /// Renders one markdown table row.
 pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
@@ -250,27 +315,41 @@ mod tests {
         assert_eq!(short_label("original"), "original");
     }
 
+    fn tracer(trace: bool, obs: bool) -> Tracer {
+        Tracer {
+            experiment: "test",
+            trace,
+            obs,
+            traces: Vec::new(),
+            reports: Vec::new(),
+        }
+    }
+
     #[test]
     fn disabled_tracer_collects_nothing() {
-        let mut t = Tracer {
-            experiment: "test",
-            enabled: false,
-            traces: Vec::new(),
-        };
+        let mut t = tracer(false, false);
         t.record_logical("x", &phoenix_compiler(), 2, &[("ZZ".parse().unwrap(), 0.1)]);
         assert!(t.traces.is_empty());
+        assert!(t.reports.is_empty());
         t.finish();
     }
 
     #[test]
     fn enabled_tracer_records_traces() {
-        let mut t = Tracer {
-            experiment: "test",
-            enabled: true,
-            traces: Vec::new(),
-        };
+        let mut t = tracer(true, false);
         t.record_logical("x", &phoenix_compiler(), 2, &[("ZZ".parse().unwrap(), 0.1)]);
         assert_eq!(t.traces.len(), 1);
         assert!(!t.traces[0].1.passes.is_empty());
+        assert!(t.reports.is_empty());
+    }
+
+    #[test]
+    fn obs_tracer_records_reports() {
+        let mut t = tracer(false, true);
+        t.record_logical("x", &phoenix_compiler(), 2, &[("ZZ".parse().unwrap(), 0.1)]);
+        assert!(t.traces.is_empty());
+        assert_eq!(t.reports.len(), 1);
+        assert_eq!(t.reports[0].1.root.name, "pipeline");
+        assert!(t.reports[0].1.metrics.counter("passes_run").unwrap_or(0) > 0);
     }
 }

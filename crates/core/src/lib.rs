@@ -44,6 +44,8 @@ pub mod cost;
 pub mod error;
 pub mod evaluator;
 pub mod group;
+#[deny(clippy::unwrap_used)]
+pub mod observe;
 pub mod order;
 #[deny(clippy::unwrap_used)]
 pub mod pass;
@@ -51,15 +53,23 @@ pub mod pass;
 pub mod passes;
 #[deny(clippy::unwrap_used)]
 mod pipeline;
+#[deny(clippy::unwrap_used)]
+mod request;
 pub mod simplify;
 mod strategy;
 pub mod synth;
 #[deny(clippy::unwrap_used)]
 pub mod verify;
 
+// Downstream crates (bench binaries, the CLI) work with `ObsReport` and the
+// exporters directly; re-export the crate so they need no separate
+// dependency edge.
+pub use phoenix_obs;
+
 pub use error::{validate_device, validate_program, PhoenixError};
 pub use evaluator::CostEvaluator;
 pub use group::IrGroup;
+pub use observe::MetricsObserver;
 pub use pass::{
     CompileContext, Pass, PassError, PassManager, PassObserver, PassTrace, TraceEvent,
     EVENT_DEGRADED, EVENT_RETRIED, EVENT_SKIPPED, EVENT_TRUNCATED, EVENT_VERIFIED,
@@ -69,6 +79,7 @@ pub use pipeline::{
     try_run_hardware_backend, try_run_hardware_backend_with_trace, CompiledProgram,
     HardwareProgram, PhoenixCompiler, PhoenixOptions,
 };
+pub use request::{CompileOutcome, CompileRequest, Target};
 pub use simplify::{CfgItem, SimplifiedGroup, SimplifyOptions};
 pub use strategy::CompilerStrategy;
 pub use verify::BoundaryVerifier;

@@ -1,0 +1,139 @@
+//! The metrics-collecting [`PassObserver`].
+//!
+//! [`MetricsObserver`] is the bridge between the pass manager's boundary
+//! protocol and the per-compilation
+//! [`MetricsRegistry`](phoenix_obs::MetricsRegistry): at every pass
+//! boundary it counts the executed pass and folds the robustness events the
+//! pass raised (and any `verified` events recorded by observers attached
+//! before it) into counters. It is a *passive* collector —
+//! [`PassObserver::verifies`] is `false`, it never rejects a boundary, and
+//! it mutates nothing but the registry behind the context's `ObsCollector`.
+//!
+//! Attach it **after** any validating observer (`BoundaryVerifier`), both so
+//! metrics are never folded over a rejected state and so the verifier's
+//! `verified` events are visible to it at the same boundary.
+
+use phoenix_obs::metrics::MetricId;
+
+use crate::pass::{
+    CompileContext, PassError, PassObserver, EVENT_DEGRADED, EVENT_RETRIED, EVENT_SKIPPED,
+    EVENT_TRUNCATED, EVENT_VERIFIED,
+};
+
+/// Folds pass boundaries into the compilation's metrics registry.
+///
+/// Stateless: all accumulation happens in the `ObsCollector` carried by the
+/// [`CompileContext`]; a boundary on an uninstrumented context is a no-op.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MetricsObserver;
+
+impl PassObserver for MetricsObserver {
+    fn name(&self) -> &str {
+        "metrics"
+    }
+
+    fn after_pass(&self, _pass: &str, ctx: &CompileContext) -> Result<(), PassError> {
+        if let Some(obs) = &ctx.obs {
+            let metrics = obs.metrics();
+            metrics.incr(MetricId::PassesRun);
+            // `ctx.events` holds exactly this boundary's events: the manager
+            // drains them into the trace after the observer round.
+            for event in &ctx.events {
+                let id = match event.kind.as_str() {
+                    EVENT_DEGRADED => MetricId::Stage2Degraded,
+                    EVENT_TRUNCATED => MetricId::Stage2Truncated,
+                    EVENT_RETRIED => MetricId::RouterRetries,
+                    EVENT_VERIFIED => MetricId::BoundariesVerified,
+                    // `skipped` passes never reach an observer; the manager
+                    // counts them directly.
+                    EVENT_SKIPPED => continue,
+                    _ => continue,
+                };
+                metrics.incr(id);
+            }
+        }
+        Ok(())
+    }
+
+    fn verifies(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use std::sync::Arc;
+
+    use phoenix_obs::ObsCollector;
+
+    use super::*;
+    use crate::pass::{Pass, PassManager};
+
+    struct RaisesEvents;
+
+    impl Pass for RaisesEvents {
+        fn name(&self) -> &str {
+            "raises-events"
+        }
+
+        fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+            ctx.record_event("raises-events", EVENT_DEGRADED, "a");
+            ctx.record_event("raises-events", EVENT_RETRIED, "b");
+            ctx.record_event("raises-events", EVENT_RETRIED, "c");
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn counts_passes_and_event_kinds() {
+        let mut ctx = CompileContext::new(2, &[]);
+        let obs = Arc::new(ObsCollector::new());
+        ctx.obs = Some(obs.clone());
+        let pm = PassManager::new()
+            .with(RaisesEvents)
+            .with_observer(Arc::new(MetricsObserver));
+        pm.run(&mut ctx).unwrap();
+        let m = obs.metrics();
+        assert_eq!(m.counter(MetricId::PassesRun), 1);
+        assert_eq!(m.counter(MetricId::Stage2Degraded), 1);
+        assert_eq!(m.counter(MetricId::RouterRetries), 2);
+        // A passive collector does not claim verification.
+        assert_eq!(m.counter(MetricId::BoundariesVerified), 0);
+    }
+
+    struct Verifier;
+
+    impl PassObserver for Verifier {
+        fn name(&self) -> &str {
+            "test-verifier"
+        }
+
+        fn after_pass(&self, _pass: &str, _ctx: &CompileContext) -> Result<(), PassError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sees_verified_events_of_earlier_observers() {
+        let mut ctx = CompileContext::new(2, &[]);
+        let obs = Arc::new(ObsCollector::new());
+        ctx.obs = Some(obs.clone());
+        let pm = PassManager::new()
+            .with(RaisesEvents)
+            .with_observer(Arc::new(Verifier))
+            .with_observer(Arc::new(MetricsObserver));
+        let trace = pm.run(&mut ctx).unwrap();
+        assert_eq!(obs.metrics().counter(MetricId::BoundariesVerified), 1);
+        assert_eq!(trace.events_of_kind(EVENT_VERIFIED).len(), 1);
+    }
+
+    #[test]
+    fn uninstrumented_context_is_a_no_op() {
+        let mut ctx = CompileContext::new(2, &[]);
+        let pm = PassManager::new()
+            .with(RaisesEvents)
+            .with_observer(Arc::new(MetricsObserver));
+        assert!(pm.run(&mut ctx).is_ok());
+    }
+}

@@ -38,6 +38,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use phoenix_circuit::Circuit;
+use phoenix_obs::metrics::MetricId;
+use phoenix_obs::{ObsCollector, Span};
 use phoenix_pauli::PauliString;
 use phoenix_topology::CouplingGraph;
 use serde::{Deserialize, Serialize};
@@ -91,6 +93,14 @@ pub struct CompileContext {
     /// budget. Passes consult [`CompileContext::past_deadline`] to cut
     /// optional work short; correctness-critical work always completes.
     pub deadline: Option<Instant>,
+    /// Observability collector, when this compilation is instrumented
+    /// (`CompileRequest::obs(true)`). `None` costs one pointer check per
+    /// pass and per stage-2 group.
+    pub obs: Option<Arc<ObsCollector>>,
+    /// Child spans produced by the currently running pass (stage-2 groups,
+    /// router attempts, ...). The manager drains them into that pass's span
+    /// after it finishes.
+    pub spans: Vec<Span>,
 }
 
 impl CompileContext {
@@ -113,6 +123,8 @@ impl CompileContext {
             final_layout: None,
             events: Vec::new(),
             deadline: None,
+            obs: None,
+            spans: Vec::new(),
         }
     }
 
@@ -128,6 +140,19 @@ impl CompileContext {
             kind: kind.to_string(),
             detail: detail.into(),
         });
+    }
+
+    /// Whether this compilation is instrumented for observability.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Records a child span against the currently running pass. A no-op
+    /// when the compilation is not instrumented.
+    pub fn push_span(&mut self, span: Span) {
+        if self.obs.is_some() {
+            self.spans.push(span);
+        }
     }
 
     /// Same as [`CompileContext::new`] with a routing target attached.
@@ -229,18 +254,29 @@ pub const EVENT_SKIPPED: &str = "skipped";
 pub const EVENT_VERIFIED: &str = "verified";
 
 /// A hook invoked after every executed pass — the attachment point for
-/// translation validation.
+/// translation validation and metrics collection.
 ///
 /// An observer sees the full [`CompileContext`] at each pass boundary and
 /// may reject it with a [`PassError`], failing compilation the same way a
 /// broken pass would. Observers must not mutate compilation state; they may
 /// record events via the returned error path only (the manager itself
-/// records an [`EVENT_VERIFIED`] event for each accepted boundary).
+/// records an [`EVENT_VERIFIED`] event for each boundary a *verifying*
+/// observer accepts).
 ///
-/// The canonical implementation is
+/// Multiple observers compose: [`PassManager::with_observer`] appends, and
+/// the manager invokes observers **in attachment order** at every boundary.
+/// The first rejection aborts the pipeline, so validators attached earlier
+/// shield collectors attached later from invalid state; and because the
+/// manager records each verifier's `verified` event before calling the next
+/// observer, a later observer (e.g. a metrics collector) sees the events
+/// earlier observers produced at the same boundary.
+///
+/// The canonical implementations are
 /// [`BoundaryVerifier`](crate::verify::BoundaryVerifier), which re-simulates
 /// the working circuit against the exact Trotter reference after every
-/// semantic transformation (`PhoenixOptions::verify`).
+/// semantic transformation (`PhoenixOptions::verify`), and
+/// [`MetricsObserver`](crate::observe::MetricsObserver), which folds pass
+/// boundaries into the per-compilation metrics registry.
 pub trait PassObserver: Send + Sync {
     /// Stable display name (used in `verified` trace events).
     fn name(&self) -> &str;
@@ -248,6 +284,14 @@ pub trait PassObserver: Send + Sync {
     /// Validates the context after `pass` ran. Returning an error aborts
     /// the pipeline.
     fn after_pass(&self, pass: &str, ctx: &CompileContext) -> Result<(), PassError>;
+
+    /// Whether an accepted boundary should be recorded as an
+    /// [`EVENT_VERIFIED`] event. Validators keep the default `true`;
+    /// passive collectors (metrics, logging) return `false` so traces only
+    /// claim verification when semantic checking actually happened.
+    fn verifies(&self) -> bool {
+        true
+    }
 }
 
 /// Size/shape statistics of the working circuit at a trace point.
@@ -332,7 +376,7 @@ impl PassTrace {
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     budget: Option<Duration>,
-    observer: Option<Arc<dyn PassObserver>>,
+    observers: Vec<Arc<dyn PassObserver>>,
 }
 
 impl fmt::Debug for PassManager {
@@ -343,7 +387,10 @@ impl fmt::Debug for PassManager {
                 &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
             )
             .field("budget", &self.budget)
-            .field("observer", &self.observer.as_ref().map(|o| o.name()))
+            .field(
+                "observers",
+                &self.observers.iter().map(|o| o.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -359,7 +406,7 @@ impl PassManager {
         PassManager {
             passes,
             budget: None,
-            observer: None,
+            observers: Vec::new(),
         }
     }
 
@@ -374,11 +421,19 @@ impl PassManager {
     }
 
     /// Attaches a [`PassObserver`] invoked after every executed pass
-    /// (builder style). At most one observer is active; a later call
-    /// replaces the earlier one.
+    /// (builder style). Observers compose: each call **appends**, and at
+    /// every pass boundary the manager invokes them in attachment order,
+    /// aborting on the first rejection. Attach validators before passive
+    /// collectors so metrics are never folded over a state a verifier
+    /// would have rejected.
     pub fn with_observer(mut self, observer: Arc<dyn PassObserver>) -> Self {
-        self.observer = Some(observer);
+        self.observers.push(observer);
         self
+    }
+
+    /// The names of the attached observers, in invocation order.
+    pub fn observer_names(&self) -> Vec<&str> {
+        self.observers.iter().map(|o| o.name()).collect()
     }
 
     /// Appends one pass (builder style).
@@ -392,9 +447,13 @@ impl PassManager {
         self.passes.push(pass);
     }
 
-    /// Concatenates another manager's sequence after this one's.
+    /// Concatenates another manager's sequence after this one's. The other
+    /// manager's observers are appended after this one's (its budget, if
+    /// any, is dropped — the front manager's budget governs the whole
+    /// sequence).
     pub fn append(mut self, other: PassManager) -> Self {
         self.passes.extend(other.passes);
+        self.observers.extend(other.observers);
         self
     }
 
@@ -423,28 +482,50 @@ impl PassManager {
                     EVENT_SKIPPED,
                     "pass budget elapsed before this optional pass started",
                 );
+                if let Some(obs) = &ctx.obs {
+                    obs.metrics().incr(MetricId::PassesSkipped);
+                }
                 trace.events.append(&mut ctx.events);
                 continue;
             }
             let before = CircuitStats::of(&ctx.circuit);
+            ctx.spans.clear();
+            let span_start = ctx.obs.as_ref().map(|obs| obs.now_us());
             let start = Instant::now();
             run_contained(pass.as_ref(), ctx)?;
-            if let Some(observer) = &self.observer {
+            for observer in &self.observers {
                 observer.after_pass(pass.name(), ctx)?;
-                ctx.record_event(
-                    pass.name(),
-                    EVENT_VERIFIED,
-                    format!("boundary accepted by observer `{}`", observer.name()),
-                );
+                if observer.verifies() {
+                    ctx.record_event(
+                        pass.name(),
+                        EVENT_VERIFIED,
+                        format!("boundary accepted by observer `{}`", observer.name()),
+                    );
+                }
             }
             let millis = start.elapsed().as_secs_f64() * 1e3;
+            let after = CircuitStats::of(&ctx.circuit);
+            if let Some(obs) = &ctx.obs {
+                let start_us = span_start.unwrap_or(0);
+                let mut span = Span::new(pass.name(), "pass")
+                    .arg("gates_before", before.gates)
+                    .arg("gates_after", after.gates)
+                    .arg("cnot_before", before.cnot)
+                    .arg("cnot_after", after.cnot)
+                    .arg("depth_2q_before", before.depth_2q)
+                    .arg("depth_2q_after", after.depth_2q);
+                span.start_us = start_us;
+                span.dur_us = obs.now_us().saturating_sub(start_us);
+                span.children = std::mem::take(&mut ctx.spans);
+                obs.push_root(span);
+            }
             trace.events.append(&mut ctx.events);
             trace.passes.push(PassRecord {
                 name: pass.name().to_string(),
                 millis,
                 cumulative_millis: t0.elapsed().as_secs_f64() * 1e3,
                 before,
-                after: CircuitStats::of(&ctx.circuit),
+                after,
             });
         }
         Ok(trace)

@@ -24,8 +24,10 @@ use phoenix_circuit::transform::{
     CircuitTransform, CnotLower, KakResynthesis, Peephole, Su4Rebase,
 };
 use phoenix_circuit::Circuit;
+use phoenix_obs::metrics::{GaugeId, HistogramId, MetricId};
+use phoenix_obs::{ObsCollector, Span};
 use phoenix_pauli::PauliString;
-use phoenix_router::{route_with_retry, RouterOptions};
+use phoenix_router::{route_with_attempt_log, RouterOptions};
 
 use crate::group::{group_by_support, IrGroup};
 use crate::order::{order_groups, OrderOptions};
@@ -34,6 +36,18 @@ use crate::pass::{
 };
 use crate::simplify::{simplify_terms_with, SimplifyOptions};
 use crate::synth::synthesize_group;
+
+/// The conventional CNOT cost of synthesizing `terms` without Algorithm 1:
+/// `2(w-1)` CNOTs per weight-`w` exponentiation. The baseline that
+/// `cnots_saved_stage2` is measured against; the group circuit's own cost
+/// is its 2Q-gate count (Clifford2Q generators and ≤2Q rotations each
+/// lower to at most a CNOT-equivalent).
+fn naive_cnot_estimate(terms: &[(PauliString, f64)]) -> u64 {
+    terms
+        .iter()
+        .map(|(p, _)| 2 * (p.weight().max(1) as u64 - 1))
+        .sum()
+}
 
 /// Stage 1: partition the terms into IR groups by qubit support.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -89,44 +103,87 @@ impl Default for SimplifySynthPass {
 /// when not `None`).
 type GroupOutcome = Option<&'static str>;
 
+/// One group's compiled output (circuit + implemented term sequence), its
+/// outcome class, and its span (`Some` only when instrumented).
+type GroupResult = (
+    (Circuit, Vec<(PauliString, f64)>),
+    GroupOutcome,
+    Option<Span>,
+);
+
 impl SimplifySynthPass {
     /// Compiles one group with the failure modes contained: a panic inside
     /// Algorithm 1 or synthesis (reported as [`EVENT_DEGRADED`]) and an
     /// elapsed optimization deadline (reported as [`EVENT_TRUNCATED`])
     /// both fall back to the group's unsimplified conventional synthesis,
     /// which is always available and semantically equivalent.
+    ///
+    /// When `obs` is set, also returns the group's span (cat `group`, with
+    /// `candidate-scan`/`synthesize` children on the optimized path). Only
+    /// the timings depend on the run; names and args are deterministic.
     fn compile_group(
+        &self,
         n: usize,
         index: usize,
         group: &IrGroup,
-        simplify: bool,
         opts: &SimplifyOptions,
-        fault_inject_group: Option<usize>,
         deadline: Option<Instant>,
-    ) -> ((Circuit, Vec<(PauliString, f64)>), GroupOutcome) {
+        obs: Option<&ObsCollector>,
+    ) -> GroupResult {
+        let start_us = obs.map(|o| o.now_us());
         let naive = || {
             (
                 phoenix_circuit::synthesis::naive_circuit(n, group.terms()),
                 group.terms().to_vec(),
             )
         };
-        if !simplify {
-            return (naive(), None);
-        }
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            return (naive(), Some(EVENT_TRUNCATED));
-        }
-        let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
-            if fault_inject_group == Some(index) {
-                panic!("fault injection: forced panic in group {index}");
+        let fault = self.fault_inject_group;
+        let (result, outcome, children) = if !self.simplify {
+            (naive(), None, Vec::new())
+        } else if deadline.is_some_and(|d| Instant::now() >= d) {
+            (naive(), Some(EVENT_TRUNCATED), Vec::new())
+        } else {
+            let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+                if fault == Some(index) {
+                    panic!("fault injection: forced panic in group {index}");
+                }
+                let scan_start = obs.map(|o| o.now_us());
+                let s = simplify_terms_with(n, group.terms(), opts);
+                let synth_start = obs.map(|o| o.now_us());
+                let circuit = synthesize_group(&s);
+                let children = obs.map_or_else(Vec::new, |o| {
+                    let mut scan = Span::new("candidate-scan", "stage2");
+                    scan.start_us = scan_start.unwrap_or(0);
+                    scan.dur_us = synth_start.unwrap_or(0).saturating_sub(scan.start_us);
+                    let mut synth = Span::new("synthesize", "stage2");
+                    synth.start_us = synth_start.unwrap_or(0);
+                    synth.dur_us = o.now_us().saturating_sub(synth.start_us);
+                    vec![scan, synth]
+                });
+                ((circuit, s.term_sequence()), children)
+            }));
+            match attempt {
+                Ok((result, children)) => (result, None, children),
+                Err(_) => (naive(), Some(EVENT_DEGRADED), Vec::new()),
             }
-            let s = simplify_terms_with(n, group.terms(), opts);
-            (synthesize_group(&s), s.term_sequence())
-        }));
-        match attempt {
-            Ok(result) => (result, None),
-            Err(_) => (naive(), Some(EVENT_DEGRADED)),
-        }
+        };
+        let span = obs.map(|o| {
+            let cnot = result.0.counts().two_qubit() as u64;
+            let naive_cnot = naive_cnot_estimate(group.terms());
+            let mut s = Span::new(format!("group {index}"), "group")
+                .arg("terms", group.terms().len())
+                .arg("cnot", cnot)
+                .arg("naive_cnot", naive_cnot)
+                .arg("cnots_saved", naive_cnot.saturating_sub(cnot));
+            if let Some(kind) = outcome {
+                s = s.arg("outcome", kind);
+            }
+            s.start_us = start_us.unwrap_or(0);
+            s.dur_us = o.now_us().saturating_sub(s.start_us);
+            s.children = children;
+            s
+        });
+        (result, outcome, span)
     }
 }
 
@@ -141,9 +198,10 @@ impl Pass for SimplifySynthPass {
 
     fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
         let n = ctx.num_qubits;
+        let obs_arc = ctx.obs.clone();
+        let obs = obs_arc.as_deref();
         let groups = &ctx.groups;
         let deadline = ctx.deadline;
-        let fault = self.fault_inject_group;
         let opts = SimplifyOptions {
             scan_threads: self.scan_threads,
             ..SimplifyOptions::default()
@@ -153,12 +211,15 @@ impl Pass for SimplifySynthPass {
             t => t,
         }
         .min(groups.len().max(1));
-        type GroupResult = ((Circuit, Vec<(PauliString, f64)>), GroupOutcome);
+        if let Some(o) = obs {
+            o.metrics()
+                .set_gauge(GaugeId::Stage2Threads, threads as i64);
+        }
         let results: Vec<GroupResult> = if threads <= 1 {
             groups
                 .iter()
                 .enumerate()
-                .map(|(i, g)| Self::compile_group(n, i, g, self.simplify, &opts, fault, deadline))
+                .map(|(i, g)| self.compile_group(n, i, g, &opts, deadline, obs))
                 .collect()
         } else {
             let mut slots: Vec<Option<GroupResult>> = vec![None; groups.len()];
@@ -172,15 +233,7 @@ impl Pass for SimplifySynthPass {
                     scope.spawn(move || {
                         for (j, (g, slot)) in gs.iter().zip(out.iter_mut()).enumerate() {
                             let i = c * chunk + j;
-                            *slot = Some(Self::compile_group(
-                                n,
-                                i,
-                                g,
-                                self.simplify,
-                                &opts,
-                                fault,
-                                deadline,
-                            ));
+                            *slot = Some(self.compile_group(n, i, g, &opts, deadline, obs));
                         }
                     });
                 }
@@ -190,11 +243,13 @@ impl Pass for SimplifySynthPass {
                 .map(|s| s.expect("every chunk was processed"))
                 .collect()
         };
-        // Events are recorded in group-index order on the coordinating
-        // thread, keeping the trace deterministic for any thread count.
+        // Events, spans and metrics are recorded in group-index order on
+        // the coordinating thread, keeping every observability artifact
+        // deterministic for any thread count (workers wrote their results
+        // into index-aligned slots above).
         let mut subcircuits = Vec::with_capacity(results.len());
         let mut group_terms = Vec::with_capacity(results.len());
-        for (i, ((circuit, terms), outcome)) in results.into_iter().enumerate() {
+        for (i, ((circuit, terms), outcome, span)) in results.into_iter().enumerate() {
             if let Some(kind) = outcome {
                 let why = match kind {
                     EVENT_TRUNCATED => "pass budget elapsed",
@@ -205,6 +260,21 @@ impl Pass for SimplifySynthPass {
                     kind,
                     format!("group {i} fell back to conventional synthesis ({why})"),
                 );
+            }
+            if let Some(o) = obs {
+                let m = o.metrics();
+                let cnot = circuit.counts().two_qubit() as u64;
+                let naive_cnot = naive_cnot_estimate(&terms);
+                let saved = naive_cnot.saturating_sub(cnot);
+                m.incr(MetricId::GroupsCompiled);
+                m.add(MetricId::TermsCompiled, terms.len() as u64);
+                m.add(MetricId::CnotsSavedStage2, saved);
+                m.observe(HistogramId::GroupTerms, terms.len() as u64);
+                m.observe(HistogramId::GroupCnots, cnot);
+                m.observe(HistogramId::GroupCnotsSaved, saved);
+            }
+            if let Some(span) = span {
+                ctx.push_span(span);
             }
             subcircuits.push(circuit);
             group_terms.push(terms);
@@ -269,6 +339,13 @@ impl Pass for OrderPass {
         } else {
             (0..ctx.subcircuits.len()).collect()
         };
+        if let Some(obs) = &ctx.obs {
+            let m = obs.metrics();
+            m.set_gauge(GaugeId::OrderLookahead, self.lookahead as i64);
+            if self.enabled {
+                m.add(MetricId::OrderedGroups, ctx.order.len() as u64);
+            }
+        }
         Ok(())
     }
 }
@@ -421,16 +498,41 @@ impl Pass for LayoutRoutePass {
             .device
             .as_ref()
             .ok_or_else(|| PassError::new(self.name(), "no target device in context"))?;
-        let (routed, retries) =
-            route_with_retry(&ctx.circuit, device, &self.router, self.layout_trials)
+        let device_qubits = device.num_qubits();
+        let (routed, attempts) =
+            route_with_attempt_log(&ctx.circuit, device, &self.router, self.layout_trials)
                 .map_err(|e| PassError::new(self.name(), format!("routing failed: {e}")))?;
         let name = self.name().to_string();
-        for r in &retries {
-            ctx.record_event(
-                &name,
-                EVENT_RETRIED,
-                format!("{} layout abandoned ({}); retried", r.strategy, r.error),
-            );
+        for a in &attempts {
+            if let Some(error) = &a.error {
+                ctx.record_event(
+                    &name,
+                    EVENT_RETRIED,
+                    format!("{} layout abandoned ({}); retried", a.strategy, error),
+                );
+            }
+        }
+        if let Some(obs) = ctx.obs.clone() {
+            let m = obs.metrics();
+            m.add(MetricId::RouterAttempts, attempts.len() as u64);
+            m.add(MetricId::SabreSwaps, routed.num_swaps as u64);
+            m.set_gauge(GaugeId::DeviceQubits, device_qubits as i64);
+            // Attempts ran back to back ending roughly now; reconstruct
+            // their start offsets from the per-attempt durations.
+            let total: u64 = attempts.iter().map(|a| a.micros).sum();
+            let mut start = obs.now_us().saturating_sub(total);
+            for a in &attempts {
+                let mut span = Span::new(format!("route:{}", a.strategy), "route");
+                span = match (&a.swaps, &a.error) {
+                    (Some(swaps), _) => span.arg("swaps", swaps),
+                    (None, Some(error)) => span.arg("error", error),
+                    (None, None) => span,
+                };
+                span.start_us = start;
+                span.dur_us = a.micros;
+                start = start.saturating_add(a.micros);
+                ctx.push_span(span);
+            }
         }
         let l2p = |layout: &phoenix_router::Layout| -> Vec<usize> {
             (0..ctx.num_qubits)

@@ -1,19 +1,21 @@
 //! The end-to-end PHOENIX compiler.
 //!
-//! Every entry point is a thin wrapper that assembles a canonical
-//! [`PassManager`] sequence from [`passes`](crate::passes) and runs it over
-//! a [`CompileContext`]; the `*_with_trace` variants additionally return the
-//! recorded [`PassTrace`].
+//! Every entry point is a thin wrapper over the unified
+//! [`CompileRequest`](crate::CompileRequest) builder: it picks the
+//! [`Target`](crate::Target) and retention flags matching the legacy
+//! signature and delegates. The golden-equivalence tests in
+//! `tests/compile_request.rs` pin each wrapper to the request path.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::error::{validate_device, validate_program, PhoenixError};
+use crate::error::{validate_device, PhoenixError};
 use crate::pass::{CompileContext, PassError, PassManager, PassTrace};
 use crate::passes::{
     ConcatPass, GroupPass, LayoutRoutePass, OrderPass, SimplifySynthPass, SnapshotLogicalPass,
     TransformPass,
 };
+use crate::request::{CompileOutcome, CompileRequest, Target};
 use crate::verify::BoundaryVerifier;
 use phoenix_circuit::Circuit;
 use phoenix_pauli::PauliString;
@@ -163,7 +165,9 @@ pub fn try_run_hardware_backend_with_trace(
 }
 
 /// Pulls a [`HardwareProgram`] out of a routed [`CompileContext`].
-fn extract_hardware_program(ctx: CompileContext) -> Result<HardwareProgram, PhoenixError> {
+pub(crate) fn extract_hardware_program(
+    ctx: CompileContext,
+) -> Result<HardwareProgram, PhoenixError> {
     let snapshot = ctx
         .logical
         .ok_or_else(|| PassError::new("snapshot-logical", "logical snapshot missing"))?;
@@ -280,16 +284,11 @@ impl PhoenixCompiler {
         }
     }
 
-    fn try_run_logical(
-        &self,
-        manager: PassManager,
-        n: usize,
-        terms: &[(PauliString, f64)],
-    ) -> Result<(CompileContext, PassTrace), PhoenixError> {
-        validate_program(n, terms)?;
-        let mut ctx = CompileContext::new(n, terms);
-        let trace = manager.run(&mut ctx)?;
-        Ok((ctx, trace))
+    /// A [`CompileRequest`] for `terms` carrying this compiler's options —
+    /// the preferred entry point; every legacy method below delegates to
+    /// it.
+    pub fn request(&self, n: usize, terms: &[(PauliString, f64)]) -> CompileRequest {
+        CompileRequest::new(n, terms).options(self.options.clone())
     }
 
     /// Logical compilation to the high-level IR-group circuit.
@@ -310,7 +309,9 @@ impl PhoenixCompiler {
         n: usize,
         terms: &[(PauliString, f64)],
     ) -> Result<CompiledProgram, PhoenixError> {
-        self.try_compile_with_trace(n, terms).map(|(p, _)| p)
+        self.request(n, terms)
+            .run()
+            .map(CompileOutcome::into_program)
     }
 
     /// [`PhoenixCompiler::compile`] plus the recorded pass trace.
@@ -329,15 +330,10 @@ impl PhoenixCompiler {
         n: usize,
         terms: &[(PauliString, f64)],
     ) -> Result<(CompiledProgram, PassTrace), PhoenixError> {
-        let (ctx, trace) = self.try_run_logical(self.logical_passes(false), n, terms)?;
-        Ok((
-            CompiledProgram {
-                circuit: ctx.circuit,
-                num_groups: ctx.num_groups,
-                term_order: ctx.term_order,
-            },
-            trace,
-        ))
+        self.request(n, terms)
+            .trace(true)
+            .run()
+            .map(CompileOutcome::into_program_and_trace)
     }
 
     /// Logical compilation to the CNOT ISA (lowered + peephole-optimized).
@@ -356,8 +352,10 @@ impl PhoenixCompiler {
         n: usize,
         terms: &[(PauliString, f64)],
     ) -> Result<Circuit, PhoenixError> {
-        self.try_compile_to_cnot_with_trace(n, terms)
-            .map(|(c, _)| c)
+        self.request(n, terms)
+            .target(Target::Cnot)
+            .run()
+            .map(|out| out.circuit)
     }
 
     /// [`PhoenixCompiler::compile_to_cnot`] plus the recorded pass trace.
@@ -377,9 +375,11 @@ impl PhoenixCompiler {
         n: usize,
         terms: &[(PauliString, f64)],
     ) -> Result<(Circuit, PassTrace), PhoenixError> {
-        let manager = self.logical_passes(false).with(TransformPass::peephole());
-        let (ctx, trace) = self.try_run_logical(manager, n, terms)?;
-        Ok((ctx.circuit, trace))
+        self.request(n, terms)
+            .target(Target::Cnot)
+            .trace(true)
+            .run()
+            .map(CompileOutcome::into_circuit_and_trace)
     }
 
     /// Logical compilation to the SU(4) ISA: PHOENIX emits SU(4) blocks
@@ -399,7 +399,10 @@ impl PhoenixCompiler {
         n: usize,
         terms: &[(PauliString, f64)],
     ) -> Result<Circuit, PhoenixError> {
-        self.try_compile_to_su4_with_trace(n, terms).map(|(c, _)| c)
+        self.request(n, terms)
+            .target(Target::Su4)
+            .run()
+            .map(|out| out.circuit)
     }
 
     /// [`PhoenixCompiler::compile_to_su4`] plus the recorded pass trace.
@@ -419,9 +422,11 @@ impl PhoenixCompiler {
         n: usize,
         terms: &[(PauliString, f64)],
     ) -> Result<(Circuit, PassTrace), PhoenixError> {
-        let manager = self.logical_passes(false).with(TransformPass::su4_rebase());
-        let (ctx, trace) = self.try_run_logical(manager, n, terms)?;
-        Ok((ctx.circuit, trace))
+        self.request(n, terms)
+            .target(Target::Su4)
+            .trace(true)
+            .run()
+            .map(CompileOutcome::into_circuit_and_trace)
     }
 
     /// Logical compilation to the CNOT ISA *through* the SU(4) layer:
@@ -443,8 +448,10 @@ impl PhoenixCompiler {
         n: usize,
         terms: &[(PauliString, f64)],
     ) -> Result<Circuit, PhoenixError> {
-        self.try_compile_to_cnot_via_kak_with_trace(n, terms)
-            .map(|(c, _)| c)
+        self.request(n, terms)
+            .target(Target::CnotViaKak)
+            .run()
+            .map(|out| out.circuit)
     }
 
     /// [`PhoenixCompiler::compile_to_cnot_via_kak`] plus the recorded pass
@@ -465,13 +472,11 @@ impl PhoenixCompiler {
         n: usize,
         terms: &[(PauliString, f64)],
     ) -> Result<(Circuit, PassTrace), PhoenixError> {
-        let manager = self
-            .logical_passes(false)
-            .with(TransformPass::su4_rebase())
-            .with(TransformPass::kak_resynthesis())
-            .with(TransformPass::peephole());
-        let (ctx, trace) = self.try_run_logical(manager, n, terms)?;
-        Ok((ctx.circuit, trace))
+        self.request(n, terms)
+            .target(Target::CnotViaKak)
+            .trace(true)
+            .run()
+            .map(CompileOutcome::into_circuit_and_trace)
     }
 
     /// Hardware-aware compilation: routing-aware ordering, CNOT lowering,
@@ -523,15 +528,12 @@ impl PhoenixCompiler {
         terms: &[(PauliString, f64)],
         device: &CouplingGraph,
     ) -> Result<(HardwareProgram, PassTrace), PhoenixError> {
-        validate_program(n, terms)?;
-        validate_device(n, device)?;
-        let manager = self.logical_passes(true).append(hardware_backend(
-            &self.options.router,
-            self.options.layout_trials,
-        ));
-        let mut ctx = CompileContext::for_device(n, terms, device);
-        let trace = manager.run(&mut ctx)?;
-        extract_hardware_program(ctx).map(|p| (p, trace))
+        self.request(n, terms)
+            .target(Target::Hardware(device.clone()))
+            .trace(true)
+            .run()?
+            .into_hardware_and_trace()
+            .map_err(|_| PassError::new("layout-route", "hardware program missing").into())
     }
 }
 

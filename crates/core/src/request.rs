@@ -1,0 +1,371 @@
+//! The unified compilation API: [`CompileRequest`] → [`CompileOutcome`].
+//!
+//! [`PhoenixCompiler`] grew one entry point per (target ISA × fallibility ×
+//! trace retention) combination — twenty methods that all assemble the same
+//! canonical pass sequence. [`CompileRequest`] collapses them into one
+//! builder:
+//!
+//! ```
+//! use phoenix_core::{CompileRequest, Target};
+//! use phoenix_pauli::PauliString;
+//!
+//! let terms: Vec<(PauliString, f64)> = ["ZYY", "ZZY", "XYY", "XZY"]
+//!     .iter()
+//!     .map(|s| (s.parse().unwrap(), 0.1))
+//!     .collect();
+//! let outcome = CompileRequest::new(3, &terms)
+//!     .target(Target::Cnot)
+//!     .trace(true)
+//!     .obs(true)
+//!     .run()
+//!     .unwrap();
+//! assert!(outcome.circuit.counts().cnot < 16);
+//! assert!(outcome.trace.is_some());
+//! let report = outcome.obs.unwrap();
+//! assert_eq!(report.metrics.counter("groups_compiled"), Some(1));
+//! ```
+//!
+//! The legacy `compile*` methods survive as thin wrappers over this type
+//! (see `pipeline.rs`), so downstream code migrates at its own pace; the
+//! golden-equivalence tests in `crates/core/tests/compile_request.rs` pin
+//! every wrapper to the request path bit-for-bit.
+
+use std::sync::Arc;
+
+use phoenix_circuit::Circuit;
+use phoenix_obs::report::ObsEvent;
+use phoenix_obs::{metrics, ObsCollector, ObsReport};
+use phoenix_pauli::PauliString;
+use phoenix_topology::CouplingGraph;
+
+use crate::error::{validate_device, validate_program, PhoenixError};
+use crate::observe::MetricsObserver;
+use crate::pass::{CompileContext, PassTrace};
+use crate::passes::TransformPass;
+use crate::pipeline::{
+    extract_hardware_program, hardware_backend, CompiledProgram, HardwareProgram, PhoenixCompiler,
+    PhoenixOptions,
+};
+
+/// The compilation target a [`CompileRequest`] lowers to.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Target {
+    /// The ordered high-level IR-group circuit (Clifford2Q generators +
+    /// ≤2Q Pauli rotations), still ISA-independent.
+    #[default]
+    Logical,
+    /// The CNOT ISA (lowered + peephole-optimized).
+    Cnot,
+    /// The SU(4) ISA: SU(4) blocks emitted directly from the simplified IR.
+    Su4,
+    /// The CNOT ISA *through* the SU(4) layer: blocks KAK-resynthesized to
+    /// their Weyl floor before lowering.
+    CnotViaKak,
+    /// Hardware-aware compilation onto the given device: routing-aware
+    /// ordering, CNOT lowering, layout search + SABRE routing, SWAP
+    /// lowering, final peephole.
+    Hardware(CouplingGraph),
+}
+
+/// A single compilation, fully described: program, target, options, and
+/// which observability artifacts to retain.
+///
+/// Build with [`CompileRequest::new`], refine with the builder methods,
+/// execute with [`CompileRequest::run`].
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    num_qubits: usize,
+    terms: Vec<(PauliString, f64)>,
+    target: Target,
+    options: PhoenixOptions,
+    trace: bool,
+    obs: bool,
+}
+
+impl CompileRequest {
+    /// A request to compile `terms` on `num_qubits` qubits with default
+    /// options, targeting [`Target::Logical`], retaining neither trace nor
+    /// observability report.
+    pub fn new(num_qubits: usize, terms: &[(PauliString, f64)]) -> Self {
+        CompileRequest {
+            num_qubits,
+            terms: terms.to_vec(),
+            target: Target::default(),
+            options: PhoenixOptions::default(),
+            trace: false,
+            obs: false,
+        }
+    }
+
+    /// Sets the compilation target (builder style).
+    pub fn target(mut self, target: Target) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Sets the compiler options (builder style).
+    pub fn options(mut self, options: PhoenixOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Whether to retain the [`PassTrace`] in the outcome. The manager
+    /// records it either way; this only controls retention.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Whether to instrument the compilation: attach an
+    /// [`ObsCollector`] (span tree + per-compilation metrics), append a
+    /// [`MetricsObserver`] after any verifying observer, and enable
+    /// process-global metric recording for substrate crates. The resulting
+    /// [`ObsReport`] lands in [`CompileOutcome::obs`].
+    pub fn obs(mut self, on: bool) -> Self {
+        self.obs = on;
+        self
+    }
+
+    /// Executes the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`PhoenixError`] on invalid input, an unroutable
+    /// device, a failing pass, or a rejected verification boundary — never
+    /// panics on bad input.
+    pub fn run(self) -> Result<CompileOutcome, PhoenixError> {
+        validate_program(self.num_qubits, &self.terms)?;
+        let compiler = PhoenixCompiler::new(self.options.clone());
+        let mut ctx = match &self.target {
+            Target::Hardware(device) => {
+                validate_device(self.num_qubits, device)?;
+                CompileContext::for_device(self.num_qubits, &self.terms, device)
+            }
+            _ => CompileContext::new(self.num_qubits, &self.terms),
+        };
+        let manager = match &self.target {
+            Target::Logical => compiler.logical_passes(false),
+            Target::Cnot => compiler
+                .logical_passes(false)
+                .with(TransformPass::peephole()),
+            Target::Su4 => compiler
+                .logical_passes(false)
+                .with(TransformPass::su4_rebase()),
+            Target::CnotViaKak => compiler
+                .logical_passes(false)
+                .with(TransformPass::su4_rebase())
+                .with(TransformPass::kak_resynthesis())
+                .with(TransformPass::peephole()),
+            Target::Hardware(_) => compiler.logical_passes(true).append(hardware_backend(
+                &self.options.router,
+                self.options.layout_trials,
+            )),
+        };
+        let collector = if self.obs {
+            // Turn on process-global recording so router/simulator
+            // counters flow; left on — other instrumented compilations may
+            // be in flight, and the disabled-path cost is one relaxed load.
+            metrics::set_enabled(true);
+            Some(Arc::new(ObsCollector::new()))
+        } else {
+            None
+        };
+        ctx.obs = collector.clone();
+        // The metrics collector goes last so validators attached by
+        // `logical_passes` (BoundaryVerifier) shield it, and so it sees
+        // their `verified` events (see `PassManager::with_observer`).
+        let manager = if self.obs {
+            manager.with_observer(Arc::new(MetricsObserver))
+        } else {
+            manager
+        };
+        let trace = manager.run(&mut ctx)?;
+        let obs = collector.map(|c| {
+            c.finish(
+                trace
+                    .events
+                    .iter()
+                    .map(|e| ObsEvent {
+                        pass: e.pass.clone(),
+                        kind: e.kind.clone(),
+                        detail: e.detail.clone(),
+                    })
+                    .collect(),
+            )
+        });
+        let num_groups = ctx.num_groups;
+        let term_order = std::mem::take(&mut ctx.term_order);
+        let (circuit, hardware) = match &self.target {
+            Target::Hardware(_) => {
+                let hw = extract_hardware_program(ctx)?;
+                (hw.circuit.clone(), Some(hw))
+            }
+            _ => (ctx.circuit, None),
+        };
+        Ok(CompileOutcome {
+            circuit,
+            num_groups,
+            term_order,
+            hardware,
+            trace: if self.trace { Some(trace) } else { None },
+            obs,
+        })
+    }
+}
+
+/// Everything a compilation produced.
+///
+/// `circuit` is always the final circuit of the requested target (for
+/// [`Target::Hardware`] it equals `hardware.circuit`); the optional fields
+/// are populated according to the request's target and retention flags.
+#[derive(Debug, Clone)]
+pub struct CompileOutcome {
+    /// The compiled circuit in the requested target ISA.
+    pub circuit: Circuit,
+    /// Number of IR groups the program decomposed into.
+    pub num_groups: usize,
+    /// The input terms in the order the emitted circuit implements them.
+    pub term_order: Vec<(PauliString, f64)>,
+    /// The full hardware program ([`Target::Hardware`] only).
+    pub hardware: Option<HardwareProgram>,
+    /// The pass trace (when requested via [`CompileRequest::trace`]).
+    pub trace: Option<PassTrace>,
+    /// The observability report (when requested via
+    /// [`CompileRequest::obs`]).
+    pub obs: Option<ObsReport>,
+}
+
+impl CompileOutcome {
+    /// The logical-compilation view of this outcome.
+    pub fn into_program(self) -> CompiledProgram {
+        CompiledProgram {
+            circuit: self.circuit,
+            num_groups: self.num_groups,
+            term_order: self.term_order,
+        }
+    }
+
+    /// Splits into the logical program and the recorded trace (empty when
+    /// trace retention was off).
+    pub fn into_program_and_trace(mut self) -> (CompiledProgram, PassTrace) {
+        let trace = self.trace.take().unwrap_or_default();
+        (self.into_program(), trace)
+    }
+
+    /// Splits into the final circuit and the recorded trace (empty when
+    /// trace retention was off).
+    pub fn into_circuit_and_trace(self) -> (Circuit, PassTrace) {
+        (self.circuit, self.trace.unwrap_or_default())
+    }
+
+    /// Splits into the hardware program and the recorded trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the outcome unchanged when the request did not target
+    /// hardware.
+    pub fn into_hardware_and_trace(mut self) -> Result<(HardwareProgram, PassTrace), Box<Self>> {
+        let trace = self.trace.take().unwrap_or_default();
+        match self.hardware.take() {
+            Some(hw) => Ok((hw, trace)),
+            None => Err(Box::new(self)),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn terms(labels: &[&str]) -> Vec<(PauliString, f64)> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.parse().unwrap(), 0.02 * (i + 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn default_request_targets_logical_without_artifacts() {
+        let t = terms(&["ZYY", "ZZY", "XYY", "XZY"]);
+        let out = CompileRequest::new(3, &t).run().unwrap();
+        assert_eq!(out.num_groups, 1);
+        assert!(out.trace.is_none());
+        assert!(out.obs.is_none());
+        assert!(out.hardware.is_none());
+        assert!(!out.circuit.is_empty());
+    }
+
+    #[test]
+    fn hardware_target_populates_the_hardware_program() {
+        let t = terms(&["ZZII", "IZZI", "IIZZ"]);
+        let dev = CouplingGraph::line(4);
+        let out = CompileRequest::new(4, &t)
+            .target(Target::Hardware(dev.clone()))
+            .trace(true)
+            .run()
+            .unwrap();
+        let (hw, trace) = out.into_hardware_and_trace().unwrap();
+        assert!(!trace.passes.is_empty());
+        for g in hw.circuit.gates() {
+            if let (a, Some(b)) = g.qubits() {
+                assert!(dev.contains_edge(a, b), "gate {g} violates coupling");
+            }
+        }
+    }
+
+    #[test]
+    fn non_hardware_outcome_refuses_hardware_extraction() {
+        let t = terms(&["ZZ"]);
+        let out = CompileRequest::new(2, &t).run().unwrap();
+        assert!(out.into_hardware_and_trace().is_err());
+    }
+
+    #[test]
+    fn obs_report_carries_spans_metrics_and_events() {
+        let t = terms(&["ZYY", "ZZY", "XYY", "XZY"]);
+        let out = CompileRequest::new(3, &t)
+            .target(Target::Cnot)
+            .obs(true)
+            .run()
+            .unwrap();
+        let report = out.obs.unwrap();
+        assert_eq!(report.root.name, "pipeline");
+        let names: Vec<&str> = report
+            .root
+            .children
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "group",
+                "simplify-synth",
+                "tetris-order",
+                "concat",
+                "peephole"
+            ]
+        );
+        assert_eq!(report.metrics.counter("passes_run"), Some(5));
+        assert_eq!(report.metrics.counter("groups_compiled"), Some(1));
+        assert_eq!(report.metrics.counter("terms_compiled"), Some(4));
+        // The report renders without panicking and names every pass.
+        let text = report.render();
+        assert!(text.contains("simplify-synth"), "{text}");
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected_with_typed_errors() {
+        let nan = vec![("XX".parse::<PauliString>().unwrap(), f64::NAN)];
+        assert!(CompileRequest::new(2, &nan).run().is_err());
+        let dev = CouplingGraph::line(2);
+        assert!(matches!(
+            CompileRequest::new(3, &terms(&["ZZI"]))
+                .target(Target::Hardware(dev))
+                .run(),
+            Err(PhoenixError::DeviceTooSmall { .. })
+        ));
+    }
+}

@@ -1,0 +1,244 @@
+//! Golden-equivalence and determinism tests for the unified
+//! [`CompileRequest`] API.
+//!
+//! Every legacy `compile*` entry point on [`PhoenixCompiler`] survives as a
+//! thin wrapper over the request path; these tests pin each wrapper
+//! bit-for-bit against an explicit [`CompileRequest`] with the matching
+//! [`Target`], so neither side can drift. A property test then checks the
+//! observability contract: span trees (modulo timings) and per-compilation
+//! metric totals are identical for `stage2_threads` ∈ {1, 2, 8}.
+
+use phoenix_core::{CompileRequest, PhoenixCompiler, PhoenixOptions, Target};
+use phoenix_hamil::{uccsd, Molecule};
+use phoenix_obs::ObsReport;
+use phoenix_pauli::PauliString;
+use phoenix_topology::CouplingGraph;
+use proptest::prelude::*;
+
+/// The Fig. 1(b) example program.
+fn fig1b() -> (usize, Vec<(PauliString, f64)>) {
+    let terms = ["ZYY", "ZZY", "XYY", "XZY"]
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.parse().unwrap(), 0.02 * (i + 1) as f64))
+        .collect();
+    (3, terms)
+}
+
+/// A UCCSD ansatz instance (LiH, frozen core, Jordan–Wigner).
+fn uccsd_lih() -> (usize, Vec<(PauliString, f64)>) {
+    let h = uccsd::ansatz(Molecule::lih(), true, uccsd::Encoding::JordanWigner, 7);
+    (h.num_qubits(), h.terms().to_vec())
+}
+
+/// Pass names of a trace, for comparing trace-retaining wrappers.
+fn pass_names(trace: &phoenix_core::PassTrace) -> Vec<String> {
+    trace.passes.iter().map(|p| p.name.clone()).collect()
+}
+
+#[test]
+fn logical_wrappers_match_the_request_path() {
+    for (n, terms) in [fig1b(), uccsd_lih()] {
+        let compiler = PhoenixCompiler::default();
+        let golden = compiler.request(n, &terms).run().unwrap();
+
+        let p = compiler.compile(n, &terms);
+        assert_eq!(p.circuit, golden.circuit);
+        assert_eq!(p.num_groups, golden.num_groups);
+        assert_eq!(p.term_order, golden.term_order);
+
+        let p = compiler.try_compile(n, &terms).unwrap();
+        assert_eq!(p.circuit, golden.circuit);
+
+        let golden_traced = compiler.request(n, &terms).trace(true).run().unwrap();
+        let (p, trace) = compiler.compile_with_trace(n, &terms);
+        assert_eq!(p.circuit, golden.circuit);
+        assert_eq!(
+            pass_names(&trace),
+            pass_names(golden_traced.trace.as_ref().unwrap())
+        );
+        let (p, trace) = compiler.try_compile_with_trace(n, &terms).unwrap();
+        assert_eq!(p.circuit, golden.circuit);
+        assert!(!trace.passes.is_empty());
+    }
+}
+
+#[test]
+fn cnot_wrappers_match_the_request_path() {
+    for (n, terms) in [fig1b(), uccsd_lih()] {
+        let compiler = PhoenixCompiler::default();
+        let golden = compiler
+            .request(n, &terms)
+            .target(Target::Cnot)
+            .run()
+            .unwrap()
+            .circuit;
+        assert_eq!(compiler.compile_to_cnot(n, &terms), golden);
+        assert_eq!(compiler.try_compile_to_cnot(n, &terms).unwrap(), golden);
+        let (c, trace) = compiler.compile_to_cnot_with_trace(n, &terms);
+        assert_eq!(c, golden);
+        assert!(!trace.passes.is_empty());
+        let (c, _) = compiler.try_compile_to_cnot_with_trace(n, &terms).unwrap();
+        assert_eq!(c, golden);
+    }
+}
+
+#[test]
+fn su4_wrappers_match_the_request_path() {
+    for (n, terms) in [fig1b(), uccsd_lih()] {
+        let compiler = PhoenixCompiler::default();
+        let golden = compiler
+            .request(n, &terms)
+            .target(Target::Su4)
+            .run()
+            .unwrap()
+            .circuit;
+        assert_eq!(compiler.compile_to_su4(n, &terms), golden);
+        assert_eq!(compiler.try_compile_to_su4(n, &terms).unwrap(), golden);
+        let (c, trace) = compiler.compile_to_su4_with_trace(n, &terms);
+        assert_eq!(c, golden);
+        assert!(!trace.passes.is_empty());
+        let (c, _) = compiler.try_compile_to_su4_with_trace(n, &terms).unwrap();
+        assert_eq!(c, golden);
+    }
+}
+
+#[test]
+fn via_kak_wrappers_match_the_request_path() {
+    for (n, terms) in [fig1b(), uccsd_lih()] {
+        let compiler = PhoenixCompiler::default();
+        let golden = compiler
+            .request(n, &terms)
+            .target(Target::CnotViaKak)
+            .run()
+            .unwrap()
+            .circuit;
+        assert_eq!(compiler.compile_to_cnot_via_kak(n, &terms), golden);
+        assert_eq!(
+            compiler.try_compile_to_cnot_via_kak(n, &terms).unwrap(),
+            golden
+        );
+        let (c, trace) = compiler.compile_to_cnot_via_kak_with_trace(n, &terms);
+        assert_eq!(c, golden);
+        assert!(!trace.passes.is_empty());
+        let (c, _) = compiler
+            .try_compile_to_cnot_via_kak_with_trace(n, &terms)
+            .unwrap();
+        assert_eq!(c, golden);
+    }
+}
+
+#[test]
+fn hardware_wrappers_match_the_request_path() {
+    let (n, terms) = uccsd_lih();
+    let device = CouplingGraph::manhattan65();
+    let compiler = PhoenixCompiler::default();
+    let golden = compiler
+        .request(n, &terms)
+        .target(Target::Hardware(device.clone()))
+        .run()
+        .unwrap()
+        .hardware
+        .unwrap();
+
+    assert_eq!(compiler.compile_hardware_aware(n, &terms, &device), golden);
+    assert_eq!(
+        compiler
+            .try_compile_hardware_aware(n, &terms, &device)
+            .unwrap(),
+        golden
+    );
+    let (hw, trace) = compiler.compile_hardware_aware_with_trace(n, &terms, &device);
+    assert_eq!(hw, golden);
+    assert!(!trace.passes.is_empty());
+    let (hw, _) = compiler
+        .try_compile_hardware_aware_with_trace(n, &terms, &device)
+        .unwrap();
+    assert_eq!(hw, golden);
+}
+
+#[test]
+fn hardware_outcome_circuit_equals_the_hardware_program_circuit() {
+    let (n, terms) = fig1b();
+    let device = CouplingGraph::line(3);
+    let out = CompileRequest::new(n, &terms)
+        .target(Target::Hardware(device))
+        .run()
+        .unwrap();
+    assert_eq!(out.circuit, out.hardware.unwrap().circuit);
+}
+
+/// A random *valid* program: `n ∈ 2..=5` qubits, `1..=6` full-width terms
+/// with finite coefficients (5-wide draws truncated to the register, in
+/// the style of the repo's other property tests).
+fn arb_program() -> impl Strategy<Value = (usize, Vec<(PauliString, f64)>)> {
+    (
+        2usize..=5,
+        proptest::collection::vec(
+            (proptest::collection::vec(0usize..4, 5), -1.0f64..1.0),
+            1..=6,
+        ),
+    )
+        .prop_map(|(n, raw)| {
+            let terms = raw
+                .into_iter()
+                .map(|(paulis, coeff)| {
+                    let label: String = paulis[..n]
+                        .iter()
+                        .map(|&i| ['I', 'X', 'Y', 'Z'][i])
+                        .collect();
+                    (label.parse::<PauliString>().expect("valid label"), coeff)
+                })
+                .collect();
+            (n, terms)
+        })
+}
+
+/// One instrumented compile at the given stage-2 worker count.
+fn obs_compile(n: usize, terms: &[(PauliString, f64)], threads: usize) -> ObsReport {
+    let options = PhoenixOptions {
+        stage2_threads: threads,
+        ..PhoenixOptions::default()
+    };
+    CompileRequest::new(n, terms)
+        .options(options)
+        .target(Target::Cnot)
+        .obs(true)
+        .run()
+        .unwrap()
+        .obs
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The observability contract: the span tree (names, categories, args,
+    /// nesting — everything but wall-clock timings), the per-compilation
+    /// metric totals, and the recorded events are identical whether
+    /// stage 2 runs sequentially or on 2 or 8 worker threads.
+    #[test]
+    fn obs_artifacts_are_thread_count_deterministic((n, terms) in arb_program()) {
+        let base = obs_compile(n, &terms, 1);
+        for threads in [2usize, 8] {
+            let other = obs_compile(n, &terms, threads);
+            prop_assert_eq!(
+                base.root.skeleton(),
+                other.root.skeleton(),
+                "span skeleton diverged at {} threads",
+                threads
+            );
+            // Counters and histograms must agree exactly; gauges are
+            // excluded because `stage2_threads` reports the worker count
+            // itself.
+            prop_assert_eq!(
+                &base.metrics.counters,
+                &other.metrics.counters,
+                "metric totals diverged at {} threads",
+                threads
+            );
+            prop_assert_eq!(&base.metrics.histograms, &other.metrics.histograms);
+            prop_assert_eq!(&base.events, &other.events);
+        }
+    }
+}

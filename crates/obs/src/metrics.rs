@@ -1,0 +1,546 @@
+//! Lock-free metrics: a fixed catalog of atomic counters, gauges and
+//! fixed-bucket histograms.
+//!
+//! The registry is deliberately *not* a string-keyed map: every metric the
+//! workspace records is declared up front in [`MetricId`], so a
+//! [`MetricsRegistry`] is a plain array of atomics. Recording a sample is a
+//! single `fetch_add` / `store` with relaxed ordering — no locks, no
+//! allocation, no hashing — which is what lets instrumentation stay in the
+//! stage-2 hot path without measurable overhead.
+//!
+//! Two registries matter in practice:
+//!
+//! - a **per-compilation** registry owned by an
+//!   `ObsCollector`, whose totals are deterministic for a
+//!   given program (and thread-count-independent — the proptests in
+//!   `phoenix-core` enforce this);
+//! - the **process-global** registry ([`global`]), fed by substrate crates
+//!   (router swap insertions, simulator gate applications) that have no
+//!   compilation context to thread a collector through. Global recording is
+//!   additionally gated on [`enabled`] so the disabled cost is one relaxed
+//!   atomic load.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Every counter the PHOENIX pipeline records. The discriminant indexes the
+/// registry's counter array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum MetricId {
+    /// IR groups compiled by stage 2.
+    GroupsCompiled,
+    /// Pauli terms covered by the compiled groups.
+    TermsCompiled,
+    /// CNOTs saved by stage-2 BSF simplification vs the conventional
+    /// `2(w-1)`-per-term synthesis estimate.
+    CnotsSavedStage2,
+    /// Stage-2 groups that fell back to conventional synthesis after a
+    /// contained panic.
+    Stage2Degraded,
+    /// Stage-2 groups truncated by an elapsed pass budget.
+    Stage2Truncated,
+    /// Groups permuted by the Tetris-like ordering stage.
+    OrderedGroups,
+    /// SWAPs inserted by SABRE routing (successful attempt only).
+    SabreSwaps,
+    /// Routing attempts abandoned by the retry ladder.
+    RouterRetries,
+    /// Routing attempts started (successful or not).
+    RouterAttempts,
+    /// Passes executed by the pass manager.
+    PassesRun,
+    /// Optional passes skipped by the pass budget.
+    PassesSkipped,
+    /// Pass-boundary validations accepted by observers.
+    BoundariesVerified,
+    /// Gate applications performed by the state-vector simulator
+    /// (global registry only — the simulator has no compile context).
+    SimGateOps,
+    /// SWAPs inserted by the router, process-wide (global registry only).
+    SabreSwapsTotal,
+    /// Bridge gates emitted by the router, process-wide (global registry
+    /// only).
+    SabreBridgesTotal,
+}
+
+/// All counters, in discriminant order. Kept in sync with [`MetricId`] by
+/// the `catalog_is_complete` test.
+pub const COUNTERS: [MetricId; 15] = [
+    MetricId::GroupsCompiled,
+    MetricId::TermsCompiled,
+    MetricId::CnotsSavedStage2,
+    MetricId::Stage2Degraded,
+    MetricId::Stage2Truncated,
+    MetricId::OrderedGroups,
+    MetricId::SabreSwaps,
+    MetricId::RouterRetries,
+    MetricId::RouterAttempts,
+    MetricId::PassesRun,
+    MetricId::PassesSkipped,
+    MetricId::BoundariesVerified,
+    MetricId::SimGateOps,
+    MetricId::SabreSwapsTotal,
+    MetricId::SabreBridgesTotal,
+];
+
+impl MetricId {
+    /// The stable snake_case name used in snapshots and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricId::GroupsCompiled => "groups_compiled",
+            MetricId::TermsCompiled => "terms_compiled",
+            MetricId::CnotsSavedStage2 => "cnots_saved_stage2",
+            MetricId::Stage2Degraded => "stage2_degraded",
+            MetricId::Stage2Truncated => "stage2_truncated",
+            MetricId::OrderedGroups => "ordered_groups",
+            MetricId::SabreSwaps => "sabre_swaps",
+            MetricId::RouterRetries => "router_retries",
+            MetricId::RouterAttempts => "router_attempts",
+            MetricId::PassesRun => "passes_run",
+            MetricId::PassesSkipped => "passes_skipped",
+            MetricId::BoundariesVerified => "boundaries_verified",
+            MetricId::SimGateOps => "sim_gate_ops",
+            MetricId::SabreSwapsTotal => "sabre_swaps_total",
+            MetricId::SabreBridgesTotal => "sabre_bridges_total",
+        }
+    }
+}
+
+/// The gauge catalog: last-write-wins instantaneous values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum GaugeId {
+    /// Worker threads stage 2 actually used.
+    Stage2Threads,
+    /// Lookahead window of the ordering stage.
+    OrderLookahead,
+    /// Physical qubits of the routing target.
+    DeviceQubits,
+}
+
+/// All gauges, in discriminant order.
+pub const GAUGES: [GaugeId; 3] = [
+    GaugeId::Stage2Threads,
+    GaugeId::OrderLookahead,
+    GaugeId::DeviceQubits,
+];
+
+impl GaugeId {
+    /// The stable snake_case name used in snapshots and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GaugeId::Stage2Threads => "stage2_threads",
+            GaugeId::OrderLookahead => "order_lookahead",
+            GaugeId::DeviceQubits => "device_qubits",
+        }
+    }
+}
+
+/// The histogram catalog: power-of-two-bucketed distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HistogramId {
+    /// Terms per IR group.
+    GroupTerms,
+    /// CNOTs per synthesized group subcircuit.
+    GroupCnots,
+    /// CNOTs saved per group vs conventional synthesis.
+    GroupCnotsSaved,
+}
+
+/// All histograms, in discriminant order.
+pub const HISTOGRAMS: [HistogramId; 3] = [
+    HistogramId::GroupTerms,
+    HistogramId::GroupCnots,
+    HistogramId::GroupCnotsSaved,
+];
+
+impl HistogramId {
+    /// The stable snake_case name used in snapshots and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistogramId::GroupTerms => "group_terms",
+            HistogramId::GroupCnots => "group_cnots",
+            HistogramId::GroupCnotsSaved => "group_cnots_saved",
+        }
+    }
+}
+
+/// Number of buckets per histogram: bucket `i` counts samples in
+/// `[2^(i-1), 2^i)` (bucket 0 counts zeros and ones), with the last bucket
+/// open-ended.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// A fixed-bucket histogram over `u64` samples. Buckets are powers of two,
+/// so `record` is a `leading_zeros` plus one atomic add.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// The bucket index a value falls into.
+    fn bucket_of(value: u64) -> usize {
+        // 0 and 1 land in bucket 0; 2..4 in 1; 4..8 in 2; ...
+        let bits = 64 - value.max(1).leading_zeros() as usize;
+        (bits - 1).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one sample (lock-free, relaxed).
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the bucket occupancies.
+    pub fn buckets(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The lock-free registry: one atomic slot per catalog entry.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: [AtomicU64; COUNTERS.len()],
+    gauges: [AtomicI64; GAUGES.len()],
+    histograms: [Histogram; HISTOGRAMS.len()],
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to a counter (lock-free, relaxed).
+    pub fn add(&self, id: MetricId, n: u64) {
+        self.counters[id as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(&self, id: MetricId) {
+        self.add(id, 1);
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, id: MetricId) -> u64 {
+        self.counters[id as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sets a gauge (last write wins).
+    pub fn set_gauge(&self, id: GaugeId, value: i64) {
+        self.gauges[id as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, id: GaugeId) -> i64 {
+        self.gauges[id as usize].load(Ordering::Relaxed)
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&self, id: HistogramId, value: u64) {
+        self.histograms[id as usize].record(value);
+    }
+
+    /// Read access to a histogram.
+    pub fn histogram(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id as usize]
+    }
+
+    /// A serializable point-in-time copy, sorted by metric name so output
+    /// is deterministic. Zero-valued counters/gauges and empty histograms
+    /// are retained — a report should show what was *not* exercised too.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<CounterSnapshot> = COUNTERS
+            .iter()
+            .map(|&id| CounterSnapshot {
+                name: id.name().to_string(),
+                value: self.counter(id),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeSnapshot> = GAUGES
+            .iter()
+            .map(|&id| GaugeSnapshot {
+                name: id.name().to_string(),
+                value: self.gauge(id),
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSnapshot> = HISTOGRAMS
+            .iter()
+            .map(|&id| {
+                let h = self.histogram(id);
+                HistogramSnapshot {
+                    name: id.name().to_string(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: h.buckets(),
+                }
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One counter's snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Catalog name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One gauge's snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Catalog name.
+    pub name: String,
+    /// Last stored value.
+    pub value: i64,
+}
+
+/// One histogram's snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Catalog name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Power-of-two bucket occupancies.
+    pub buckets: Vec<u64>,
+}
+
+/// A serializable, name-sorted copy of a registry.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name (`None` for unknown names).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The counter-wise difference `self - earlier`, for turning two global
+    /// snapshots into a per-interval reading. Gauges keep `self`'s values;
+    /// histogram buckets subtract saturating (a shrinking counter means the
+    /// snapshots were taken out of order — clamped to zero rather than
+    /// wrapped).
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| CounterSnapshot {
+                name: c.name.clone(),
+                value: c
+                    .value
+                    .saturating_sub(earlier.counter(&c.name).unwrap_or(0)),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let before = earlier.histograms.iter().find(|e| e.name == h.name);
+                HistogramSnapshot {
+                    name: h.name.clone(),
+                    count: h.count.saturating_sub(before.map_or(0, |b| b.count)),
+                    sum: h.sum.saturating_sub(before.map_or(0, |b| b.sum)),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| {
+                            v.saturating_sub(
+                                before.and_then(|b| b.buckets.get(i)).copied().unwrap_or(0),
+                            )
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Whether every counter and histogram is zero/empty.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|c| c.value == 0) && self.histograms.iter().all(|h| h.count == 0)
+    }
+}
+
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns process-global metric recording on or off. Substrate crates
+/// (router, simulator) consult [`enabled`] before touching the global
+/// registry, so the disabled cost is one relaxed load.
+pub fn set_enabled(on: bool) {
+    GLOBAL_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether process-global metric recording is on.
+pub fn enabled() -> bool {
+    GLOBAL_ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-global registry, for instrumentation points with no
+/// compilation context (simulator kernels, router internals). Callers
+/// should gate recording on [`enabled`].
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: std::sync::OnceLock<MetricsRegistry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete() {
+        // The const arrays enumerate every variant in discriminant order.
+        for (i, id) in COUNTERS.iter().enumerate() {
+            assert_eq!(*id as usize, i, "counter {} out of order", id.name());
+        }
+        for (i, id) in GAUGES.iter().enumerate() {
+            assert_eq!(*id as usize, i, "gauge {} out of order", id.name());
+        }
+        for (i, id) in HISTOGRAMS.iter().enumerate() {
+            assert_eq!(*id as usize, i, "histogram {} out of order", id.name());
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::new();
+        r.incr(MetricId::GroupsCompiled);
+        r.add(MetricId::GroupsCompiled, 4);
+        assert_eq!(r.counter(MetricId::GroupsCompiled), 5);
+        assert_eq!(r.counter(MetricId::SabreSwaps), 0);
+    }
+
+    #[test]
+    fn gauges_take_last_write() {
+        let r = MetricsRegistry::new();
+        r.set_gauge(GaugeId::Stage2Threads, 8);
+        r.set_gauge(GaugeId::Stage2Threads, 2);
+        assert_eq!(r.gauge(GaugeId::Stage2Threads), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_tracks_count_and_sum() {
+        let r = MetricsRegistry::new();
+        for v in [1, 2, 3, 100] {
+            r.observe(HistogramId::GroupTerms, v);
+        }
+        let h = r.histogram(HistogramId::GroupTerms);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_complete() {
+        let r = MetricsRegistry::new();
+        r.incr(MetricId::SabreSwaps);
+        let s = r.snapshot();
+        assert_eq!(s.counters.len(), COUNTERS.len());
+        assert!(s.counters.windows(2).all(|w| w[0].name <= w[1].name));
+        assert_eq!(s.counter("sabre_swaps"), Some(1));
+        assert_eq!(s.counter("router_retries"), Some(0));
+        assert_eq!(s.counter("no_such_metric"), None);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms() {
+        let r = MetricsRegistry::new();
+        r.add(MetricId::SimGateOps, 10);
+        r.observe(HistogramId::GroupTerms, 5);
+        let before = r.snapshot();
+        r.add(MetricId::SimGateOps, 7);
+        r.observe(HistogramId::GroupTerms, 9);
+        let delta = r.snapshot().delta_since(&before);
+        assert_eq!(delta.counter("sim_gate_ops"), Some(7));
+        let h = delta
+            .histograms
+            .iter()
+            .find(|h| h.name == "group_terms")
+            .unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 9);
+    }
+
+    #[test]
+    fn global_flag_toggles() {
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let r = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        r.incr(MetricId::PassesRun);
+                        r.observe(HistogramId::GroupCnots, 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter(MetricId::PassesRun), 8000);
+        assert_eq!(r.histogram(HistogramId::GroupCnots).count(), 8000);
+    }
+}

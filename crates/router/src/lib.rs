@@ -25,5 +25,8 @@ mod place;
 mod sabre;
 
 pub use layout::Layout;
-pub use place::{greedy_layout, route_with_retry, search_layout, RouteRetry};
+pub use place::{
+    greedy_layout, route_with_attempt_log, route_with_retry, search_layout, RouteAttempt,
+    RouteRetry,
+};
 pub use sabre::{route, try_route, RouteError, RoutedCircuit, RouterOptions};

@@ -10,6 +10,7 @@ use crate::{try_route, Layout, RouteError, RoutedCircuit, RouterOptions};
 use phoenix_circuit::Circuit;
 use phoenix_topology::CouplingGraph;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Greedy seed: logical qubits are placed in decreasing interaction weight,
 /// each onto the free physical qubit minimizing the weighted distance to
@@ -132,19 +133,41 @@ pub struct RouteRetry {
     pub error: RouteError,
 }
 
+/// One routing attempt of the retry ladder, timed: the instrumentation
+/// record [`route_with_attempt_log`] returns for every attempt it made,
+/// successful or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteAttempt {
+    /// Which layout strategy was tried (`"searched"`, `"greedy-seed"`,
+    /// `"trivial"`).
+    pub strategy: &'static str,
+    /// Wall-clock of the attempt — layout construction (including the
+    /// refinement search for `"searched"`) plus the routing itself — in
+    /// microseconds.
+    pub micros: u64,
+    /// SWAPs the attempt inserted, when it succeeded.
+    pub swaps: Option<usize>,
+    /// Why the attempt was abandoned, when it failed.
+    pub error: Option<RouteError>,
+}
+
 /// Routing with a graceful-degradation ladder instead of a panic: try the
 /// refined [`search_layout`] placement first, then the plain greedy seed
 /// (an alternate starting point that often escapes a budget blow-up), and
 /// finally the trivial layout with a quadrupled SWAP budget. Returns the
-/// first success together with the abandoned attempts, or the last error
-/// when even the trivial fallback fails (the instance is genuinely
-/// unroutable, e.g. a disconnected device region).
-pub fn route_with_retry(
+/// first success together with a per-attempt log (the last entry is the
+/// successful one), or the last error when even the trivial fallback fails
+/// (the instance is genuinely unroutable, e.g. a disconnected device
+/// region).
+///
+/// Layouts are constructed lazily per attempt, so the log's timings
+/// attribute layout-search cost to the attempt that paid it.
+pub fn route_with_attempt_log(
     circuit: &Circuit,
     device: &CouplingGraph,
     opts: &RouterOptions,
     layout_trials: usize,
-) -> Result<(RoutedCircuit, Vec<RouteRetry>), RouteError> {
+) -> Result<(RoutedCircuit, Vec<RouteAttempt>), RouteError> {
     let lowered = circuit.lower_to_cnot();
     let n_log = lowered.num_qubits();
     let n_phys = device.num_qubits();
@@ -158,30 +181,61 @@ pub fn route_with_retry(
     relaxed.max_swaps = opts
         .swap_budget(lowered.counts().two_qubit(), n_phys)
         .saturating_mul(4);
-    let attempts: [(&'static str, Layout, &RouterOptions); 3] = [
-        (
-            "searched",
-            search_layout(&lowered, device, opts, layout_trials),
-            opts,
-        ),
-        ("greedy-seed", greedy_layout(&lowered, device), opts),
-        ("trivial", Layout::trivial(n_log, n_phys), &relaxed),
-    ];
-    let mut retries = Vec::new();
+    let mut attempts = Vec::new();
     let mut last_err = None;
-    for (strategy, layout, o) in attempts {
-        match try_route(&lowered, device, layout, o) {
-            Ok(routed) => return Ok((routed, retries)),
-            Err(error) => {
-                retries.push(RouteRetry {
+    for strategy in ["searched", "greedy-seed", "trivial"] {
+        let t0 = Instant::now();
+        let (layout, o) = match strategy {
+            "searched" => (search_layout(&lowered, device, opts, layout_trials), opts),
+            "greedy-seed" => (greedy_layout(&lowered, device), opts),
+            _ => (Layout::trivial(n_log, n_phys), &relaxed),
+        };
+        let result = try_route(&lowered, device, layout, o);
+        let micros = t0.elapsed().as_micros() as u64;
+        match result {
+            Ok(routed) => {
+                attempts.push(RouteAttempt {
                     strategy,
-                    error: error.clone(),
+                    micros,
+                    swaps: Some(routed.num_swaps),
+                    error: None,
+                });
+                return Ok((routed, attempts));
+            }
+            Err(error) => {
+                attempts.push(RouteAttempt {
+                    strategy,
+                    micros,
+                    swaps: None,
+                    error: Some(error.clone()),
                 });
                 last_err = Some(error);
             }
         }
     }
     Err(last_err.expect("all three attempts recorded an error"))
+}
+
+/// [`route_with_attempt_log`] reduced to the legacy shape: the first
+/// success plus the *abandoned* attempts only.
+pub fn route_with_retry(
+    circuit: &Circuit,
+    device: &CouplingGraph,
+    opts: &RouterOptions,
+    layout_trials: usize,
+) -> Result<(RoutedCircuit, Vec<RouteRetry>), RouteError> {
+    route_with_attempt_log(circuit, device, opts, layout_trials).map(|(routed, attempts)| {
+        let retries = attempts
+            .into_iter()
+            .filter_map(|a| {
+                a.error.map(|error| RouteRetry {
+                    strategy: a.strategy,
+                    error,
+                })
+            })
+            .collect();
+        (routed, retries)
+    })
 }
 
 #[cfg(test)]

@@ -294,6 +294,10 @@ pub fn try_route(
                     out.push(Gate::Cnot(pa, m));
                     out.push(Gate::Cnot(m, pb));
                 }
+                if phoenix_obs::metrics::enabled() {
+                    phoenix_obs::metrics::global()
+                        .incr(phoenix_obs::metrics::MetricId::SabreBridgesTotal);
+                }
                 // Retire the logical gate.
                 let gi = *queues[a].front().expect("front gate exists");
                 debug_assert_eq!(queues[b].front(), Some(&gi));
@@ -346,6 +350,9 @@ pub fn try_route(
             return Err(RouteError::SwapBudgetExceeded { budget });
         }
         out.push(Gate::Swap(p1, p2));
+        if phoenix_obs::metrics::enabled() {
+            phoenix_obs::metrics::global().incr(phoenix_obs::metrics::MetricId::SabreSwapsTotal);
+        }
         layout.swap_physical(p1, p2);
         last_swap = Some((p1, p2));
         num_swaps += 1;

@@ -208,6 +208,10 @@ impl State {
     /// Panics if the circuit uses more qubits than the state has.
     pub fn apply_circuit(&mut self, c: &Circuit) {
         assert!(c.num_qubits() <= self.n, "circuit too wide for state");
+        if phoenix_obs::metrics::enabled() {
+            phoenix_obs::metrics::global()
+                .add(phoenix_obs::metrics::MetricId::SimGateOps, c.len() as u64);
+        }
         for g in c.gates() {
             self.apply(g);
         }

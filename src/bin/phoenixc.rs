@@ -17,7 +17,8 @@
 //! ```
 
 use phoenix::circuit::{qasm, Circuit};
-use phoenix::core::{PhoenixCompiler, PhoenixOptions};
+use phoenix::core::phoenix_obs::perfetto;
+use phoenix::core::{CompileRequest, PhoenixOptions, Target};
 use phoenix::hamil::{qaoa, uccsd, Molecule};
 use phoenix::pauli::PauliString;
 use phoenix::topology::CouplingGraph;
@@ -47,7 +48,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   phoenixc compile --input <file> [--isa cnot|su4] [--topology all|heavyhex|line:N|grid:RxC]
                    [--qasm <out.qasm>] [--no-simplify] [--no-order] [--lookahead K]
-  phoenixc demo uccsd|qaoa";
+                   [--obs [--obs-trace <out.json>]]
+  phoenixc demo uccsd|qaoa
+
+  --obs prints a compile report (per-pass timing, gate/depth deltas,
+  stage-2 groups, metrics) to stderr; --obs-trace additionally writes a
+  Chrome/Perfetto-loadable trace-event JSON.";
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
     let mut input = None;
@@ -55,6 +61,8 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let mut topology = "all".to_string();
     let mut qasm_out = None;
     let mut via_kak = false;
+    let mut obs = false;
+    let mut obs_trace = None;
     let mut options = PhoenixOptions::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -69,6 +77,8 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             "--topology" => topology = value()?,
             "--qasm" => qasm_out = Some(value()?),
             "--via-kak" => via_kak = true,
+            "--obs" => obs = true,
+            "--obs-trace" => obs_trace = Some(value()?),
             "--no-simplify" => options.enable_simplification = false,
             "--no-order" => options.enable_ordering = false,
             "--lookahead" => {
@@ -84,29 +94,49 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let (n, terms) = parse_program(&text)?;
     eprintln!("program: {n} qubits, {} pauli exponentiations", terms.len());
 
-    let compiler = PhoenixCompiler::new(options);
-    let circuit: Circuit = match topology.as_str() {
+    let target = match topology.as_str() {
         "all" => match isa.as_str() {
-            "cnot" if via_kak => compiler.compile_to_cnot_via_kak(n, &terms),
-            "cnot" => compiler.compile_to_cnot(n, &terms),
-            "su4" => compiler.compile_to_su4(n, &terms),
+            "cnot" if via_kak => Target::CnotViaKak,
+            "cnot" => Target::Cnot,
+            "su4" => Target::Su4,
             other => return Err(format!("unknown isa '{other}'")),
         },
         spec => {
-            let device = parse_topology(spec, n)?;
-            let hw = compiler.compile_hardware_aware(n, &terms, &device);
-            eprintln!(
-                "routing: {} swaps, {:.2}x overhead on {}",
-                hw.num_swaps,
-                hw.routing_overhead(),
-                device
-            );
-            match isa.as_str() {
-                "cnot" => hw.circuit,
-                "su4" => phoenix::circuit::rebase::to_su4(&hw.circuit),
-                other => return Err(format!("unknown isa '{other}'")),
+            if isa != "cnot" && isa != "su4" {
+                return Err(format!("unknown isa '{isa}'"));
             }
+            Target::Hardware(parse_topology(spec, n)?)
         }
+    };
+    let hardware = matches!(target, Target::Hardware(_));
+    let outcome = CompileRequest::new(n, &terms)
+        .options(options)
+        .target(target)
+        .obs(obs || obs_trace.is_some())
+        .run()
+        .map_err(|e| e.to_string())?;
+    if let Some(hw) = &outcome.hardware {
+        eprintln!(
+            "routing: {} swaps, {:.2}x overhead on {topology}",
+            hw.num_swaps,
+            hw.routing_overhead(),
+        );
+    }
+    if let Some(report) = &outcome.obs {
+        if obs {
+            eprint!("{}", report.render());
+        }
+        if let Some(path) = obs_trace {
+            let file = perfetto::to_trace_file(&input, report);
+            let json = perfetto::to_json(&file).map_err(|e| format!("{path}: {e}"))?;
+            std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+    }
+    let circuit: Circuit = if hardware && isa == "su4" {
+        phoenix::circuit::rebase::to_su4(&outcome.circuit)
+    } else {
+        outcome.circuit
     };
     let k = circuit.counts();
     println!(
@@ -128,7 +158,11 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("uccsd") => {
             let h = uccsd::ansatz(Molecule::lih(), true, uccsd::Encoding::JordanWigner, 7);
-            let c = PhoenixCompiler::default().compile_to_cnot(h.num_qubits(), h.terms());
+            let c = CompileRequest::new(h.num_qubits(), h.terms())
+                .target(Target::Cnot)
+                .run()
+                .map_err(|e| e.to_string())?
+                .circuit;
             println!(
                 "{h}\nPHOENIX: {} CNOTs, 2Q depth {}",
                 c.counts().cnot,
@@ -139,11 +173,12 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         Some("qaoa") => {
             let h = qaoa::benchmark(qaoa::QaoaKind::Reg3, 16, 7);
             let device = CouplingGraph::manhattan65();
-            let hw = PhoenixCompiler::default().compile_hardware_aware(
-                h.num_qubits(),
-                h.terms(),
-                &device,
-            );
+            let hw = CompileRequest::new(h.num_qubits(), h.terms())
+                .target(Target::Hardware(device))
+                .run()
+                .map_err(|e| e.to_string())?
+                .hardware
+                .ok_or("hardware program missing")?;
             println!(
                 "{h}\nPHOENIX on heavy-hex: {} CNOTs, {} SWAPs, 2Q depth {}",
                 hw.circuit.counts().cnot,
