@@ -2,7 +2,8 @@
 //!
 //! Times the incremental [`CostEvaluator`]-backed candidate scan against the
 //! naive clone-and-rescore reference on the UCCSD molecules, plus the
-//! end-to-end logical compile, and writes `results/BENCH_stage2.json`.
+//! end-to-end logical compile and the cold-compile vs warm-rebind ratio of
+//! the parametric cache, and writes `results/BENCH_stage2.json`.
 //! While timing it also cross-checks that both paths produce identical
 //! `SimplifiedGroup`s, so a perf run doubles as an exactness check.
 //!
@@ -10,10 +11,12 @@
 //! repetition of LiH only (the CI smoke configuration); `--trace`/`--obs`
 //! file pass traces and observability reports under `results/`.
 
+use std::sync::Arc;
+
 use phoenix_bench::{or_exit, phoenix_compiler, row, write_results, Tracer, SEED};
 use phoenix_core::group::group_by_support;
 use phoenix_core::simplify::simplify_terms_with;
-use phoenix_core::{SimplifiedGroup, SimplifyOptions};
+use phoenix_core::{CompileCache, CompileRequest, SimplifiedGroup, SimplifyOptions};
 use phoenix_hamil::{uccsd, Molecule};
 use serde::Serialize;
 use std::time::Instant;
@@ -32,6 +35,45 @@ struct Row {
     stage2_speedup: f64,
     /// End-to-end `compile_to_cnot` wall-clock (incremental evaluator).
     end_to_end_ms: f64,
+    /// Uncached logical compile wall-clock (best of reps).
+    cold_compile_ms: f64,
+    /// Warm `bind` through a primed cache (best of reps).
+    warm_rebind_ms: f64,
+    /// cold / warm.
+    rebind_speedup: f64,
+}
+
+/// Times an uncached logical compile against a warm `bind` through a primed
+/// cache, returning (cold best-of-reps ms, warm best-of-reps ms).
+fn time_rebind(
+    n: usize,
+    terms: &[(phoenix_pauli::PauliString, f64)],
+    reps: usize,
+    label: &str,
+) -> (f64, f64) {
+    let mut cold = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = or_exit(CompileRequest::new(n, terms).run(), label);
+        cold = cold.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let cache = Arc::new(CompileCache::new());
+    let angles: Vec<f64> = terms.iter().map(|(_, c)| c * 0.7 + 1e-3).collect();
+    // Prime the cache (structure miss), then time warm rebinds only.
+    let _ = or_exit(
+        CompileRequest::new(n, terms).cache(&cache).bind(&angles),
+        label,
+    );
+    let mut warm = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = or_exit(
+            CompileRequest::new(n, terms).cache(&cache).bind(&angles),
+            label,
+        );
+        warm = warm.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (cold, warm)
 }
 
 /// Runs stage 2 over every group, returning (best wall-clock over `reps`
@@ -78,11 +120,14 @@ fn main() {
             "naive ms",
             "incr ms",
             "speedup",
-            "e2e ms"
+            "e2e ms",
+            "cold ms",
+            "warm ms",
+            "rebind"
         ]
         .map(String::from))
     );
-    println!("{}", row(&vec!["---".to_string(); 7]));
+    println!("{}", row(&vec!["---".to_string(); 10]));
 
     let naive_opts = SimplifyOptions {
         naive_cost: true,
@@ -109,6 +154,9 @@ fn main() {
         }
         tracer.record_logical(label, &phoenix_compiler(), n, h.terms());
 
+        let (cold_ms, warm_ms) = time_rebind(n, h.terms(), reps, label);
+        let rebind_speedup = cold_ms / warm_ms;
+
         let speedup = naive_ms / incr_ms;
         println!(
             "{}",
@@ -120,6 +168,9 @@ fn main() {
                 format!("{incr_ms:.2}"),
                 format!("{speedup:.2}x"),
                 format!("{e2e_ms:.2}"),
+                format!("{cold_ms:.2}"),
+                format!("{warm_ms:.4}"),
+                format!("{rebind_speedup:.0}x"),
             ])
         );
         rows.push(Row {
@@ -131,6 +182,9 @@ fn main() {
             stage2_incremental_ms: incr_ms,
             stage2_speedup: speedup,
             end_to_end_ms: e2e_ms,
+            cold_compile_ms: cold_ms,
+            warm_rebind_ms: warm_ms,
+            rebind_speedup,
         });
     }
 

@@ -1,0 +1,198 @@
+//! VQE-sweep benchmark for the parametric compilation cache.
+//!
+//! Simulates a variational outer loop: one UCCSD ansatz (LiH), compiled
+//! once cold and then re-bound with 1000 fresh angle vectors through a
+//! shared [`CompileCache`]. Measures the cold-compile vs warm-rebind
+//! speedup and the cache hit rate, spot-checks that warm outputs are
+//! bit-for-bit identical to from-scratch compiles of the same angles, and
+//! writes `results/BENCH_sweep.json`.
+//!
+//! The run is self-asserting (the CI cache smoke step relies on this):
+//! it exits nonzero unless speedup ≥ 20×, program hit rate > 0.95, and
+//! every spot check is exactly equal.
+//!
+//! Usage: `sweepbench [--quick]` — `--quick` sweeps 50 points (CI smoke).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use phoenix_bench::{or_exit, row, write_results, SEED};
+use phoenix_core::{CompileCache, CompileRequest, Target};
+use phoenix_hamil::{uccsd, Molecule};
+use phoenix_mathkit::Xoshiro256;
+use phoenix_pauli::PauliString;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: String,
+    qubits: usize,
+    terms: usize,
+    points: usize,
+    /// Full uncached compile wall-clock (best of reps).
+    cold_compile_ms: f64,
+    /// First cached point: structure compile + artifact decode + bind.
+    structure_ms: f64,
+    /// Mean warm rebind wall-clock over the remaining points.
+    warm_bind_ms: f64,
+    /// cold_compile_ms / warm_bind_ms.
+    rebind_speedup: f64,
+    /// Program-level cache hit rate over the sweep.
+    program_hit_rate: f64,
+    /// Warm outputs matched from-scratch compiles bit-for-bit.
+    warm_equals_cold: bool,
+}
+
+fn angles_for(point: usize, count: usize) -> Vec<f64> {
+    let mut rng = Xoshiro256::seed_from_u64(SEED ^ (point as u64).wrapping_mul(0x9e37));
+    (0..count).map(|_| rng.next_range_f64(-0.5, 0.5)).collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let points = if quick { 50 } else { 1000 };
+    let reps = if quick { 1 } else { 3 };
+
+    let h = uccsd::ansatz(Molecule::lih(), true, uccsd::Encoding::JordanWigner, SEED);
+    let n = h.num_qubits();
+    let terms = h.terms().to_vec();
+    println!(
+        "# Parametric-cache VQE sweep: LiH UCCSD, {} qubits, {} terms, {points} points\n",
+        n,
+        terms.len()
+    );
+
+    // Cold reference: the legacy single-shot compile, no cache attached.
+    let mut cold_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = or_exit(CompileRequest::new(n, &terms).run(), "cold compile");
+        cold_ms = cold_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // The sweep: every point re-binds fresh angles through the shared cache.
+    let cache = Arc::new(CompileCache::new());
+    let mut structure_ms = 0.0;
+    let mut warm_total_ms = 0.0;
+    let mut warm_equals_cold = true;
+    let spot_points = [0, points / 2, points - 1];
+    for point in 0..points {
+        let angles = angles_for(point, terms.len());
+        let t = Instant::now();
+        let out = or_exit(
+            CompileRequest::new(n, &terms).cache(&cache).bind(&angles),
+            "sweep bind",
+        );
+        let dt = t.elapsed().as_secs_f64() * 1e3;
+        if point == 0 {
+            structure_ms = dt;
+        } else {
+            warm_total_ms += dt;
+        }
+        if spot_points.contains(&point) {
+            // Bit-for-bit spot check: a from-scratch compile of the same
+            // angles must match the warm rebind exactly.
+            let reparam: Vec<(PauliString, f64)> = terms
+                .iter()
+                .zip(&angles)
+                .map(|((p, _), a)| (*p, *a))
+                .collect();
+            let fresh = or_exit(CompileRequest::new(n, &reparam).run(), "spot check");
+            if fresh.circuit != out.circuit || fresh.term_order != out.term_order {
+                eprintln!("sweepbench: warm output diverged at point {point}");
+                warm_equals_cold = false;
+            }
+        }
+    }
+    // One lowered-target spot check: the split path must agree with the
+    // legacy path after CNOT lowering too.
+    {
+        let angles = angles_for(points, terms.len());
+        let warm = or_exit(
+            CompileRequest::new(n, &terms)
+                .target(Target::Cnot)
+                .cache(&cache)
+                .bind(&angles),
+            "cnot bind",
+        );
+        let reparam: Vec<(PauliString, f64)> = terms
+            .iter()
+            .zip(&angles)
+            .map(|((p, _), a)| (*p, *a))
+            .collect();
+        let fresh = or_exit(
+            CompileRequest::new(n, &reparam).target(Target::Cnot).run(),
+            "cnot spot check",
+        );
+        if fresh.circuit != warm.circuit {
+            eprintln!("sweepbench: CNOT-target warm output diverged");
+            warm_equals_cold = false;
+        }
+    }
+
+    let warm_ms = warm_total_ms / (points - 1) as f64;
+    let speedup = cold_ms / warm_ms;
+    let stats = cache.stats();
+    let hit_rate = stats.program_hit_rate();
+
+    println!(
+        "{}",
+        row(&[
+            "Benchmark",
+            "#Qubit",
+            "#Term",
+            "cold ms",
+            "struct ms",
+            "warm ms",
+            "speedup",
+            "hit rate"
+        ]
+        .map(String::from))
+    );
+    println!("{}", row(&vec!["---".to_string(); 8]));
+    println!(
+        "{}",
+        row(&[
+            "LiH_frz_sweep".to_string(),
+            n.to_string(),
+            terms.len().to_string(),
+            format!("{cold_ms:.2}"),
+            format!("{structure_ms:.2}"),
+            format!("{warm_ms:.4}"),
+            format!("{speedup:.0}x"),
+            format!("{hit_rate:.3}"),
+        ])
+    );
+
+    let rows = vec![Row {
+        benchmark: "LiH_frz_sweep".to_string(),
+        qubits: n,
+        terms: terms.len(),
+        points,
+        cold_compile_ms: cold_ms,
+        structure_ms,
+        warm_bind_ms: warm_ms,
+        rebind_speedup: speedup,
+        program_hit_rate: hit_rate,
+        warm_equals_cold,
+    }];
+    write_results("BENCH_sweep", &rows);
+
+    let mut ok = true;
+    if speedup < 20.0 {
+        eprintln!("sweepbench: FAIL rebind speedup {speedup:.1}x < 20x");
+        ok = false;
+    }
+    if hit_rate <= 0.95 {
+        eprintln!("sweepbench: FAIL program hit rate {hit_rate:.3} <= 0.95");
+        ok = false;
+    }
+    if !warm_equals_cold {
+        eprintln!("sweepbench: FAIL warm outputs are not bit-for-bit cold-identical");
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("\nsweepbench: OK (speedup {speedup:.0}x, hit rate {hit_rate:.3}, warm == cold)");
+}

@@ -1,0 +1,746 @@
+//! Content-addressed parametric compilation cache for the PHOENIX compiler.
+//!
+//! PHOENIX's expensive work — grouping, BSF simplification, Clifford search,
+//! Tetris ordering, routing — depends only on the *structure* of a Pauli
+//! program (which strings appear, in which order), never on the rotation
+//! angles. A VQE outer loop recompiles the same ansatz thousands of times
+//! with nothing but the angles changed. This crate makes the second and
+//! every subsequent compile nearly free:
+//!
+//! 1. The structure phase runs the unmodified pipeline with each term's
+//!    coefficient replaced by a **slot encoding** `(slot + 1) as f64`. Every
+//!    angle the synthesizer emits is then `±2·(slot+1)` — exactly decodable,
+//!    because small-integer arithmetic, negation and doubling are exact in
+//!    IEEE-754. The decoded circuit-position → (slot, sign) map is a
+//!    [`StructureArtifact`].
+//! 2. The angle phase ([`StructureArtifact::bind`]) clones the skeleton's
+//!    gate list and patches `θ = 2·fold_conjugation_sign(angle[slot], sign)`
+//!    into each recorded position — the *same* float operations the cold
+//!    pipeline would have performed, so warm and cold outputs are
+//!    bit-for-bit identical.
+//!
+//! Artifacts are keyed by the Zobrist digest of the angle-erased canonical
+//! IR ([`phoenix_pauli::CanonicalIr`]) plus an options fingerprint, behind
+//! the concurrent [`CompileCache`] at two granularities: whole-program
+//! [`StructureArtifact`]s and per-group [`GroupArtifact`]s (the latter keyed
+//! only by the group's own terms, so they are shared across programs that
+//! contain the same group).
+
+use phoenix_circuit::{Circuit, Gate};
+use phoenix_pauli::{fold_conjugation_sign, CanonicalIr, PauliString};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Largest slot payload that is exactly representable through the pipeline's
+/// float arithmetic (integer magnitudes up to 2^52 survive `×2`, negation
+/// and addition-free routing untouched).
+const MAX_SLOT_MAGNITUDE: f64 = (1u64 << 52) as f64;
+
+/// Encode a parameter slot index as a structure-phase coefficient.
+///
+/// The structure phase compiles the program with `coeff = encode_slot(i)` in
+/// place of the `i`-th real coefficient; [`decode_coeff`] inverts this after
+/// sign folding.
+#[inline]
+pub fn encode_slot(slot: usize) -> f64 {
+    (slot + 1) as f64
+}
+
+/// Decode a (possibly sign-folded) slot-encoded coefficient back to
+/// `(slot, sign)`. Returns `None` if the value is not `±(k+1)` for an
+/// integer `k` — i.e. the pipeline did something other than flip signs,
+/// which would make the skeleton unsafe to rebind.
+#[inline]
+pub fn decode_coeff(coeff: f64) -> Option<(usize, i8)> {
+    if !coeff.is_finite() {
+        return None;
+    }
+    let sign: i8 = if coeff < 0.0 { -1 } else { 1 };
+    let mag = coeff.abs();
+    if !(1.0..=MAX_SLOT_MAGNITUDE).contains(&mag) || mag.fract() != 0.0 {
+        return None;
+    }
+    Some((mag as usize - 1, sign))
+}
+
+/// Decode a slot-encoded rotation angle `θ = 2·(±(slot+1))` back to
+/// `(slot, sign)`.
+#[inline]
+pub fn decode_slot(theta: f64) -> Option<(usize, i8)> {
+    decode_coeff(theta / 2.0)
+}
+
+/// A structure-phase skeleton failed to decode: some emitted angle is not a
+/// recognizable slot encoding, so the circuit cannot be safely rebound.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// A theta-bearing gate carries an angle that is not `±2(k+1)`.
+    UnencodedTheta {
+        /// Index of the offending gate in the skeleton.
+        gate_index: usize,
+        /// The angle that failed to decode.
+        theta: f64,
+    },
+    /// A decoded slot index exceeds the number of parameters.
+    SlotOutOfRange {
+        /// Index of the offending gate in the skeleton.
+        gate_index: usize,
+        /// The decoded slot.
+        slot: usize,
+        /// Number of parameter slots in the program.
+        num_slots: usize,
+    },
+    /// The skeleton contains a gate whose angles are baked into an opaque
+    /// payload (e.g. a fused SU(4) matrix) and cannot be rebound.
+    OpaqueGate {
+        /// Index of the offending gate in the skeleton.
+        gate_index: usize,
+    },
+    /// An ordered term's coefficient is not a recognizable slot encoding.
+    UnencodedCoeff {
+        /// Index of the offending term in the emission order.
+        term_index: usize,
+        /// The coefficient that failed to decode.
+        coeff: f64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnencodedTheta { gate_index, theta } => write!(
+                f,
+                "gate {gate_index}: angle {theta} is not a slot encoding ±2(k+1)"
+            ),
+            DecodeError::SlotOutOfRange { gate_index, slot, num_slots } => write!(
+                f,
+                "gate {gate_index}: decoded slot {slot} out of range (program has {num_slots} slots)"
+            ),
+            DecodeError::OpaqueGate { gate_index } => write!(
+                f,
+                "gate {gate_index}: opaque angle payload (SU(4) block) cannot be rebound"
+            ),
+            DecodeError::UnencodedCoeff { term_index, coeff } => write!(
+                f,
+                "ordered term {term_index}: coefficient {coeff} is not a slot encoding ±(k+1)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Binding concrete angles into a cached skeleton failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindError {
+    /// The angle vector length does not match the artifact's slot count.
+    AngleCount {
+        /// Number of parameter slots the artifact expects.
+        expected: usize,
+        /// Number of angles supplied.
+        got: usize,
+    },
+    /// An angle is NaN or infinite.
+    NonFiniteAngle {
+        /// Slot of the offending angle.
+        slot: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::AngleCount { expected, got } => {
+                write!(f, "expected {expected} angles, got {got}")
+            }
+            BindError::NonFiniteAngle { slot, value } => {
+                write!(f, "angle for slot {slot} is not finite ({value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// Scan a slot-encoded circuit and record, for every theta-bearing gate,
+/// `(gate_index, slot, sign)`.
+fn decode_bindings(
+    gates: &[Gate],
+    num_slots: usize,
+) -> Result<Vec<(usize, usize, i8)>, DecodeError> {
+    let mut bindings = Vec::new();
+    for (gate_index, gate) in gates.iter().enumerate() {
+        let theta = match gate {
+            Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) => *t,
+            Gate::PauliRot2 { theta, .. } => *theta,
+            Gate::Su4(_) => return Err(DecodeError::OpaqueGate { gate_index }),
+            _ => continue,
+        };
+        let (slot, sign) =
+            decode_slot(theta).ok_or(DecodeError::UnencodedTheta { gate_index, theta })?;
+        if slot >= num_slots {
+            return Err(DecodeError::SlotOutOfRange {
+                gate_index,
+                slot,
+                num_slots,
+            });
+        }
+        bindings.push((gate_index, slot, sign));
+    }
+    Ok(bindings)
+}
+
+/// Decode a slot-encoded ordered term list into `(string, slot, sign)`.
+fn decode_term_slots(
+    terms: &[(PauliString, f64)],
+    num_slots: usize,
+) -> Result<Vec<(PauliString, usize, i8)>, DecodeError> {
+    terms
+        .iter()
+        .enumerate()
+        .map(|(term_index, (p, coeff))| {
+            let (slot, sign) = decode_coeff(*coeff).ok_or(DecodeError::UnencodedCoeff {
+                term_index,
+                coeff: *coeff,
+            })?;
+            if slot >= num_slots {
+                return Err(DecodeError::UnencodedCoeff {
+                    term_index,
+                    coeff: *coeff,
+                });
+            }
+            Ok((*p, slot, sign))
+        })
+        .collect()
+}
+
+/// Patch concrete thetas into a cloned gate list, in place.
+fn patch_gates(gates: &mut [Gate], bindings: &[(usize, usize, i8)], angles: &[f64]) {
+    for &(gate_index, slot, sign) in bindings {
+        let theta = 2.0 * fold_conjugation_sign(angles[slot], sign);
+        match &mut gates[gate_index] {
+            Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) => *t = theta,
+            Gate::PauliRot2 { theta: t, .. } => *t = theta,
+            // decode_bindings only records theta-bearing gates.
+            _ => debug_assert!(false, "binding points at a parameterless gate"),
+        }
+    }
+}
+
+fn check_angles(angles: &[f64], expected: usize) -> Result<(), BindError> {
+    if angles.len() != expected {
+        return Err(BindError::AngleCount {
+            expected,
+            got: angles.len(),
+        });
+    }
+    if let Some(slot) = angles.iter().position(|a| !a.is_finite()) {
+        return Err(BindError::NonFiniteAngle {
+            slot,
+            value: angles[slot],
+        });
+    }
+    Ok(())
+}
+
+/// The output of binding angles into a whole-program [`StructureArtifact`]:
+/// everything the legacy pipeline would have produced for the same program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundProgram {
+    /// The synthesized circuit with concrete angles.
+    pub circuit: Circuit,
+    /// Emission order with concrete (sign-folded) coefficients.
+    pub term_order: Vec<(PauliString, f64)>,
+    /// Number of commuting groups the program was partitioned into.
+    pub num_groups: usize,
+}
+
+/// The angle-independent result of a whole-program structure compile: a
+/// slot-encoded skeleton circuit plus the decoded rebinding map.
+#[derive(Debug, Clone)]
+pub struct StructureArtifact {
+    num_qubits: usize,
+    num_slots: usize,
+    num_groups: usize,
+    skeleton: Circuit,
+    bindings: Vec<(usize, usize, i8)>,
+    term_slots: Vec<(PauliString, usize, i8)>,
+    digest: u64,
+}
+
+impl StructureArtifact {
+    /// Decode a slot-encoded structure compile into a rebindable artifact.
+    ///
+    /// `skeleton` and `term_order` must come from a pipeline run where the
+    /// `i`-th input term's coefficient was [`encode_slot`]`(i)`; `num_slots`
+    /// is the number of input terms (= expected angle-vector length) and
+    /// `digest` the Zobrist digest of the canonical IR the artifact is
+    /// keyed by.
+    pub fn from_slot_encoded(
+        num_qubits: usize,
+        num_slots: usize,
+        num_groups: usize,
+        skeleton: Circuit,
+        term_order: &[(PauliString, f64)],
+        digest: u64,
+    ) -> Result<Self, DecodeError> {
+        let bindings = decode_bindings(skeleton.gates(), num_slots)?;
+        let term_slots = decode_term_slots(term_order, num_slots)?;
+        Ok(StructureArtifact {
+            num_qubits,
+            num_slots,
+            num_groups,
+            skeleton,
+            bindings,
+            term_slots,
+            digest,
+        })
+    }
+
+    /// Number of qubits of the skeleton circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of parameter slots (= length of the angle vector `bind` expects).
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Number of commuting groups in the structure.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Number of theta-bearing gate positions that get patched per bind.
+    pub fn num_bindings(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Zobrist digest of the canonical IR this artifact was compiled from.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The slot-encoded skeleton circuit.
+    pub fn skeleton(&self) -> &Circuit {
+        &self.skeleton
+    }
+
+    /// Substitute concrete angles into the skeleton.
+    ///
+    /// This performs exactly the float operations the cold pipeline would
+    /// have performed on the same program (`θ = 2·(±angle)`), so the result
+    /// is bit-for-bit identical to a from-scratch compile.
+    pub fn bind(&self, angles: &[f64]) -> Result<BoundProgram, BindError> {
+        check_angles(angles, self.num_slots)?;
+        let mut gates = self.skeleton.gates().to_vec();
+        patch_gates(&mut gates, &self.bindings, angles);
+        let circuit = Circuit::from_gates(self.num_qubits, gates);
+        let term_order = self
+            .term_slots
+            .iter()
+            .map(|(p, slot, sign)| (*p, fold_conjugation_sign(angles[*slot], *sign)))
+            .collect();
+        Ok(BoundProgram {
+            circuit,
+            term_order,
+            num_groups: self.num_groups,
+        })
+    }
+}
+
+/// The angle-independent synthesis of a single commuting group, slot-encoded
+/// against the group's *local* term indices so it can be reused by any
+/// program containing the same group, whatever the coefficients.
+#[derive(Debug, Clone)]
+pub struct GroupArtifact {
+    num_qubits: usize,
+    /// The group's input terms, in order; local slot `i` is `terms[i]`.
+    terms: Vec<PauliString>,
+    skeleton: Circuit,
+    bindings: Vec<(usize, usize, i8)>,
+    term_slots: Vec<(PauliString, usize, i8)>,
+}
+
+impl GroupArtifact {
+    /// Decode a group compiled with local slot encoding (`coeff[i] =`
+    /// [`encode_slot`]`(i)` over the group's own terms).
+    pub fn from_slot_encoded(
+        num_qubits: usize,
+        terms: Vec<PauliString>,
+        skeleton: Circuit,
+        term_order: &[(PauliString, f64)],
+    ) -> Result<Self, DecodeError> {
+        let num_slots = terms.len();
+        let bindings = decode_bindings(skeleton.gates(), num_slots)?;
+        let term_slots = decode_term_slots(term_order, num_slots)?;
+        Ok(GroupArtifact {
+            num_qubits,
+            terms,
+            skeleton,
+            bindings,
+            term_slots,
+        })
+    }
+
+    /// The group's input terms in local-slot order.
+    pub fn terms(&self) -> &[PauliString] {
+        &self.terms
+    }
+
+    /// Number of qubits of the group subcircuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Substitute the group's concrete coefficients (one per input term, in
+    /// the same order as [`GroupArtifact::terms`]). Returns the bound
+    /// subcircuit and the emission-ordered terms with folded coefficients.
+    pub fn bind(&self, coeffs: &[f64]) -> Result<(Circuit, Vec<(PauliString, f64)>), BindError> {
+        check_angles(coeffs, self.terms.len())?;
+        let mut gates = self.skeleton.gates().to_vec();
+        patch_gates(&mut gates, &self.bindings, coeffs);
+        let circuit = Circuit::from_gates(self.num_qubits, gates);
+        let term_order = self
+            .term_slots
+            .iter()
+            .map(|(p, slot, sign)| (*p, fold_conjugation_sign(coeffs[*slot], *sign)))
+            .collect();
+        Ok((circuit, term_order))
+    }
+}
+
+/// Cache key for whole-program artifacts: the Zobrist-canonicalized IR plus
+/// a fingerprint of every compiler option that can change the structure
+/// output (lookahead, simplification/ordering toggles, routing awareness).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProgramKey {
+    ir: CanonicalIr,
+    fingerprint: u64,
+}
+
+impl ProgramKey {
+    /// Build a key from the canonical IR and an options fingerprint.
+    pub fn new(ir: CanonicalIr, fingerprint: u64) -> Self {
+        ProgramKey { ir, fingerprint }
+    }
+
+    /// The canonical IR this key wraps.
+    pub fn ir(&self) -> &CanonicalIr {
+        &self.ir
+    }
+}
+
+/// A point-in-time snapshot of [`CompileCache`] hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Whole-program artifact lookups that hit.
+    pub program_hits: u64,
+    /// Whole-program artifact lookups that missed.
+    pub program_misses: u64,
+    /// Per-group artifact lookups that hit.
+    pub group_hits: u64,
+    /// Per-group artifact lookups that missed.
+    pub group_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of whole-program lookups that hit (0.0 when none occurred).
+    pub fn program_hit_rate(&self) -> f64 {
+        let total = self.program_hits + self.program_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.program_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of per-group lookups that hit (0.0 when none occurred).
+    pub fn group_hit_rate(&self) -> f64 {
+        let total = self.group_hits + self.group_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.group_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent, content-addressed cache of structure-phase results.
+///
+/// Shared across threads behind an `Arc`; lookups take a read lock, inserts
+/// a write lock, and hit/miss counters are lock-free atomics.
+///
+/// ```
+/// use phoenix_cache::CompileCache;
+/// use std::sync::Arc;
+///
+/// let cache = Arc::new(CompileCache::new());
+/// assert_eq!(cache.stats().program_hits, 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    programs: RwLock<HashMap<ProgramKey, Arc<StructureArtifact>>>,
+    groups: RwLock<HashMap<CanonicalIr, Arc<GroupArtifact>>>,
+    program_hits: AtomicU64,
+    program_misses: AtomicU64,
+    group_hits: AtomicU64,
+    group_misses: AtomicU64,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// Look up a whole-program artifact, recording a hit or miss.
+    pub fn get_program(&self, key: &ProgramKey) -> Option<Arc<StructureArtifact>> {
+        let programs = self.programs.read().unwrap_or_else(|e| e.into_inner());
+        match programs.get(key) {
+            Some(artifact) => {
+                self.program_hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(artifact))
+            }
+            None => {
+                self.program_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a whole-program artifact. First writer wins on a racing key:
+    /// both racers produced identical artifacts (the pipeline is
+    /// deterministic), so keeping the incumbent preserves sharing.
+    pub fn insert_program(
+        &self,
+        key: ProgramKey,
+        artifact: Arc<StructureArtifact>,
+    ) -> Arc<StructureArtifact> {
+        let mut programs = self.programs.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(programs.entry(key).or_insert(artifact))
+    }
+
+    /// Look up a per-group artifact, recording a hit or miss.
+    pub fn get_group(&self, key: &CanonicalIr) -> Option<Arc<GroupArtifact>> {
+        let groups = self.groups.read().unwrap_or_else(|e| e.into_inner());
+        match groups.get(key) {
+            Some(artifact) => {
+                self.group_hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(artifact))
+            }
+            None => {
+                self.group_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a per-group artifact (first writer wins, as for programs).
+    pub fn insert_group(
+        &self,
+        key: CanonicalIr,
+        artifact: Arc<GroupArtifact>,
+    ) -> Arc<GroupArtifact> {
+        let mut groups = self.groups.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(groups.entry(key).or_insert(artifact))
+    }
+
+    /// Number of cached whole-program artifacts.
+    pub fn num_programs(&self) -> usize {
+        self.programs
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Number of cached per-group artifacts.
+    pub fn num_groups(&self) -> usize {
+        self.groups.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Snapshot the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            program_hits: self.program_hits.load(Ordering::Relaxed),
+            program_misses: self.program_misses.load(Ordering::Relaxed),
+            group_hits: self.group_hits.load(Ordering::Relaxed),
+            group_misses: self.group_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all cached artifacts and reset the counters.
+    pub fn clear(&self) {
+        self.programs
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.groups
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.program_hits.store(0, Ordering::Relaxed);
+        self.program_misses.store(0, Ordering::Relaxed);
+        self.group_hits.store(0, Ordering::Relaxed);
+        self.group_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_roundtrip_is_exact() {
+        for slot in [0usize, 1, 2, 41, 999, 1_000_000] {
+            let coeff = encode_slot(slot);
+            assert_eq!(decode_coeff(coeff), Some((slot, 1)));
+            assert_eq!(decode_coeff(-coeff), Some((slot, -1)));
+            assert_eq!(decode_slot(2.0 * coeff), Some((slot, 1)));
+            assert_eq!(decode_slot(-2.0 * coeff), Some((slot, -1)));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_non_encodings() {
+        assert_eq!(decode_coeff(0.0), None);
+        assert_eq!(decode_coeff(0.5), None);
+        assert_eq!(decode_coeff(1.5), None);
+        assert_eq!(decode_coeff(f64::NAN), None);
+        assert_eq!(decode_coeff(f64::INFINITY), None);
+        assert_eq!(decode_coeff(1e300), None);
+    }
+
+    fn slot_encoded_skeleton() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Rz(0, 2.0 * encode_slot(0)));
+        c.push(Gate::Cnot(0, 1));
+        c.push(Gate::Rx(1, -2.0 * encode_slot(1)));
+        c
+    }
+
+    #[test]
+    fn structure_artifact_binds_angles_into_recorded_positions() {
+        let skeleton = slot_encoded_skeleton();
+        let order = vec![
+            ("ZI".parse::<PauliString>().unwrap(), encode_slot(0)),
+            ("IX".parse::<PauliString>().unwrap(), -encode_slot(1)),
+        ];
+        let art = StructureArtifact::from_slot_encoded(2, 2, 1, skeleton, &order, 0xfeed).unwrap();
+        assert_eq!(art.num_bindings(), 2);
+
+        let bound = art.bind(&[0.125, 0.75]).unwrap();
+        assert_eq!(bound.circuit.gates()[1], Gate::Rz(0, 0.25));
+        assert_eq!(bound.circuit.gates()[3], Gate::Rx(1, -1.5));
+        assert_eq!(bound.term_order[0].1, 0.125);
+        assert_eq!(bound.term_order[1].1, -0.75);
+        assert_eq!(bound.num_groups, 1);
+    }
+
+    #[test]
+    fn bind_validates_the_angle_vector() {
+        let art =
+            StructureArtifact::from_slot_encoded(2, 2, 1, slot_encoded_skeleton(), &[], 0).unwrap();
+        assert_eq!(
+            art.bind(&[0.1]),
+            Err(BindError::AngleCount {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert!(matches!(
+            art.bind(&[0.1, f64::NAN]),
+            Err(BindError::NonFiniteAngle { slot: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn undecodable_skeletons_are_rejected() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0, 0.7));
+        let err = StructureArtifact::from_slot_encoded(1, 1, 1, c, &[], 0).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::UnencodedTheta { gate_index: 0, .. }
+        ));
+
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0, 2.0 * encode_slot(5)));
+        let err = StructureArtifact::from_slot_encoded(1, 2, 1, c, &[], 0).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::SlotOutOfRange {
+                slot: 5,
+                num_slots: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn group_artifact_rebinds_local_slots() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0, 2.0 * encode_slot(0)));
+        c.push(Gate::Rz(1, -2.0 * encode_slot(1)));
+        let terms = vec![
+            "ZI".parse::<PauliString>().unwrap(),
+            "IZ".parse::<PauliString>().unwrap(),
+        ];
+        let order = vec![(terms[0], encode_slot(0)), (terms[1], -encode_slot(1))];
+        let art = GroupArtifact::from_slot_encoded(2, terms, c, &order).unwrap();
+        let (circuit, order) = art.bind(&[0.25, 0.5]).unwrap();
+        assert_eq!(circuit.gates()[0], Gate::Rz(0, 0.5));
+        assert_eq!(circuit.gates()[1], Gate::Rz(1, -1.0));
+        assert_eq!(order[1], ("IZ".parse().unwrap(), -0.5));
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses_per_granularity() {
+        let cache = CompileCache::new();
+        let ir = CanonicalIr::from_terms(2, &[("ZZ".parse().unwrap(), 1.0)]);
+        let key = ProgramKey::new(ir.clone(), 42);
+
+        assert!(cache.get_program(&key).is_none());
+        let art = Arc::new(
+            StructureArtifact::from_slot_encoded(2, 0, 0, Circuit::new(2), &[], ir.digest())
+                .unwrap(),
+        );
+        cache.insert_program(key.clone(), Arc::clone(&art));
+        assert!(cache.get_program(&key).is_some());
+        assert!(cache.get_group(&ir).is_none());
+
+        let stats = cache.stats();
+        assert_eq!(stats.program_hits, 1);
+        assert_eq!(stats.program_misses, 1);
+        assert_eq!(stats.group_misses, 1);
+        assert!((stats.program_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.num_programs(), 1);
+
+        cache.clear();
+        assert_eq!(cache.num_programs(), 0);
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn racing_inserts_keep_the_incumbent() {
+        let cache = CompileCache::new();
+        let ir = CanonicalIr::from_terms(1, &[("Z".parse().unwrap(), 1.0)]);
+        let key = ProgramKey::new(ir, 0);
+        let a = Arc::new(
+            StructureArtifact::from_slot_encoded(1, 0, 0, Circuit::new(1), &[], 1).unwrap(),
+        );
+        let b = Arc::new(
+            StructureArtifact::from_slot_encoded(1, 0, 0, Circuit::new(1), &[], 2).unwrap(),
+        );
+        let first = cache.insert_program(key.clone(), a);
+        let second = cache.insert_program(key, b);
+        assert_eq!(first.digest(), 1);
+        assert_eq!(second.digest(), 1);
+    }
+}

@@ -16,9 +16,10 @@
 
 use std::fmt;
 
+use phoenix_cache::{BindError, DecodeError};
 use phoenix_circuit::qasm::ParseQasmError;
 use phoenix_hamil::HamilError;
-use phoenix_pauli::{BsfError, PauliString, MAX_QUBITS};
+use phoenix_pauli::{BsfError, NonHermitianError, PauliString, MAX_QUBITS};
 use phoenix_router::RouteError;
 use phoenix_topology::CouplingGraph;
 
@@ -83,6 +84,14 @@ pub enum PhoenixError {
     Bsf(BsfError),
     /// Program construction rejected the terms.
     Hamil(HamilError),
+    /// A Hamiltonian had a non-Hermitian term (an imaginary coefficient
+    /// beyond tolerance), so it defines no real Pauli-rotation program.
+    NonHermitian(NonHermitianError),
+    /// A structure-phase skeleton failed to decode into a rebindable
+    /// artifact (an emitted angle was not a recognizable slot encoding).
+    StructureDecode(DecodeError),
+    /// Binding concrete angles into a cached structure artifact failed.
+    Bind(BindError),
 }
 
 impl fmt::Display for PhoenixError {
@@ -120,6 +129,9 @@ impl fmt::Display for PhoenixError {
             PhoenixError::Qasm(e) => write!(f, "{e}"),
             PhoenixError::Bsf(e) => write!(f, "{e}"),
             PhoenixError::Hamil(e) => write!(f, "{e}"),
+            PhoenixError::NonHermitian(e) => write!(f, "{e}"),
+            PhoenixError::StructureDecode(e) => write!(f, "structure decode failed: {e}"),
+            PhoenixError::Bind(e) => write!(f, "angle binding failed: {e}"),
         }
     }
 }
@@ -132,6 +144,9 @@ impl std::error::Error for PhoenixError {
             PhoenixError::Qasm(e) => Some(e),
             PhoenixError::Bsf(e) => Some(e),
             PhoenixError::Hamil(e) => Some(e),
+            PhoenixError::NonHermitian(e) => Some(e),
+            PhoenixError::StructureDecode(e) => Some(e),
+            PhoenixError::Bind(e) => Some(e),
             _ => None,
         }
     }
@@ -164,6 +179,24 @@ impl From<BsfError> for PhoenixError {
 impl From<HamilError> for PhoenixError {
     fn from(e: HamilError) -> Self {
         PhoenixError::Hamil(e)
+    }
+}
+
+impl From<NonHermitianError> for PhoenixError {
+    fn from(e: NonHermitianError) -> Self {
+        PhoenixError::NonHermitian(e)
+    }
+}
+
+impl From<DecodeError> for PhoenixError {
+    fn from(e: DecodeError) -> Self {
+        PhoenixError::StructureDecode(e)
+    }
+}
+
+impl From<BindError> for PhoenixError {
+    fn from(e: BindError) -> Self {
+        PhoenixError::Bind(e)
     }
 }
 

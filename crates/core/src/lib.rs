@@ -48,6 +48,8 @@ pub mod group;
 pub mod observe;
 pub mod order;
 #[deny(clippy::unwrap_used)]
+mod parametric;
+#[deny(clippy::unwrap_used)]
 pub mod pass;
 #[deny(clippy::unwrap_used)]
 pub mod passes;
@@ -65,6 +67,11 @@ pub mod verify;
 // exporters directly; re-export the crate so they need no separate
 // dependency edge.
 pub use phoenix_obs;
+
+// Same for the parametric compilation cache: `CompileRequest::cache` /
+// `.structure()` / `.bind()` trade in its types.
+pub use phoenix_cache;
+pub use phoenix_cache::{BoundProgram, CacheStats, CompileCache, StructureArtifact};
 
 pub use error::{validate_device, validate_program, PhoenixError};
 pub use evaluator::CostEvaluator;

@@ -1,0 +1,283 @@
+//! The structure/angle phase split: parametric compilation orchestration.
+//!
+//! PHOENIX's pipeline factors cleanly into an **angle-independent structure
+//! phase** (grouping, BSF simplification, candidate search, Tetris ordering,
+//! concatenation — everything expensive) and a trivial **angle-binding
+//! phase** (substituting `θ = 2·(±coeff)` into the synthesized skeleton).
+//! This module runs the structure phase with each input coefficient replaced
+//! by its [`encode_slot`] payload, decodes the resulting skeleton into a
+//! rebindable [`StructureArtifact`], and memoizes it in a shared
+//! [`CompileCache`] keyed by the Zobrist digest of the angle-erased
+//! canonical IR plus a fingerprint of the structure-relevant options.
+//!
+//! The slot encoding makes the factoring an *observation*, not a rewrite:
+//! the structure phase runs the unmodified passes. No pass reads coefficient
+//! magnitudes — Clifford conjugation only flips signs, and the cost
+//! functions of Eqs. (6)–(7) are support-based — so every angle the
+//! synthesizer emits is exactly `±2(slot+1)`, decodable because integer
+//! negation and doubling are exact in IEEE-754. Binding performs the same
+//! float operations the cold pipeline would have, so warm and cold outputs
+//! are bit-for-bit identical (enforced by `phoenix-verify`'s parametric
+//! differential checks).
+//!
+//! Circuit-level lowering (peephole, SU(4) rebase, KAK, routing) runs
+//! *after* binding: peephole merges adjacent rotations by adding their
+//! angles, and a sum of two slot payloads is not a slot payload — it would
+//! decode silently to the wrong parameter. Keeping the skeleton at the
+//! logical level makes every cached angle a pristine encoding.
+
+use std::sync::Arc;
+
+use phoenix_cache::{encode_slot, CompileCache, ProgramKey, StructureArtifact};
+use phoenix_obs::metrics::MetricId;
+use phoenix_obs::ObsCollector;
+use phoenix_pauli::{CanonicalIr, PauliString};
+
+use crate::error::{validate_program, PhoenixError};
+use crate::observe::MetricsObserver;
+use crate::pass::{CompileContext, PassManager, PassTrace};
+use crate::passes::{ConcatPass, GroupPass, OrderPass, SimplifySynthPass, TransformPass};
+use crate::pipeline::{hardware_backend, PhoenixOptions};
+use crate::request::Target;
+
+/// SplitMix64-style finalizer used for the options fingerprint.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Fingerprint of every option that can change the *structure* output
+/// (grouping, simplification, ordering). Options that only affect the
+/// post-bind lowering (router knobs, layout trials) or execution strategy
+/// (thread counts — output is thread-count-invariant by construction) are
+/// deliberately excluded, so artifacts are shared across them.
+pub(crate) fn options_fingerprint(options: &PhoenixOptions, routing_aware: bool) -> u64 {
+    let routing_aware = routing_aware || options.routing_aware;
+    let mut h = mix(options.lookahead as u64);
+    h = mix(h ^ (options.enable_simplification as u64));
+    h = mix(h ^ ((options.enable_ordering as u64) << 1));
+    h = mix(h ^ ((routing_aware as u64) << 2));
+    h
+}
+
+/// Whether the split structure/bind path may serve a request with these
+/// options. Pass budgets make outputs time-dependent and verification
+/// carries state across the whole pipeline, so both fall back to the
+/// legacy single-manager path (the cache is simply not consulted).
+pub(crate) fn split_path_allowed(options: &PhoenixOptions) -> bool {
+    options.pass_budget.is_none() && !options.verify
+}
+
+/// The structure-phase pass sequence: the canonical logical passes, minus
+/// the budget/verifier attachments that [`split_path_allowed`] excludes.
+fn structure_manager(options: &PhoenixOptions, routing_aware: bool) -> PassManager {
+    PassManager::new()
+        .with(GroupPass)
+        .with(SimplifySynthPass {
+            simplify: options.enable_simplification,
+            threads: options.stage2_threads,
+            scan_threads: options.stage2_scan_threads,
+            fault_inject_group: None,
+        })
+        .with(OrderPass {
+            lookahead: options.lookahead,
+            routing_aware: routing_aware || options.routing_aware,
+            enabled: options.enable_ordering,
+        })
+        .with(ConcatPass)
+}
+
+/// Runs the structure phase cold: compiles `terms` slot-encoded through the
+/// logical pipeline and decodes the skeleton into a [`StructureArtifact`].
+///
+/// `cache` (when given) is threaded into the context so stage 2 can reuse
+/// per-group artifacts; `obs` instruments the run.
+pub(crate) fn compile_structure(
+    num_qubits: usize,
+    terms: &[(PauliString, f64)],
+    options: &PhoenixOptions,
+    routing_aware: bool,
+    cache: Option<&Arc<CompileCache>>,
+    obs: Option<&Arc<ObsCollector>>,
+) -> Result<(Arc<StructureArtifact>, PassTrace), PhoenixError> {
+    // Validate on the slot-encoded terms: structure compilation is
+    // independent of the request's coefficients, so a program whose angles
+    // are not yet known (or not yet finite) still has a valid structure.
+    let slot_terms: Vec<(PauliString, f64)> = terms
+        .iter()
+        .enumerate()
+        .map(|(i, (p, _))| (*p, encode_slot(i)))
+        .collect();
+    validate_program(num_qubits, &slot_terms)?;
+    let digest = CanonicalIr::from_terms(num_qubits, terms).digest();
+    let mut ctx = CompileContext::new(num_qubits, &slot_terms);
+    ctx.cache = cache.cloned();
+    ctx.obs = obs.cloned();
+    let manager = structure_manager(options, routing_aware);
+    let manager = if obs.is_some() {
+        manager.with_observer(Arc::new(MetricsObserver))
+    } else {
+        manager
+    };
+    let trace = manager.run(&mut ctx)?;
+    let artifact = StructureArtifact::from_slot_encoded(
+        num_qubits,
+        terms.len(),
+        ctx.num_groups,
+        ctx.circuit,
+        &ctx.term_order,
+        digest,
+    )?;
+    Ok((Arc::new(artifact), trace))
+}
+
+/// Obtains the structure artifact for a request: from the program-level
+/// cache when possible, compiling (and inserting) otherwise. Returns the
+/// artifact, whether it was a program-cache hit, and the structure-phase
+/// trace (empty on a hit — those passes never ran).
+pub(crate) fn obtain_structure(
+    num_qubits: usize,
+    terms: &[(PauliString, f64)],
+    options: &PhoenixOptions,
+    routing_aware: bool,
+    cache: Option<&Arc<CompileCache>>,
+    obs: Option<&Arc<ObsCollector>>,
+) -> Result<(Arc<StructureArtifact>, bool, PassTrace), PhoenixError> {
+    let Some(cache) = cache else {
+        let (artifact, trace) =
+            compile_structure(num_qubits, terms, options, routing_aware, None, obs)?;
+        return Ok((artifact, false, trace));
+    };
+    let key = ProgramKey::new(
+        CanonicalIr::from_terms(num_qubits, terms),
+        options_fingerprint(options, routing_aware),
+    );
+    if let Some(artifact) = cache.get_program(&key) {
+        // Guard against a digest collision: the artifact must describe a
+        // program of the same shape. (CanonicalIr::eq compares the full
+        // mask sequence, so colliding keys land in distinct map entries;
+        // this check is defensive.)
+        if artifact.num_qubits() == num_qubits && artifact.num_slots() == terms.len() {
+            if let Some(o) = obs {
+                o.metrics().incr(MetricId::CacheProgramHits);
+            }
+            return Ok((artifact, true, PassTrace::default()));
+        }
+    }
+    if let Some(o) = obs {
+        o.metrics().incr(MetricId::CacheProgramMisses);
+    }
+    let (artifact, trace) =
+        compile_structure(num_qubits, terms, options, routing_aware, Some(cache), obs)?;
+    let artifact = cache.insert_program(key, artifact);
+    Ok((artifact, false, trace))
+}
+
+/// The post-bind lowering sequence for `target`: the circuit-level passes
+/// the legacy single-manager path would have run after concatenation, on
+/// the same options. [`Target::Logical`] lowers with an empty manager.
+pub(crate) fn lowering_manager(target: &Target, options: &PhoenixOptions) -> PassManager {
+    match target {
+        Target::Logical => PassManager::new(),
+        Target::Cnot => PassManager::new().with(TransformPass::peephole()),
+        Target::Su4 => PassManager::new().with(TransformPass::su4_rebase()),
+        Target::CnotViaKak => PassManager::new()
+            .with(TransformPass::su4_rebase())
+            .with(TransformPass::kak_resynthesis())
+            .with(TransformPass::peephole()),
+        Target::Hardware(_) => {
+            PassManager::new().append(hardware_backend(&options.router, options.layout_trials))
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn terms(labels: &[&str]) -> Vec<(PauliString, f64)> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.parse().unwrap(), 0.02 * (i + 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn fingerprint_separates_structure_relevant_options() {
+        let base = PhoenixOptions::default();
+        let mut lk = base.clone();
+        lk.lookahead = 7;
+        let mut nosimp = base.clone();
+        nosimp.enable_simplification = false;
+        let mut threads = base.clone();
+        threads.stage2_threads = 8;
+        assert_ne!(
+            options_fingerprint(&base, false),
+            options_fingerprint(&lk, false)
+        );
+        assert_ne!(
+            options_fingerprint(&base, false),
+            options_fingerprint(&nosimp, false)
+        );
+        assert_ne!(
+            options_fingerprint(&base, false),
+            options_fingerprint(&base, true)
+        );
+        // Thread counts never change the output, so they share artifacts.
+        assert_eq!(
+            options_fingerprint(&base, false),
+            options_fingerprint(&threads, false)
+        );
+    }
+
+    #[test]
+    fn structure_bind_reproduces_the_legacy_logical_compile() {
+        let t = terms(&["ZYY", "ZZY", "XYY", "XZY", "IZZ", "XIX"]);
+        let opts = PhoenixOptions::default();
+        let (artifact, trace) = compile_structure(3, &t, &opts, false, None, None).unwrap();
+        assert_eq!(trace.passes.len(), 4);
+        let angles: Vec<f64> = t.iter().map(|(_, c)| *c).collect();
+        let bound = artifact.bind(&angles).unwrap();
+        let legacy = crate::CompileRequest::new(3, &t).run().unwrap();
+        assert_eq!(bound.circuit, legacy.circuit);
+        assert_eq!(bound.term_order, legacy.term_order);
+        assert_eq!(bound.num_groups, legacy.num_groups);
+    }
+
+    #[test]
+    fn structure_ignores_the_request_coefficients() {
+        let a = terms(&["ZYY", "ZZY", "XYY"]);
+        let mut b = a.clone();
+        for (_, c) in &mut b {
+            *c *= -3.25;
+        }
+        let opts = PhoenixOptions::default();
+        let (art_a, _) = compile_structure(3, &a, &opts, false, None, None).unwrap();
+        let (art_b, _) = compile_structure(3, &b, &opts, false, None, None).unwrap();
+        assert_eq!(art_a.skeleton(), art_b.skeleton());
+        assert_eq!(art_a.digest(), art_b.digest());
+    }
+
+    #[test]
+    fn obtain_structure_hits_the_program_cache_on_recompile() {
+        let t = terms(&["ZYY", "ZZY", "IZZ", "XIX"]);
+        let opts = PhoenixOptions::default();
+        let cache = Arc::new(CompileCache::new());
+        let (first, hit1, trace1) =
+            obtain_structure(3, &t, &opts, false, Some(&cache), None).unwrap();
+        assert!(!hit1);
+        assert!(!trace1.passes.is_empty());
+        let (second, hit2, trace2) =
+            obtain_structure(3, &t, &opts, false, Some(&cache), None).unwrap();
+        assert!(hit2);
+        assert!(trace2.passes.is_empty());
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!(stats.program_hits, 1);
+        assert_eq!(stats.program_misses, 1);
+    }
+}

@@ -101,6 +101,12 @@ pub struct CompileContext {
     /// router attempts, ...). The manager drains them into that pass's span
     /// after it finishes.
     pub spans: Vec<Span>,
+    /// Shared parametric compilation cache. When set, stage 2 compiles each
+    /// group slot-encoded, caches the angle-independent skeleton keyed by
+    /// the group's canonical IR, and binds the real coefficients — reusing
+    /// the skeleton on the next compile of a structurally identical group.
+    /// `None` keeps the legacy uncached path, bit-for-bit.
+    pub cache: Option<Arc<phoenix_cache::CompileCache>>,
 }
 
 impl CompileContext {
@@ -125,6 +131,7 @@ impl CompileContext {
             deadline: None,
             obs: None,
             spans: Vec::new(),
+            cache: None,
         }
     }
 

@@ -18,15 +18,17 @@
 //! bit-identical for any thread count.
 
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
+use phoenix_cache::{encode_slot, CompileCache, GroupArtifact};
 use phoenix_circuit::transform::{
     CircuitTransform, CnotLower, KakResynthesis, Peephole, Su4Rebase,
 };
 use phoenix_circuit::Circuit;
 use phoenix_obs::metrics::{GaugeId, HistogramId, MetricId};
 use phoenix_obs::{ObsCollector, Span};
-use phoenix_pauli::PauliString;
+use phoenix_pauli::{CanonicalIr, PauliString};
 use phoenix_router::{route_with_attempt_log, RouterOptions};
 
 use crate::group::{group_by_support, IrGroup};
@@ -103,13 +105,12 @@ impl Default for SimplifySynthPass {
 /// when not `None`).
 type GroupOutcome = Option<&'static str>;
 
+/// One group's compiled output: circuit + implemented term sequence.
+type CompiledGroup = (Circuit, Vec<(PauliString, f64)>);
+
 /// One group's compiled output (circuit + implemented term sequence), its
 /// outcome class, and its span (`Some` only when instrumented).
-type GroupResult = (
-    (Circuit, Vec<(PauliString, f64)>),
-    GroupOutcome,
-    Option<Span>,
-);
+type GroupResult = (CompiledGroup, GroupOutcome, Option<Span>);
 
 impl SimplifySynthPass {
     /// Compiles one group with the failure modes contained: a panic inside
@@ -121,6 +122,108 @@ impl SimplifySynthPass {
     /// When `obs` is set, also returns the group's span (cat `group`, with
     /// `candidate-scan`/`synthesize` children on the optimized path). Only
     /// the timings depend on the run; names and args are deterministic.
+    /// Runs Algorithm 1 + synthesis on `terms` with the panic contained.
+    /// Returns `None` when the optimization panicked (including the forced
+    /// fault-injection panic when `fault` is set).
+    fn optimized(
+        &self,
+        n: usize,
+        terms: &[(PauliString, f64)],
+        opts: &SimplifyOptions,
+        obs: Option<&ObsCollector>,
+        fault: bool,
+    ) -> Option<(CompiledGroup, Vec<Span>)> {
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            if fault {
+                panic!("fault injection: forced panic");
+            }
+            let scan_start = obs.map(|o| o.now_us());
+            let s = simplify_terms_with(n, terms, opts);
+            let synth_start = obs.map(|o| o.now_us());
+            let circuit = synthesize_group(&s);
+            let children = obs.map_or_else(Vec::new, |o| {
+                let mut scan = Span::new("candidate-scan", "stage2");
+                scan.start_us = scan_start.unwrap_or(0);
+                scan.dur_us = synth_start.unwrap_or(0).saturating_sub(scan.start_us);
+                let mut synth = Span::new("synthesize", "stage2");
+                synth.start_us = synth_start.unwrap_or(0);
+                synth.dur_us = o.now_us().saturating_sub(synth.start_us);
+                vec![scan, synth]
+            });
+            ((circuit, s.term_sequence()), children)
+        }))
+        .ok()
+    }
+
+    /// The cache-aware optimized path: look the group up by its canonical
+    /// IR; on a hit bind the real coefficients into the cached skeleton, on
+    /// a miss compile the group *slot-encoded*, cache the decoded artifact,
+    /// and bind. Both directions perform the exact float operations of the
+    /// uncached path (sign folding is negation, which is exact), so the
+    /// output is bit-for-bit identical. Returns `None` on a contained
+    /// panic, exactly like [`SimplifySynthPass::optimized`].
+    fn compile_group_via_cache(
+        &self,
+        n: usize,
+        group: &IrGroup,
+        opts: &SimplifyOptions,
+        obs: Option<&ObsCollector>,
+        cache: &CompileCache,
+    ) -> Option<(CompiledGroup, Vec<Span>, bool)> {
+        let key = CanonicalIr::from_terms(n, group.terms());
+        let coeffs: Vec<f64> = group.terms().iter().map(|(_, c)| *c).collect();
+        if let Some(art) = cache.get_group(&key) {
+            let matches = art.num_qubits() == n
+                && art.terms().len() == group.terms().len()
+                && art
+                    .terms()
+                    .iter()
+                    .zip(group.terms())
+                    .all(|(a, (b, _))| a == b);
+            if matches {
+                if let Ok(bound) = art.bind(&coeffs) {
+                    if let Some(o) = obs {
+                        o.metrics().incr(MetricId::CacheGroupHits);
+                    }
+                    return Some((bound, Vec::new(), true));
+                }
+            }
+            // Digest collision or artifact mismatch: recompile below with
+            // the real coefficients and leave the incumbent entry alone.
+            let (result, children) = self.optimized(n, group.terms(), opts, obs, false)?;
+            return Some((result, children, false));
+        }
+        if let Some(o) = obs {
+            o.metrics().incr(MetricId::CacheGroupMisses);
+        }
+        let slot_terms: Vec<(PauliString, f64)> = group
+            .terms()
+            .iter()
+            .enumerate()
+            .map(|(i, (p, _))| (*p, encode_slot(i)))
+            .collect();
+        let ((skeleton, slot_order), children) =
+            self.optimized(n, &slot_terms, opts, obs, false)?;
+        let strings: Vec<PauliString> = group.terms().iter().map(|(p, _)| *p).collect();
+        let art = match GroupArtifact::from_slot_encoded(n, strings, skeleton, &slot_order) {
+            Ok(art) => cache.insert_group(key, Arc::new(art)),
+            // The skeleton is not rebindable (defensive: slot encoding
+            // makes this unreachable) — compile uncached instead.
+            Err(_) => {
+                let (result, children) = self.optimized(n, group.terms(), opts, obs, false)?;
+                return Some((result, children, false));
+            }
+        };
+        match art.bind(&coeffs) {
+            Ok(bound) => Some((bound, children, false)),
+            Err(_) => {
+                let (result, children) = self.optimized(n, group.terms(), opts, obs, false)?;
+                Some((result, children, false))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn compile_group(
         &self,
         n: usize,
@@ -129,6 +232,7 @@ impl SimplifySynthPass {
         opts: &SimplifyOptions,
         deadline: Option<Instant>,
         obs: Option<&ObsCollector>,
+        cache: Option<&CompileCache>,
     ) -> GroupResult {
         let start_us = obs.map(|o| o.now_us());
         let naive = || {
@@ -138,33 +242,23 @@ impl SimplifySynthPass {
             )
         };
         let fault = self.fault_inject_group;
-        let (result, outcome, children) = if !self.simplify {
-            (naive(), None, Vec::new())
+        // Caching composes only with the clean optimized path: fault
+        // injection and pass budgets must never leak artifacts into (or be
+        // masked by) the shared cache.
+        let usable_cache = cache.filter(|_| fault.is_none() && deadline.is_none());
+        let (result, outcome, children, cached) = if !self.simplify {
+            (naive(), None, Vec::new(), None)
         } else if deadline.is_some_and(|d| Instant::now() >= d) {
-            (naive(), Some(EVENT_TRUNCATED), Vec::new())
+            (naive(), Some(EVENT_TRUNCATED), Vec::new(), None)
+        } else if let Some(cache) = usable_cache {
+            match self.compile_group_via_cache(n, group, opts, obs, cache) {
+                Some((result, children, hit)) => (result, None, children, Some(hit)),
+                None => (naive(), Some(EVENT_DEGRADED), Vec::new(), None),
+            }
         } else {
-            let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
-                if fault == Some(index) {
-                    panic!("fault injection: forced panic in group {index}");
-                }
-                let scan_start = obs.map(|o| o.now_us());
-                let s = simplify_terms_with(n, group.terms(), opts);
-                let synth_start = obs.map(|o| o.now_us());
-                let circuit = synthesize_group(&s);
-                let children = obs.map_or_else(Vec::new, |o| {
-                    let mut scan = Span::new("candidate-scan", "stage2");
-                    scan.start_us = scan_start.unwrap_or(0);
-                    scan.dur_us = synth_start.unwrap_or(0).saturating_sub(scan.start_us);
-                    let mut synth = Span::new("synthesize", "stage2");
-                    synth.start_us = synth_start.unwrap_or(0);
-                    synth.dur_us = o.now_us().saturating_sub(synth.start_us);
-                    vec![scan, synth]
-                });
-                ((circuit, s.term_sequence()), children)
-            }));
-            match attempt {
-                Ok((result, children)) => (result, None, children),
-                Err(_) => (naive(), Some(EVENT_DEGRADED), Vec::new()),
+            match self.optimized(n, group.terms(), opts, obs, fault == Some(index)) {
+                Some((result, children)) => (result, None, children, None),
+                None => (naive(), Some(EVENT_DEGRADED), Vec::new(), None),
             }
         };
         let span = obs.map(|o| {
@@ -177,6 +271,9 @@ impl SimplifySynthPass {
                 .arg("cnots_saved", naive_cnot.saturating_sub(cnot));
             if let Some(kind) = outcome {
                 s = s.arg("outcome", kind);
+            }
+            if let Some(hit) = cached {
+                s = s.arg("cache", if hit { "hit" } else { "miss" });
             }
             s.start_us = start_us.unwrap_or(0);
             s.dur_us = o.now_us().saturating_sub(s.start_us);
@@ -200,6 +297,8 @@ impl Pass for SimplifySynthPass {
         let n = ctx.num_qubits;
         let obs_arc = ctx.obs.clone();
         let obs = obs_arc.as_deref();
+        let cache_arc = ctx.cache.clone();
+        let cache = cache_arc.as_deref();
         let groups = &ctx.groups;
         let deadline = ctx.deadline;
         let opts = SimplifyOptions {
@@ -219,7 +318,7 @@ impl Pass for SimplifySynthPass {
             groups
                 .iter()
                 .enumerate()
-                .map(|(i, g)| self.compile_group(n, i, g, &opts, deadline, obs))
+                .map(|(i, g)| self.compile_group(n, i, g, &opts, deadline, obs, cache))
                 .collect()
         } else {
             let mut slots: Vec<Option<GroupResult>> = vec![None; groups.len()];
@@ -233,7 +332,7 @@ impl Pass for SimplifySynthPass {
                     scope.spawn(move || {
                         for (j, (g, slot)) in gs.iter().zip(out.iter_mut()).enumerate() {
                             let i = c * chunk + j;
-                            *slot = Some(self.compile_group(n, i, g, &opts, deadline, obs));
+                            *slot = Some(self.compile_group(n, i, g, &opts, deadline, obs, cache));
                         }
                     });
                 }

@@ -32,14 +32,16 @@
 
 use std::sync::Arc;
 
+use phoenix_cache::{CompileCache, StructureArtifact};
 use phoenix_circuit::Circuit;
 use phoenix_obs::report::ObsEvent;
-use phoenix_obs::{metrics, ObsCollector, ObsReport};
+use phoenix_obs::{metrics, ObsCollector, ObsReport, Span};
 use phoenix_pauli::PauliString;
 use phoenix_topology::CouplingGraph;
 
 use crate::error::{validate_device, validate_program, PhoenixError};
 use crate::observe::MetricsObserver;
+use crate::parametric;
 use crate::pass::{CompileContext, PassTrace};
 use crate::passes::TransformPass;
 use crate::pipeline::{
@@ -80,6 +82,7 @@ pub struct CompileRequest {
     options: PhoenixOptions,
     trace: bool,
     obs: bool,
+    cache: Option<Arc<CompileCache>>,
 }
 
 impl CompileRequest {
@@ -94,6 +97,7 @@ impl CompileRequest {
             options: PhoenixOptions::default(),
             trace: false,
             obs: false,
+            cache: None,
         }
     }
 
@@ -126,6 +130,58 @@ impl CompileRequest {
         self
     }
 
+    /// Attaches a shared parametric compilation cache (builder style).
+    ///
+    /// With a cache attached, [`CompileRequest::run`] splits into a
+    /// structure phase (memoized in the cache, keyed by the Zobrist digest
+    /// of the angle-erased canonical IR) and an angle-binding phase, and
+    /// stage 2 additionally reuses per-group artifacts. Outputs are
+    /// bit-for-bit identical to the uncached path. Requests carrying a pass
+    /// budget or verification fall back to the legacy path — time-boxed or
+    /// verifier-audited runs must not be served from (or leak into) a
+    /// cache.
+    pub fn cache(mut self, cache: &Arc<CompileCache>) -> Self {
+        self.cache = Some(Arc::clone(cache));
+        self
+    }
+
+    /// Runs only the structure phase: grouping, simplification, ordering
+    /// and synthesis on the angle-erased program, returning the rebindable
+    /// [`StructureArtifact`]. Served from the attached cache when possible.
+    /// The request's coefficients are ignored — only the Pauli strings
+    /// (and their order) matter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`PhoenixError`] on invalid input or a failing pass.
+    pub fn structure(self) -> Result<Arc<StructureArtifact>, PhoenixError> {
+        let routing_aware = matches!(self.target, Target::Hardware(_));
+        let (artifact, _, _) = parametric::obtain_structure(
+            self.num_qubits,
+            &self.terms,
+            &self.options,
+            routing_aware,
+            self.cache.as_ref(),
+            None,
+        )?;
+        Ok(artifact)
+    }
+
+    /// Compiles with `angles` substituted for the request's coefficients:
+    /// obtains the structure artifact (from the cache when possible), binds
+    /// the angles into the skeleton, and lowers to the requested target.
+    /// This is the VQE-sweep entry point — on a warm cache, everything but
+    /// the substitution and target lowering is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`PhoenixError`] on invalid input, an angle vector
+    /// whose length differs from the term count, or a non-finite angle.
+    pub fn bind(self, angles: &[f64]) -> Result<CompileOutcome, PhoenixError> {
+        let angles = angles.to_vec();
+        self.run_split(Some(angles))
+    }
+
     /// Executes the request.
     ///
     /// # Errors
@@ -134,6 +190,9 @@ impl CompileRequest {
     /// device, a failing pass, or a rejected verification boundary — never
     /// panics on bad input.
     pub fn run(self) -> Result<CompileOutcome, PhoenixError> {
+        if self.cache.is_some() && parametric::split_path_allowed(&self.options) {
+            return self.run_split(None);
+        }
         validate_program(self.num_qubits, &self.terms)?;
         let compiler = PhoenixCompiler::new(self.options.clone());
         let mut ctx = match &self.target {
@@ -180,6 +239,100 @@ impl CompileRequest {
             manager
         };
         let trace = manager.run(&mut ctx)?;
+        let obs = collector.map(|c| {
+            c.finish(
+                trace
+                    .events
+                    .iter()
+                    .map(|e| ObsEvent {
+                        pass: e.pass.clone(),
+                        kind: e.kind.clone(),
+                        detail: e.detail.clone(),
+                    })
+                    .collect(),
+            )
+        });
+        let num_groups = ctx.num_groups;
+        let term_order = std::mem::take(&mut ctx.term_order);
+        let (circuit, hardware) = match &self.target {
+            Target::Hardware(_) => {
+                let hw = extract_hardware_program(ctx)?;
+                (hw.circuit.clone(), Some(hw))
+            }
+            _ => (ctx.circuit, None),
+        };
+        Ok(CompileOutcome {
+            circuit,
+            num_groups,
+            term_order,
+            hardware,
+            trace: if self.trace { Some(trace) } else { None },
+            obs,
+        })
+    }
+
+    /// The split structure/bind execution path: obtain the structure
+    /// artifact (cache-aware), bind the angles (`explicit_angles`, or the
+    /// request's own coefficients), then run the target's circuit-level
+    /// lowering on the bound circuit. The retained trace honestly reflects
+    /// what ran: on a program-cache hit it contains only the lowering
+    /// passes.
+    fn run_split(self, explicit_angles: Option<Vec<f64>>) -> Result<CompileOutcome, PhoenixError> {
+        if explicit_angles.is_none() {
+            // Binding the request's own coefficients: enforce the same
+            // up-front validation as the legacy path (a NaN coefficient is
+            // rejected before any pass runs).
+            validate_program(self.num_qubits, &self.terms)?;
+        }
+        if let Target::Hardware(device) = &self.target {
+            validate_device(self.num_qubits, device)?;
+        }
+        let collector = if self.obs {
+            metrics::set_enabled(true);
+            Some(Arc::new(ObsCollector::new()))
+        } else {
+            None
+        };
+        let routing_aware = matches!(self.target, Target::Hardware(_));
+        let (artifact, _hit, mut trace) = parametric::obtain_structure(
+            self.num_qubits,
+            &self.terms,
+            &self.options,
+            routing_aware,
+            self.cache.as_ref(),
+            collector.as_ref(),
+        )?;
+        let angles: Vec<f64> = match explicit_angles {
+            Some(a) => a,
+            None => self.terms.iter().map(|(_, c)| *c).collect(),
+        };
+        let bind_start = collector.as_ref().map(|c| c.now_us());
+        let bound = artifact.bind(&angles)?;
+        if let Some(c) = &collector {
+            let mut span = Span::new("bind", "bind");
+            span.start_us = bind_start.unwrap_or(0);
+            span.dur_us = c.now_us().saturating_sub(span.start_us);
+            c.push_root(span);
+        }
+        let mut ctx = match &self.target {
+            Target::Hardware(device) => {
+                CompileContext::for_device(self.num_qubits, &self.terms, device)
+            }
+            _ => CompileContext::new(self.num_qubits, &self.terms),
+        };
+        ctx.circuit = bound.circuit;
+        ctx.term_order = bound.term_order;
+        ctx.num_groups = bound.num_groups;
+        ctx.obs = collector.clone();
+        let manager = parametric::lowering_manager(&self.target, &self.options);
+        let manager = if self.obs {
+            manager.with_observer(Arc::new(MetricsObserver))
+        } else {
+            manager
+        };
+        let lower_trace = manager.run(&mut ctx)?;
+        trace.passes.extend(lower_trace.passes);
+        trace.events.extend(lower_trace.events);
         let obs = collector.map(|c| {
             c.finish(
                 trace

@@ -26,7 +26,9 @@
 
 use crate::cost::cost_bsf;
 use crate::evaluator::CostEvaluator;
-use phoenix_pauli::{Bsf, BsfRow, Clifford2Q, PauliString, CLIFFORD2Q_GENERATORS};
+use phoenix_pauli::{
+    fold_conjugation_sign, Bsf, BsfRow, Clifford2Q, PauliString, CLIFFORD2Q_GENERATORS,
+};
 use std::sync::OnceLock;
 
 /// One element of a simplified group's configuration sequence.
@@ -101,9 +103,7 @@ impl SimplifiedGroup {
                         for c in cliffords.iter().rev() {
                             let (q, sign) = c.conjugate_string(&p);
                             p = q;
-                            if sign < 0 {
-                                coeff = -coeff;
-                            }
+                            coeff = fold_conjugation_sign(coeff, sign);
                         }
                         out.push((p, coeff));
                     }

@@ -1,0 +1,242 @@
+//! Split-path (structure/bind + cache) equivalence and gating tests.
+//!
+//! The contract under test: attaching a [`CompileCache`] never changes a
+//! compilation's output — cold (cache miss), warm (cache hit), and legacy
+//! (no cache) runs are bit-for-bit identical — and caching silently
+//! disengages for requests it must not serve (pass budgets, verification).
+
+use std::sync::Arc;
+
+use phoenix_core::{CompileCache, CompileRequest, PhoenixError, PhoenixOptions, Target};
+use phoenix_pauli::PauliString;
+use phoenix_topology::CouplingGraph;
+
+fn terms(labels: &[&str]) -> Vec<(PauliString, f64)> {
+    labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.parse().unwrap(), 0.013 * (i + 1) as f64))
+        .collect()
+}
+
+const PROGRAM: &[&str] = &["ZYY", "ZZY", "XYY", "XZY", "IZZ", "XIX", "ZZI", "YIY"];
+
+#[test]
+fn cached_run_matches_legacy_bit_for_bit_across_targets() {
+    let t = terms(PROGRAM);
+    let dev = CouplingGraph::line(3);
+    let targets = [
+        Target::Logical,
+        Target::Cnot,
+        Target::Su4,
+        Target::CnotViaKak,
+        Target::Hardware(dev),
+    ];
+    for target in targets {
+        let legacy = CompileRequest::new(3, &t)
+            .target(target.clone())
+            .run()
+            .unwrap();
+        let cache = Arc::new(CompileCache::new());
+        let cold = CompileRequest::new(3, &t)
+            .target(target.clone())
+            .cache(&cache)
+            .run()
+            .unwrap();
+        let warm = CompileRequest::new(3, &t)
+            .target(target.clone())
+            .cache(&cache)
+            .run()
+            .unwrap();
+        for (name, out) in [("cold", &cold), ("warm", &warm)] {
+            assert_eq!(out.circuit, legacy.circuit, "{name} circuit @ {target:?}");
+            assert_eq!(
+                out.term_order, legacy.term_order,
+                "{name} order @ {target:?}"
+            );
+            assert_eq!(
+                out.num_groups, legacy.num_groups,
+                "{name} groups @ {target:?}"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.program_misses, 1, "@ {target:?}");
+        assert_eq!(stats.program_hits, 1, "@ {target:?}");
+    }
+}
+
+#[test]
+fn rebinding_new_angles_matches_a_fresh_compile() {
+    let strings: Vec<&str> = PROGRAM.to_vec();
+    let cache = Arc::new(CompileCache::new());
+    for sweep_point in 0..12 {
+        let t: Vec<(PauliString, f64)> = strings
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let angle = ((sweep_point * 7 + i * 3) as f64).sin() * 0.4;
+                (l.parse().unwrap(), angle)
+            })
+            .collect();
+        let warm = CompileRequest::new(3, &t).cache(&cache).run().unwrap();
+        let fresh = CompileRequest::new(3, &t).run().unwrap();
+        assert_eq!(warm.circuit, fresh.circuit, "sweep point {sweep_point}");
+        assert_eq!(
+            warm.term_order, fresh.term_order,
+            "sweep point {sweep_point}"
+        );
+    }
+    // One structure compile served the whole sweep: angles differ between
+    // points but the angle-erased canonical IR (and so the key) does not.
+    let stats = cache.stats();
+    assert_eq!(stats.program_misses, 1);
+    assert_eq!(stats.program_hits, 11);
+}
+
+#[test]
+fn bind_substitutes_explicit_angles() {
+    let t = terms(PROGRAM);
+    let cache = Arc::new(CompileCache::new());
+    let angles: Vec<f64> = (0..t.len()).map(|i| 0.05 * (i as f64 + 1.0)).collect();
+    let bound = CompileRequest::new(3, &t)
+        .cache(&cache)
+        .bind(&angles)
+        .unwrap();
+    // Equivalent to compiling a program that had these coefficients.
+    let explicit: Vec<(PauliString, f64)> =
+        t.iter().zip(&angles).map(|((p, _), a)| (*p, *a)).collect();
+    let fresh = CompileRequest::new(3, &explicit).run().unwrap();
+    assert_eq!(bound.circuit, fresh.circuit);
+    assert_eq!(bound.term_order, fresh.term_order);
+}
+
+#[test]
+fn bind_rejects_malformed_angle_vectors() {
+    let t = terms(PROGRAM);
+    let cache = Arc::new(CompileCache::new());
+    let err = CompileRequest::new(3, &t)
+        .cache(&cache)
+        .bind(&[0.1])
+        .unwrap_err();
+    assert!(matches!(err, PhoenixError::Bind(_)), "{err}");
+    let bad: Vec<f64> = (0..t.len()).map(|_| f64::NAN).collect();
+    let err = CompileRequest::new(3, &t)
+        .cache(&cache)
+        .bind(&bad)
+        .unwrap_err();
+    assert!(matches!(err, PhoenixError::Bind(_)), "{err}");
+}
+
+#[test]
+fn structure_artifact_is_reusable_directly() {
+    let t = terms(PROGRAM);
+    let cache = Arc::new(CompileCache::new());
+    let art = CompileRequest::new(3, &t)
+        .cache(&cache)
+        .structure()
+        .unwrap();
+    assert_eq!(art.num_slots(), t.len());
+    let angles: Vec<f64> = t.iter().map(|(_, c)| *c).collect();
+    let bound = art.bind(&angles).unwrap();
+    let legacy = CompileRequest::new(3, &t).run().unwrap();
+    assert_eq!(bound.circuit, legacy.circuit);
+    assert_eq!(bound.term_order, legacy.term_order);
+    // The artifact landed in the program cache, so a subsequent run() hits.
+    let _ = CompileRequest::new(3, &t).cache(&cache).run().unwrap();
+    assert_eq!(cache.stats().program_hits, 1);
+}
+
+#[test]
+fn budget_and_verify_requests_bypass_the_cache() {
+    let t = terms(PROGRAM);
+    let cache = Arc::new(CompileCache::new());
+    let budgeted = PhoenixOptions {
+        pass_budget: Some(std::time::Duration::from_secs(3600)),
+        ..PhoenixOptions::default()
+    };
+    let _ = CompileRequest::new(3, &t)
+        .options(budgeted)
+        .cache(&cache)
+        .run()
+        .unwrap();
+    let verified = PhoenixOptions {
+        verify: true,
+        ..PhoenixOptions::default()
+    };
+    let _ = CompileRequest::new(3, &t)
+        .options(verified)
+        .cache(&cache)
+        .run()
+        .unwrap();
+    let stats = cache.stats();
+    assert_eq!(stats.program_hits + stats.program_misses, 0);
+    assert_eq!(stats.group_hits + stats.group_misses, 0);
+    assert_eq!(cache.num_programs(), 0);
+}
+
+#[test]
+fn different_options_key_different_artifacts() {
+    let t = terms(PROGRAM);
+    let cache = Arc::new(CompileCache::new());
+    let _ = CompileRequest::new(3, &t).cache(&cache).run().unwrap();
+    let no_order = PhoenixOptions {
+        enable_ordering: false,
+        ..PhoenixOptions::default()
+    };
+    let out = CompileRequest::new(3, &t)
+        .options(no_order.clone())
+        .cache(&cache)
+        .run()
+        .unwrap();
+    // Second options set missed (different fingerprint) and produced the
+    // same output as its own legacy run.
+    assert_eq!(cache.stats().program_misses, 2);
+    let legacy = CompileRequest::new(3, &t).options(no_order).run().unwrap();
+    assert_eq!(out.circuit, legacy.circuit);
+}
+
+#[test]
+fn group_cache_is_shared_across_programs() {
+    // Two different programs containing the same group: the second program
+    // misses at program level but reuses the group artifact.
+    let a = terms(&["ZYY", "ZZY", "XYY", "XZY"]);
+    let mut b = terms(&["ZYY", "ZZY", "XYY", "XZY"]);
+    b.push(("ZII".parse().unwrap(), 0.2));
+    let cache = Arc::new(CompileCache::new());
+    let _ = CompileRequest::new(3, &a).cache(&cache).run().unwrap();
+    let out_b = CompileRequest::new(3, &b).cache(&cache).run().unwrap();
+    let stats = cache.stats();
+    assert_eq!(stats.program_misses, 2);
+    assert!(stats.group_hits >= 1, "stats: {stats:?}");
+    let legacy_b = CompileRequest::new(3, &b).run().unwrap();
+    assert_eq!(out_b.circuit, legacy_b.circuit);
+    assert_eq!(out_b.term_order, legacy_b.term_order);
+}
+
+#[test]
+fn obs_report_carries_cache_counters_and_bind_span() {
+    let t = terms(PROGRAM);
+    let cache = Arc::new(CompileCache::new());
+    let cold = CompileRequest::new(3, &t)
+        .target(Target::Cnot)
+        .cache(&cache)
+        .obs(true)
+        .run()
+        .unwrap();
+    let report = cold.obs.unwrap();
+    assert_eq!(report.metrics.counter("cache_program_misses"), Some(1));
+    assert!(report.root.find("bind").is_some());
+    let warm = CompileRequest::new(3, &t)
+        .target(Target::Cnot)
+        .cache(&cache)
+        .obs(true)
+        .trace(true)
+        .run()
+        .unwrap();
+    let report = warm.obs.unwrap();
+    assert_eq!(report.metrics.counter("cache_program_hits"), Some(1));
+    // On a hit the trace honestly shows only what ran: the lowering.
+    let trace = warm.trace.unwrap();
+    let names: Vec<&str> = trace.passes.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(names, ["peephole"]);
+}

@@ -63,11 +63,19 @@ pub enum MetricId {
     /// Bridge gates emitted by the router, process-wide (global registry
     /// only).
     SabreBridgesTotal,
+    /// Whole-program structure-artifact cache lookups that hit.
+    CacheProgramHits,
+    /// Whole-program structure-artifact cache lookups that missed.
+    CacheProgramMisses,
+    /// Per-group synthesis cache lookups that hit.
+    CacheGroupHits,
+    /// Per-group synthesis cache lookups that missed.
+    CacheGroupMisses,
 }
 
 /// All counters, in discriminant order. Kept in sync with [`MetricId`] by
 /// the `catalog_is_complete` test.
-pub const COUNTERS: [MetricId; 15] = [
+pub const COUNTERS: [MetricId; 19] = [
     MetricId::GroupsCompiled,
     MetricId::TermsCompiled,
     MetricId::CnotsSavedStage2,
@@ -83,6 +91,10 @@ pub const COUNTERS: [MetricId; 15] = [
     MetricId::SimGateOps,
     MetricId::SabreSwapsTotal,
     MetricId::SabreBridgesTotal,
+    MetricId::CacheProgramHits,
+    MetricId::CacheProgramMisses,
+    MetricId::CacheGroupHits,
+    MetricId::CacheGroupMisses,
 ];
 
 impl MetricId {
@@ -104,6 +116,10 @@ impl MetricId {
             MetricId::SimGateOps => "sim_gate_ops",
             MetricId::SabreSwapsTotal => "sabre_swaps_total",
             MetricId::SabreBridgesTotal => "sabre_bridges_total",
+            MetricId::CacheProgramHits => "cache_program_hits",
+            MetricId::CacheProgramMisses => "cache_program_misses",
+            MetricId::CacheGroupHits => "cache_group_hits",
+            MetricId::CacheGroupMisses => "cache_group_misses",
         }
     }
 }

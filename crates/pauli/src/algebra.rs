@@ -201,22 +201,63 @@ impl PauliPolynomial {
     ///
     /// # Panics
     ///
-    /// Panics if any coefficient has imaginary part exceeding `tol`.
+    /// Panics if any coefficient has imaginary part exceeding `tol` — use
+    /// [`PauliPolynomial::try_real_terms`] for graceful rejection through
+    /// the typed error boundary.
     pub fn real_terms(&self, tol: f64) -> Vec<(PauliString, f64)> {
+        self.try_real_terms(tol).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PauliPolynomial::real_terms`]: returns a
+    /// [`NonHermitianError`] naming the offending term instead of
+    /// panicking, so callers behind `phoenix-core`'s typed error boundary
+    /// can surface malformed operators as `PhoenixError`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonHermitianError`] for the first term whose coefficient
+    /// has imaginary part exceeding `tol`.
+    pub fn try_real_terms(&self, tol: f64) -> Result<Vec<(PauliString, f64)>, NonHermitianError> {
         self.iter()
             .filter(|t| !t.string.is_identity())
             .map(|t| {
-                assert!(
-                    t.coeff.im.abs() <= tol,
-                    "non-hermitian term {} with coeff {}",
-                    t.string,
-                    t.coeff
-                );
-                (t.string, t.coeff.re)
+                if t.coeff.im.abs() > tol {
+                    Err(NonHermitianError {
+                        term: t.string.label(),
+                        coeff: t.coeff,
+                        tol,
+                    })
+                } else {
+                    Ok((t.string, t.coeff.re))
+                }
             })
             .collect()
     }
 }
+
+/// A polynomial handed to the compiler was not Hermitian within tolerance:
+/// some term's coefficient kept a significant imaginary part.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonHermitianError {
+    /// Label of the offending Pauli string.
+    pub term: String,
+    /// Its complex coefficient.
+    pub coeff: Complex,
+    /// The tolerance the imaginary part exceeded.
+    pub tol: f64,
+}
+
+impl fmt::Display for NonHermitianError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-hermitian term {} with coeff {} (|Im| > {:e})",
+            self.term, self.coeff, self.tol
+        )
+    }
+}
+
+impl std::error::Error for NonHermitianError {}
 
 impl fmt::Display for PauliPolynomial {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -317,6 +358,18 @@ mod tests {
     fn real_terms_rejects_imaginary() {
         let p = PauliPolynomial::term(1, ps("X"), Complex::I);
         let _ = p.real_terms(1e-12);
+    }
+
+    #[test]
+    fn try_real_terms_returns_a_typed_error() {
+        let p = PauliPolynomial::term(1, ps("X"), Complex::I);
+        let err = p.try_real_terms(1e-12).unwrap_err();
+        assert_eq!(err.term, "X");
+        assert!(err.to_string().contains("non-hermitian term X"));
+
+        let mut ok = PauliPolynomial::zero(2);
+        ok.add_term(ps("ZZ"), Complex::from_re(0.5));
+        assert_eq!(ok.try_real_terms(1e-12).unwrap(), vec![(ps("ZZ"), 0.5)]);
     }
 
     #[test]

@@ -4,6 +4,23 @@ use crate::string::mask_below;
 use crate::{Clifford2Q, PauliString};
 use std::fmt;
 
+/// Folds a Clifford-conjugation sign flip into a rotation coefficient.
+///
+/// This is the *single* sign convention of the workspace: tableau
+/// conjugation ([`Bsf::apply_clifford2q`]), synthesis-time term sequencing
+/// (`SimplifiedGroup::term_sequence` in `phoenix-core`), and parametric
+/// angle binding (`phoenix-cache`) all apply signs through this function,
+/// so a skeleton bound with concrete angles reproduces a cold compile
+/// bit-for-bit (f64 negation is exact).
+#[inline]
+pub fn fold_conjugation_sign(coeff: f64, sign: i8) -> f64 {
+    if sign < 0 {
+        -coeff
+    } else {
+        coeff
+    }
+}
+
 /// One row of a [`Bsf`]: a Pauli string (as `[X | Z]` bit masks) together
 /// with its rotation coefficient.
 ///
@@ -257,9 +274,7 @@ impl Bsf {
             row.z = (row.z & !(ba | bb))
                 | if out & 2 != 0 { ba } else { 0 }
                 | if out & 8 != 0 { bb } else { 0 };
-            if sign < 0 {
-                row.coeff = -row.coeff;
-            }
+            row.coeff = fold_conjugation_sign(row.coeff, sign);
         }
     }
 

@@ -1,0 +1,306 @@
+//! Canonical angle-erased IR form and its incremental Zobrist hash.
+//!
+//! The structure phase of parametric compilation (DESIGN.md §2.10) operates
+//! on programs with the rotation angles erased: what remains of each term is
+//! its Pauli-string mask pair `(x, z)`. Two programs with the same mask
+//! sequence over the same register compile to the same skeleton circuit, so
+//! the [`CanonicalIr`] — the ordered mask list plus the register width — is
+//! the content-address of a cached structure artifact.
+//!
+//! Hashing is Zobrist-style: every `(qubit, Pauli)` site has a fixed random
+//! `u64` drawn once from a seeded [`Xoshiro256`], a term hashes to the XOR
+//! of its sites, and a program accumulates the XOR of its term hashes.
+//! XOR composition makes the accumulator *incremental* (inserting or
+//! removing a term is one XOR) and *order-insensitive*, which is exactly
+//! right for the group level: grouping partitions terms by support, so a
+//! program's accumulator equals the XOR of its groups' accumulators. The
+//! final digest additionally mixes the term count and register width so the
+//! empty program on 3 vs 5 qubits, or `{P, P}` vs `{}`, stay distinct.
+//!
+//! Digest equality is *not* trusted: [`CanonicalIr::eq`] compares the full
+//! mask sequence, so a hash collision can only cause a spurious cache miss,
+//! never a wrong hit.
+
+use crate::{PauliString, MAX_QUBITS};
+use phoenix_mathkit::Xoshiro256;
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
+
+/// Seed of the Zobrist tables. Fixed so digests are stable across runs and
+/// processes (cache artifacts could in principle be persisted).
+const ZOBRIST_SEED: u64 = 0x5048_4F45_4E49_5821; // "PHOENIX!"
+
+/// The per-(qubit, Pauli) random tables: `[qubit][X=0, Y=1, Z=2]`.
+fn tables() -> &'static [[u64; 3]; MAX_QUBITS] {
+    static TABLES: OnceLock<[[u64; 3]; MAX_QUBITS]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut rng = Xoshiro256::seed_from_u64(ZOBRIST_SEED);
+        let mut t = [[0u64; 3]; MAX_QUBITS];
+        for row in t.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = rng.next_u64();
+            }
+        }
+        t
+    })
+}
+
+/// SplitMix64-style finalizer: diffuses the XOR accumulator so structured
+/// mask patterns do not produce structured digests.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+/// The Zobrist hash of one term: XOR of the `(qubit, Pauli)` table entries
+/// over the string's support. The identity string hashes to zero.
+pub fn term_hash(p: &PauliString) -> u64 {
+    let t = tables();
+    let mut h = 0u64;
+    let (x, z) = (p.x_mask(), p.z_mask());
+    let mut support = x | z;
+    while support != 0 {
+        let q = support.trailing_zeros() as usize;
+        support &= support - 1;
+        let bit = 1u128 << q;
+        // X=0, Y=1, Z=2 (Y has both bits set).
+        let idx = match (x & bit != 0, z & bit != 0) {
+            (true, false) => 0,
+            (true, true) => 1,
+            (false, true) => 2,
+            (false, false) => unreachable!("bit came from the support mask"),
+        };
+        h ^= t[q][idx];
+    }
+    h
+}
+
+/// An incremental, order-insensitive Zobrist accumulator over a multiset of
+/// terms. Insertion and removal are the same XOR, so maintaining the hash
+/// of an evolving program costs O(weight) per update.
+///
+/// # Examples
+///
+/// ```
+/// use phoenix_pauli::canon::ZobristAcc;
+/// use phoenix_pauli::PauliString;
+///
+/// let a: PauliString = "XZ".parse().unwrap();
+/// let b: PauliString = "YY".parse().unwrap();
+/// let mut fwd = ZobristAcc::new();
+/// fwd.insert(&a);
+/// fwd.insert(&b);
+/// let mut rev = ZobristAcc::new();
+/// rev.insert(&b);
+/// rev.insert(&a);
+/// assert_eq!(fwd.digest(2), rev.digest(2)); // order-insensitive
+/// fwd.remove(&b);
+/// let mut solo = ZobristAcc::new();
+/// solo.insert(&a);
+/// assert_eq!(fwd.digest(2), solo.digest(2)); // XOR-composable
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZobristAcc {
+    acc: u64,
+    count: u64,
+}
+
+impl ZobristAcc {
+    /// The empty accumulator.
+    pub fn new() -> Self {
+        ZobristAcc::default()
+    }
+
+    /// Folds a term in.
+    pub fn insert(&mut self, p: &PauliString) {
+        self.acc ^= term_hash(p);
+        self.count = self.count.wrapping_add(1);
+    }
+
+    /// Folds a term out (the inverse of [`ZobristAcc::insert`]).
+    pub fn remove(&mut self, p: &PauliString) {
+        self.acc ^= term_hash(p);
+        self.count = self.count.wrapping_sub(1);
+    }
+
+    /// XORs another accumulator in — the group-level composition law:
+    /// a program's accumulator equals its groups' accumulators combined.
+    pub fn combine(&mut self, other: &ZobristAcc) {
+        self.acc ^= other.acc;
+        self.count = self.count.wrapping_add(other.count);
+    }
+
+    /// Number of inserted terms.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no terms were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The finalized digest for a program over `n` qubits.
+    pub fn digest(&self, n: usize) -> u64 {
+        mix(self.acc ^ mix(self.count) ^ mix((n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+}
+
+/// The canonical angle-erased form of a program: the ordered `(x, z)` mask
+/// sequence of its terms plus the register width, with a precomputed
+/// Zobrist digest.
+///
+/// `Hash` writes only the digest (cheap bucketing); `Eq` compares the full
+/// mask sequence, so digest collisions degrade to cache misses rather than
+/// wrong hits.
+#[derive(Debug, Clone)]
+pub struct CanonicalIr {
+    n: usize,
+    masks: Vec<(u128, u128)>,
+    digest: u64,
+}
+
+impl CanonicalIr {
+    /// Canonicalizes `terms` over `n` qubits, erasing coefficients.
+    pub fn from_terms(n: usize, terms: &[(PauliString, f64)]) -> Self {
+        let mut acc = ZobristAcc::new();
+        let masks = terms
+            .iter()
+            .map(|(p, _)| {
+                acc.insert(p);
+                (p.x_mask(), p.z_mask())
+            })
+            .collect();
+        CanonicalIr {
+            n,
+            masks,
+            digest: acc.digest(n),
+        }
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of terms (identity terms included).
+    pub fn num_terms(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// The finalized Zobrist digest.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+impl PartialEq for CanonicalIr {
+    fn eq(&self, other: &Self) -> bool {
+        self.digest == other.digest && self.n == other.n && self.masks == other.masks
+    }
+}
+
+impl Eq for CanonicalIr {}
+
+impl Hash for CanonicalIr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.digest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(l: &str) -> PauliString {
+        l.parse().unwrap()
+    }
+
+    fn terms(labels: &[&str]) -> Vec<(PauliString, f64)> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (ps(l), 0.1 * (i + 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn identity_hashes_to_zero() {
+        assert_eq!(term_hash(&PauliString::identity(5)), 0);
+    }
+
+    #[test]
+    fn term_hash_distinguishes_paulis_and_sites() {
+        let h = [
+            term_hash(&ps("XI")),
+            term_hash(&ps("YI")),
+            term_hash(&ps("ZI")),
+            term_hash(&ps("IX")),
+        ];
+        for i in 0..h.len() {
+            for j in i + 1..h.len() {
+                assert_ne!(h[i], h[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn digest_ignores_coefficients() {
+        let a = CanonicalIr::from_terms(2, &[(ps("XZ"), 0.5)]);
+        let b = CanonicalIr::from_terms(2, &[(ps("XZ"), -3.25)]);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_mixes_width_and_count() {
+        let one = CanonicalIr::from_terms(3, &terms(&["XYZ"]));
+        let twice = CanonicalIr::from_terms(3, &terms(&["XYZ", "XYZ"]));
+        assert_ne!(one.digest(), twice.digest());
+        let empty3 = CanonicalIr::from_terms(3, &[]);
+        let empty5 = CanonicalIr::from_terms(5, &[]);
+        assert_ne!(empty3.digest(), empty5.digest());
+    }
+
+    #[test]
+    fn eq_is_order_sensitive_but_digest_is_not() {
+        let ab = CanonicalIr::from_terms(2, &terms(&["XZ", "YY"]));
+        let ba = CanonicalIr::from_terms(2, &terms(&["YY", "XZ"]));
+        assert_eq!(ab.digest(), ba.digest());
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn accumulator_composes_over_a_partition() {
+        let all = ["XZI", "YYI", "IIZ", "IIX"];
+        let mut whole = ZobristAcc::new();
+        for l in all {
+            whole.insert(&ps(l));
+        }
+        let mut left = ZobristAcc::new();
+        left.insert(&ps("XZI"));
+        left.insert(&ps("YYI"));
+        let mut right = ZobristAcc::new();
+        right.insert(&ps("IIZ"));
+        right.insert(&ps("IIX"));
+        let mut combined = left;
+        combined.combine(&right);
+        assert_eq!(combined.digest(3), whole.digest(3));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut acc = ZobristAcc::new();
+        acc.insert(&ps("XY"));
+        let before = acc;
+        acc.insert(&ps("ZZ"));
+        acc.remove(&ps("ZZ"));
+        assert_eq!(acc, before);
+        assert!(!acc.is_empty());
+        assert_eq!(acc.len(), 1);
+    }
+}

@@ -37,12 +37,14 @@
 
 mod algebra;
 mod bsf;
+pub mod canon;
 mod clifford;
 mod pauli;
 mod string;
 
-pub use algebra::{PauliPolynomial, PauliTerm};
-pub use bsf::{nibble_weight, Bsf, BsfError, BsfRow};
+pub use algebra::{NonHermitianError, PauliPolynomial, PauliTerm};
+pub use bsf::{fold_conjugation_sign, nibble_weight, Bsf, BsfError, BsfRow};
+pub use canon::{term_hash, CanonicalIr, ZobristAcc};
 pub use clifford::{Clifford2Q, Clifford2QKind, CLIFFORD2Q_GENERATORS};
 pub use pauli::Pauli;
 pub use string::{ParsePauliStringError, PauliString, MAX_QUBITS};

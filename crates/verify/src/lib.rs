@@ -31,6 +31,7 @@ pub mod differential;
 pub mod engine;
 pub mod gen;
 pub mod metamorphic;
+pub mod parametric;
 #[cfg(feature = "sabotage")]
 pub mod sabotage;
 
@@ -42,3 +43,4 @@ pub use engine::{
 };
 pub use gen::{shrink, Family, Program, RandomProgramGen};
 pub use metamorphic::metamorphic_failures;
+pub use parametric::{parametric_failures, verify_parametric};

@@ -1,0 +1,148 @@
+//! Differential verification of the parametric (structure/bind) cache.
+//!
+//! The cache's contract is stronger than semantic equivalence: a warm
+//! `bind` must reproduce the cold compile **bit for bit** — same gates,
+//! same angles down to the last ulp, same term order. Binding performs the
+//! same float operations the cold pipeline would (sign folding is exact
+//! negation), so any deviation is a bug, not roundoff; these checks
+//! therefore use `==` on circuits, not the engine's tolerance ladder.
+
+use std::sync::Arc;
+
+use phoenix_core::{CompileCache, CompileRequest, Target};
+use phoenix_pauli::PauliString;
+
+use crate::differential::Failure;
+use crate::gen::{Family, Program, RandomProgramGen};
+
+fn fail(failures: &mut Vec<Failure>, pipeline: &str, check: &str, detail: String) {
+    failures.push(Failure {
+        pipeline: pipeline.to_string(),
+        check: check.to_string(),
+        metric: None,
+        detail,
+    });
+}
+
+/// Verifies the parametric cache on one program: legacy (uncached), cold
+/// (cache miss) and warm (cache hit) compiles must be bit-for-bit
+/// identical at both the logical and CNOT targets, and rebinding a fresh
+/// angle vector must equal a from-scratch compile of the reparameterized
+/// program. Returns all failures (empty = the program verifies).
+pub fn verify_parametric(program: &Program, cache: &Arc<CompileCache>) -> Vec<Failure> {
+    let mut failures = Vec::new();
+    let n = program.num_qubits;
+    let terms = &program.terms;
+    for (name, target) in [("logical", Target::Logical), ("cnot", Target::Cnot)] {
+        let pipeline = format!("PHOENIX/parametric-{name} (seed {})", program.seed);
+        let legacy = match CompileRequest::new(n, terms).target(target.clone()).run() {
+            Ok(out) => out,
+            Err(e) => {
+                fail(&mut failures, &pipeline, "compiles", e.to_string());
+                continue;
+            }
+        };
+        for run in ["cold", "warm"] {
+            let cached = match CompileRequest::new(n, terms)
+                .target(target.clone())
+                .cache(cache)
+                .run()
+            {
+                Ok(out) => out,
+                Err(e) => {
+                    fail(&mut failures, &pipeline, "compiles-cached", e.to_string());
+                    continue;
+                }
+            };
+            if cached.circuit != legacy.circuit {
+                fail(
+                    &mut failures,
+                    &pipeline,
+                    "warm-vs-cold",
+                    format!("{run} cached circuit differs from the uncached compile"),
+                );
+            }
+            if cached.term_order != legacy.term_order {
+                fail(
+                    &mut failures,
+                    &pipeline,
+                    "warm-vs-cold",
+                    format!("{run} cached term order differs from the uncached compile"),
+                );
+            }
+            if cached.num_groups != legacy.num_groups {
+                fail(
+                    &mut failures,
+                    &pipeline,
+                    "warm-vs-cold",
+                    format!("{run} cached group count differs from the uncached compile"),
+                );
+            }
+        }
+    }
+    // Rebinding: substitute a different angle vector through the cached
+    // skeleton and compare against compiling the reparameterized program
+    // from scratch.
+    let angles: Vec<f64> = terms
+        .iter()
+        .enumerate()
+        .map(|(i, (_, c))| c * 0.5 + 1e-4 * (i as f64 + 1.0))
+        .collect();
+    let pipeline = format!("PHOENIX/parametric-rebind (seed {})", program.seed);
+    let rebound = CompileRequest::new(n, terms).cache(cache).bind(&angles);
+    let reparam: Vec<(PauliString, f64)> = terms
+        .iter()
+        .zip(&angles)
+        .map(|((p, _), a)| (*p, *a))
+        .collect();
+    let fresh = CompileRequest::new(n, &reparam).run();
+    match (rebound, fresh) {
+        (Ok(rebound), Ok(fresh)) => {
+            if rebound.circuit != fresh.circuit || rebound.term_order != fresh.term_order {
+                fail(
+                    &mut failures,
+                    &pipeline,
+                    "rebind-vs-fresh",
+                    "rebound output differs from a fresh compile of the same angles".into(),
+                );
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            fail(&mut failures, &pipeline, "compiles", e.to_string());
+        }
+    }
+    failures
+}
+
+/// Verifies `count` seeded random programs (round-robin over the three
+/// program families) through one shared cache, so later programs also
+/// exercise cross-program group-artifact reuse. Returns all failures.
+pub fn parametric_failures(count: usize, base_seed: u64) -> Vec<Failure> {
+    let mut failures = Vec::new();
+    let cache = Arc::new(CompileCache::new());
+    let mut gen = RandomProgramGen::new(base_seed);
+    for i in 0..count {
+        let family = Family::ALL[i % Family::ALL.len()];
+        let num_qubits = 3 + i % 4;
+        let num_terms = 4 + (i * 3) % 12;
+        let program = gen.program(family, num_qubits, num_terms);
+        failures.extend(verify_parametric(&program, &cache));
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_and_cold_are_bit_for_bit_identical_across_200_seeded_programs() {
+        let failures = parametric_failures(200, 0xDAC5_2025);
+        assert!(
+            failures.is_empty(),
+            "{} parametric failures, first: {:?}",
+            failures.len(),
+            failures.first()
+        );
+    }
+}
