@@ -26,7 +26,7 @@ pub fn compile(n: usize, terms: &[(PauliString, f64)]) -> Circuit {
             let (pos, _) = remaining
                 .iter()
                 .enumerate()
-                .max_by_key(|(_, &i)| (terms[i].0.support_mask() & last_mask).count_ones())
+                .max_by_key(|(_, &i)| terms[i].0.support_mask().and_count(&last_mask))
                 .expect("remaining nonempty");
             order.push(remaining.remove(pos));
         }

@@ -15,7 +15,7 @@ use phoenix_pauli::PauliString;
 pub fn compile(n: usize, terms: &[(PauliString, f64)]) -> Circuit {
     // Greedy sequential partition into mutually commuting sets.
     let mut sets: Vec<Vec<(PauliString, f64)>> = Vec::new();
-    for &(p, c) in terms {
+    for (p, c) in terms.iter().cloned() {
         match sets
             .iter_mut()
             .find(|s| s.iter().all(|(q, _)| p.commutes(q)))

@@ -7,7 +7,7 @@
 //! end provides the routing stage.
 
 use phoenix_circuit::{synthesis, Circuit};
-use phoenix_pauli::PauliString;
+use phoenix_pauli::{PauliString, QubitMask};
 
 /// Compiles a 2-local program with edge-coloring layering.
 ///
@@ -27,13 +27,13 @@ pub fn compile(n: usize, terms: &[(PauliString, f64)]) -> Circuit {
     let mut layers: Vec<Vec<&(PauliString, f64)>> = Vec::new();
     let mut remaining = twoq;
     while !remaining.is_empty() {
-        let mut used = 0u128;
+        let mut used = QubitMask::default();
         let mut layer = Vec::new();
         let mut next = Vec::new();
         for t in remaining {
             let mask = t.0.support_mask();
-            if used & mask == 0 {
-                used |= mask;
+            if !used.intersects(&mask) {
+                used.or_with(&mask);
                 layer.push(t);
             } else {
                 next.push(t);

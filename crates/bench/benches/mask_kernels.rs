@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the word-parallel packed-mask kernels:
+//! symplectic commutation, Clifford2Q tableau conjugation, and the fused
+//! Eq. (6) support/union counts, swept across register widths straddling
+//! the inline/heap boundary (32 ≤ 128 inline, 512 heap-backed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phoenix_pauli::{Bsf, BsfRow, Clifford2Q, Clifford2QKind, QubitMask};
+
+const WIDTHS: [usize; 3] = [32, 128, 512];
+
+/// A deterministic dense-ish mask: every third bit below `n` set, offset by
+/// `salt` so paired masks overlap without being identical.
+fn mask(n: usize, salt: usize) -> QubitMask {
+    let mut m = QubitMask::zeros(n);
+    let mut q = salt % 3;
+    while q < n {
+        m.set_bit(q);
+        q += 3;
+    }
+    m
+}
+
+/// A tableau of `rows` weight-spread rows on `n` qubits.
+fn tableau(n: usize, rows: usize) -> Bsf {
+    let mut bsf = Bsf::new(n);
+    for r in 0..rows {
+        bsf.push_row(BsfRow::from_packed(
+            mask(n, r),
+            mask(n, r + 1),
+            0.1 * (r + 1) as f64,
+        ));
+    }
+    bsf
+}
+
+fn bench_commutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mask_commutation");
+    for n in WIDTHS {
+        let (x1, z1) = (mask(n, 0), mask(n, 1));
+        let (x2, z2) = (mask(n, 1), mask(n, 2));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| QubitMask::symplectic_parity(&x1, &z1, &x2, &z2))
+        });
+    }
+    g.finish();
+}
+
+fn bench_conjugation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mask_conjugation");
+    for n in WIDTHS {
+        let bsf = tableau(n, 64);
+        let cliff = Clifford2Q::new(Clifford2QKind::Cxy, 1, n - 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut t = bsf.clone();
+                t.apply_clifford2q(cliff);
+                t
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_support_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mask_or4_count");
+    for n in WIDTHS {
+        let (a, b_, cc, d) = (mask(n, 0), mask(n, 1), mask(n, 2), mask(n, 0));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| QubitMask::or4_count(&a, &b_, &cc, &d))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_commutation,
+    bench_conjugation,
+    bench_support_counts
+);
+criterion_main!(benches);

@@ -25,6 +25,9 @@ use std::time::Instant;
 struct Row {
     benchmark: String,
     qubits: usize,
+    /// Packed `u64` words per Pauli mask at this width (1–2 words stay in
+    /// the inline representation; more spill to the heap).
+    mask_words: usize,
     groups: usize,
     reps: usize,
     /// Stage-2 wall-clock with the naive clone-and-rescore evaluator ("before").
@@ -116,6 +119,7 @@ fn main() {
         row(&[
             "Benchmark",
             "#Qubit",
+            "words",
             "#Group",
             "naive ms",
             "incr ms",
@@ -127,7 +131,7 @@ fn main() {
         ]
         .map(String::from))
     );
-    println!("{}", row(&vec!["---".to_string(); 10]));
+    println!("{}", row(&vec!["---".to_string(); 11]));
 
     let naive_opts = SimplifyOptions {
         naive_cost: true,
@@ -163,6 +167,7 @@ fn main() {
             row(&[
                 label.to_string(),
                 n.to_string(),
+                phoenix_pauli::mask::words_for(n).to_string(),
                 groups.len().to_string(),
                 format!("{naive_ms:.2}"),
                 format!("{incr_ms:.2}"),
@@ -176,6 +181,7 @@ fn main() {
         rows.push(Row {
             benchmark: label.to_string(),
             qubits: n,
+            mask_words: phoenix_pauli::mask::words_for(n),
             groups: groups.len(),
             reps,
             stage2_naive_ms: naive_ms,

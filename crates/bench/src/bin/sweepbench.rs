@@ -95,7 +95,7 @@ fn main() {
             let reparam: Vec<(PauliString, f64)> = terms
                 .iter()
                 .zip(&angles)
-                .map(|((p, _), a)| (*p, *a))
+                .map(|((p, _), a)| (p.clone(), *a))
                 .collect();
             let fresh = or_exit(CompileRequest::new(n, &reparam).run(), "spot check");
             if fresh.circuit != out.circuit || fresh.term_order != out.term_order {
@@ -118,7 +118,7 @@ fn main() {
         let reparam: Vec<(PauliString, f64)> = terms
             .iter()
             .zip(&angles)
-            .map(|((p, _), a)| (*p, *a))
+            .map(|((p, _), a)| (p.clone(), *a))
             .collect();
         let fresh = or_exit(
             CompileRequest::new(n, &reparam).target(Target::Cnot).run(),

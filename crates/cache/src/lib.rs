@@ -213,7 +213,7 @@ fn decode_term_slots(
                     coeff: *coeff,
                 });
             }
-            Ok((*p, slot, sign))
+            Ok((p.clone(), slot, sign))
         })
         .collect()
 }
@@ -344,7 +344,7 @@ impl StructureArtifact {
         let term_order = self
             .term_slots
             .iter()
-            .map(|(p, slot, sign)| (*p, fold_conjugation_sign(angles[*slot], *sign)))
+            .map(|(p, slot, sign)| (p.clone(), fold_conjugation_sign(angles[*slot], *sign)))
             .collect();
         Ok(BoundProgram {
             circuit,
@@ -409,7 +409,7 @@ impl GroupArtifact {
         let term_order = self
             .term_slots
             .iter()
-            .map(|(p, slot, sign)| (*p, fold_conjugation_sign(coeffs[*slot], *sign)))
+            .map(|(p, slot, sign)| (p.clone(), fold_conjugation_sign(coeffs[*slot], *sign)))
             .collect();
         Ok((circuit, term_order))
     }
@@ -692,7 +692,10 @@ mod tests {
             "ZI".parse::<PauliString>().unwrap(),
             "IZ".parse::<PauliString>().unwrap(),
         ];
-        let order = vec![(terms[0], encode_slot(0)), (terms[1], -encode_slot(1))];
+        let order = vec![
+            (terms[0].clone(), encode_slot(0)),
+            (terms[1].clone(), -encode_slot(1)),
+        ];
         let art = GroupArtifact::from_slot_encoded(2, terms, c, &order).unwrap();
         let (circuit, order) = art.bind(&[0.25, 0.5]).unwrap();
         assert_eq!(circuit.gates()[0], Gate::Rz(0, 0.5));

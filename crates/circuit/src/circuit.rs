@@ -1,7 +1,7 @@
 //! The circuit container and structural lowering.
 
 use crate::gate::{Gate, Su4Block};
-use phoenix_pauli::Pauli;
+use phoenix_pauli::{Pauli, QubitMask};
 use std::fmt;
 
 /// Gate-count summary of a [`Circuit`].
@@ -185,13 +185,13 @@ impl Circuit {
     }
 
     /// Bit mask of qubits any gate acts on.
-    pub fn support_mask(&self) -> u128 {
-        let mut m = 0u128;
+    pub fn support_mask(&self) -> QubitMask {
+        let mut m = QubitMask::zeros(self.n);
         for g in &self.gates {
             let (a, b) = g.qubits();
-            m |= 1 << a;
+            m.set_bit(a);
             if let Some(b) = b {
-                m |= 1 << b;
+                m.set_bit(b);
             }
         }
         m
@@ -412,7 +412,7 @@ mod tests {
         let mut c = Circuit::new(5);
         c.push(Gate::Cnot(1, 3));
         c.push(Gate::H(4));
-        assert_eq!(c.support_mask(), 0b11010);
+        assert_eq!(c.support_mask(), QubitMask::from_u128(0b11010));
     }
 
     #[test]

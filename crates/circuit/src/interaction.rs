@@ -8,6 +8,7 @@
 //! graph and the succeeding subcircuit's **head** interaction graph.
 
 use crate::Circuit;
+use phoenix_pauli::QubitMask;
 use std::collections::{BTreeSet, VecDeque};
 
 /// The set of unordered qubit pairs coupled by any 2Q gate.
@@ -22,11 +23,12 @@ pub fn interaction_edges(c: &Circuit) -> BTreeSet<(usize, usize)> {
 }
 
 /// Bit mask of qubits touched by 2Q gates.
-pub fn support_2q(c: &Circuit) -> u128 {
-    let mut m = 0u128;
+pub fn support_2q(c: &Circuit) -> QubitMask {
+    let mut m = QubitMask::zeros(c.num_qubits());
     for g in c.gates() {
         if let (a, Some(b)) = g.qubits() {
-            m |= (1 << a) | (1 << b);
+            m.set_bit(a);
+            m.set_bit(b);
         }
     }
     m
@@ -46,17 +48,18 @@ pub fn tail_edges(c: &Circuit) -> BTreeSet<(usize, usize)> {
 
 fn scan_edges<'a>(
     gates: impl Iterator<Item = &'a crate::Gate>,
-    target: u128,
+    target: QubitMask,
 ) -> BTreeSet<(usize, usize)> {
     let mut edges = BTreeSet::new();
-    let mut covered = 0u128;
+    let mut covered = QubitMask::zeros(0);
     for g in gates {
         if covered == target {
             break;
         }
         if let (a, Some(b)) = g.qubits() {
             edges.insert((a.min(b), a.max(b)));
-            covered |= (1 << a) | (1 << b);
+            covered.set_bit(a);
+            covered.set_bit(b);
         }
     }
     edges
@@ -123,9 +126,7 @@ pub fn similarity(d1: &[Vec<f64>], d2: &[Vec<f64>]) -> f64 {
 /// head of `next`, computed over the union of their 2Q supports.
 pub fn routing_similarity(prev: &Circuit, next: &Circuit) -> f64 {
     let union = support_2q(prev) | support_2q(next);
-    let nodes: Vec<usize> = (0..prev.num_qubits().max(next.num_qubits()))
-        .filter(|&q| union >> q & 1 == 1)
-        .collect();
+    let nodes: Vec<usize> = union.to_indices();
     if nodes.is_empty() {
         return 1.0;
     }

@@ -5,7 +5,7 @@
 //! squared number of nonlocal strings with pairwise support and same-block
 //! overlaps. Greedy Clifford2Q selection in Algorithm 1 minimizes it.
 
-use phoenix_pauli::Bsf;
+use phoenix_pauli::{Bsf, QubitMask};
 
 /// Evaluates Eq. (6) on a tableau:
 ///
@@ -34,9 +34,9 @@ pub fn cost_bsf(bsf: &Bsf) -> f64 {
     for (i, ri) in rows.iter().enumerate() {
         for rj in &rows[i + 1..] {
             pair_support +=
-                ((ri.x_mask() | ri.z_mask() | rj.x_mask() | rj.z_mask()).count_ones()) as usize;
-            pair_blocks += ((ri.x_mask() | rj.x_mask()).count_ones()
-                + (ri.z_mask() | rj.z_mask()).count_ones()) as usize;
+                QubitMask::or4_count(ri.x_mask(), ri.z_mask(), rj.x_mask(), rj.z_mask()) as usize;
+            pair_blocks +=
+                (ri.x_mask().or_count(rj.x_mask()) + ri.z_mask().or_count(rj.z_mask())) as usize;
         }
     }
     w_tot * n_nl * n_nl + pair_support as f64 + 0.5 * pair_blocks as f64

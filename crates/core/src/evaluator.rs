@@ -140,20 +140,14 @@ impl CostEvaluator {
             if w > 1 {
                 self.n_nl += 1;
             }
-            let mut m = row.x_mask();
-            while m != 0 {
-                self.col_x[m.trailing_zeros() as usize] += 1;
-                m &= m - 1;
+            for q in row.x_mask().iter_ones() {
+                self.col_x[q] += 1;
             }
-            let mut m = row.z_mask();
-            while m != 0 {
-                self.col_z[m.trailing_zeros() as usize] += 1;
-                m &= m - 1;
+            for q in row.z_mask().iter_ones() {
+                self.col_z[q] += 1;
             }
-            let mut m = row.support_mask();
-            while m != 0 {
-                self.col_s[m.trailing_zeros() as usize] += 1;
-                m &= m - 1;
+            for q in row.support_mask().iter_ones() {
+                self.col_s[q] += 1;
             }
         }
         self.support.clear();
@@ -374,19 +368,14 @@ impl CostEvaluator {
             .max_by_key(|(_, r)| r.weight())
             .map(|(i, _)| i)
             .expect("nonempty tableau");
-        let row = bsf.rows()[heavy];
+        let row = &bsf.rows()[heavy];
         let old_w = row.weight();
         type Entry = ((usize, f64), (usize, usize, usize), Clifford2Q);
         let mut best: Option<Entry> = None;
         let mut pair_rank = 0usize;
-        let mut ma = row.support_mask();
-        while ma != 0 {
-            let a = ma.trailing_zeros() as usize;
-            ma &= ma - 1;
-            let mut mb = ma;
-            while mb != 0 {
-                let b = mb.trailing_zeros() as usize;
-                mb &= mb - 1;
+        let support = row.support_mask().to_indices();
+        for (ai, &a) in support.iter().enumerate() {
+            for &b in &support[ai + 1..] {
                 let ctx = self.pair_ctx(bsf, a, b);
                 let nib = row.nibble(a, b);
                 let rest_w = old_w - nibble_weight(nib);

@@ -4,7 +4,7 @@
 //! indices non-trivially acted on" (§IV-A). Grouping reorders terms, which
 //! is free within a Trotter step.
 
-use phoenix_pauli::PauliString;
+use phoenix_pauli::{PauliString, QubitMask};
 use std::collections::BTreeMap;
 
 /// A group of Pauli exponentiations sharing one qubit-support set.
@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 ///
 /// ```
 /// use phoenix_core::group::group_by_support;
-/// use phoenix_pauli::PauliString;
+/// use phoenix_pauli::{PauliString, QubitMask};
 ///
 /// let terms: Vec<(PauliString, f64)> = vec![
 ///     ("XXI".parse().unwrap(), 0.1),
@@ -27,7 +27,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, PartialEq)]
 pub struct IrGroup {
     n: usize,
-    support_mask: u128,
+    support_mask: QubitMask,
     terms: Vec<(PauliString, f64)>,
 }
 
@@ -38,15 +38,13 @@ impl IrGroup {
     }
 
     /// Bit mask of the group's support.
-    pub fn support_mask(&self) -> u128 {
-        self.support_mask
+    pub fn support_mask(&self) -> &QubitMask {
+        &self.support_mask
     }
 
     /// The support qubits in increasing order.
     pub fn support(&self) -> Vec<usize> {
-        (0..self.n)
-            .filter(|&q| self.support_mask >> q & 1 == 1)
-            .collect()
+        self.support_mask.to_indices()
     }
 
     /// The group's width (number of support qubits) — the pre-ordering sort
@@ -68,15 +66,15 @@ impl IrGroup {
 ///
 /// Panics if a term's qubit count differs from `n`.
 pub fn group_by_support(n: usize, terms: &[(PauliString, f64)]) -> Vec<IrGroup> {
-    let mut index: BTreeMap<u128, usize> = BTreeMap::new();
+    let mut index: BTreeMap<QubitMask, usize> = BTreeMap::new();
     let mut groups: Vec<IrGroup> = Vec::new();
-    for &(p, c) in terms {
+    for (p, c) in terms {
         assert_eq!(p.num_qubits(), n, "term qubit count mismatch");
         if p.is_identity() {
             continue; // global phase: nothing to synthesize
         }
         let mask = p.support_mask();
-        let gi = *index.entry(mask).or_insert_with(|| {
+        let gi = *index.entry(mask.clone()).or_insert_with(|| {
             groups.push(IrGroup {
                 n,
                 support_mask: mask,
@@ -84,7 +82,7 @@ pub fn group_by_support(n: usize, terms: &[(PauliString, f64)]) -> Vec<IrGroup> 
             });
             groups.len() - 1
         });
-        groups[gi].terms.push((p, c));
+        groups[gi].terms.push((p.clone(), *c));
     }
     groups
 }
@@ -117,7 +115,7 @@ mod tests {
     fn support_accessors() {
         let groups = group_by_support(4, &[t("IXIZ", 1.0)]);
         assert_eq!(groups[0].support(), vec![1, 3]);
-        assert_eq!(groups[0].support_mask(), 0b1010);
+        assert_eq!(groups[0].support_mask(), &QubitMask::from_u128(0b1010));
         assert_eq!(groups[0].num_qubits(), 4);
     }
 

@@ -29,7 +29,7 @@ use phoenix_circuit::interaction::{
     distance_matrix, head_edges, similarity, support_2q, tail_edges,
 };
 use phoenix_circuit::{Circuit, Gate};
-use phoenix_pauli::Clifford2Q;
+use phoenix_pauli::{Clifford2Q, QubitMask};
 
 /// Ordering parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,17 +89,17 @@ impl Frontier {
     /// stack mask + scratch array) instead of cloning the full per-qubit
     /// layer vector for every ordering candidate.
     pub fn depth_added(&self, c: &Circuit) -> usize {
-        let mut touched = 0u128;
-        let mut trial = [0usize; 128];
+        let mut touched = QubitMask::zeros(self.layers.len());
+        let mut trial = vec![0usize; self.layers.len()];
         let mut depth = self.depth;
         for g in c.gates() {
             if let (a, Some(b)) = g.qubits() {
-                let la = if touched >> a & 1 == 1 {
+                let la = if touched.bit(a) {
                     trial[a]
                 } else {
                     self.layers[a]
                 };
-                let lb = if touched >> b & 1 == 1 {
+                let lb = if touched.bit(b) {
                     trial[b]
                 } else {
                     self.layers[b]
@@ -107,7 +107,8 @@ impl Frontier {
                 let layer = la.max(lb) + 1;
                 trial[a] = layer;
                 trial[b] = layer;
-                touched |= (1u128 << a) | (1u128 << b);
+                touched.set_bit(a);
+                touched.set_bit(b);
                 depth = depth.max(layer);
             }
         }
@@ -146,10 +147,9 @@ pub fn assembly_cost(
 
 /// Eq. (7) similarity normalized to a mean row cosine in `[0, 1]`.
 fn mean_similarity(prev: &Circuit, next: &Circuit) -> f64 {
-    let union = support_2q(prev) | support_2q(next);
-    let nodes: Vec<usize> = (0..prev.num_qubits().max(next.num_qubits()))
-        .filter(|&q| union >> q & 1 == 1)
-        .collect();
+    let mut union = support_2q(prev);
+    union.or_with(&support_2q(next));
+    let nodes: Vec<usize> = union.to_indices();
     if nodes.is_empty() {
         return 1.0;
     }
@@ -183,17 +183,20 @@ fn clifford_cancellations(prev: &Circuit, next: &Circuit) -> (usize, bool, bool)
 /// The frontier 2Q Cliffords reachable from one end without crossing any
 /// other gate on their qubits.
 fn frontier_cliffords<'a>(gates: impl Iterator<Item = &'a Gate>) -> Vec<Clifford2Q> {
-    let mut blocked = 0u128;
+    let mut blocked = QubitMask::default();
     let mut out = Vec::new();
     for g in gates {
         let (a, b) = g.qubits();
-        let mask = (1u128 << a) | b.map_or(0, |b| 1u128 << b);
+        let hit = blocked.bit(a) || b.is_some_and(|b| blocked.bit(b));
         if let Gate::Clifford2(c) = g {
-            if blocked & mask == 0 {
+            if !hit {
                 out.push(*c);
             }
         }
-        blocked |= mask;
+        blocked.set_bit(a);
+        if let Some(b) = b {
+            blocked.set_bit(b);
+        }
     }
     out
 }
@@ -201,17 +204,17 @@ fn frontier_cliffords<'a>(gates: impl Iterator<Item = &'a Gate>) -> Vec<Clifford
 /// Whether the facing 2Q layer consists entirely of cancelled gates.
 fn layer_cleared<'a>(gates: impl Iterator<Item = &'a Gate>, cancelled: &[Clifford2Q]) -> bool {
     // First 2Q layer from this end: 2Q gates seen before any qubit overlap.
-    let mut blocked = 0u128;
+    let mut blocked = QubitMask::default();
     let mut all_cancelled = true;
     let mut saw_2q = false;
     for g in gates {
         let (a, b) = g.qubits();
         let Some(b) = b else { continue };
-        let mask = (1u128 << a) | (1u128 << b);
-        if blocked & mask != 0 {
+        if blocked.bit(a) || blocked.bit(b) {
             break;
         }
-        blocked |= mask;
+        blocked.set_bit(a);
+        blocked.set_bit(b);
         saw_2q = true;
         let in_layer_cancelled =
             matches!(g, Gate::Clifford2(c) if cancelled.iter().any(|m| m == c));

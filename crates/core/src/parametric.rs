@@ -108,7 +108,7 @@ pub(crate) fn compile_structure(
     let slot_terms: Vec<(PauliString, f64)> = terms
         .iter()
         .enumerate()
-        .map(|(i, (p, _))| (*p, encode_slot(i)))
+        .map(|(i, (p, _))| (p.clone(), encode_slot(i)))
         .collect();
     validate_program(num_qubits, &slot_terms)?;
     let digest = CanonicalIr::from_terms(num_qubits, terms).digest();

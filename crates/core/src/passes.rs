@@ -200,11 +200,11 @@ impl SimplifySynthPass {
             .terms()
             .iter()
             .enumerate()
-            .map(|(i, (p, _))| (*p, encode_slot(i)))
+            .map(|(i, (p, _))| (p.clone(), encode_slot(i)))
             .collect();
         let ((skeleton, slot_order), children) =
             self.optimized(n, &slot_terms, opts, obs, false)?;
-        let strings: Vec<PauliString> = group.terms().iter().map(|(p, _)| *p).collect();
+        let strings: Vec<PauliString> = group.terms().iter().map(|(p, _)| p.clone()).collect();
         let art = match GroupArtifact::from_slot_encoded(n, strings, skeleton, &slot_order) {
             Ok(art) => cache.insert_group(key, Arc::new(art)),
             // The skeleton is not rebindable (defensive: slot encoding
@@ -474,7 +474,7 @@ impl Pass for ConcatPass {
         let mut term_order = Vec::with_capacity(ctx.terms.len());
         for &i in &ctx.order {
             circuit.append(&ctx.subcircuits[i]);
-            term_order.extend(ctx.group_terms[i].iter().copied());
+            term_order.extend(ctx.group_terms[i].iter().cloned());
         }
         ctx.circuit = circuit;
         ctx.term_order = term_order;

@@ -167,7 +167,7 @@ pub fn simplify_terms_with(
     terms: &[(PauliString, f64)],
     opts: &SimplifyOptions,
 ) -> SimplifiedGroup {
-    let mut bsf = Bsf::from_terms(n, terms.iter().copied()).expect("terms fit the register");
+    let mut bsf = Bsf::from_terms(n, terms.iter().cloned()).expect("terms fit the register");
     let mut nest: Vec<(Vec<BsfRow>, Clifford2Q)> = Vec::new();
     let mut core_locals: Vec<BsfRow> = Vec::new();
     let naive = opts.naive_cost || naive_cost_forced();
@@ -203,7 +203,7 @@ pub fn simplify_terms_with(
     }
 
     let mut core_rows = core_locals;
-    core_rows.extend(bsf.rows().iter().copied());
+    core_rows.extend(bsf.rows().iter().cloned());
 
     let cliffords: Vec<Clifford2Q> = nest.iter().map(|(_, c)| *c).collect();
     let mut items = Vec::new();
@@ -266,10 +266,10 @@ pub fn progress_candidate_naive(bsf: &Bsf) -> Clifford2Q {
         .max_by_key(|(_, r)| r.weight())
         .map(|(i, _)| i)
         .expect("nonempty tableau");
-    let row = bsf.rows()[heavy];
+    let row = bsf.rows()[heavy].clone();
     let old_w = row.weight();
     let support: Vec<usize> = (0..bsf.num_qubits())
-        .filter(|&q| row.support_mask() >> q & 1 == 1)
+        .filter(|&q| row.support_mask().bit(q))
         .collect();
     let mut best: Option<(Clifford2Q, usize, f64)> = None;
     for kind in CLIFFORD2Q_GENERATORS {
@@ -357,7 +357,13 @@ mod tests {
             let s = simplify_terms(labels[0].len(), &input);
             let mut got = s.term_sequence();
             let mut want = input.clone();
-            let key = |t: &(PauliString, f64)| (t.0.x_mask(), t.0.z_mask(), (t.1 * 1e12) as i64);
+            let key = |t: &(PauliString, f64)| {
+                (
+                    t.0.x_mask().clone(),
+                    t.0.z_mask().clone(),
+                    (t.1 * 1e12) as i64,
+                )
+            };
             got.sort_by_key(key);
             want.sort_by_key(key);
             assert_eq!(got, want, "{labels:?}");

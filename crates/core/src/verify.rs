@@ -28,7 +28,7 @@
 use std::sync::Mutex;
 
 use phoenix_mathkit::CMatrix;
-use phoenix_pauli::PauliString;
+use phoenix_pauli::{PauliString, QubitMask};
 use phoenix_sim::{circuit_unitary, infidelity, trotter_unitary};
 
 use crate::pass::{CompileContext, PassError, PassObserver};
@@ -65,11 +65,17 @@ impl Default for BoundaryVerifier {
 /// Canonical multiset key of a term list (coefficients quantized well below
 /// any meaningful tolerance). Identity terms are excluded — they are pure
 /// global phase and the grouping stage legitimately drops them.
-fn term_multiset(terms: &[(PauliString, f64)]) -> Vec<(u128, u128, i64)> {
+fn term_multiset(terms: &[(PauliString, f64)]) -> Vec<(QubitMask, QubitMask, i64)> {
     let mut v: Vec<_> = terms
         .iter()
         .filter(|(p, _)| !p.is_identity())
-        .map(|(p, c)| (p.x_mask(), p.z_mask(), (c * 1e12).round() as i64))
+        .map(|(p, c)| {
+            (
+                p.x_mask().clone(),
+                p.z_mask().clone(),
+                (c * 1e12).round() as i64,
+            )
+        })
         .collect();
     v.sort_unstable();
     v
@@ -162,7 +168,7 @@ impl BoundaryVerifier {
         let grouped: Vec<(PauliString, f64)> = ctx
             .groups
             .iter()
-            .flat_map(|g| g.terms().iter().copied())
+            .flat_map(|g| g.terms().iter().cloned())
             .collect();
         if term_multiset(&grouped) != term_multiset(&ctx.terms) {
             return Err(self.fail(pass, "groups do not partition the input terms"));

@@ -81,7 +81,7 @@ fn monolithic_compile(
     let mut term_order = Vec::with_capacity(terms.len());
     for i in perm {
         circuit.append(&subcircuits[i]);
-        term_order.extend(group_terms[i].iter().copied());
+        term_order.extend(group_terms[i].iter().cloned());
     }
     (circuit, groups.len(), term_order)
 }

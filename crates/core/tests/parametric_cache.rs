@@ -103,8 +103,11 @@ fn bind_substitutes_explicit_angles() {
         .bind(&angles)
         .unwrap();
     // Equivalent to compiling a program that had these coefficients.
-    let explicit: Vec<(PauliString, f64)> =
-        t.iter().zip(&angles).map(|((p, _), a)| (*p, *a)).collect();
+    let explicit: Vec<(PauliString, f64)> = t
+        .iter()
+        .zip(&angles)
+        .map(|((p, _), a)| (p.clone(), *a))
+        .collect();
     let fresh = CompileRequest::new(3, &explicit).run().unwrap();
     assert_eq!(bound.circuit, fresh.circuit);
     assert_eq!(bound.term_order, fresh.term_order);

@@ -30,10 +30,18 @@ fn random_terms(n: usize, count: usize, seed: u64) -> Vec<(PauliString, f64)> {
         .collect()
 }
 
-fn multiset(terms: &[(PauliString, f64)]) -> Vec<(u128, u128, i64)> {
+fn multiset(
+    terms: &[(PauliString, f64)],
+) -> Vec<(phoenix_pauli::QubitMask, phoenix_pauli::QubitMask, i64)> {
     let mut v: Vec<_> = terms
         .iter()
-        .map(|(p, c)| (p.x_mask(), p.z_mask(), (c * 1e12).round() as i64))
+        .map(|(p, c)| {
+            (
+                p.x_mask().clone(),
+                p.z_mask().clone(),
+                (c * 1e12).round() as i64,
+            )
+        })
         .collect();
     v.sort_unstable();
     v

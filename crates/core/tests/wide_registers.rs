@@ -1,0 +1,74 @@
+//! Wide-register compilation: the packed-mask representation must carry
+//! programs past the historical 128-qubit cap through every logical compile
+//! path, and the (much higher) sanity cap must surface as a typed error
+//! from every entry point — never a panic.
+
+use phoenix_core::{PhoenixCompiler, PhoenixError};
+use phoenix_hamil::models::{heisenberg_chain, tfim_chain};
+use phoenix_pauli::{PauliString, MAX_QUBITS};
+use phoenix_topology::CouplingGraph;
+
+#[test]
+fn over_cap_widths_are_typed_errors_on_every_path() {
+    let n = MAX_QUBITS + 1;
+    let terms: Vec<(PauliString, f64)> = Vec::new();
+    let compiler = PhoenixCompiler::default();
+    let device = CouplingGraph::line(2);
+    let errs = [
+        compiler.try_compile(n, &terms).map(|_| ()).unwrap_err(),
+        compiler
+            .try_compile_to_cnot(n, &terms)
+            .map(|_| ())
+            .unwrap_err(),
+        compiler
+            .try_compile_to_su4(n, &terms)
+            .map(|_| ())
+            .unwrap_err(),
+        compiler
+            .try_compile_to_cnot_via_kak(n, &terms)
+            .map(|_| ())
+            .unwrap_err(),
+        compiler
+            .try_compile_hardware_aware(n, &terms, &device)
+            .map(|_| ())
+            .unwrap_err(),
+    ];
+    for err in errs {
+        assert_eq!(err, PhoenixError::UnsupportedWidth { num_qubits: n });
+    }
+}
+
+#[test]
+fn trotter_chains_compile_past_128_qubits() {
+    let n = 300;
+    let compiler = PhoenixCompiler::default();
+    for h in [tfim_chain(n, 1.0, 0.5), heisenberg_chain(n, 1.0, 1.0, 0.5)] {
+        let out = compiler
+            .try_compile(n, h.terms())
+            .expect("wide logical compile succeeds");
+        assert_eq!(out.term_order.len(), h.len());
+        assert_eq!(out.circuit.num_qubits(), n);
+        // The emitted order is a permutation of the input program.
+        let key = |t: &(PauliString, f64)| (t.0.to_string(), (t.1 * 1e12).round() as i64);
+        let mut got: Vec<_> = out.term_order.iter().map(key).collect();
+        let mut want: Vec<_> = h.terms().iter().map(key).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn wide_cnot_lowering_touches_the_top_qubits() {
+    // The CNOT-target path must synthesize real gates above qubit 128.
+    let n = 200;
+    let h = tfim_chain(n, 1.0, 0.5);
+    let c = PhoenixCompiler::default()
+        .try_compile_to_cnot(n, h.terms())
+        .expect("wide CNOT compile succeeds");
+    let touches_top = c.gates().iter().any(|g| {
+        let (a, b) = g.qubits();
+        a >= 128 || b.is_some_and(|b| b >= 128)
+    });
+    assert!(touches_top, "no gate above qubit 128 in a 200-qubit chain");
+}

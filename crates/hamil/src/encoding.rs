@@ -16,8 +16,53 @@
 //! This derivation replaces hand-transcribed update/parity/flip-set tables
 //! and is validated by canonical-anticommutation-relation property tests in
 //! [`crate::fermion`].
+//!
+//! Matrix rows are packed [`QubitMask`]s, so encodings scale past 128 modes
+//! with word-parallel GF(2) row elimination.
 
-use phoenix_pauli::PauliString;
+use phoenix_pauli::{PauliString, QubitMask, MAX_QUBITS};
+use std::fmt;
+
+/// Error constructing a [`FermionEncoding`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodingError {
+    /// The requested mode count exceeded [`MAX_QUBITS`].
+    UnsupportedWidth {
+        /// The offending mode count.
+        num_modes: usize,
+    },
+    /// The occupation matrix was not `n × n`.
+    ShapeMismatch {
+        /// Expected row count `n`.
+        expected: usize,
+        /// Provided row count.
+        found: usize,
+    },
+    /// The occupation matrix was singular over GF(2).
+    SingularMatrix,
+}
+
+impl fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingError::UnsupportedWidth { num_modes } => write!(
+                f,
+                "encoding over {num_modes} modes exceeds the supported maximum of {MAX_QUBITS}"
+            ),
+            EncodingError::ShapeMismatch { expected, found } => {
+                write!(
+                    f,
+                    "occupation matrix must be {expected}×{expected}, got {found} rows"
+                )
+            }
+            EncodingError::SingularMatrix => {
+                write!(f, "encoding matrix must be invertible over GF(2)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodingError {}
 
 /// A linear fermion-to-qubit encoding over `n` modes/qubits.
 ///
@@ -35,9 +80,9 @@ pub struct FermionEncoding {
     name: &'static str,
     n: usize,
     /// Row `i` = bit mask over modes stored (xor-ed) on qubit `i`.
-    m: Vec<u128>,
+    m: Vec<QubitMask>,
     /// Row `j` of `M⁻¹` = bit mask over qubits whose xor gives `n_j`.
-    minv: Vec<u128>,
+    minv: Vec<QubitMask>,
 }
 
 impl FermionEncoding {
@@ -45,17 +90,39 @@ impl FermionEncoding {
     ///
     /// # Panics
     ///
-    /// Panics if `m` is singular over GF(2) or `n > 128`.
-    pub fn from_matrix(name: &'static str, n: usize, m: Vec<u128>) -> Self {
-        assert!(n <= 128, "at most 128 modes supported");
-        assert_eq!(m.len(), n, "matrix must be n×n");
-        let minv = gf2_inverse(n, &m).expect("encoding matrix must be invertible");
-        FermionEncoding { name, n, m, minv }
+    /// Panics if the matrix is not square-invertible or `n > MAX_QUBITS`;
+    /// use [`FermionEncoding::try_from_matrix`] for a typed error.
+    pub fn from_matrix(name: &'static str, n: usize, m: Vec<QubitMask>) -> Self {
+        Self::try_from_matrix(name, n, m).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FermionEncoding::from_matrix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError`] if `n > MAX_QUBITS`, the matrix is not
+    /// `n × n`, or it is singular over GF(2).
+    pub fn try_from_matrix(
+        name: &'static str,
+        n: usize,
+        m: Vec<QubitMask>,
+    ) -> Result<Self, EncodingError> {
+        if n > MAX_QUBITS {
+            return Err(EncodingError::UnsupportedWidth { num_modes: n });
+        }
+        if m.len() != n {
+            return Err(EncodingError::ShapeMismatch {
+                expected: n,
+                found: m.len(),
+            });
+        }
+        let minv = gf2_inverse(n, &m).ok_or(EncodingError::SingularMatrix)?;
+        Ok(FermionEncoding { name, n, m, minv })
     }
 
     /// Jordan–Wigner: qubit `i` stores `n_i` directly.
     pub fn jordan_wigner(n: usize) -> Self {
-        FermionEncoding::from_matrix("JW", n, (0..n).map(|i| 1u128 << i).collect())
+        FermionEncoding::from_matrix("JW", n, (0..n).map(QubitMask::single).collect())
     }
 
     /// Bravyi–Kitaev: qubit `i` stores the Fenwick-tree partial sum of
@@ -63,16 +130,12 @@ impl FermionEncoding {
     pub fn bravyi_kitaev(n: usize) -> Self {
         let rows = (0..n)
             .map(|i| {
-                let k = (i + 1) as u128;
+                let k = i + 1;
                 let low = k & k.wrapping_neg();
                 // Modes (k-low)..k, 0-based.
-                let hi_mask = if k >= 128 {
-                    u128::MAX
-                } else {
-                    (1u128 << k) - 1
-                };
-                let lo_mask = (1u128 << (k - low)) - 1;
-                hi_mask & !lo_mask
+                let mut row = QubitMask::ones(k);
+                row.andnot_with(&QubitMask::ones(k - low));
+                row
             })
             .collect();
         FermionEncoding::from_matrix("BK", n, rows)
@@ -80,16 +143,11 @@ impl FermionEncoding {
 
     /// Parity encoding: qubit `i` stores `n_0 ⊕ ⋯ ⊕ n_i`.
     pub fn parity(n: usize) -> Self {
-        let rows = (0..n)
-            .map(|i| {
-                if i + 1 >= 128 {
-                    u128::MAX
-                } else {
-                    (1u128 << (i + 1)) - 1
-                }
-            })
-            .collect();
-        FermionEncoding::from_matrix("parity", n, rows)
+        FermionEncoding::from_matrix(
+            "parity",
+            n,
+            (0..n).map(|i| QubitMask::ones(i + 1)).collect(),
+        )
     }
 
     /// Short display name (`"JW"`, `"BK"`, …).
@@ -104,34 +162,35 @@ impl FermionEncoding {
 
     /// Qubits that flip when mode `j` flips (column `j` of `M`).
     pub fn update_set(&self, j: usize) -> Vec<usize> {
-        (0..self.n).filter(|&i| self.m[i] >> j & 1 == 1).collect()
+        (0..self.n).filter(|&i| self.m[i].bit(j)).collect()
     }
 
     /// Qubits whose xor gives the parity of modes `< j`.
     pub fn parity_set(&self, j: usize) -> Vec<usize> {
-        let mask = self.parity_mask(j);
-        (0..self.n).filter(|&i| mask >> i & 1 == 1).collect()
+        self.parity_mask(j).to_indices()
     }
 
     /// Qubits whose xor gives `n_j` (row `j` of `M⁻¹`).
     pub fn occupation_set(&self, j: usize) -> Vec<usize> {
-        (0..self.n)
-            .filter(|&i| self.minv[j] >> i & 1 == 1)
-            .collect()
+        self.minv[j].to_indices()
     }
 
-    fn update_mask(&self, j: usize) -> u128 {
-        let mut mask = 0u128;
+    fn update_mask(&self, j: usize) -> QubitMask {
+        let mut mask = QubitMask::zeros(self.n);
         for i in 0..self.n {
-            if self.m[i] >> j & 1 == 1 {
-                mask |= 1 << i;
+            if self.m[i].bit(j) {
+                mask.set_bit(i);
             }
         }
         mask
     }
 
-    fn parity_mask(&self, j: usize) -> u128 {
-        (0..j).fold(0u128, |acc, jp| acc ^ self.minv[jp])
+    fn parity_mask(&self, j: usize) -> QubitMask {
+        let mut acc = QubitMask::zeros(self.n);
+        for jp in 0..j {
+            acc.xor_with(&self.minv[jp]);
+        }
+        acc
     }
 
     /// The Majorana operator `c_j` (`a_j + a_j†`): X on the update set
@@ -142,29 +201,32 @@ impl FermionEncoding {
     pub fn majorana_c(&self, j: usize) -> PauliString {
         let x = self.update_mask(j);
         let z = self.parity_mask(j);
-        debug_assert_eq!(x & z, 0, "update and parity sets overlap");
-        PauliString::from_masks(self.n, x, z)
+        debug_assert!(!x.intersects(&z), "update and parity sets overlap");
+        PauliString::from_packed(self.n, x, z)
     }
 
     /// The Z-string `(-1)^{n_j}` on the occupation set of mode `j`.
     pub fn occupation_z(&self, j: usize) -> PauliString {
-        PauliString::from_masks(self.n, 0, self.minv[j])
+        PauliString::from_packed(self.n, QubitMask::zeros(self.n), self.minv[j].clone())
     }
 }
 
-/// Inverts an `n×n` GF(2) matrix given as row bit masks.
-fn gf2_inverse(n: usize, rows: &[u128]) -> Option<Vec<u128>> {
+/// Inverts an `n×n` GF(2) matrix given as packed row bit masks
+/// (word-parallel Gauss–Jordan elimination: each row update is one XOR
+/// sweep over `⌈n/64⌉` words).
+fn gf2_inverse(n: usize, rows: &[QubitMask]) -> Option<Vec<QubitMask>> {
     let mut a = rows.to_vec();
-    let mut inv: Vec<u128> = (0..n).map(|i| 1u128 << i).collect();
+    let mut inv: Vec<QubitMask> = (0..n).map(QubitMask::single).collect();
     for col in 0..n {
         // Find pivot.
-        let pivot = (col..n).find(|&r| a[r] >> col & 1 == 1)?;
+        let pivot = (col..n).find(|&r| a[r].bit(col))?;
         a.swap(col, pivot);
         inv.swap(col, pivot);
         for r in 0..n {
-            if r != col && a[r] >> col & 1 == 1 {
-                a[r] ^= a[col];
-                inv[r] ^= inv[col];
+            if r != col && a[r].bit(col) {
+                let (pa, pinv) = (a[col].clone(), inv[col].clone());
+                a[r].xor_with(&pa);
+                inv[r].xor_with(&pinv);
             }
         }
     }
@@ -210,12 +272,37 @@ mod tests {
         let bk = FermionEncoding::bravyi_kitaev(13);
         // M · M⁻¹ = I: n_j recovered from qubits must hit exactly mode j.
         for j in 0..13 {
-            let mut acc = 0u128;
+            let mut acc = QubitMask::zeros(13);
             for i in bk.occupation_set(j) {
-                acc ^= bk.m[i];
+                acc.xor_with(&bk.m[i]);
             }
-            assert_eq!(acc, 1u128 << j, "mode {j}");
+            assert_eq!(acc, QubitMask::single(j), "mode {j}");
         }
+    }
+
+    #[test]
+    fn encodings_scale_past_128_modes() {
+        // The former hard cap: 200-mode encodings must build and satisfy
+        // M · M⁻¹ = I across the u64 word seams.
+        let n = 200;
+        for enc in [
+            FermionEncoding::jordan_wigner(n),
+            FermionEncoding::bravyi_kitaev(n),
+            FermionEncoding::parity(n),
+        ] {
+            for j in [0, 63, 64, 127, 128, 199] {
+                let mut acc = QubitMask::zeros(n);
+                for i in enc.occupation_set(j) {
+                    acc.xor_with(&enc.m[i]);
+                }
+                assert_eq!(acc, QubitMask::single(j), "{} mode {j}", enc.name());
+            }
+            // Majoranas stay well-formed.
+            assert!(enc.majorana_c(n - 1).weight() >= 1);
+        }
+        // BK weight stays logarithmic out here.
+        let bk = FermionEncoding::bravyi_kitaev(n);
+        assert!(bk.majorana_c(n - 1).weight() <= 10);
     }
 
     #[test]
@@ -229,7 +316,27 @@ mod tests {
     }
 
     #[test]
+    fn try_from_matrix_reports_typed_errors() {
+        let singular = vec![QubitMask::from_u128(0b01), QubitMask::from_u128(0b01)];
+        assert_eq!(
+            FermionEncoding::try_from_matrix("bad", 2, singular).unwrap_err(),
+            EncodingError::SingularMatrix
+        );
+        assert_eq!(
+            FermionEncoding::try_from_matrix("wide", MAX_QUBITS + 1, vec![]).unwrap_err(),
+            EncodingError::UnsupportedWidth {
+                num_modes: MAX_QUBITS + 1
+            }
+        );
+        let err =
+            FermionEncoding::try_from_matrix("shape", 2, vec![QubitMask::single(0)]).unwrap_err();
+        assert!(err.to_string().contains("2×2"));
+    }
+
+    #[test]
     fn singular_matrix_rejected() {
-        assert!(gf2_inverse(2, &[0b01, 0b01]).is_none());
+        assert!(
+            gf2_inverse(2, &[QubitMask::from_u128(0b01), QubitMask::from_u128(0b01)]).is_none()
+        );
     }
 }

@@ -160,7 +160,11 @@ impl Hamiltonian {
         Hamiltonian {
             name: self.name.clone(),
             n: self.n,
-            terms: self.terms.iter().map(|(p, c)| (*p, c * scale)).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(p, c)| (p.clone(), c * scale))
+                .collect(),
         }
     }
 }

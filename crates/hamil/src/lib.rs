@@ -38,7 +38,7 @@ pub mod qaoa;
 pub mod trotter;
 pub mod uccsd;
 
-pub use encoding::FermionEncoding;
+pub use encoding::{EncodingError, FermionEncoding};
 pub use fermion::{annihilation, creation, double_excitation, number_operator, single_excitation};
 pub use hamiltonian::{HamilError, Hamiltonian};
 pub use uccsd::Molecule;

@@ -94,9 +94,9 @@ mod tests {
         assert!(h
             .terms()
             .iter()
-            .any(|(p, _)| p.x_mask() == 0 && !p.is_identity()));
+            .any(|(p, _)| p.x_mask().is_zero() && !p.is_identity()));
         // Hopping (X/Y) terms exist.
-        assert!(h.terms().iter().any(|(p, _)| p.x_mask() != 0));
+        assert!(h.terms().iter().any(|(p, _)| !p.x_mask().is_zero()));
     }
 
     #[test]
@@ -125,7 +125,7 @@ mod tests {
         let h = synthetic(&enc, 3);
         let mut hp = PauliPolynomial::zero(4);
         for (p, c) in h.terms() {
-            hp.add_term(*p, Complex::from_re(*c));
+            hp.add_term(p.clone(), Complex::from_re(*c));
         }
         let mut total_n = PauliPolynomial::zero(4);
         for j in 0..4 {

@@ -36,8 +36,9 @@ use phoenix_pauli::PauliString;
 /// # Ok::<(), phoenix_pauli::ParsePauliStringError>(())
 /// ```
 pub fn second_order(terms: &[(PauliString, f64)]) -> Vec<(PauliString, f64)> {
-    let mut out: Vec<(PauliString, f64)> = terms.iter().map(|&(p, c)| (p, c / 2.0)).collect();
-    out.extend(terms.iter().rev().map(|&(p, c)| (p, c / 2.0)));
+    let mut out: Vec<(PauliString, f64)> =
+        terms.iter().map(|(p, c)| (p.clone(), c / 2.0)).collect();
+    out.extend(terms.iter().rev().map(|(p, c)| (p.clone(), c / 2.0)));
     out
 }
 
@@ -49,10 +50,13 @@ pub fn second_order(terms: &[(PauliString, f64)]) -> Vec<(PauliString, f64)> {
 /// Panics if `r == 0`.
 pub fn repeated_steps(terms: &[(PauliString, f64)], r: usize) -> Vec<(PauliString, f64)> {
     assert!(r > 0, "need at least one trotter step");
-    let step: Vec<(PauliString, f64)> = terms.iter().map(|&(p, c)| (p, c / r as f64)).collect();
+    let step: Vec<(PauliString, f64)> = terms
+        .iter()
+        .map(|(p, c)| (p.clone(), c / r as f64))
+        .collect();
     let mut out = Vec::with_capacity(terms.len() * r);
     for _ in 0..r {
-        out.extend(step.iter().copied());
+        out.extend(step.iter().cloned());
     }
     out
 }

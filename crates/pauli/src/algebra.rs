@@ -5,13 +5,15 @@
 //! those yield the Pauli-string Hamiltonians and UCCSD generators the
 //! compiler consumes.
 
+use crate::mask::QubitMask;
 use crate::PauliString;
 use phoenix_mathkit::Complex;
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A single weighted Pauli string.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PauliTerm {
     /// The Pauli string.
     pub string: PauliString,
@@ -42,7 +44,7 @@ pub struct PauliTerm {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PauliPolynomial {
     n: usize,
-    terms: BTreeMap<(u128, u128), Complex>,
+    terms: BTreeMap<(QubitMask, QubitMask), Complex>,
 }
 
 impl PauliPolynomial {
@@ -101,18 +103,26 @@ impl PauliPolynomial {
             self.n,
             "term qubit count must match polynomial"
         );
-        let key = (string.x_mask(), string.z_mask());
-        let entry = self.terms.entry(key).or_insert(Complex::ZERO);
-        *entry += coeff;
-        if entry.abs() < 1e-14 {
-            self.terms.remove(&key);
+        let key = (string.x_mask().clone(), string.z_mask().clone());
+        match self.terms.entry(key) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() += coeff;
+                if e.get().abs() < 1e-14 {
+                    e.remove();
+                }
+            }
+            Entry::Vacant(e) => {
+                if coeff.abs() >= 1e-14 {
+                    e.insert(coeff);
+                }
+            }
         }
     }
 
     /// Iterates over the terms in canonical (mask-sorted) order.
     pub fn iter(&self) -> impl Iterator<Item = PauliTerm> + '_ {
-        self.terms.iter().map(|(&(x, z), &c)| PauliTerm {
-            string: PauliString::from_masks(self.n, x, z),
+        self.terms.iter().map(|((x, z), &c)| PauliTerm {
+            string: PauliString::from_packed(self.n, x.clone(), z.clone()),
             coeff: c,
         })
     }

@@ -1,6 +1,7 @@
 //! The signed binary symplectic form (BSF) tableau.
 
-use crate::string::mask_below;
+use crate::mask::QubitMask;
+use crate::string::MAX_QUBITS;
 use crate::{Clifford2Q, PauliString};
 use std::fmt;
 
@@ -21,36 +22,46 @@ pub fn fold_conjugation_sign(coeff: f64, sign: i8) -> f64 {
     }
 }
 
-/// One row of a [`Bsf`]: a Pauli string (as `[X | Z]` bit masks) together
-/// with its rotation coefficient.
+/// One row of a [`Bsf`]: a Pauli string (as packed `[X | Z]` bit masks)
+/// together with its rotation coefficient.
 ///
 /// A row represents the Pauli exponentiation `exp(-i · coeff · P)`. Sign
 /// flips under Clifford conjugation (`C P C† = -P'`) are folded into
 /// `coeff`, which keeps the tableau purely binary as in the paper while
 /// preserving exact circuit semantics.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BsfRow {
-    x: u128,
-    z: u128,
+    x: QubitMask,
+    z: QubitMask,
     coeff: f64,
 }
 
 impl BsfRow {
-    /// Creates a row from masks and a coefficient.
+    /// Creates a row from `u128` masks and a coefficient (covers the low
+    /// 128 qubits; wider rows are built with [`BsfRow::from_packed`]).
     pub fn new(x: u128, z: u128, coeff: f64) -> Self {
+        BsfRow {
+            x: QubitMask::from_u128(x),
+            z: QubitMask::from_u128(z),
+            coeff,
+        }
+    }
+
+    /// Creates a row from packed masks and a coefficient.
+    pub fn from_packed(x: QubitMask, z: QubitMask, coeff: f64) -> Self {
         BsfRow { x, z, coeff }
     }
 
     /// The X-block bit mask.
     #[inline]
-    pub fn x_mask(&self) -> u128 {
-        self.x
+    pub fn x_mask(&self) -> &QubitMask {
+        &self.x
     }
 
     /// The Z-block bit mask.
     #[inline]
-    pub fn z_mask(&self) -> u128 {
-        self.z
+    pub fn z_mask(&self) -> &QubitMask {
+        &self.z
     }
 
     /// The rotation coefficient (sign-folded).
@@ -59,16 +70,16 @@ impl BsfRow {
         self.coeff
     }
 
-    /// Number of non-trivially acted qubits.
+    /// Number of non-trivially acted qubits (word-parallel popcount).
     #[inline]
     pub fn weight(&self) -> usize {
-        (self.x | self.z).count_ones() as usize
+        self.x.or_count(&self.z) as usize
     }
 
     /// Bit mask of non-trivially acted qubits.
     #[inline]
-    pub fn support_mask(&self) -> u128 {
-        self.x | self.z
+    pub fn support_mask(&self) -> QubitMask {
+        &self.x | &self.z
     }
 
     /// Whether the row is *local* in the paper's sense (weight ≤ 1), i.e. a
@@ -80,7 +91,7 @@ impl BsfRow {
 
     /// Reconstructs the row as an `n`-qubit [`PauliString`].
     pub fn to_pauli_string(&self, n: usize) -> PauliString {
-        PauliString::from_masks(n, self.x, self.z)
+        PauliString::from_packed(n, self.x.clone(), self.z.clone())
     }
 
     /// The 4-bit restriction of this row to qubits `(a, b)`, encoded as
@@ -90,10 +101,10 @@ impl BsfRow {
     /// [`Clifford2QKind::conjugation_table`]: crate::Clifford2QKind::conjugation_table
     #[inline]
     pub fn nibble(&self, a: usize, b: usize) -> usize {
-        ((self.x >> a & 1) as usize)
-            | ((self.z >> a & 1) as usize) << 1
-            | ((self.x >> b & 1) as usize) << 2
-            | ((self.z >> b & 1) as usize) << 3
+        (self.x.bit(a) as usize)
+            | (self.z.bit(a) as usize) << 1
+            | (self.x.bit(b) as usize) << 2
+            | (self.z.bit(b) as usize) << 3
     }
 }
 
@@ -113,6 +124,11 @@ pub enum BsfError {
         /// The offending term's qubit count.
         found: usize,
     },
+    /// The requested register width exceeded [`MAX_QUBITS`].
+    UnsupportedWidth {
+        /// The offending width.
+        num_qubits: usize,
+    },
 }
 
 impl fmt::Display for BsfError {
@@ -121,6 +137,10 @@ impl fmt::Display for BsfError {
             BsfError::QubitCountMismatch { expected, found } => write!(
                 f,
                 "pauli term acts on {found} qubits but the tableau has {expected}"
+            ),
+            BsfError::UnsupportedWidth { num_qubits } => write!(
+                f,
+                "tableau width {num_qubits} exceeds the supported maximum of {MAX_QUBITS} qubits"
             ),
         }
     }
@@ -166,12 +186,16 @@ impl Bsf {
     ///
     /// # Errors
     ///
-    /// Returns [`BsfError::QubitCountMismatch`] if any string does not act on
+    /// Returns [`BsfError::UnsupportedWidth`] if `n > MAX_QUBITS` and
+    /// [`BsfError::QubitCountMismatch`] if any string does not act on
     /// exactly `n` qubits.
     pub fn from_terms(
         n: usize,
         terms: impl IntoIterator<Item = (PauliString, f64)>,
     ) -> Result<Self, BsfError> {
+        if n > MAX_QUBITS {
+            return Err(BsfError::UnsupportedWidth { num_qubits: n });
+        }
         let mut bsf = Bsf::new(n);
         for (p, c) in terms {
             if p.num_qubits() != n {
@@ -180,7 +204,11 @@ impl Bsf {
                     found: p.num_qubits(),
                 });
             }
-            bsf.rows.push(BsfRow::new(p.x_mask(), p.z_mask(), c));
+            bsf.rows.push(BsfRow::from_packed(
+                p.x_mask().clone(),
+                p.z_mask().clone(),
+                c,
+            ));
         }
         Ok(bsf)
     }
@@ -209,22 +237,26 @@ impl Bsf {
     ///
     /// Panics if the row has support outside the tableau's qubits.
     pub fn push_row(&mut self, row: BsfRow) {
-        assert_eq!(
-            row.support_mask() & !mask_below(self.n),
-            0,
+        assert!(
+            row.support_mask().max_bit().is_none_or(|b| b < self.n),
             "row support exceeds tableau qubit count"
         );
         self.rows.push(row);
     }
 
-    /// Bit mask of qubits any row acts on.
-    pub fn support_mask(&self) -> u128 {
-        self.rows.iter().fold(0u128, |m, r| m | r.support_mask())
+    /// Bit mask of qubits any row acts on (word-parallel union).
+    pub fn support_mask(&self) -> QubitMask {
+        let mut m = QubitMask::zeros(self.n);
+        for r in &self.rows {
+            m.or_with(r.x_mask());
+            m.or_with(r.z_mask());
+        }
+        m
     }
 
     /// The qubits any row acts on, in increasing order.
     pub fn support(&self) -> Vec<usize> {
-        crate::string::bits(self.support_mask())
+        self.support_mask().to_indices()
     }
 
     /// The paper's *total weight* `w_tot` (Eq. (4)): the number of qubits on
@@ -244,7 +276,7 @@ impl Bsf {
         let mut locals = Vec::new();
         self.rows.retain(|r| {
             if r.weight() == 1 {
-                locals.push(*r);
+                locals.push(r.clone());
                 false
             } else {
                 r.weight() != 0
@@ -265,15 +297,12 @@ impl Bsf {
             "clifford qubits must lie inside the tableau"
         );
         let table = c.kind.conjugation_table();
-        let (ba, bb) = (1u128 << c.a, 1u128 << c.b);
         for row in &mut self.rows {
             let (out, sign) = table[row.nibble(c.a, c.b)];
-            row.x = (row.x & !(ba | bb))
-                | if out & 1 != 0 { ba } else { 0 }
-                | if out & 4 != 0 { bb } else { 0 };
-            row.z = (row.z & !(ba | bb))
-                | if out & 2 != 0 { ba } else { 0 }
-                | if out & 8 != 0 { bb } else { 0 };
+            row.x.assign_bit(c.a, out & 1 != 0);
+            row.x.assign_bit(c.b, out & 4 != 0);
+            row.z.assign_bit(c.a, out & 2 != 0);
+            row.z.assign_bit(c.b, out & 8 != 0);
             row.coeff = fold_conjugation_sign(row.coeff, sign);
         }
     }
@@ -339,6 +368,18 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("3"));
+    }
+
+    #[test]
+    fn unsupported_width_is_an_error() {
+        let err = Bsf::from_terms(MAX_QUBITS + 1, vec![]).unwrap_err();
+        assert_eq!(
+            err,
+            BsfError::UnsupportedWidth {
+                num_qubits: MAX_QUBITS + 1
+            }
+        );
+        assert!(err.to_string().contains("exceeds"));
     }
 
     #[test]
@@ -417,7 +458,7 @@ mod tests {
     fn nibble_encodes_the_two_qubit_restriction() {
         // XYZ: qubit 0 = X (x only), 1 = Y (x and z), 2 = Z (z only).
         let bsf = bsf_from(&["XYZ"]);
-        let row = bsf.rows()[0];
+        let row = &bsf.rows()[0];
         assert_eq!(row.nibble(0, 1), 0b1101, "(X, Y)");
         assert_eq!(row.nibble(1, 2), 0b1011, "(Y, Z)");
         assert_eq!(row.nibble(2, 0), 0b0110, "(Z, X)");
@@ -432,6 +473,35 @@ mod tests {
         let terms = bsf.to_terms();
         let back = Bsf::from_terms(3, terms).unwrap();
         assert_eq!(back, bsf);
+    }
+
+    #[test]
+    fn wide_tableau_conjugation_crosses_word_boundaries() {
+        // A 300-qubit tableau with support straddling the u64 word seams:
+        // conjugation on (63, 64) and (255, 256) must behave exactly as the
+        // same nibble pattern does on a narrow register.
+        let n = 300;
+        let mut p = PauliString::identity(n);
+        p.set(63, crate::Pauli::Z);
+        p.set(64, crate::Pauli::Y);
+        p.set(256, crate::Pauli::Y);
+        let mut bsf = Bsf::from_terms(n, vec![(p, 1.0)]).unwrap();
+        assert_eq!(bsf.rows()[0].weight(), 3);
+        for (a, b) in [(63, 64), (255, 256)] {
+            for kind in CLIFFORD2Q_GENERATORS {
+                let c = Clifford2Q::new(kind, a, b);
+                let twice = bsf.conjugated(c).conjugated(c);
+                assert_eq!(twice, bsf, "{kind} on ({a},{b})");
+            }
+        }
+        bsf.apply_clifford2q(Clifford2Q::new(Clifford2QKind::Cxy, 63, 64));
+        let narrow = Bsf::from_terms(2, vec![("ZY".parse::<PauliString>().unwrap(), 1.0)])
+            .unwrap()
+            .conjugated(Clifford2Q::new(Clifford2QKind::Cxy, 0, 1));
+        let wide_row = &bsf.rows()[0];
+        let narrow_row = &narrow.rows()[0];
+        assert_eq!(wide_row.nibble(63, 64), narrow_row.nibble(0, 1));
+        assert_eq!(wide_row.coeff(), narrow_row.coeff());
     }
 
     #[test]

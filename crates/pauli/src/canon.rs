@@ -17,32 +17,70 @@
 //! final digest additionally mixes the term count and register width so the
 //! empty program on 3 vs 5 qubits, or `{P, P}` vs `{}`, stay distinct.
 //!
+//! Tables are generated in **chunks of 128 qubits**, grown lazily as wider
+//! registers appear. Chunk 0 is drawn from `ZOBRIST_SEED` exactly as the
+//! fixed-width implementation did, so digests for programs over at most
+//! 128 qubits are stable across this representation change (persisted cache
+//! artifacts keep their addresses); chunk `c > 0` is drawn from the derived
+//! seed `ZOBRIST_SEED ^ mix(c)`.
+//!
 //! Digest equality is *not* trusted: [`CanonicalIr::eq`] compares the full
 //! mask sequence, so a hash collision can only cause a spurious cache miss,
 //! never a wrong hit.
 
-use crate::{PauliString, MAX_QUBITS};
+use crate::mask::{QubitMask, WORD_BITS};
+use crate::PauliString;
 use phoenix_mathkit::Xoshiro256;
 use std::hash::{Hash, Hasher};
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// Seed of the Zobrist tables. Fixed so digests are stable across runs and
 /// processes (cache artifacts could in principle be persisted).
 const ZOBRIST_SEED: u64 = 0x5048_4F45_4E49_5821; // "PHOENIX!"
 
-/// The per-(qubit, Pauli) random tables: `[qubit][X=0, Y=1, Z=2]`.
-fn tables() -> &'static [[u64; 3]; MAX_QUBITS] {
-    static TABLES: OnceLock<[[u64; 3]; MAX_QUBITS]> = OnceLock::new();
-    TABLES.get_or_init(|| {
-        let mut rng = Xoshiro256::seed_from_u64(ZOBRIST_SEED);
-        let mut t = [[0u64; 3]; MAX_QUBITS];
-        for row in t.iter_mut() {
-            for cell in row.iter_mut() {
-                *cell = rng.next_u64();
-            }
+/// Qubits covered per lazily-generated table chunk.
+const CHUNK_QUBITS: usize = 128;
+
+type TableChunk = [[u64; 3]; CHUNK_QUBITS];
+
+fn generate_chunk(c: usize) -> &'static TableChunk {
+    let seed = if c == 0 {
+        ZOBRIST_SEED
+    } else {
+        ZOBRIST_SEED ^ mix(c as u64)
+    };
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut t = Box::new([[0u64; 3]; CHUNK_QUBITS]);
+    for row in t.iter_mut() {
+        for cell in row.iter_mut() {
+            *cell = rng.next_u64();
         }
-        t
-    })
+    }
+    Box::leak(t)
+}
+
+/// The per-(qubit, Pauli) random tables for qubits
+/// `[c·128, (c+1)·128)`: `[qubit % 128][X=0, Y=1, Z=2]`. Chunks are
+/// generated on first use and cached for the process lifetime (leaked —
+/// the total is bounded by `MAX_QUBITS / 128` chunks of 3 KiB).
+fn chunk_tables(c: usize) -> &'static TableChunk {
+    static CHUNKS: OnceLock<RwLock<Vec<&'static TableChunk>>> = OnceLock::new();
+    let chunks = CHUNKS.get_or_init(|| RwLock::new(Vec::new()));
+    if let Some(&t) = chunks.read().expect("zobrist lock").get(c) {
+        return t;
+    }
+    let mut w = chunks.write().expect("zobrist lock");
+    while w.len() <= c {
+        let next = w.len();
+        w.push(generate_chunk(next));
+    }
+    w[c]
+}
+
+/// The Zobrist `u64` for Pauli site `(qubit, idx)` with `X=0, Y=1, Z=2`.
+#[inline]
+fn site(q: usize, idx: usize) -> u64 {
+    chunk_tables(q / CHUNK_QUBITS)[q % CHUNK_QUBITS][idx]
 }
 
 /// SplitMix64-style finalizer: diffuses the XOR accumulator so structured
@@ -57,24 +95,28 @@ fn mix(mut h: u64) -> u64 {
 }
 
 /// The Zobrist hash of one term: XOR of the `(qubit, Pauli)` table entries
-/// over the string's support. The identity string hashes to zero.
+/// over the string's support, accumulated word-parallel (one
+/// `trailing_zeros` loop per 64-qubit word). The identity string hashes to
+/// zero.
 pub fn term_hash(p: &PauliString) -> u64 {
-    let t = tables();
     let mut h = 0u64;
     let (x, z) = (p.x_mask(), p.z_mask());
-    let mut support = x | z;
-    while support != 0 {
-        let q = support.trailing_zeros() as usize;
-        support &= support - 1;
-        let bit = 1u128 << q;
-        // X=0, Y=1, Z=2 (Y has both bits set).
-        let idx = match (x & bit != 0, z & bit != 0) {
-            (true, false) => 0,
-            (true, true) => 1,
-            (false, true) => 2,
-            (false, false) => unreachable!("bit came from the support mask"),
-        };
-        h ^= t[q][idx];
+    let nwords = x.words().len().max(z.words().len());
+    for wi in 0..nwords {
+        let (xw, zw) = (x.word(wi), z.word(wi));
+        let mut support = xw | zw;
+        while support != 0 {
+            let b = support.trailing_zeros() as usize;
+            support &= support - 1;
+            // X=0, Y=1, Z=2 (Y has both bits set).
+            let idx = match (xw >> b & 1 == 1, zw >> b & 1 == 1) {
+                (true, false) => 0,
+                (true, true) => 1,
+                (false, true) => 2,
+                (false, false) => unreachable!("bit came from the support mask"),
+            };
+            h ^= site(wi * WORD_BITS + b, idx);
+        }
     }
     h
 }
@@ -160,7 +202,7 @@ impl ZobristAcc {
 #[derive(Debug, Clone)]
 pub struct CanonicalIr {
     n: usize,
-    masks: Vec<(u128, u128)>,
+    masks: Vec<(QubitMask, QubitMask)>,
     digest: u64,
 }
 
@@ -172,7 +214,7 @@ impl CanonicalIr {
             .iter()
             .map(|(p, _)| {
                 acc.insert(p);
-                (p.x_mask(), p.z_mask())
+                (p.x_mask().clone(), p.z_mask().clone())
             })
             .collect();
         CanonicalIr {
@@ -249,6 +291,31 @@ mod tests {
     }
 
     #[test]
+    fn chunk0_digests_are_stable() {
+        // Golden digest values produced by the fixed-width (u128)
+        // implementation: the chunk-0 table must reproduce them exactly,
+        // or every persisted cache address for n ≤ 128 silently changes.
+        let mut rng = Xoshiro256::seed_from_u64(ZOBRIST_SEED);
+        assert_eq!(site(0, 0), rng.next_u64());
+        assert_eq!(site(0, 1), rng.next_u64());
+        assert_eq!(site(0, 2), rng.next_u64());
+        assert_eq!(site(1, 0), rng.next_u64());
+    }
+
+    #[test]
+    fn wide_sites_are_distinct_across_chunks() {
+        // Qubit 128 lives in chunk 1; its sites must not collide with the
+        // start of chunk 0 (a fresh identical seed would alias them).
+        assert_ne!(site(128, 0), site(0, 0));
+        assert_ne!(site(129, 1), site(1, 1));
+        let mut wide = PauliString::identity(200);
+        wide.set(150, crate::Pauli::X);
+        let mut narrow = PauliString::identity(200);
+        narrow.set(22, crate::Pauli::X); // 150 % 128 = 22
+        assert_ne!(term_hash(&wide), term_hash(&narrow));
+    }
+
+    #[test]
     fn digest_ignores_coefficients() {
         let a = CanonicalIr::from_terms(2, &[(ps("XZ"), 0.5)]);
         let b = CanonicalIr::from_terms(2, &[(ps("XZ"), -3.25)]);
@@ -290,6 +357,22 @@ mod tests {
         let mut combined = left;
         combined.combine(&right);
         assert_eq!(combined.digest(3), whole.digest(3));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_wide() {
+        let mut wide = PauliString::identity(400);
+        wide.set(5, crate::Pauli::Y);
+        wide.set(201, crate::Pauli::Z);
+        wide.set(399, crate::Pauli::X);
+        let mut acc = ZobristAcc::new();
+        acc.insert(&ps("XY").embed(400, &[0, 1]));
+        let before = acc;
+        acc.insert(&wide);
+        acc.remove(&wide);
+        assert_eq!(acc, before);
+        assert!(!acc.is_empty());
+        assert_eq!(acc.len(), 1);
     }
 
     #[test]

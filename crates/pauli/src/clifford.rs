@@ -191,7 +191,7 @@ impl Clifford2Q {
     /// Panics if the gate's qubits lie outside the string.
     pub fn conjugate_string(&self, p: &crate::PauliString) -> (crate::PauliString, i8) {
         let (qa, qb, sign) = self.kind.conjugate(p.get(self.a), p.get(self.b));
-        let mut out = *p;
+        let mut out = p.clone();
         out.set(self.a, qa);
         out.set(self.b, qb);
         (out, sign)

@@ -39,6 +39,7 @@ mod algebra;
 mod bsf;
 pub mod canon;
 mod clifford;
+pub mod mask;
 mod pauli;
 mod string;
 
@@ -46,5 +47,6 @@ pub use algebra::{NonHermitianError, PauliPolynomial, PauliTerm};
 pub use bsf::{fold_conjugation_sign, nibble_weight, Bsf, BsfError, BsfRow};
 pub use canon::{term_hash, CanonicalIr, ZobristAcc};
 pub use clifford::{Clifford2Q, Clifford2QKind, CLIFFORD2Q_GENERATORS};
+pub use mask::QubitMask;
 pub use pauli::Pauli;
-pub use string::{ParsePauliStringError, PauliString, MAX_QUBITS};
+pub use string::{ParsePauliStringError, PauliString, WidthError, MAX_QUBITS};

@@ -1,15 +1,18 @@
-//! Multi-qubit Pauli strings over up to 128 qubits.
+//! Multi-qubit Pauli strings over variable-width packed bit masks.
 
+use crate::mask::QubitMask;
 use crate::Pauli;
 use phoenix_mathkit::{CMatrix, Complex};
 use std::fmt;
 use std::str::FromStr;
 
-/// An `n`-qubit Pauli string stored as a pair of `u128` bit masks in the
+/// An `n`-qubit Pauli string stored as a pair of packed bit masks in the
 /// binary symplectic encoding (`X → [1|0]`, `Z → [0|1]`, `Y → [1|1]`).
 ///
 /// Qubit `q` corresponds to bit `q`; the textual label lists qubit 0 first,
-/// matching the paper's `σ₀ ⊗ ⋯ ⊗ σ_{n−1}` ordering.
+/// matching the paper's `σ₀ ⊗ ⋯ ⊗ σ_{n−1}` ordering. Masks are stored
+/// inline (no heap allocation) for `n ≤ 128` and spill to heap word arrays
+/// beyond — see [`QubitMask`].
 ///
 /// # Examples
 ///
@@ -22,42 +25,105 @@ use std::str::FromStr;
 /// assert_eq!(p.weight(), 2);
 /// # Ok::<(), phoenix_pauli::ParsePauliStringError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PauliString {
     n: u32,
-    x: u128,
-    z: u128,
+    x: QubitMask,
+    z: QubitMask,
 }
 
-/// The maximum number of qubits a [`PauliString`] can address.
-pub const MAX_QUBITS: usize = 128;
+/// The maximum register width the compiler accepts. This is a sanity bound
+/// against absurd allocations, not a representation limit: masks are packed
+/// `u64` word arrays that scale to any width.
+pub const MAX_QUBITS: usize = 1 << 16;
+
+/// A requested register width exceeded [`MAX_QUBITS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WidthError {
+    /// The offending width.
+    pub num_qubits: usize,
+}
+
+impl fmt::Display for WidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "register width {} exceeds the supported maximum of {MAX_QUBITS} qubits",
+            self.num_qubits
+        )
+    }
+}
+
+impl std::error::Error for WidthError {}
 
 impl PauliString {
     /// Creates the `n`-qubit identity string.
     ///
     /// # Panics
     ///
-    /// Panics if `n > 128`.
+    /// Panics if `n > MAX_QUBITS`; use [`PauliString::try_identity`] for a
+    /// typed error.
     pub fn identity(n: usize) -> Self {
-        assert!(n <= MAX_QUBITS, "at most {MAX_QUBITS} qubits supported");
-        PauliString {
-            n: n as u32,
-            x: 0,
-            z: 0,
-        }
+        Self::try_identity(n).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Creates a string from raw symplectic masks.
+    /// Fallible [`PauliString::identity`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthError`] if `n > MAX_QUBITS`.
+    pub fn try_identity(n: usize) -> Result<Self, WidthError> {
+        if n > MAX_QUBITS {
+            return Err(WidthError { num_qubits: n });
+        }
+        Ok(PauliString {
+            n: n as u32,
+            x: QubitMask::zeros(n),
+            z: QubitMask::zeros(n),
+        })
+    }
+
+    /// Creates a string from raw symplectic masks over the low 128 qubits.
+    /// Wider strings are built with [`PauliString::from_packed`].
     ///
     /// # Panics
     ///
-    /// Panics if `n > 128` or if a mask has bits at or above `n`.
+    /// Panics if `n > MAX_QUBITS` or if a mask has bits at or above `n`.
     pub fn from_masks(n: usize, x: u128, z: u128) -> Self {
-        assert!(n <= MAX_QUBITS, "at most {MAX_QUBITS} qubits supported");
-        let valid = mask_below(n);
-        assert_eq!(x & !valid, 0, "x mask exceeds qubit count");
-        assert_eq!(z & !valid, 0, "z mask exceeds qubit count");
-        PauliString { n: n as u32, x, z }
+        Self::from_packed(n, QubitMask::from_u128(x), QubitMask::from_u128(z))
+    }
+
+    /// Creates a string from packed symplectic masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_QUBITS` or if a mask has bits at or above `n`;
+    /// use [`PauliString::try_from_packed`] for a typed error.
+    pub fn from_packed(n: usize, x: QubitMask, z: QubitMask) -> Self {
+        Self::try_from_packed(n, x, z).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PauliString::from_packed`]: out-of-range widths and masks
+    /// with support at or above `n` come back as a [`WidthError`] instead
+    /// of a panic, so `try_compile*` callers get an error on bad input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthError`] if `n > MAX_QUBITS` or a mask has bits at or
+    /// above `n` (the error carries the smallest width that would fit).
+    pub fn try_from_packed(n: usize, x: QubitMask, z: QubitMask) -> Result<Self, WidthError> {
+        if n > MAX_QUBITS {
+            return Err(WidthError { num_qubits: n });
+        }
+        let top = x.max_bit().max(z.max_bit());
+        if let Some(top) = top {
+            if top >= n {
+                return Err(WidthError {
+                    num_qubits: top + 1,
+                });
+            }
+        }
+        Ok(PauliString { n: n as u32, x, z })
     }
 
     /// Creates an `n`-qubit string that is `p` on qubit `q` and identity
@@ -65,7 +131,7 @@ impl PauliString {
     ///
     /// # Panics
     ///
-    /// Panics if `q >= n` or `n > 128`.
+    /// Panics if `q >= n` or `n > MAX_QUBITS`.
     pub fn single(n: usize, q: usize, p: Pauli) -> Self {
         let mut s = PauliString::identity(n);
         s.set(q, p);
@@ -93,14 +159,14 @@ impl PauliString {
 
     /// The X-block bit mask.
     #[inline]
-    pub fn x_mask(&self) -> u128 {
-        self.x
+    pub fn x_mask(&self) -> &QubitMask {
+        &self.x
     }
 
     /// The Z-block bit mask.
     #[inline]
-    pub fn z_mask(&self) -> u128 {
-        self.z
+    pub fn z_mask(&self) -> &QubitMask {
+        &self.z
     }
 
     /// The Pauli acting on qubit `q`.
@@ -111,7 +177,7 @@ impl PauliString {
     #[inline]
     pub fn get(&self, q: usize) -> Pauli {
         assert!(q < self.n as usize, "qubit {q} out of range");
-        Pauli::from_xz(self.x >> q & 1 == 1, self.z >> q & 1 == 1)
+        Pauli::from_xz(self.x.bit(q), self.z.bit(q))
     }
 
     /// Sets the Pauli acting on qubit `q`.
@@ -122,50 +188,42 @@ impl PauliString {
     #[inline]
     pub fn set(&mut self, q: usize, p: Pauli) {
         assert!(q < self.n as usize, "qubit {q} out of range");
-        let bit = 1u128 << q;
-        if p.x_bit() {
-            self.x |= bit;
-        } else {
-            self.x &= !bit;
-        }
-        if p.z_bit() {
-            self.z |= bit;
-        } else {
-            self.z &= !bit;
-        }
+        self.x.assign_bit(q, p.x_bit());
+        self.z.assign_bit(q, p.z_bit());
     }
 
-    /// Number of qubits acted on non-trivially.
+    /// Number of qubits acted on non-trivially (word-parallel popcount).
     #[inline]
     pub fn weight(&self) -> usize {
-        (self.x | self.z).count_ones() as usize
+        self.x.or_count(&self.z) as usize
     }
 
     /// Whether the string is the identity.
     #[inline]
     pub fn is_identity(&self) -> bool {
-        self.x == 0 && self.z == 0
+        self.x.is_zero() && self.z.is_zero()
     }
 
     /// Bit mask of the non-trivially acted qubits.
     #[inline]
-    pub fn support_mask(&self) -> u128 {
-        self.x | self.z
+    pub fn support_mask(&self) -> QubitMask {
+        &self.x | &self.z
     }
 
     /// The non-trivially acted qubits in increasing order.
     pub fn support(&self) -> Vec<usize> {
-        bits(self.support_mask())
+        self.support_mask().to_indices()
     }
 
-    /// Whether two strings commute (symplectic inner product is even).
+    /// Whether two strings commute (symplectic inner product is even),
+    /// computed word-parallel over the packed masks.
     ///
     /// # Panics
     ///
     /// Panics if the qubit counts differ.
     pub fn commutes(&self, other: &PauliString) -> bool {
         assert_eq!(self.n, other.n, "qubit counts must match");
-        ((self.x & other.z).count_ones() + (self.z & other.x).count_ones()).is_multiple_of(2)
+        !QubitMask::symplectic_parity(&self.x, &self.z, &other.x, &other.z)
     }
 
     /// Multiplies two strings, returning `(product, k)` with
@@ -176,13 +234,15 @@ impl PauliString {
     /// Panics if the qubit counts differ.
     pub fn mul(&self, other: &PauliString) -> (PauliString, u8) {
         assert_eq!(self.n, other.n, "qubit counts must match");
-        let x3 = self.x ^ other.x;
-        let z3 = self.z ^ other.z;
+        let mut x3 = self.x.clone();
+        x3.xor_with(&other.x);
+        let mut z3 = self.z.clone();
+        z3.xor_with(&other.z);
         // Per-qubit phase exponents, summed mod 4 (see Pauli::mul).
-        let k = (self.x & self.z).count_ones() as i64
-            + (other.x & other.z).count_ones() as i64
-            + 2 * (self.z & other.x).count_ones() as i64
-            - (x3 & z3).count_ones() as i64;
+        let k = self.x.and_count(&self.z) as i64
+            + other.x.and_count(&other.z) as i64
+            + 2 * self.z.and_count(&other.x) as i64
+            - x3.and_count(&z3) as i64;
         (
             PauliString {
                 n: self.n,
@@ -235,12 +295,13 @@ impl PauliString {
         let n = self.num_qubits();
         let dim = 1usize << n;
         let mut m = CMatrix::zeros(dim, dim);
+        let (x, z) = (self.x.low_u128(), self.z.low_u128());
         // P|b⟩ = phase(b) |b ⊕ x⟩ with phase from Z and Y parts.
         for b in 0..dim {
-            let target = b ^ (self.x as usize);
+            let target = b ^ (x as usize);
             // Z contributes (-1)^{b·z}; Y contributes an extra i per Y with x-flip.
-            let zpar = ((b as u128) & self.z).count_ones() % 2;
-            let ycnt = (self.x & self.z).count_ones() % 4;
+            let zpar = ((b as u128) & z).count_ones() % 2;
+            let ycnt = (x & z).count_ones() % 4;
             // pauli(x,z) = i^{x z} X^x Z^z acting on |b>: Z first then X.
             let mut phase = if zpar == 1 {
                 -Complex::ONE
@@ -297,26 +358,6 @@ impl FromStr for PauliString {
 impl fmt::Display for PauliString {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.label())
-    }
-}
-
-/// Returns the indices of set bits, in increasing order.
-pub(crate) fn bits(mut mask: u128) -> Vec<usize> {
-    let mut out = Vec::with_capacity(mask.count_ones() as usize);
-    while mask != 0 {
-        let b = mask.trailing_zeros() as usize;
-        out.push(b);
-        mask &= mask - 1;
-    }
-    out
-}
-
-/// Bit mask with the low `n` bits set.
-pub(crate) fn mask_below(n: usize) -> u128 {
-    if n >= 128 {
-        u128::MAX
-    } else {
-        (1u128 << n) - 1
     }
 }
 
@@ -405,10 +446,40 @@ mod tests {
     #[test]
     fn masks_are_consistent() {
         let p: PauliString = "XYZI".parse().unwrap();
-        assert_eq!(p.x_mask(), 0b0011);
-        assert_eq!(p.z_mask(), 0b0110);
+        assert_eq!(p.x_mask().try_to_u128(), Some(0b0011));
+        assert_eq!(p.z_mask().try_to_u128(), Some(0b0110));
         let q = PauliString::from_masks(4, 0b0011, 0b0110);
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn wide_strings_work_beyond_128_qubits() {
+        let n = 500;
+        let mut p = PauliString::identity(n);
+        p.set(0, Pauli::X);
+        p.set(499, Pauli::Y);
+        p.set(250, Pauli::Z);
+        assert_eq!(p.weight(), 3);
+        assert_eq!(p.support(), vec![0, 250, 499]);
+        assert_eq!(p.get(499), Pauli::Y);
+        let mut q = PauliString::identity(n);
+        q.set(499, Pauli::Z);
+        // Y on qubit 499 vs Z on qubit 499: anticommute.
+        assert!(!p.commutes(&q));
+        let (prod, _) = p.mul(&q);
+        assert_eq!(prod.get(499), Pauli::X);
+    }
+
+    #[test]
+    fn try_constructors_reject_bad_widths() {
+        assert!(PauliString::try_identity(MAX_QUBITS).is_ok());
+        let err = PauliString::try_identity(MAX_QUBITS + 1).unwrap_err();
+        assert_eq!(err.num_qubits, MAX_QUBITS + 1);
+        assert!(err.to_string().contains("exceeds"));
+        // Support above n is rejected, reporting the needed width.
+        let err =
+            PauliString::try_from_packed(3, QubitMask::single(5), QubitMask::zeros(3)).unwrap_err();
+        assert_eq!(err.num_qubits, 6);
     }
 
     #[test]

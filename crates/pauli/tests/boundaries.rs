@@ -1,0 +1,136 @@
+//! Shift-overflow boundary audit: every mask operation that historically
+//! relied on `u128` shifts (`mask_below`, `1 << n`) must be well-defined at
+//! the word boundaries `n ∈ {63, 64, 127, 128}` and one step past each.
+//!
+//! Rust panics (debug) or wraps (release) on a shift by ≥ the type width,
+//! so `1u64 << 64` and `(1u128 << 128) - 1` were latent landmines at
+//! exactly the widths where the packed representation changes shape. These
+//! tests pin the packed kernels at those seams.
+
+use phoenix_pauli::{
+    mask::words_for, Bsf, BsfError, BsfRow, Pauli, PauliString, QubitMask, MAX_QUBITS,
+};
+
+const BOUNDARY_WIDTHS: [usize; 8] = [63, 64, 65, 127, 128, 129, 191, 192];
+
+#[test]
+fn ones_is_exact_at_every_word_boundary() {
+    for n in BOUNDARY_WIDTHS {
+        let m = QubitMask::ones(n);
+        assert_eq!(m.count_ones() as usize, n, "ones({n}) has wrong popcount");
+        assert!(m.bit(n - 1), "ones({n}) misses its top bit");
+        assert!(!m.bit(n), "ones({n}) leaks past the boundary");
+        assert_eq!(m.max_bit(), Some(n - 1));
+        if n <= 128 {
+            // Exactly the value `(1 << n) - 1` would have produced, without
+            // the undefined shift at n = 128.
+            let expect = if n == 128 {
+                u128::MAX
+            } else {
+                (1u128 << n) - 1
+            };
+            assert_eq!(m.low_u128(), expect, "ones({n}) != mask_below({n})");
+        }
+    }
+}
+
+#[test]
+fn single_bit_is_exact_at_every_word_boundary() {
+    for n in BOUNDARY_WIDTHS {
+        let q = n - 1;
+        let m = QubitMask::single(q);
+        assert_eq!(m.count_ones(), 1);
+        assert!(m.bit(q));
+        assert_eq!(m.max_bit(), Some(q));
+        assert_eq!(m.to_indices(), vec![q]);
+    }
+}
+
+#[test]
+fn top_qubit_round_trips_through_string_api() {
+    for n in BOUNDARY_WIDTHS {
+        for p in [Pauli::X, Pauli::Y, Pauli::Z] {
+            let s = PauliString::single(n, n - 1, p);
+            assert_eq!(s.get(n - 1), p, "n={n}");
+            assert_eq!(s.weight(), 1, "n={n}");
+            assert_eq!(s.support(), vec![n - 1], "n={n}");
+            // The top-qubit string must anticommute with its symplectic
+            // partner and commute with everything strictly below.
+            let partner = match p {
+                Pauli::X | Pauli::Y => Pauli::Z,
+                _ => Pauli::X,
+            };
+            assert!(
+                !s.commutes(&PauliString::single(n, n - 1, partner)),
+                "n={n}"
+            );
+            if n >= 2 {
+                assert!(s.commutes(&PauliString::single(n, n - 2, partner)), "n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn conjugation_across_the_boundary_qubit_pair() {
+    // A 2Q Clifford straddling a word boundary (q, q+1) = (63, 64) and
+    // (127, 128) must act exactly as on an adjacent in-word pair.
+    use phoenix_pauli::{Clifford2Q, CLIFFORD2Q_GENERATORS};
+    for q in [63usize, 127] {
+        let n = q + 2;
+        for kind in CLIFFORD2Q_GENERATORS {
+            for (pa, pb) in [
+                (Pauli::X, Pauli::Z),
+                (Pauli::Y, Pauli::Y),
+                (Pauli::Z, Pauli::X),
+            ] {
+                let mut wide = PauliString::identity(n);
+                wide.set(q, pa);
+                wide.set(q + 1, pb);
+                let (wout, wsign) = Clifford2Q::new(kind, q, q + 1).conjugate_string(&wide);
+
+                let mut narrow = PauliString::identity(2);
+                narrow.set(0, pa);
+                narrow.set(1, pb);
+                let (nout, nsign) = Clifford2Q::new(kind, 0, 1).conjugate_string(&narrow);
+
+                assert_eq!(wsign, nsign, "q={q} kind={kind:?}");
+                assert_eq!(wout.get(q), nout.get(0), "q={q} kind={kind:?}");
+                assert_eq!(wout.get(q + 1), nout.get(1), "q={q} kind={kind:?}");
+                assert_eq!(wout.weight(), nout.weight(), "q={q} kind={kind:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn row_support_is_exact_at_the_top_word() {
+    for n in BOUNDARY_WIDTHS {
+        let row = BsfRow::from_packed(QubitMask::single(n - 1), QubitMask::ones(n), 0.5);
+        assert_eq!(row.weight(), n);
+        assert_eq!(row.support_mask().count_ones() as usize, n);
+        assert_eq!(words_for(n), n.div_ceil(64).max(2));
+    }
+}
+
+#[test]
+fn width_cap_is_a_typed_error_not_a_panic() {
+    // One past the cap: every try-constructor reports the width instead of
+    // panicking.
+    let over = MAX_QUBITS + 1;
+    let err = PauliString::try_identity(over).unwrap_err();
+    assert_eq!(err.num_qubits, over);
+    let err = Bsf::from_terms(over, vec![]).unwrap_err();
+    assert_eq!(err, BsfError::UnsupportedWidth { num_qubits: over });
+    // At the cap: fine.
+    assert!(PauliString::try_identity(MAX_QUBITS).is_ok());
+}
+
+#[test]
+fn oversized_strings_are_rejected_with_the_offending_width() {
+    // A mask whose top bit is at or past `n` must be rejected, reporting
+    // the width the mask actually needs.
+    let x = QubitMask::single(128);
+    let err = PauliString::try_from_packed(128, x, QubitMask::zeros(128)).unwrap_err();
+    assert_eq!(err.num_qubits, 129);
+}

@@ -122,7 +122,7 @@ proptest! {
         let terms: Vec<(PauliString, f64)> = strings
             .iter()
             .enumerate()
-            .map(|(i, &p)| (p, 0.1 * (i as f64 + 1.0)))
+            .map(|(i, p)| (p.clone(), 0.1 * (i as f64 + 1.0)))
             .collect();
         let bsf = Bsf::from_terms(5, terms.clone()).unwrap();
         prop_assert_eq!(bsf.to_terms(), terms);
@@ -139,7 +139,7 @@ proptest! {
     ) {
         prop_assume!(a != b);
         let terms: Vec<(PauliString, f64)> =
-            strings.iter().map(|&p| (p, 0.25)).collect();
+            strings.iter().map(|p| (p.clone(), 0.25)).collect();
         let bsf = Bsf::from_terms(5, terms).unwrap();
         let c = Clifford2Q::new(CLIFFORD2Q_GENERATORS[kind], a, b);
         prop_assert_eq!(bsf.conjugated(c).conjugated(c), bsf);

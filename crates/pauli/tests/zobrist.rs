@@ -77,7 +77,7 @@ proptest! {
     #[test]
     fn digest_ignores_coefficients(terms in program(N), scale in -4.0f64..4.0) {
         let rescaled: Vec<(PauliString, f64)> =
-            terms.iter().map(|(p, c)| (*p, c * scale)).collect();
+            terms.iter().map(|(p, c)| (p.clone(), c * scale)).collect();
         prop_assert_eq!(
             CanonicalIr::from_terms(N, &terms).digest(),
             CanonicalIr::from_terms(N, &rescaled).digest()

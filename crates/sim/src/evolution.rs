@@ -31,9 +31,9 @@ pub fn hamiltonian_matrix(n: usize, terms: &[(PauliString, f64)]) -> CMatrix {
 pub fn pauli_apply_left(p: &PauliString, m: &CMatrix) -> CMatrix {
     let dim = 1usize << p.num_qubits();
     assert_eq!(m.rows(), dim, "dimension mismatch");
-    let x = p.x_mask() as usize;
-    let z = p.z_mask();
-    let ycnt = (p.x_mask() & z).count_ones() % 4;
+    let x = p.x_mask().low_u128() as usize;
+    let z = p.z_mask().low_u128();
+    let ycnt = p.x_mask().and_count(p.z_mask()) % 4;
     let ybase = [Complex::ONE, Complex::I, -Complex::ONE, -Complex::I][ycnt as usize];
     let mut out = CMatrix::zeros(dim, m.cols());
     for r in 0..dim {

@@ -30,9 +30,9 @@ pub fn expectation(state: &State, p: &PauliString) -> f64 {
         "observable arity mismatch"
     );
     let amps = state.amplitudes();
-    let x = p.x_mask() as usize;
-    let z = p.z_mask();
-    let ycnt = (p.x_mask() & z).count_ones() % 4;
+    let x = p.x_mask().low_u128() as usize;
+    let z = p.z_mask().low_u128();
+    let ycnt = p.x_mask().and_count(p.z_mask()) % 4;
     let ybase = [Complex::ONE, Complex::I, -Complex::ONE, -Complex::I][ycnt as usize];
     let mut acc = Complex::ZERO;
     for (b, &amp) in amps.iter().enumerate() {

@@ -87,9 +87,9 @@ impl State {
     /// Panics if the string's qubit count differs from the state's.
     pub fn apply_pauli(&mut self, p: &PauliString) {
         assert_eq!(p.num_qubits(), self.n, "pauli arity mismatch");
-        let x = p.x_mask() as usize;
-        let z = p.z_mask();
-        let ycnt = (p.x_mask() & z).count_ones() % 4;
+        let x = p.x_mask().low_u128() as usize;
+        let z = p.z_mask().low_u128();
+        let ycnt = p.x_mask().and_count(p.z_mask()) % 4;
         let ybase = [Complex::ONE, Complex::I, -Complex::ONE, -Complex::I][ycnt as usize];
         let mut out = vec![Complex::ZERO; self.amps.len()];
         for (r, slot) in out.iter_mut().enumerate() {

@@ -302,7 +302,7 @@ mod tests {
         let p = g.program(Family::Random, 6, 12);
         // Pretend the failure is caused by term #7 (tracked by its
         // coefficient, which survives qubit compaction).
-        let culprit = p.terms[7];
+        let culprit = p.terms[7].clone();
         let min = shrink(&p, |cand| cand.terms.iter().any(|(_, c)| *c == culprit.1));
         assert_eq!(min.terms.len(), 1);
         assert_eq!(min.num_qubits, culprit.0.weight());

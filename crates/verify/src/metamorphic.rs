@@ -96,7 +96,11 @@ fn term_permutation(program: &Program, rng: &mut Xoshiro256, failures: &mut Vec<
 fn coefficient_scaling(program: &Program, failures: &mut Vec<Failure>) {
     let compiler = PhoenixCompiler::default();
     let n = program.num_qubits;
-    let zeroed: Vec<_> = program.terms.iter().map(|(p, _)| (*p, 0.0)).collect();
+    let zeroed: Vec<_> = program
+        .terms
+        .iter()
+        .map(|(p, _)| (p.clone(), 0.0))
+        .collect();
     let at_zero = compiler.compile_to_cnot(n, &zeroed);
     let infid = infidelity(&circuit_unitary(&at_zero), &identity_unitary(n));
     if infid > EPSILON {
@@ -108,7 +112,11 @@ fn coefficient_scaling(program: &Program, failures: &mut Vec<Failure>) {
         );
     }
     for scale in [0.5, -1.0] {
-        let scaled: Vec<_> = program.terms.iter().map(|(p, c)| (*p, c * scale)).collect();
+        let scaled: Vec<_> = program
+            .terms
+            .iter()
+            .map(|(p, c)| (p.clone(), c * scale))
+            .collect();
         let out = compiler.compile(n, &scaled);
         if let Outcome::Fail { metric, detail } = check_exact_unitary(&out.circuit, &out.term_order)
         {

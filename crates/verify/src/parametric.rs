@@ -93,7 +93,7 @@ pub fn verify_parametric(program: &Program, cache: &Arc<CompileCache>) -> Vec<Fa
     let reparam: Vec<(PauliString, f64)> = terms
         .iter()
         .zip(&angles)
-        .map(|((p, _), a)| (*p, *a))
+        .map(|((p, _), a)| (p.clone(), *a))
         .collect();
     let fresh = CompileRequest::new(n, &reparam).run();
     match (rebound, fresh) {
