@@ -1,0 +1,383 @@
+//! Stress-drive a real `phoenixd` subprocess with concurrent clients and
+//! adversarial traffic, then SIGTERM it and audit the drain.
+//!
+//! The bench asserts the ISSUE's serving contract end to end:
+//!
+//! - the daemon process never dies, no matter what clients send;
+//! - every request receives a typed reply — shed requests surface as
+//!   `overloaded` (never a silent drop), malformed frames as
+//!   `invalid_request`, oversized frames as `frame_too_large`;
+//! - p99 admission (queue-wait) latency stays bounded;
+//! - SIGTERM drains: the process exits 0 after answering all admitted work
+//!   and writes its final report.
+//!
+//! Traffic mix per client: ~65% valid compiles (with retry/backoff through
+//! overload), 10% malformed, 5% oversized, 10% cancellation pairs, 5%
+//! zero-deadline, 5% pings — ≥ 20% adversarial.
+//!
+//! ```text
+//! cargo run --release -p phoenix-bench --bin servebench [-- --smoke]
+//! ```
+//!
+//! Writes `results/BENCH_serve.json`. `--smoke` shrinks the request count
+//! for CI while keeping 8 concurrent clients; `--clients N`/`--requests N`
+//! override both.
+
+use phoenix_bench::{or_exit, write_results, SEED};
+use phoenix_mathkit::Xoshiro256;
+use phoenix_serve::{Client, RetryPolicy};
+use serde::Serialize;
+use serde_json::Value;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+const SERVER_QUEUE: usize = 8;
+const SERVER_WORKERS: usize = 4;
+const MAX_FRAME_BYTES: usize = 4096;
+
+#[derive(Default, Serialize)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    pong: u64,
+    cancelled: u64,
+    deadline_exceeded: u64,
+    invalid_request: u64,
+    frame_too_large: u64,
+    overloaded_final: u64,
+    compile_error: u64,
+    other: u64,
+}
+
+impl Tally {
+    fn answered(&self) -> u64 {
+        self.ok
+            + self.pong
+            + self.cancelled
+            + self.deadline_exceeded
+            + self.invalid_request
+            + self.frame_too_large
+            + self.overloaded_final
+            + self.compile_error
+            + self.other
+    }
+
+    fn absorb(&mut self, other: Tally) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.pong += other.pong;
+        self.cancelled += other.cancelled;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.invalid_request += other.invalid_request;
+        self.frame_too_large += other.frame_too_large;
+        self.overloaded_final += other.overloaded_final;
+        self.compile_error += other.compile_error;
+        self.other += other.other;
+    }
+
+    fn classify(&mut self, reply: &Value) {
+        let status = reply.get("status").and_then(Value::as_str).unwrap_or("");
+        let kind = reply.get("kind").and_then(Value::as_str).unwrap_or("");
+        match (status, kind) {
+            ("ok", _) => self.ok += 1,
+            ("pong", _) => self.pong += 1,
+            (_, "cancelled") => self.cancelled += 1,
+            (_, "deadline_exceeded") => self.deadline_exceeded += 1,
+            (_, "invalid_request") => self.invalid_request += 1,
+            (_, "frame_too_large") => self.frame_too_large += 1,
+            (_, "overloaded") => self.overloaded_final += 1,
+            (_, "compile_error") => self.compile_error += 1,
+            _ => self.other += 1,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct BenchResult {
+    clients: usize,
+    requests_per_client: usize,
+    replies: Tally,
+    unanswered: u64,
+    client_p99_latency_ms: u64,
+    server_exit_ok: bool,
+    server_report: Value,
+}
+
+fn compile_frame(id: u64, qubits: usize, n: usize, rng: &mut Xoshiro256) -> String {
+    let mut terms = Vec::with_capacity(n);
+    while terms.len() < n {
+        let label: String = (0..qubits)
+            .map(|_| ['I', 'X', 'Y', 'Z'][rng.next_below(4)])
+            .collect();
+        if label.bytes().all(|b| b == b'I') {
+            continue;
+        }
+        terms.push(format!("[\"{label}\",{:.4}]", rng.next_f64() - 0.5));
+    }
+    format!(
+        "{{\"op\":\"compile\",\"id\":{id},\"qubits\":{qubits},\"terms\":[{}],\"target\":\"cnot\"}}",
+        terms.join(",")
+    )
+}
+
+/// One client's worth of mixed traffic. Requests run sequentially so every
+/// adversarial frame's reply can be read positionally.
+fn drive_client(addr: &str, client_id: u64, requests: usize) -> (Tally, Vec<u64>) {
+    let policy = RetryPolicy {
+        seed: SEED ^ client_id,
+        ..RetryPolicy::default()
+    };
+    let mut client = or_exit(
+        Client::connect(addr, policy),
+        &format!("client {client_id}: connect"),
+    );
+    let mut rng = Xoshiro256::seed_from_u64(SEED.wrapping_mul(31) ^ client_id);
+    let mut tally = Tally::default();
+    let mut latencies_ms = Vec::new();
+    for i in 0..requests {
+        let id = client_id * 10_000 + i as u64;
+        tally.sent += 1;
+        let roll = rng.next_below(100);
+        let outcome: Result<Option<Value>, std::io::Error> = if roll < 10 {
+            // Malformed frame: expect a line-numbered invalid_request.
+            client
+                .send_line("{definitely not json")
+                .and_then(|()| client.recv_line())
+                .map(|line| serde_json::from_str(&line).ok())
+        } else if roll < 15 {
+            // Oversized frame: expect frame_too_large, connection survives.
+            client
+                .send_line(&"z".repeat(2 * MAX_FRAME_BYTES))
+                .and_then(|()| client.recv_line())
+                .map(|line| serde_json::from_str(&line).ok())
+        } else if roll < 25 {
+            // Cancellation pair: a big job, abandoned right away. The reply
+            // is `cancelled` (or `ok` if the compile won the race).
+            client
+                .send_line(&compile_frame(id, 8, 120, &mut rng))
+                .and_then(|()| client.cancel(id))
+                .and_then(|()| client.wait_reply(id))
+                .map(Some)
+        } else if roll < 30 {
+            // Zero deadline: deterministically deadline_exceeded.
+            let frame = format!(
+                "{{\"op\":\"compile\",\"id\":{id},\"qubits\":3,\"terms\":[[\"ZZI\",0.5]],\"deadline_ms\":0}}"
+            );
+            client.request(id, &frame).map(Some)
+        } else if roll < 35 {
+            client.ping(id).map(Some)
+        } else {
+            // Valid compile through the retry/backoff path.
+            let frame = compile_frame(id, 4 + rng.next_below(3), 8, &mut rng);
+            let started = Instant::now();
+            let reply = client.request(id, &frame);
+            if reply.is_ok() {
+                latencies_ms.push(started.elapsed().as_millis() as u64);
+            }
+            reply.map(Some)
+        };
+        match outcome {
+            Ok(Some(reply)) => tally.classify(&reply),
+            Ok(None) => tally.other += 1, // unparseable reply line
+            Err(e) => or_exit::<(), _>(Err(e), &format!("client {client_id} request {i}")),
+        }
+    }
+    (tally, latencies_ms)
+}
+
+fn spawn_server(report_path: &str) -> (Child, String) {
+    let mut path = or_exit(std::env::current_exe(), "locating servebench binary");
+    path.set_file_name("phoenixd");
+    let mut child = or_exit(
+        Command::new(&path)
+            .args([
+                "--tcp",
+                "127.0.0.1:0",
+                "--workers",
+                &SERVER_WORKERS.to_string(),
+                "--queue",
+                &SERVER_QUEUE.to_string(),
+                "--max-frame-bytes",
+                &MAX_FRAME_BYTES.to_string(),
+                "--report",
+                report_path,
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn(),
+        &format!(
+            "spawning {} (build with `cargo build --bins` first)",
+            path.display()
+        ),
+    );
+    let stdout = or_exit(child.stdout.take().ok_or("not captured"), "phoenixd stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = or_exit(
+        lines
+            .next()
+            .transpose()
+            .map_err(|e| e.to_string())
+            .and_then(|l| l.ok_or_else(|| "exited before announcing its port".to_string())),
+        "phoenixd banner",
+    );
+    let addr = or_exit(
+        banner
+            .strip_prefix("listening on ")
+            .map(str::to_string)
+            .ok_or_else(|| format!("unexpected line `{banner}`")),
+        "phoenixd banner",
+    );
+    (child, addr)
+}
+
+fn sigterm(child: &Child) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(child.id() as i32, 15);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut clients: usize = 8;
+    let mut requests: usize = 25;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => requests = 10,
+            "--clients" => {
+                clients = or_exit(
+                    it.next()
+                        .ok_or("needs a value".to_string())
+                        .and_then(|v| v.parse().map_err(|e| format!("{e}"))),
+                    "--clients",
+                )
+            }
+            "--requests" => {
+                requests = or_exit(
+                    it.next()
+                        .ok_or("needs a value".to_string())
+                        .and_then(|v| v.parse().map_err(|e| format!("{e}"))),
+                    "--requests",
+                )
+            }
+            other => or_exit::<(), _>(Err("unknown flag"), other),
+        }
+    }
+
+    let report_path =
+        std::env::temp_dir().join(format!("phoenixd-report-{}.json", std::process::id()));
+    let report_path_str = report_path.to_string_lossy().into_owned();
+    let (mut child, addr) = spawn_server(&report_path_str);
+    eprintln!("servebench: phoenixd on {addr}; {clients} clients x {requests} requests");
+
+    let mut total = Tally::default();
+    let mut latencies: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                scope.spawn(move || drive_client(&addr, c as u64 + 1, requests))
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok((tally, lat)) => {
+                    total.absorb(tally);
+                    latencies.extend(lat);
+                }
+                Err(_) => or_exit::<(), _>(Err("panicked"), "client thread"),
+            }
+        }
+    });
+
+    // The daemon must have survived everything the clients threw at it.
+    let early_exit = or_exit(child.try_wait(), "polling phoenixd");
+    if let Some(status) = early_exit {
+        or_exit::<(), _>(Err(status), "phoenixd died during the run");
+    }
+
+    sigterm(&child);
+    let status = or_exit(child.wait(), "waiting for phoenixd");
+    let server_exit_ok = status.success();
+
+    let server_report: Value = or_exit(
+        std::fs::read_to_string(&report_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                serde_json::from_str(text.trim()).map_err(|e| format!("bad JSON: {e}"))
+            }),
+        &format!("phoenixd report {report_path_str}"),
+    );
+    let _ = std::fs::remove_file(&report_path);
+
+    latencies.sort_unstable();
+    let client_p99_latency_ms = latencies
+        .get(((latencies.len().saturating_sub(1)) as f64 * 0.99) as usize)
+        .copied()
+        .unwrap_or(0);
+
+    let unanswered = total.sent - total.answered();
+    let result = BenchResult {
+        clients,
+        requests_per_client: requests,
+        unanswered,
+        client_p99_latency_ms,
+        server_exit_ok,
+        server_report: server_report.clone(),
+        replies: total,
+    };
+    write_results("BENCH_serve", &result);
+
+    // Contract checks (fail the bench loudly, not silently).
+    let mut failures = Vec::new();
+    if !server_exit_ok {
+        failures.push(format!("phoenixd exited uncleanly after SIGTERM: {status}"));
+    }
+    if unanswered != 0 {
+        failures.push(format!("{unanswered} requests never got a typed reply"));
+    }
+    let admitted = server_report.get("admitted").and_then(Value::as_u64);
+    let completed = server_report.get("completed").and_then(Value::as_u64);
+    if admitted != completed {
+        failures.push(format!(
+            "drain left admitted != completed ({admitted:?} vs {completed:?})"
+        ));
+    }
+    let p99_us = server_report
+        .get("queue_wait_p99_us")
+        .and_then(Value::as_u64)
+        .unwrap_or(u64::MAX);
+    if p99_us > 60_000_000 {
+        failures.push(format!("p99 admission wait unbounded: {p99_us} us"));
+    }
+    if server_report.get("worker_deaths").and_then(Value::as_u64) != Some(0) {
+        failures.push("workers died without sabotage".to_string());
+    }
+    let shed = server_report
+        .get("shed")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    eprintln!(
+        "servebench: {} replies / {} sent; ok={} cancelled={} deadline={} invalid={} \
+         oversized={} overloaded(final)={}; server shed={} p99 wait={}us",
+        result.replies.answered(),
+        result.replies.sent,
+        result.replies.ok,
+        result.replies.cancelled,
+        result.replies.deadline_exceeded,
+        result.replies.invalid_request,
+        result.replies.frame_too_large,
+        result.replies.overloaded_final,
+        shed,
+        p99_us,
+    );
+    if failures.is_empty() {
+        eprintln!("servebench: all serving-contract checks passed");
+    } else {
+        or_exit::<(), _>(Err(failures.join("; ")), "serving contract");
+    }
+}

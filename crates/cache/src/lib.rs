@@ -447,6 +447,9 @@ pub struct CacheStats {
     pub group_hits: u64,
     /// Per-group artifact lookups that missed.
     pub group_misses: u64,
+    /// Artifacts (programs + groups) evicted to honor a capacity bound.
+    /// Always 0 for an unbounded cache.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -471,10 +474,59 @@ impl CacheStats {
     }
 }
 
+/// A cached artifact stamped with the logical time of its last use, so a
+/// bounded cache can evict coarsely least-recently-used entries without
+/// taking a write lock on the hot lookup path.
+#[derive(Debug)]
+struct Stamped<T> {
+    value: Arc<T>,
+    last_used: AtomicU64,
+}
+
+impl<T> Stamped<T> {
+    fn new(value: Arc<T>, tick: u64) -> Self {
+        Stamped {
+            value,
+            last_used: AtomicU64::new(tick),
+        }
+    }
+}
+
+/// Evict the stalest entry from `map` while it exceeds `cap`. Called with
+/// the write lock held, right after an insert.
+fn evict_over_capacity<K: Clone + std::hash::Hash + Eq, V>(
+    map: &mut HashMap<K, Stamped<V>>,
+    cap: usize,
+    evictions: &AtomicU64,
+) {
+    while map.len() > cap {
+        let stalest = map
+            .iter()
+            .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+            .map(|(k, _)| k.clone());
+        match stalest {
+            Some(k) => {
+                map.remove(&k);
+                evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            None => break,
+        }
+    }
+}
+
 /// A concurrent, content-addressed cache of structure-phase results.
 ///
 /// Shared across threads behind an `Arc`; lookups take a read lock, inserts
 /// a write lock, and hit/miss counters are lock-free atomics.
+///
+/// [`CompileCache::new`] is unbounded — right for a VQE sweep over one
+/// ansatz. A long-lived server should use [`CompileCache::with_capacity`]
+/// instead: each map (programs, groups) is bounded to `max_entries`
+/// artifacts, and inserts over capacity evict the coarsely
+/// least-recently-used entry (lookups stamp entries with a logical clock
+/// under the read lock; eviction scans for the minimum stamp under the
+/// write lock — O(n), fine at the few-hundred-entry capacities a server
+/// uses). Evictions are counted in [`CacheStats::evictions`].
 ///
 /// ```
 /// use phoenix_cache::CompileCache;
@@ -482,30 +534,58 @@ impl CacheStats {
 ///
 /// let cache = Arc::new(CompileCache::new());
 /// assert_eq!(cache.stats().program_hits, 0);
+/// assert_eq!(CompileCache::with_capacity(256).max_entries(), Some(256));
 /// ```
 #[derive(Debug, Default)]
 pub struct CompileCache {
-    programs: RwLock<HashMap<ProgramKey, Arc<StructureArtifact>>>,
-    groups: RwLock<HashMap<CanonicalIr, Arc<GroupArtifact>>>,
+    programs: RwLock<HashMap<ProgramKey, Stamped<StructureArtifact>>>,
+    groups: RwLock<HashMap<CanonicalIr, Stamped<GroupArtifact>>>,
+    /// Per-map capacity bound; `None` = unbounded.
+    max_entries: Option<usize>,
+    /// Logical clock: bumped on every lookup/insert, stamped into entries.
+    clock: AtomicU64,
     program_hits: AtomicU64,
     program_misses: AtomicU64,
     group_hits: AtomicU64,
     group_misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl CompileCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         CompileCache::default()
+    }
+
+    /// An empty cache bounded to `max_entries` artifacts per map (programs
+    /// and groups each). A capacity of 0 is clamped to 1 — an always-empty
+    /// cache would silently disable caching; callers who want that should
+    /// simply not attach one.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        CompileCache {
+            max_entries: Some(max_entries.max(1)),
+            ..CompileCache::default()
+        }
+    }
+
+    /// The per-map capacity bound, or `None` when unbounded.
+    pub fn max_entries(&self) -> Option<usize> {
+        self.max_entries
+    }
+
+    /// Advance and read the logical clock.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Look up a whole-program artifact, recording a hit or miss.
     pub fn get_program(&self, key: &ProgramKey) -> Option<Arc<StructureArtifact>> {
         let programs = self.programs.read().unwrap_or_else(|e| e.into_inner());
         match programs.get(key) {
-            Some(artifact) => {
+            Some(entry) => {
+                entry.last_used.store(self.tick(), Ordering::Relaxed);
                 self.program_hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(artifact))
+                Some(Arc::clone(&entry.value))
             }
             None => {
                 self.program_misses.fetch_add(1, Ordering::Relaxed);
@@ -516,23 +596,35 @@ impl CompileCache {
 
     /// Insert a whole-program artifact. First writer wins on a racing key:
     /// both racers produced identical artifacts (the pipeline is
-    /// deterministic), so keeping the incumbent preserves sharing.
+    /// deterministic), so keeping the incumbent preserves sharing. On a
+    /// bounded cache, inserting over capacity evicts the stalest entry.
     pub fn insert_program(
         &self,
         key: ProgramKey,
         artifact: Arc<StructureArtifact>,
     ) -> Arc<StructureArtifact> {
+        let tick = self.tick();
         let mut programs = self.programs.write().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(programs.entry(key).or_insert(artifact))
+        let kept = Arc::clone(
+            &programs
+                .entry(key)
+                .or_insert_with(|| Stamped::new(artifact, tick))
+                .value,
+        );
+        if let Some(cap) = self.max_entries {
+            evict_over_capacity(&mut programs, cap, &self.evictions);
+        }
+        kept
     }
 
     /// Look up a per-group artifact, recording a hit or miss.
     pub fn get_group(&self, key: &CanonicalIr) -> Option<Arc<GroupArtifact>> {
         let groups = self.groups.read().unwrap_or_else(|e| e.into_inner());
         match groups.get(key) {
-            Some(artifact) => {
+            Some(entry) => {
+                entry.last_used.store(self.tick(), Ordering::Relaxed);
                 self.group_hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(artifact))
+                Some(Arc::clone(&entry.value))
             }
             None => {
                 self.group_misses.fetch_add(1, Ordering::Relaxed);
@@ -541,14 +633,25 @@ impl CompileCache {
         }
     }
 
-    /// Insert a per-group artifact (first writer wins, as for programs).
+    /// Insert a per-group artifact (first writer wins and capacity is
+    /// enforced, as for programs).
     pub fn insert_group(
         &self,
         key: CanonicalIr,
         artifact: Arc<GroupArtifact>,
     ) -> Arc<GroupArtifact> {
+        let tick = self.tick();
         let mut groups = self.groups.write().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(groups.entry(key).or_insert(artifact))
+        let kept = Arc::clone(
+            &groups
+                .entry(key)
+                .or_insert_with(|| Stamped::new(artifact, tick))
+                .value,
+        );
+        if let Some(cap) = self.max_entries {
+            evict_over_capacity(&mut groups, cap, &self.evictions);
+        }
+        kept
     }
 
     /// Number of cached whole-program artifacts.
@@ -564,13 +667,14 @@ impl CompileCache {
         self.groups.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
-    /// Snapshot the hit/miss counters.
+    /// Snapshot the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             program_hits: self.program_hits.load(Ordering::Relaxed),
             program_misses: self.program_misses.load(Ordering::Relaxed),
             group_hits: self.group_hits.load(Ordering::Relaxed),
             group_misses: self.group_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -588,6 +692,7 @@ impl CompileCache {
         self.program_misses.store(0, Ordering::Relaxed);
         self.group_hits.store(0, Ordering::Relaxed);
         self.group_misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -745,5 +850,70 @@ mod tests {
         let second = cache.insert_program(key, b);
         assert_eq!(first.digest(), 1);
         assert_eq!(second.digest(), 1);
+    }
+
+    fn empty_program_artifact() -> Arc<StructureArtifact> {
+        Arc::new(StructureArtifact::from_slot_encoded(1, 0, 0, Circuit::new(1), &[], 0).unwrap())
+    }
+
+    fn program_key(fingerprint: u64) -> ProgramKey {
+        let ir = CanonicalIr::from_terms(1, &[("Z".parse().unwrap(), 1.0)]);
+        ProgramKey::new(ir, fingerprint)
+    }
+
+    #[test]
+    fn bounded_cache_evicts_the_stalest_program() {
+        let cache = CompileCache::with_capacity(2);
+        cache.insert_program(program_key(0), empty_program_artifact());
+        cache.insert_program(program_key(1), empty_program_artifact());
+        // Touch key 0 so key 1 becomes the stalest entry.
+        assert!(cache.get_program(&program_key(0)).is_some());
+        cache.insert_program(program_key(2), empty_program_artifact());
+        assert_eq!(cache.num_programs(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get_program(&program_key(0)).is_some());
+        assert!(cache.get_program(&program_key(1)).is_none());
+        assert!(cache.get_program(&program_key(2)).is_some());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_stale_groups_too() {
+        let cache = CompileCache::with_capacity(1);
+        let ir = |label: &str| CanonicalIr::from_terms(1, &[(label.parse().unwrap(), 1.0)]);
+        let art = |label: &str| {
+            let terms = vec![label.parse::<PauliString>().unwrap()];
+            let order = vec![(terms[0].clone(), encode_slot(0))];
+            let mut c = Circuit::new(1);
+            c.push(Gate::Rz(0, 2.0 * encode_slot(0)));
+            Arc::new(GroupArtifact::from_slot_encoded(1, terms, c, &order).unwrap())
+        };
+        cache.insert_group(ir("Z"), art("Z"));
+        cache.insert_group(ir("X"), art("X"));
+        assert_eq!(cache.num_groups(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get_group(&ir("Z")).is_none());
+        assert!(cache.get_group(&ir("X")).is_some());
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = CompileCache::new();
+        assert_eq!(cache.max_entries(), None);
+        for fp in 0..64 {
+            cache.insert_program(program_key(fp), empty_program_artifact());
+        }
+        assert_eq!(cache.num_programs(), 64);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let cache = CompileCache::with_capacity(0);
+        assert_eq!(cache.max_entries(), Some(1));
+        cache.insert_program(program_key(0), empty_program_artifact());
+        assert_eq!(cache.num_programs(), 1);
+        // Reinserting the same key is not an eviction.
+        cache.insert_program(program_key(0), empty_program_artifact());
+        assert_eq!(cache.stats().evictions, 0);
     }
 }

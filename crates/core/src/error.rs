@@ -92,6 +92,13 @@ pub enum PhoenixError {
     StructureDecode(DecodeError),
     /// Binding concrete angles into a cached structure artifact failed.
     Bind(BindError),
+    /// The compilation was abandoned at a pass boundary because its
+    /// [`CancelToken`](crate::cancel::CancelToken) was fired by the client.
+    Cancelled,
+    /// The compilation was abandoned at a pass boundary because a
+    /// wall-clock deadline enforced outside the pipeline elapsed (distinct
+    /// from `pass_budget`, which degrades gracefully instead of aborting).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for PhoenixError {
@@ -132,6 +139,10 @@ impl fmt::Display for PhoenixError {
             PhoenixError::NonHermitian(e) => write!(f, "{e}"),
             PhoenixError::StructureDecode(e) => write!(f, "structure decode failed: {e}"),
             PhoenixError::Bind(e) => write!(f, "angle binding failed: {e}"),
+            PhoenixError::Cancelled => write!(f, "compilation cancelled by client"),
+            PhoenixError::DeadlineExceeded => {
+                write!(f, "compilation abandoned: wall-clock deadline exceeded")
+            }
         }
     }
 }
@@ -154,7 +165,12 @@ impl std::error::Error for PhoenixError {
 
 impl From<PassError> for PhoenixError {
     fn from(e: PassError) -> Self {
-        PhoenixError::Pass(e)
+        use crate::cancel::CancelReason;
+        match e.cancellation_reason() {
+            Some(CancelReason::Client) => PhoenixError::Cancelled,
+            Some(CancelReason::Deadline) => PhoenixError::DeadlineExceeded,
+            None => PhoenixError::Pass(e),
+        }
     }
 }
 

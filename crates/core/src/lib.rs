@@ -40,6 +40,8 @@
 //! assert!(cnot.counts().cnot < 16);
 //! ```
 
+#[deny(clippy::unwrap_used)]
+pub mod cancel;
 pub mod cost;
 pub mod error;
 pub mod evaluator;
@@ -73,6 +75,7 @@ pub use phoenix_obs;
 pub use phoenix_cache;
 pub use phoenix_cache::{BoundProgram, CacheStats, CompileCache, StructureArtifact};
 
+pub use cancel::{CancelReason, CancelToken};
 pub use error::{validate_device, validate_program, PhoenixError};
 pub use evaluator::CostEvaluator;
 pub use group::IrGroup;

@@ -71,9 +71,13 @@ pub(crate) fn split_path_allowed(options: &PhoenixOptions) -> bool {
 }
 
 /// The structure-phase pass sequence: the canonical logical passes, minus
-/// the budget/verifier attachments that [`split_path_allowed`] excludes.
+/// the verifier attachment that [`split_path_allowed`] excludes. A pass
+/// budget *is* attached: `structure()`/`bind()` run this manager even when
+/// the split path is disallowed for `run()` (the cache is filtered out by
+/// [`obtain_structure`] instead), and a budgeted request must truncate
+/// deterministically rather than silently optimize forever.
 fn structure_manager(options: &PhoenixOptions, routing_aware: bool) -> PassManager {
-    PassManager::new()
+    let manager = PassManager::new()
         .with(GroupPass)
         .with(SimplifySynthPass {
             simplify: options.enable_simplification,
@@ -86,7 +90,11 @@ fn structure_manager(options: &PhoenixOptions, routing_aware: bool) -> PassManag
             routing_aware: routing_aware || options.routing_aware,
             enabled: options.enable_ordering,
         })
-        .with(ConcatPass)
+        .with(ConcatPass);
+    match options.pass_budget {
+        Some(budget) => manager.with_budget(budget),
+        None => manager,
+    }
 }
 
 /// Runs the structure phase cold: compiles `terms` slot-encoded through the
@@ -115,6 +123,7 @@ pub(crate) fn compile_structure(
     let mut ctx = CompileContext::new(num_qubits, &slot_terms);
     ctx.cache = cache.cloned();
     ctx.obs = obs.cloned();
+    ctx.cancel = options.cancel.clone();
     let manager = structure_manager(options, routing_aware);
     let manager = if obs.is_some() {
         manager.with_observer(Arc::new(MetricsObserver))
@@ -145,6 +154,12 @@ pub(crate) fn obtain_structure(
     cache: Option<&Arc<CompileCache>>,
     obs: Option<&Arc<ObsCollector>>,
 ) -> Result<(Arc<StructureArtifact>, bool, PassTrace), PhoenixError> {
+    // `structure()`/`bind()` land here regardless of options, so re-apply
+    // the same gating `run()` uses before taking the split path: a request
+    // carrying a pass budget (even `Duration::ZERO`) or verification must
+    // never be served from — or leak into — the cache. A zero/expired
+    // budget thus deterministically takes the truncated compile path.
+    let cache = cache.filter(|_| split_path_allowed(options));
     let Some(cache) = cache else {
         let (artifact, trace) =
             compile_structure(num_qubits, terms, options, routing_aware, None, obs)?;
@@ -179,7 +194,7 @@ pub(crate) fn obtain_structure(
 /// the legacy single-manager path would have run after concatenation, on
 /// the same options. [`Target::Logical`] lowers with an empty manager.
 pub(crate) fn lowering_manager(target: &Target, options: &PhoenixOptions) -> PassManager {
-    match target {
+    let manager = match target {
         Target::Logical => PassManager::new(),
         Target::Cnot => PassManager::new().with(TransformPass::peephole()),
         Target::Su4 => PassManager::new().with(TransformPass::su4_rebase()),
@@ -190,6 +205,10 @@ pub(crate) fn lowering_manager(target: &Target, options: &PhoenixOptions) -> Pas
         Target::Hardware(_) => {
             PassManager::new().append(hardware_backend(&options.router, options.layout_trials))
         }
+    };
+    match options.pass_budget {
+        Some(budget) => manager.with_budget(budget),
+        None => manager,
     }
 }
 
@@ -279,5 +298,55 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.program_hits, 1);
         assert_eq!(stats.program_misses, 1);
+    }
+
+    #[test]
+    fn zero_budget_never_enters_the_cached_structure_path() {
+        use crate::pass::{EVENT_SKIPPED, EVENT_TRUNCATED};
+        use std::time::Duration;
+        let t = terms(&["ZYY", "ZZY", "IZZ", "XIX"]);
+        let cache = Arc::new(CompileCache::new());
+        // Warm the cache budget-free, so a program-cache hit *would* be
+        // available if the gating were broken.
+        crate::CompileRequest::new(3, &t)
+            .cache(&cache)
+            .run()
+            .unwrap();
+        let warmed = cache.stats();
+        assert_eq!(warmed.program_misses, 1);
+        assert_eq!(cache.num_programs(), 1);
+        let budgeted = PhoenixOptions {
+            pass_budget: Some(Duration::ZERO),
+            ..PhoenixOptions::default()
+        };
+        // `bind()` under a zero budget: the cache must not be consulted
+        // (no new hits or misses of any kind) and the structure phase must
+        // deterministically take the truncated path.
+        let angles: Vec<f64> = t.iter().map(|(_, c)| *c).collect();
+        let out = crate::CompileRequest::new(3, &t)
+            .options(budgeted.clone())
+            .cache(&cache)
+            .trace(true)
+            .bind(&angles)
+            .unwrap();
+        assert_eq!(cache.stats(), warmed);
+        assert_eq!(cache.num_programs(), 1);
+        let trace = out.trace.unwrap();
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| e.kind == EVENT_TRUNCATED || e.kind == EVENT_SKIPPED),
+            "zero budget must truncate: {:?}",
+            trace.events
+        );
+        // `structure()` under the same budget also bypasses the cache.
+        crate::CompileRequest::new(3, &t)
+            .options(budgeted)
+            .cache(&cache)
+            .structure()
+            .unwrap();
+        assert_eq!(cache.stats(), warmed);
+        assert_eq!(cache.num_programs(), 1);
     }
 }

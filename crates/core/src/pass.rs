@@ -44,6 +44,7 @@ use phoenix_pauli::PauliString;
 use phoenix_topology::CouplingGraph;
 use serde::{Deserialize, Serialize};
 
+use crate::cancel::{CancelReason, CancelToken};
 use crate::group::IrGroup;
 
 /// The mutable state a pass sequence threads through compilation.
@@ -107,6 +108,11 @@ pub struct CompileContext {
     /// the skeleton on the next compile of a structurally identical group.
     /// `None` keeps the legacy uncached path, bit-for-bit.
     pub cache: Option<Arc<phoenix_cache::CompileCache>>,
+    /// Cooperative cancellation token. The manager checks it before every
+    /// pass and stage 2 checks it between groups; a fired token aborts the
+    /// pipeline with a typed cancellation error. `None` costs one pointer
+    /// check per boundary.
+    pub cancel: Option<CancelToken>,
 }
 
 impl CompileContext {
@@ -132,12 +138,18 @@ impl CompileContext {
             obs: None,
             spans: Vec::new(),
             cache: None,
+            cancel: None,
         }
     }
 
     /// Whether the optimization deadline (if any) has elapsed.
     pub fn past_deadline(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The cancellation reason, when the attached token (if any) has fired.
+    pub fn cancel_reason(&self) -> Option<CancelReason> {
+        self.cancel.as_ref().and_then(|t| t.reason())
     }
 
     /// Records a robustness event against `pass`.
@@ -191,12 +203,42 @@ pub struct PassError {
     pub message: String,
 }
 
+/// Message prefix marking a [`PassError`] as a cooperative cancellation
+/// rather than a genuine pass failure (see [`PassError::cancelled`]).
+const CANCELLED_BY_CLIENT: &str = "cancelled: abandoned by client request";
+/// Message marking a wall-clock-deadline cancellation.
+const CANCELLED_BY_DEADLINE: &str = "cancelled: wall-clock deadline exceeded";
+
 impl PassError {
     /// Builds an error for `pass`.
     pub fn new(pass: &str, message: impl Into<String>) -> Self {
         PassError {
             pass: pass.to_string(),
             message: message.into(),
+        }
+    }
+
+    /// The error the manager raises when a [`CancelToken`] fires between
+    /// passes: `pass` is the pass that was *about to run*. Recognized by
+    /// [`PassError::cancellation_reason`] so the API boundary can convert
+    /// it into the dedicated
+    /// [`PhoenixError::Cancelled`](crate::PhoenixError::Cancelled) /
+    /// [`PhoenixError::DeadlineExceeded`](crate::PhoenixError::DeadlineExceeded)
+    /// variants instead of a generic pass failure.
+    pub fn cancelled(pass: &str, reason: CancelReason) -> Self {
+        let message = match reason {
+            CancelReason::Client => CANCELLED_BY_CLIENT,
+            CancelReason::Deadline => CANCELLED_BY_DEADLINE,
+        };
+        PassError::new(pass, message)
+    }
+
+    /// `Some(reason)` when this error records a cooperative cancellation.
+    pub fn cancellation_reason(&self) -> Option<CancelReason> {
+        match self.message.as_str() {
+            CANCELLED_BY_CLIENT => Some(CancelReason::Client),
+            CANCELLED_BY_DEADLINE => Some(CancelReason::Deadline),
+            _ => None,
         }
     }
 }
@@ -483,6 +525,12 @@ impl PassManager {
             ctx.deadline = Some(t0 + budget);
         }
         for pass in &self.passes {
+            // Cooperative cancellation: checked before every pass, so a
+            // fired token stops the pipeline at the next boundary without
+            // ever interrupting a pass mid-rewrite.
+            if let Some(reason) = ctx.cancel_reason() {
+                return Err(PassError::cancelled(pass.name(), reason));
+            }
             if pass.optional() && ctx.past_deadline() {
                 ctx.record_event(
                     pass.name(),
@@ -684,6 +732,66 @@ mod tests {
         assert_eq!(ctx.num_groups, 100);
         assert!(trace.events.is_empty());
         assert!(!trace.is_degraded());
+    }
+
+    /// Fires the attached cancel token while "running".
+    struct CancelsItself;
+
+    impl Pass for CancelsItself {
+        fn name(&self) -> &str {
+            "cancels-itself"
+        }
+
+        fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+            if let Some(t) = &ctx.cancel {
+                t.cancel();
+            }
+            ctx.num_groups += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn pre_fired_token_stops_the_pipeline_before_the_first_pass() {
+        let mut ctx = CompileContext::new(2, &[]);
+        let token = CancelToken::new();
+        token.cancel();
+        ctx.cancel = Some(token);
+        let pm = PassManager::new().with(AddTerms(1));
+        let err = pm.run(&mut ctx).unwrap_err();
+        assert_eq!(err.pass, "add-terms");
+        assert_eq!(err.cancellation_reason(), Some(CancelReason::Client));
+        assert_eq!(ctx.num_groups, 0);
+    }
+
+    #[test]
+    fn token_fired_mid_pipeline_stops_at_the_next_boundary() {
+        let mut ctx = CompileContext::new(2, &[]);
+        let token = CancelToken::new();
+        token.cancel_deadline();
+        // Replace with a live token fired *by* the middle pass.
+        let token = CancelToken::new();
+        ctx.cancel = Some(token);
+        let pm = PassManager::new()
+            .with(AddTerms(1))
+            .with(CancelsItself)
+            .with(AddTerms(1));
+        let err = pm.run(&mut ctx).unwrap_err();
+        // The cancelling pass itself completed; the *next* pass never ran.
+        assert_eq!(ctx.num_groups, 2);
+        assert_eq!(err.pass, "add-terms");
+        assert_eq!(err.cancellation_reason(), Some(CancelReason::Client));
+    }
+
+    #[test]
+    fn ordinary_pass_errors_are_not_cancellations() {
+        let err = PassError::new("concat", "boom");
+        assert_eq!(err.cancellation_reason(), None);
+        let cancelled = PassError::cancelled("concat", CancelReason::Deadline);
+        assert_eq!(
+            cancelled.cancellation_reason(),
+            Some(CancelReason::Deadline)
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ use phoenix_obs::{ObsCollector, Span};
 use phoenix_pauli::{CanonicalIr, PauliString};
 use phoenix_router::{route_with_attempt_log, RouterOptions};
 
+use crate::cancel::CancelToken;
 use crate::group::{group_by_support, IrGroup};
 use crate::order::{order_groups, OrderOptions};
 use crate::pass::{
@@ -231,6 +232,7 @@ impl SimplifySynthPass {
         group: &IrGroup,
         opts: &SimplifyOptions,
         deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
         obs: Option<&ObsCollector>,
         cache: Option<&CompileCache>,
     ) -> GroupResult {
@@ -247,6 +249,11 @@ impl SimplifySynthPass {
         // masked by) the shared cache.
         let usable_cache = cache.filter(|_| fault.is_none() && deadline.is_none());
         let (result, outcome, children, cached) = if !self.simplify {
+            (naive(), None, Vec::new(), None)
+        } else if cancel.is_some_and(|c| c.is_cancelled()) {
+            // The compilation is being abandoned: emit the cheapest valid
+            // form and let the manager abort at the next pass boundary
+            // (the result is discarded, so no fallback event is recorded).
             (naive(), None, Vec::new(), None)
         } else if deadline.is_some_and(|d| Instant::now() >= d) {
             (naive(), Some(EVENT_TRUNCATED), Vec::new(), None)
@@ -301,6 +308,8 @@ impl Pass for SimplifySynthPass {
         let cache = cache_arc.as_deref();
         let groups = &ctx.groups;
         let deadline = ctx.deadline;
+        let cancel_token = ctx.cancel.clone();
+        let cancel = cancel_token.as_ref();
         let opts = SimplifyOptions {
             scan_threads: self.scan_threads,
             ..SimplifyOptions::default()
@@ -318,7 +327,7 @@ impl Pass for SimplifySynthPass {
             groups
                 .iter()
                 .enumerate()
-                .map(|(i, g)| self.compile_group(n, i, g, &opts, deadline, obs, cache))
+                .map(|(i, g)| self.compile_group(n, i, g, &opts, deadline, cancel, obs, cache))
                 .collect()
         } else {
             let mut slots: Vec<Option<GroupResult>> = vec![None; groups.len()];
@@ -332,7 +341,9 @@ impl Pass for SimplifySynthPass {
                     scope.spawn(move || {
                         for (j, (g, slot)) in gs.iter().zip(out.iter_mut()).enumerate() {
                             let i = c * chunk + j;
-                            *slot = Some(self.compile_group(n, i, g, &opts, deadline, obs, cache));
+                            *slot = Some(
+                                self.compile_group(n, i, g, &opts, deadline, cancel, obs, cache),
+                            );
                         }
                     });
                 }

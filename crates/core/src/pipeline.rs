@@ -9,6 +9,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::cancel::CancelToken;
 use crate::error::{validate_device, PhoenixError};
 use crate::pass::{CompileContext, PassError, PassManager, PassTrace};
 use crate::passes::{
@@ -70,6 +71,14 @@ pub struct PhoenixOptions {
     /// a budget may *skip* optimization passes (never verified, never run),
     /// but every pass that does execute is verified.
     pub verify: bool,
+    /// Cooperative cancellation token. When set, the pass manager checks it
+    /// before every pass (and stage 2 checks it between groups) and aborts
+    /// with [`PhoenixError::Cancelled`](crate::PhoenixError::Cancelled) or
+    /// [`PhoenixError::DeadlineExceeded`](crate::PhoenixError::DeadlineExceeded)
+    /// once it fires. Token equality is identity (shared state), so the
+    /// derived `PartialEq` on options stays meaningful; the token is
+    /// excluded from the parametric options fingerprint.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for PhoenixOptions {
@@ -85,6 +94,7 @@ impl Default for PhoenixOptions {
             stage2_scan_threads: 1,
             pass_budget: None,
             verify: false,
+            cancel: None,
         }
     }
 }

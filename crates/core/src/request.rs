@@ -230,6 +230,7 @@ impl CompileRequest {
             None
         };
         ctx.obs = collector.clone();
+        ctx.cancel = self.options.cancel.clone();
         // The metrics collector goes last so validators attached by
         // `logical_passes` (BoundaryVerifier) shield it, and so it sees
         // their `verified` events (see `PassManager::with_observer`).
@@ -324,6 +325,7 @@ impl CompileRequest {
         ctx.term_order = bound.term_order;
         ctx.num_groups = bound.num_groups;
         ctx.obs = collector.clone();
+        ctx.cancel = self.options.cancel.clone();
         let manager = parametric::lowering_manager(&self.target, &self.options);
         let manager = if self.obs {
             manager.with_observer(Arc::new(MetricsObserver))

@@ -71,11 +71,21 @@ pub enum MetricId {
     CacheGroupHits,
     /// Per-group synthesis cache lookups that missed.
     CacheGroupMisses,
+    /// Requests admitted to the serve queue (`phoenixd`).
+    ServeAdmitted,
+    /// Requests shed with `Overloaded` by admission control.
+    ServeShed,
+    /// Requests abandoned by an explicit client cancellation.
+    ServeCancelled,
+    /// Requests abandoned by the server-side wall-clock watchdog.
+    ServeDeadlineExceeded,
+    /// Worker panics contained by the serve layer (the process lived).
+    ServePanicsContained,
 }
 
 /// All counters, in discriminant order. Kept in sync with [`MetricId`] by
 /// the `catalog_is_complete` test.
-pub const COUNTERS: [MetricId; 19] = [
+pub const COUNTERS: [MetricId; 24] = [
     MetricId::GroupsCompiled,
     MetricId::TermsCompiled,
     MetricId::CnotsSavedStage2,
@@ -95,6 +105,11 @@ pub const COUNTERS: [MetricId; 19] = [
     MetricId::CacheProgramMisses,
     MetricId::CacheGroupHits,
     MetricId::CacheGroupMisses,
+    MetricId::ServeAdmitted,
+    MetricId::ServeShed,
+    MetricId::ServeCancelled,
+    MetricId::ServeDeadlineExceeded,
+    MetricId::ServePanicsContained,
 ];
 
 impl MetricId {
@@ -120,6 +135,11 @@ impl MetricId {
             MetricId::CacheProgramMisses => "cache_program_misses",
             MetricId::CacheGroupHits => "cache_group_hits",
             MetricId::CacheGroupMisses => "cache_group_misses",
+            MetricId::ServeAdmitted => "serve_admitted",
+            MetricId::ServeShed => "serve_shed",
+            MetricId::ServeCancelled => "serve_cancelled",
+            MetricId::ServeDeadlineExceeded => "serve_deadline_exceeded",
+            MetricId::ServePanicsContained => "serve_panics_contained",
         }
     }
 }

@@ -1,0 +1,275 @@
+//! A blocking `phoenixd` client with retry, exponential backoff, and
+//! jitter.
+//!
+//! The client owns one TCP connection and resolves replies by request id,
+//! so callers can pipeline frames and collect answers out of order. Two
+//! failure classes are retried transparently, up to
+//! [`RetryPolicy::max_retries`] times each:
+//!
+//! - **transport errors** (refused connection, reset, EOF) — the client
+//!   reconnects and resends the frame;
+//! - **`overloaded` replies** — the client backs off for the server's
+//!   `retry_after_ms` hint plus jittered exponential delay, then resends.
+//!
+//! Jitter is deterministic per client (seeded [`Xoshiro256`]), keeping
+//! bench runs reproducible while still decorrelating concurrent clients
+//! seeded differently.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use phoenix_mathkit::Xoshiro256;
+use serde_json::Value;
+
+/// Backoff/retry tuning for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries per failure class before giving up (0 = fail fast).
+    pub max_retries: u32,
+    /// First backoff delay; doubles each retry.
+    pub base_delay: Duration,
+    /// Ceiling on the exponential component.
+    pub max_delay: Duration,
+    /// Jitter seed; give each concurrent client its own.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+            seed: 7,
+        }
+    }
+}
+
+/// A blocking client for one `phoenixd` connection.
+pub struct Client {
+    addr: String,
+    policy: RetryPolicy,
+    rng: Xoshiro256,
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Replies read while waiting for a different id.
+    pending: VecDeque<Value>,
+}
+
+impl Client {
+    /// Connects to `addr`, retrying refused connections per `policy`.
+    pub fn connect(addr: &str, policy: RetryPolicy) -> io::Result<Client> {
+        let mut rng = Xoshiro256::seed_from_u64(policy.seed);
+        let mut last_err = None;
+        for attempt in 0..=policy.max_retries {
+            match Self::open(addr) {
+                Ok((writer, reader)) => {
+                    return Ok(Client {
+                        addr: addr.to_string(),
+                        policy,
+                        rng,
+                        writer,
+                        reader,
+                        pending: VecDeque::new(),
+                    });
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(backoff(&policy, &mut rng, attempt, None));
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("connect failed")))
+    }
+
+    fn open(addr: &str) -> io::Result<(TcpStream, BufReader<TcpStream>)> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok((stream, reader))
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        let (writer, reader) = Self::open(&self.addr)?;
+        self.writer = writer;
+        self.reader = reader;
+        // Replies in flight on the old connection are gone for good.
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Sends `frame` (one line, no trailing newline) and blocks for the
+    /// reply whose `id` matches, retrying through transport failures and
+    /// `overloaded` shedding. Cancelling acknowledgments are skipped; other
+    /// ids are buffered for later [`Client::wait_reply`] calls.
+    pub fn request(&mut self, id: u64, frame: &str) -> io::Result<Value> {
+        let mut overload_retries = 0;
+        let mut transport_retries = 0;
+        loop {
+            if let Err(e) = self.send_line(frame) {
+                transport_retries += 1;
+                if transport_retries > self.policy.max_retries {
+                    return Err(e);
+                }
+                let delay = backoff(&self.policy, &mut self.rng, transport_retries, None);
+                std::thread::sleep(delay);
+                self.reconnect()?;
+                continue;
+            }
+            match self.wait_reply(id) {
+                Ok(reply) => {
+                    let overloaded =
+                        reply.get("kind").and_then(Value::as_str) == Some("overloaded");
+                    if !overloaded {
+                        return Ok(reply);
+                    }
+                    overload_retries += 1;
+                    if overload_retries > self.policy.max_retries {
+                        return Ok(reply); // surface the shed to the caller
+                    }
+                    let hint = reply
+                        .get("retry_after_ms")
+                        .and_then(Value::as_u64)
+                        .map(Duration::from_millis);
+                    let delay = backoff(&self.policy, &mut self.rng, overload_retries, hint);
+                    std::thread::sleep(delay);
+                }
+                Err(e) => {
+                    transport_retries += 1;
+                    if transport_retries > self.policy.max_retries {
+                        return Err(e);
+                    }
+                    let delay = backoff(&self.policy, &mut self.rng, transport_retries, None);
+                    std::thread::sleep(delay);
+                    self.reconnect()?;
+                }
+            }
+        }
+    }
+
+    /// Blocks for the reply with this `id` (skipping `cancelling` acks),
+    /// buffering replies for other ids.
+    pub fn wait_reply(&mut self, id: u64) -> io::Result<Value> {
+        if let Some(pos) = self.pending.iter().position(|v| matches_final(v, id)) {
+            return Ok(self.pending.remove(pos).unwrap_or(Value::Null));
+        }
+        loop {
+            let line = self.recv_line()?;
+            let Ok(value) = serde_json::from_str::<Value>(&line) else {
+                continue; // a server never sends malformed frames; skip defensively
+            };
+            if matches_final(&value, id) {
+                return Ok(value);
+            }
+            if value.get("status").and_then(Value::as_str) != Some("cancelling") {
+                self.pending.push_back(value);
+            }
+        }
+    }
+
+    /// Fires a cancel for an in-flight request id (the `cancelling` ack is
+    /// consumed by the next [`Client::wait_reply`]).
+    pub fn cancel(&mut self, id: u64) -> io::Result<()> {
+        self.send_line(&format!("{{\"cancel\":{id}}}"))
+    }
+
+    /// Round-trips a liveness probe.
+    pub fn ping(&mut self, id: u64) -> io::Result<Value> {
+        self.request(id, &format!("{{\"op\":\"ping\",\"id\":{id}}}"))
+    }
+
+    /// Writes raw bytes to the socket — no framing, no newline. For
+    /// adversarial tests (torn frames, oversized payloads).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Writes one frame line (appends the newline).
+    pub fn send_line(&mut self, frame: &str) -> io::Result<()> {
+        let mut bytes = Vec::with_capacity(frame.len() + 1);
+        bytes.extend_from_slice(frame.as_bytes());
+        bytes.push(b'\n');
+        self.writer.write_all(&bytes)?;
+        self.writer.flush()
+    }
+
+    /// Reads one reply line (newline stripped). EOF is an error.
+    pub fn recv_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+/// A final reply for `id`: matching id, and not the `cancelling` ack frame
+/// (which precedes the real `cancelled` reply).
+fn matches_final(value: &Value, id: u64) -> bool {
+    value.get("id").and_then(Value::as_u64) == Some(id)
+        && value.get("status").and_then(Value::as_str) != Some("cancelling")
+}
+
+/// Jittered exponential backoff: `min(max, base·2^attempt)` scaled by a
+/// uniform factor in `[0.5, 1.0)`, plus the server's explicit hint.
+fn backoff(
+    policy: &RetryPolicy,
+    rng: &mut Xoshiro256,
+    attempt: u32,
+    hint: Option<Duration>,
+) -> Duration {
+    let exp = policy
+        .base_delay
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(policy.max_delay);
+    let jitter = 0.5 + 0.5 * rng.next_f64();
+    exp.mul_f64(jitter) + hint.unwrap_or(Duration::ZERO)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_respects_the_ceiling() {
+        let policy = RetryPolicy::default();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let early = backoff(&policy, &mut rng, 0, None);
+        assert!(early >= policy.base_delay / 2);
+        assert!(early < policy.base_delay);
+        let late = backoff(&policy, &mut rng, 30, None);
+        assert!(late <= policy.max_delay);
+    }
+
+    #[test]
+    fn backoff_adds_the_server_hint() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        };
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let with_hint = backoff(&policy, &mut rng, 0, Some(Duration::from_millis(500)));
+        assert!(with_hint >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn final_reply_matching_skips_cancelling_acks() {
+        let ack: Value = serde_json::from_str(r#"{"id":3,"status":"cancelling"}"#).unwrap();
+        let real: Value =
+            serde_json::from_str(r#"{"id":3,"status":"error","kind":"cancelled"}"#).unwrap();
+        assert!(!matches_final(&ack, 3));
+        assert!(matches_final(&real, 3));
+        assert!(!matches_final(&real, 4));
+    }
+}

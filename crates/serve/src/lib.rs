@@ -1,0 +1,205 @@
+//! `phoenix-serve`: the fault-tolerant compile service behind `phoenixd`.
+//!
+//! The PHOENIX pipeline already carries the robustness primitives a server
+//! needs — typed [`PhoenixError`]s, per-pass panic containment,
+//! `pass_budget` deadlines, cooperative [`CancelToken`]s, and per-request
+//! metrics. This crate turns them into long-running infrastructure:
+//!
+//! - **[`protocol`]** — the strict line-delimited JSON wire format (frame
+//!   size bounds, unknown-field rejection, line-numbered errors).
+//! - **[`server`]** — a bounded worker pool with admission control that
+//!   sheds load with typed `overloaded` replies, a wall-clock deadline
+//!   watchdog, client-initiated cancellation, per-request panic isolation
+//!   with worker respawn, slow-client write timeouts, half-open connection
+//!   reaping, and graceful drain on shutdown. Speaks TCP (`std::net` +
+//!   scoped threads — no async runtime) and stdio.
+//! - **[`client`]** — a blocking client with retry, exponential backoff and
+//!   jitter on `overloaded`/transient I/O failures.
+//!
+//! A process-wide [`CompileCache`] (bounded via
+//! [`CompileCache::with_capacity`]) is mounted across all workers, and
+//! every successful reply carries the per-request metrics snapshot plus the
+//! cache's running hit statistics.
+
+#[deny(clippy::unwrap_used)]
+pub mod client;
+#[deny(clippy::unwrap_used)]
+pub mod protocol;
+#[deny(clippy::unwrap_used)]
+pub mod server;
+
+pub use client::{Client, RetryPolicy};
+pub use protocol::{CompileSpec, ErrorKind, Request};
+pub use server::{ServeReport, Server, ServerConfig, ServerHandle};
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use phoenix_core::phoenix_cache::CompileCache;
+use phoenix_core::{CancelToken, CompileRequest, PhoenixError, PhoenixOptions};
+use serde_json::Value;
+
+/// Executes one compile request against the pipeline, mapping the outcome
+/// (success, typed failure, cancellation, deadline) onto its wire reply.
+///
+/// `budget` becomes the request's `pass_budget`: optimization effort is
+/// truncated once it elapses, while the wall-clock watchdog (driving
+/// `cancel`) aborts outright. Requests without a budget take the cached
+/// structure path when `cache` is mounted; budgeted requests deterministically
+/// bypass it (time-boxed runs must not leak into a shared cache).
+pub fn execute_spec(
+    spec: &CompileSpec,
+    cache: Option<&Arc<CompileCache>>,
+    cancel: Option<CancelToken>,
+    budget: Option<Duration>,
+) -> Value {
+    #[cfg(feature = "sabotage")]
+    if spec.sabotage == Some(protocol::Sabotage::Pass) {
+        return sabotage_pass_reply(spec);
+    }
+    if let Some(reason) = cancel.as_ref().and_then(|t| t.reason()) {
+        // Cancelled while queued: reply without compiling at all.
+        let err = match reason {
+            phoenix_core::CancelReason::Client => PhoenixError::Cancelled,
+            phoenix_core::CancelReason::Deadline => PhoenixError::DeadlineExceeded,
+        };
+        return protocol::compile_error_reply(spec.id, &err);
+    }
+    let mut options = PhoenixOptions {
+        pass_budget: budget,
+        cancel,
+        ..PhoenixOptions::default()
+    };
+    if let Some(lookahead) = spec.lookahead {
+        options.lookahead = lookahead;
+    }
+    let mut request = CompileRequest::new(spec.qubits, &spec.terms)
+        .target(spec.target.clone())
+        .options(options)
+        .obs(true);
+    if let Some(cache) = cache {
+        request = request.cache(cache);
+    }
+    match request.run() {
+        Ok(outcome) => {
+            let stats = cache.map(|c| c.stats());
+            protocol::ok_reply(spec.id, &outcome, stats.as_ref())
+        }
+        Err(err) => protocol::compile_error_reply(spec.id, &err),
+    }
+}
+
+/// Compiles through a deliberately panicking pass, proving the pass
+/// manager's containment: the panic surfaces as a typed `compile_error`
+/// reply and the process lives.
+#[cfg(feature = "sabotage")]
+fn sabotage_pass_reply(spec: &CompileSpec) -> Value {
+    use phoenix_core::{CompileContext, Pass, PassError, PassManager};
+
+    struct PanickingPass;
+    impl Pass for PanickingPass {
+        fn name(&self) -> &str {
+            "sabotage-panic"
+        }
+        fn run(&self, _ctx: &mut CompileContext) -> Result<(), PassError> {
+            panic!("sabotage: injected pass panic");
+        }
+    }
+
+    let mut ctx = CompileContext::new(spec.qubits, &spec.terms);
+    match PassManager::new().with(PanickingPass).run(&mut ctx) {
+        Err(e) => protocol::compile_error_reply(spec.id, &PhoenixError::from(e)),
+        Ok(_) => protocol::error_reply(
+            Some(spec.id),
+            ErrorKind::CompileError,
+            "sabotage pass unexpectedly succeeded",
+            None,
+            None,
+        ),
+    }
+}
+
+/// One-shot stdio service (`phoenixc --serve-stdin`): reads a single
+/// request frame from `input`, executes it uncached, and returns the reply
+/// line. Exercises the exact wire format of `phoenixd` without a socket.
+pub fn serve_one_line(line: &str) -> String {
+    let reply = match protocol::parse_request(line.trim_end(), 1) {
+        Err(reply) => reply,
+        Ok(Request::Compile(spec)) => {
+            let budget = spec.deadline_ms.map(Duration::from_millis);
+            execute_spec(&spec, None, None, budget)
+        }
+        Ok(Request::Ping { id }) => protocol::pong_reply(id),
+        Ok(Request::Cancel { id }) => protocol::error_reply(
+            Some(id),
+            ErrorKind::NotFound,
+            "one-shot mode has no in-flight requests to cancel",
+            None,
+            None,
+        ),
+        Ok(Request::Stats { id }) => protocol::error_reply(
+            Some(id),
+            ErrorKind::NotFound,
+            "one-shot mode keeps no server statistics",
+            None,
+            None,
+        ),
+    };
+    protocol::render(&reply)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_one_line_compiles_a_valid_frame() {
+        let reply = serve_one_line(
+            r#"{"op":"compile","id":1,"qubits":3,"terms":[["ZYY",0.1],["ZZY",0.1]],"target":"cnot"}"#,
+        );
+        let v: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(1));
+        assert!(v.get("gates").unwrap().as_u64().unwrap() > 0);
+        assert!(v.get("metrics").is_some());
+    }
+
+    #[test]
+    fn serve_one_line_rejects_garbage_with_a_typed_error() {
+        let reply = serve_one_line("{broken");
+        let v: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("invalid_request"));
+    }
+
+    #[test]
+    fn zero_deadline_still_produces_a_valid_truncated_compile() {
+        // In one-shot mode there is no watchdog: a zero deadline maps to a
+        // zero pass budget, which truncates optimization but still returns
+        // a valid circuit.
+        let reply = serve_one_line(
+            r#"{"op":"compile","id":2,"qubits":2,"terms":[["ZZ",0.3]],"deadline_ms":0}"#,
+        );
+        let v: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn pre_cancelled_spec_replies_cancelled_without_compiling() {
+        let spec = CompileSpec {
+            id: 5,
+            qubits: 2,
+            terms: vec![("ZZ".parse().unwrap(), 0.1)],
+            target: phoenix_core::Target::Logical,
+            deadline_ms: None,
+            lookahead: None,
+            #[cfg(feature = "sabotage")]
+            sabotage: None,
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let reply = execute_spec(&spec, None, Some(token), None);
+        assert_eq!(reply.get("kind").unwrap().as_str(), Some("cancelled"));
+    }
+}

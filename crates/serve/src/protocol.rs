@@ -1,0 +1,522 @@
+//! The `phoenixd` wire protocol: line-delimited JSON requests and replies.
+//!
+//! One request per line, one JSON object per request; the server answers
+//! every frame it manages to read with exactly one typed reply (compile
+//! requests additionally receive a `cancelling` acknowledgment frame when
+//! cancelled). Parsing is *strict*: frames over the size bound, malformed
+//! JSON, missing required fields, and unknown fields are all rejected with
+//! a line-numbered `invalid_request`/`frame_too_large` error reply rather
+//! than silently ignored — a server for adversarial clients cannot afford
+//! lenient parsing that masks client bugs.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"op":"compile","id":1,"qubits":3,"terms":[["ZYY",0.1],["ZZY",0.1]],
+//!  "target":"cnot","deadline_ms":2000,"lookahead":20}
+//! {"cancel": 1}
+//! {"op":"ping","id":2}
+//! {"op":"stats","id":3}
+//! ```
+//!
+//! Replies carry `"status":"ok"|"error"|"cancelling"|"pong"|"stats"`;
+//! error replies carry a machine-readable `"kind"` (see [`ErrorKind`]) and
+//! `Overloaded` additionally a `retry_after_ms` hint.
+
+use phoenix_core::phoenix_cache::CacheStats;
+use phoenix_core::{CompileOutcome, PhoenixError, Target};
+use phoenix_pauli::PauliString;
+use phoenix_topology::CouplingGraph;
+use serde_json::Value;
+
+/// Default per-frame size bound (bytes), chosen to admit multi-thousand-term
+/// Hamiltonians while bounding a hostile client's memory leverage.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// The machine-readable failure class of an error reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed JSON, a missing/ill-typed field, or an unknown field.
+    InvalidRequest,
+    /// The frame exceeded the server's size bound.
+    FrameTooLarge,
+    /// Admission control shed the request; retry after `retry_after_ms`.
+    Overloaded,
+    /// The request was abandoned on an explicit client cancellation.
+    Cancelled,
+    /// The request was abandoned by the server-side wall-clock watchdog.
+    DeadlineExceeded,
+    /// Compilation failed with a typed [`PhoenixError`].
+    CompileError,
+    /// A worker panicked while serving the request (contained; the process
+    /// lives and the worker was respawned).
+    Panic,
+    /// The server is draining and admits no new work.
+    ShuttingDown,
+    /// A cancel frame named an id with no in-flight request.
+    NotFound,
+}
+
+impl ErrorKind {
+    /// The stable snake_case wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::InvalidRequest => "invalid_request",
+            ErrorKind::FrameTooLarge => "frame_too_large",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::CompileError => "compile_error",
+            ErrorKind::Panic => "panic",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::NotFound => "not_found",
+        }
+    }
+}
+
+/// Pass- or worker-level panic injection (the `sabotage` feature's modes).
+#[cfg(feature = "sabotage")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sabotage {
+    /// Panic inside a pipeline pass: contained by the pass manager,
+    /// surfaced as a typed `compile_error`.
+    Pass,
+    /// Panic in the worker thread outside the pipeline: contained by the
+    /// worker supervisor, surfaced as a typed `panic` reply, worker
+    /// respawned.
+    Worker,
+}
+
+/// A fully parsed compile request.
+#[derive(Debug, Clone)]
+pub struct CompileSpec {
+    /// Client-chosen request id; echoed in every reply frame.
+    pub id: u64,
+    /// Register width.
+    pub qubits: usize,
+    /// The Pauli program.
+    pub terms: Vec<(PauliString, f64)>,
+    /// Compilation target.
+    pub target: Target,
+    /// Wall-clock deadline, measured from admission.
+    pub deadline_ms: Option<u64>,
+    /// Ordering-lookahead override.
+    pub lookahead: Option<usize>,
+    /// Panic injection mode (test builds only).
+    #[cfg(feature = "sabotage")]
+    pub sabotage: Option<Sabotage>,
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Compile a program.
+    Compile(CompileSpec),
+    /// Abandon the in-flight compile with this id (same connection).
+    Cancel {
+        /// The id of the compile frame to abandon.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed id.
+        id: u64,
+    },
+    /// Server counters snapshot.
+    Stats {
+        /// Echoed id.
+        id: u64,
+    },
+}
+
+/// Builds a JSON object [`Value`] from key/value pairs.
+pub(crate) fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn str_val(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+fn int_val(i: u64) -> Value {
+    Value::Int(i as i64)
+}
+
+/// Serializes a reply [`Value`] to its wire line (no trailing newline; the
+/// writer appends it).
+pub fn render(reply: &Value) -> String {
+    serde_json::to_string(reply).unwrap_or_else(|_| {
+        r#"{"status":"error","kind":"internal","message":"unserializable reply"}"#.to_string()
+    })
+}
+
+/// An error reply. `id` is echoed when the offending frame carried one;
+/// `line` is the 1-based frame number on the connection.
+pub fn error_reply(
+    id: Option<u64>,
+    kind: ErrorKind,
+    message: &str,
+    line: Option<u64>,
+    retry_after_ms: Option<u64>,
+) -> Value {
+    let mut pairs = Vec::new();
+    if let Some(id) = id {
+        pairs.push(("id", int_val(id)));
+    }
+    pairs.push(("status", str_val("error")));
+    pairs.push(("kind", str_val(kind.as_str())));
+    pairs.push(("message", str_val(message)));
+    if let Some(line) = line {
+        pairs.push(("line", int_val(line)));
+    }
+    if let Some(ms) = retry_after_ms {
+        pairs.push(("retry_after_ms", int_val(ms)));
+    }
+    obj(pairs)
+}
+
+/// The acknowledgment frame for a cancel request.
+pub fn cancelling_reply(id: u64) -> Value {
+    obj(vec![("id", int_val(id)), ("status", str_val("cancelling"))])
+}
+
+/// The reply to a ping.
+pub fn pong_reply(id: u64) -> Value {
+    obj(vec![("id", int_val(id)), ("status", str_val("pong"))])
+}
+
+/// Cache statistics as a JSON object.
+pub fn cache_stats_value(stats: &CacheStats) -> Value {
+    obj(vec![
+        ("program_hits", int_val(stats.program_hits)),
+        ("program_misses", int_val(stats.program_misses)),
+        ("group_hits", int_val(stats.group_hits)),
+        ("group_misses", int_val(stats.group_misses)),
+        ("evictions", int_val(stats.evictions)),
+        ("program_hit_rate", Value::Float(stats.program_hit_rate())),
+        ("group_hit_rate", Value::Float(stats.group_hit_rate())),
+    ])
+}
+
+/// The success reply for a compile request: circuit shape, the per-request
+/// metrics snapshot, and the shared cache's running statistics.
+pub fn ok_reply(id: u64, outcome: &CompileOutcome, cache: Option<&CacheStats>) -> Value {
+    let counts = outcome.circuit.counts();
+    let mut pairs = vec![
+        ("id", int_val(id)),
+        ("status", str_val("ok")),
+        ("gates", int_val(counts.total as u64)),
+        ("cnot", int_val(counts.cnot as u64)),
+        ("two_qubit", int_val(counts.two_qubit() as u64)),
+        ("depth", int_val(outcome.circuit.depth() as u64)),
+        ("depth_2q", int_val(outcome.circuit.depth_2q() as u64)),
+        ("num_groups", int_val(outcome.num_groups as u64)),
+    ];
+    if let Some(report) = &outcome.obs {
+        if let Ok(metrics) = serde_json::to_value(&report.metrics) {
+            pairs.push(("metrics", metrics));
+        }
+    }
+    if let Some(stats) = cache {
+        pairs.push(("cache", cache_stats_value(stats)));
+    }
+    obj(pairs)
+}
+
+/// Maps a typed compile failure onto its wire reply.
+pub fn compile_error_reply(id: u64, err: &PhoenixError) -> Value {
+    let kind = match err {
+        PhoenixError::Cancelled => ErrorKind::Cancelled,
+        PhoenixError::DeadlineExceeded => ErrorKind::DeadlineExceeded,
+        _ => ErrorKind::CompileError,
+    };
+    error_reply(Some(id), kind, &err.to_string(), None, None)
+}
+
+fn invalid(id: Option<u64>, line: u64, message: &str) -> Value {
+    error_reply(id, ErrorKind::InvalidRequest, message, Some(line), None)
+}
+
+fn get_u64(map: &Value, key: &str) -> Option<u64> {
+    map.get(key).and_then(Value::as_u64)
+}
+
+/// Rejects any key outside `allowed`, naming the first offender.
+fn check_fields(map: &Value, allowed: &[&str]) -> Result<(), String> {
+    let Value::Map(pairs) = map else {
+        return Err("request frame must be a JSON object".to_string());
+    };
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unknown field `{k}`"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_target(value: Option<&Value>) -> Result<Target, String> {
+    let Some(value) = value else {
+        return Ok(Target::Logical);
+    };
+    let Some(s) = value.as_str() else {
+        return Err("`target` must be a string".to_string());
+    };
+    match s {
+        "logical" => Ok(Target::Logical),
+        "cnot" => Ok(Target::Cnot),
+        "su4" => Ok(Target::Su4),
+        "cnot-kak" => Ok(Target::CnotViaKak),
+        other => parse_device(other)
+            .map(Target::Hardware)
+            .ok_or_else(|| format!("unknown target `{other}`")),
+    }
+}
+
+/// Parses a device spec: `line:N`, `ring:N`, `grid:RxC`, `heavy-hex:RxL`.
+fn parse_device(spec: &str) -> Option<CouplingGraph> {
+    let (family, dims) = spec.split_once(':')?;
+    match family {
+        "line" => Some(CouplingGraph::line(dims.parse().ok()?)),
+        "ring" => Some(CouplingGraph::ring(dims.parse().ok()?)),
+        "grid" | "heavy-hex" => {
+            let (a, b) = dims.split_once('x')?;
+            let (a, b) = (a.parse().ok()?, b.parse().ok()?);
+            Some(match family {
+                "grid" => CouplingGraph::grid(a, b),
+                _ => CouplingGraph::heavy_hex(a, b),
+            })
+        }
+        _ => None,
+    }
+}
+
+fn parse_terms(value: Option<&Value>) -> Result<Vec<(PauliString, f64)>, String> {
+    let entries = value
+        .and_then(Value::as_array)
+        .ok_or("`terms` must be an array of [pauli-string, coefficient] pairs")?;
+    let mut terms = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let pair = entry
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("terms[{i}] must be a [string, number] pair"))?;
+        let label = pair[0]
+            .as_str()
+            .ok_or_else(|| format!("terms[{i}][0] must be a Pauli string"))?;
+        let pauli: PauliString = label.parse().map_err(|e| format!("terms[{i}]: {e}"))?;
+        let coeff = pair[1]
+            .as_f64()
+            .ok_or_else(|| format!("terms[{i}][1] must be a number"))?;
+        terms.push((pauli, coeff));
+    }
+    Ok(terms)
+}
+
+#[cfg(feature = "sabotage")]
+fn parse_sabotage(value: Option<&Value>) -> Result<Option<Sabotage>, String> {
+    match value.map(|v| v.as_str()) {
+        None => Ok(None),
+        Some(Some("pass")) => Ok(Some(Sabotage::Pass)),
+        Some(Some("worker")) => Ok(Some(Sabotage::Worker)),
+        Some(_) => Err("`sabotage` must be \"pass\" or \"worker\"".to_string()),
+    }
+}
+
+/// Parses one request frame. `line_no` is the 1-based frame number on the
+/// connection, echoed into error replies so clients can pinpoint the
+/// offending frame in a pipelined stream. On failure the returned `Err` is
+/// a ready-to-send error reply.
+pub fn parse_request(frame: &str, line_no: u64) -> Result<Request, Value> {
+    let value: Value = serde_json::from_str(frame)
+        .map_err(|e| invalid(None, line_no, &format!("malformed JSON: {e}")))?;
+    if !matches!(value, Value::Map(_)) {
+        return Err(invalid(
+            None,
+            line_no,
+            "request frame must be a JSON object",
+        ));
+    }
+    // A cancel frame is its own single-field object.
+    if value.get("cancel").is_some() {
+        check_fields(&value, &["cancel"]).map_err(|m| invalid(None, line_no, &m))?;
+        let id = get_u64(&value, "cancel")
+            .ok_or_else(|| invalid(None, line_no, "`cancel` must be a request id"))?;
+        return Ok(Request::Cancel { id });
+    }
+    let op = value
+        .get("op")
+        .map(|v| v.as_str().unwrap_or(""))
+        .unwrap_or("compile");
+    let id = get_u64(&value, "id");
+    match op {
+        "ping" | "stats" => {
+            check_fields(&value, &["op", "id"]).map_err(|m| invalid(id, line_no, &m))?;
+            let id = id.ok_or_else(|| invalid(None, line_no, "missing `id`"))?;
+            Ok(match op {
+                "ping" => Request::Ping { id },
+                _ => Request::Stats { id },
+            })
+        }
+        "compile" => {
+            #[cfg(not(feature = "sabotage"))]
+            const ALLOWED: &[&str] = &[
+                "op",
+                "id",
+                "qubits",
+                "terms",
+                "target",
+                "deadline_ms",
+                "lookahead",
+            ];
+            #[cfg(feature = "sabotage")]
+            const ALLOWED: &[&str] = &[
+                "op",
+                "id",
+                "qubits",
+                "terms",
+                "target",
+                "deadline_ms",
+                "lookahead",
+                "sabotage",
+            ];
+            check_fields(&value, ALLOWED).map_err(|m| invalid(id, line_no, &m))?;
+            let id = id.ok_or_else(|| invalid(None, line_no, "missing `id`"))?;
+            let qubits = get_u64(&value, "qubits")
+                .ok_or_else(|| invalid(Some(id), line_no, "missing `qubits`"))?
+                as usize;
+            let terms =
+                parse_terms(value.get("terms")).map_err(|m| invalid(Some(id), line_no, &m))?;
+            let target =
+                parse_target(value.get("target")).map_err(|m| invalid(Some(id), line_no, &m))?;
+            let lookahead = get_u64(&value, "lookahead").map(|l| l as usize);
+            let deadline_ms = get_u64(&value, "deadline_ms");
+            #[cfg(feature = "sabotage")]
+            let sabotage = parse_sabotage(value.get("sabotage"))
+                .map_err(|m| invalid(Some(id), line_no, &m))?;
+            Ok(Request::Compile(CompileSpec {
+                id,
+                qubits,
+                terms,
+                target,
+                deadline_ms,
+                lookahead,
+                #[cfg(feature = "sabotage")]
+                sabotage,
+            }))
+        }
+        other => Err(invalid(id, line_no, &format!("unknown op `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_compile_frame() {
+        let r = parse_request(
+            r#"{"op":"compile","id":7,"qubits":2,"terms":[["ZZ",0.1],["XX",-0.2]]}"#,
+            1,
+        )
+        .unwrap();
+        let Request::Compile(spec) = r else {
+            panic!("expected compile")
+        };
+        assert_eq!(spec.id, 7);
+        assert_eq!(spec.qubits, 2);
+        assert_eq!(spec.terms.len(), 2);
+        assert_eq!(spec.target, Target::Logical);
+        assert_eq!(spec.deadline_ms, None);
+    }
+
+    #[test]
+    fn rejects_unknown_fields_with_the_line_number() {
+        let err = parse_request(
+            r#"{"op":"compile","id":1,"qubits":1,"terms":[],"bogus":true}"#,
+            42,
+        )
+        .unwrap_err();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("invalid_request"));
+        assert_eq!(err.get("line").unwrap().as_u64(), Some(42));
+        assert!(err
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_malformed_json_and_non_objects() {
+        assert!(parse_request("{not json", 1).is_err());
+        assert!(parse_request("[1,2,3]", 1).is_err());
+        assert!(parse_request("\"compile\"", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_terms_and_targets() {
+        let bad_pauli = parse_request(
+            r#"{"op":"compile","id":1,"qubits":2,"terms":[["QQ",1.0]]}"#,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(
+            bad_pauli.get("kind").unwrap().as_str(),
+            Some("invalid_request")
+        );
+        let bad_target = parse_request(
+            r#"{"op":"compile","id":1,"qubits":2,"terms":[["ZZ",1.0]],"target":"qpu9000"}"#,
+            1,
+        )
+        .unwrap_err();
+        assert!(bad_target
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("qpu9000"));
+    }
+
+    #[test]
+    fn parses_cancel_ping_and_device_targets() {
+        assert!(matches!(
+            parse_request(r#"{"cancel":9}"#, 1).unwrap(),
+            Request::Cancel { id: 9 }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"ping","id":3}"#, 1).unwrap(),
+            Request::Ping { id: 3 }
+        ));
+        let r = parse_request(
+            r#"{"op":"compile","id":1,"qubits":4,"terms":[["ZZII",0.3]],"target":"line:4"}"#,
+            1,
+        )
+        .unwrap();
+        let Request::Compile(spec) = r else {
+            panic!("expected compile")
+        };
+        assert!(matches!(spec.target, Target::Hardware(_)));
+    }
+
+    #[test]
+    fn cancel_frames_admit_no_extra_fields() {
+        assert!(parse_request(r#"{"cancel":1,"id":2}"#, 1).is_err());
+    }
+
+    #[test]
+    fn error_replies_round_trip_through_json() {
+        let v = error_reply(
+            Some(4),
+            ErrorKind::Overloaded,
+            "queue full",
+            None,
+            Some(125),
+        );
+        let line = render(&v);
+        let back: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(back.get("kind").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(back.get("retry_after_ms").unwrap().as_u64(), Some(125));
+    }
+}

@@ -1,0 +1,873 @@
+//! The `phoenixd` server: bounded worker pool, admission control, deadline
+//! watchdog, cancellation registry, panic isolation, and graceful drain.
+//!
+//! Concurrency model (no async runtime — `std::net` + scoped threads,
+//! following the pipeline's own deterministic `std::thread::scope` idiom):
+//!
+//! - the **accept loop** runs on the caller's thread, polling a
+//!   non-blocking listener so it can observe the drain flag;
+//! - each **connection** gets a reader thread (frame assembly with a hard
+//!   size bound, strict parsing, idle reaping) and a writer thread (reply
+//!   serialization behind a write timeout, so one slow client never blocks
+//!   a worker);
+//! - a fixed pool of **worker supervisors** each run a worker loop inside
+//!   `catch_unwind`: a worker that dies is logged, counted, its request
+//!   answered with a typed `panic` reply, and the loop re-entered — the
+//!   process lives;
+//! - a **watchdog** thread fires each request's [`CancelToken`] once its
+//!   wall-clock deadline passes, aborting the compile at the next pass
+//!   boundary even when the `pass_budget` mapping alone would not stop it.
+//!
+//! Admission is a bounded queue: when full, requests are *shed* with a
+//! typed `overloaded` reply carrying a `retry_after_ms` estimate — never
+//! queued unboundedly, never silently dropped. Shutdown (SIGTERM handler or
+//! [`ServerHandle::shutdown`]) stops admissions with `shutting_down`
+//! replies, drains every admitted job, flushes every reply, and returns a
+//! final [`ServeReport`].
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use phoenix_core::phoenix_cache::{CacheStats, CompileCache};
+use phoenix_core::CancelToken;
+use serde_json::Value;
+
+use crate::protocol::{
+    self, cancelling_reply, error_reply, parse_request, pong_reply, render, CompileSpec, ErrorKind,
+    Request, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads compiling admitted requests.
+    pub workers: usize,
+    /// Admission queue bound; requests beyond it are shed with
+    /// `overloaded`.
+    pub queue_capacity: usize,
+    /// Per-frame size bound; larger frames are rejected with
+    /// `frame_too_large`.
+    pub max_frame_bytes: usize,
+    /// Capacity of the shared compile cache (entries per map).
+    pub cache_capacity: usize,
+    /// How long a reply write may block before the client is declared slow
+    /// and its connection dropped.
+    pub write_timeout: Duration,
+    /// How long a connection may sit idle (no frames, nothing in flight)
+    /// before being reaped.
+    pub idle_timeout: Duration,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms`.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 16,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            cache_capacity: 256,
+            write_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(30),
+            default_deadline: None,
+        }
+    }
+}
+
+/// Poll interval for the accept loop, blocked readers, and queue waits:
+/// every blocking point observes the drain flag at least this often.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Watchdog scan interval: the resolution of wall-clock deadlines.
+const WATCHDOG_TICK: Duration = Duration::from_millis(5);
+
+#[derive(Debug, Default)]
+struct Counters {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    panics_contained: AtomicU64,
+    worker_deaths: AtomicU64,
+    invalid_frames: AtomicU64,
+    oversized_frames: AtomicU64,
+    slow_client_drops: AtomicU64,
+    reaped_connections: AtomicU64,
+}
+
+impl Counters {
+    fn bump(field: &AtomicU64) -> u64 {
+        field.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// An admitted compile job, queued for a worker.
+struct Job {
+    conn: u64,
+    spec: CompileSpec,
+    token: CancelToken,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: Sender<String>,
+}
+
+/// What the cancellation registry knows about an in-flight request.
+struct InFlight {
+    token: CancelToken,
+    deadline: Option<Instant>,
+}
+
+/// What a worker supervisor needs to answer for a job whose worker died.
+struct JobMeta {
+    conn: u64,
+    id: u64,
+    reply: Sender<String>,
+}
+
+struct ServerState {
+    config: ServerConfig,
+    cache: Arc<CompileCache>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    /// `(connection, request id)` → cancellation handle, for every admitted
+    /// job that has not yet been answered.
+    registry: Mutex<HashMap<(u64, u64), InFlight>>,
+    counters: Counters,
+    /// Microseconds each admitted job waited in the queue (admission →
+    /// worker pickup), for the report's percentiles. Bounded.
+    queue_waits_us: Mutex<Vec<u64>>,
+    /// EWMA of job execution time in microseconds, for `retry_after_ms`.
+    avg_job_us: AtomicU64,
+    draining: AtomicBool,
+}
+
+/// Cap on retained queue-wait samples (~800 KiB); enough for any bench run.
+const MAX_WAIT_SAMPLES: usize = 100_000;
+
+impl ServerState {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    fn shutdown(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+        self.queue_cv.notify_all();
+    }
+
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_registry(&self) -> std::sync::MutexGuard<'_, HashMap<(u64, u64), InFlight>> {
+        self.registry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn record_wait(&self, us: u64) {
+        let mut waits = self
+            .queue_waits_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if waits.len() < MAX_WAIT_SAMPLES {
+            waits.push(us);
+        }
+    }
+
+    /// Backoff hint for a shed request: the queue's expected drain time at
+    /// the current average job cost, clamped to a sane band.
+    fn retry_after_ms(&self, queue_len: usize) -> u64 {
+        let avg_us = self.avg_job_us.load(Ordering::Relaxed).max(1_000);
+        let workers = self.config.workers.max(1) as u64;
+        let est = (queue_len as u64 + 1) * avg_us / workers / 1_000;
+        est.clamp(10, 10_000)
+    }
+
+    fn observe_job_time(&self, elapsed: Duration) {
+        let us = (elapsed.as_micros() as u64).max(1);
+        let old = self.avg_job_us.load(Ordering::Relaxed);
+        let new = if old == 0 { us } else { (3 * old + us) / 4 };
+        self.avg_job_us.store(new, Ordering::Relaxed);
+    }
+}
+
+/// The final observability report a drained server returns: every serve
+/// counter, admission-latency percentiles, and the shared cache's stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Admitted requests answered (any status).
+    pub completed: u64,
+    /// Requests shed with `overloaded`.
+    pub shed: u64,
+    /// Requests answered `cancelled`.
+    pub cancelled: u64,
+    /// Requests answered `deadline_exceeded`.
+    pub deadline_exceeded: u64,
+    /// Worker panics contained (process lived).
+    pub panics_contained: u64,
+    /// Workers respawned after dying.
+    pub worker_deaths: u64,
+    /// Frames rejected as malformed/unknown-field/ill-typed.
+    pub invalid_frames: u64,
+    /// Frames rejected for exceeding the size bound.
+    pub oversized_frames: u64,
+    /// Connections dropped for blocking reply writes too long.
+    pub slow_client_drops: u64,
+    /// Idle half-open connections reaped.
+    pub reaped_connections: u64,
+    /// Median queue wait (admission → worker pickup), microseconds.
+    pub queue_wait_p50_us: u64,
+    /// 99th-percentile queue wait, microseconds.
+    pub queue_wait_p99_us: u64,
+    /// Shared compile-cache statistics.
+    pub cache: CacheStats,
+}
+
+impl ServeReport {
+    /// The report as a JSON object (the shape written to `--report` files
+    /// and `results/BENCH_serve.json`).
+    pub fn to_json(&self) -> Value {
+        protocol::obj(vec![
+            ("admitted", Value::Int(self.admitted as i64)),
+            ("completed", Value::Int(self.completed as i64)),
+            ("shed", Value::Int(self.shed as i64)),
+            ("cancelled", Value::Int(self.cancelled as i64)),
+            (
+                "deadline_exceeded",
+                Value::Int(self.deadline_exceeded as i64),
+            ),
+            ("panics_contained", Value::Int(self.panics_contained as i64)),
+            ("worker_deaths", Value::Int(self.worker_deaths as i64)),
+            ("invalid_frames", Value::Int(self.invalid_frames as i64)),
+            ("oversized_frames", Value::Int(self.oversized_frames as i64)),
+            (
+                "slow_client_drops",
+                Value::Int(self.slow_client_drops as i64),
+            ),
+            (
+                "reaped_connections",
+                Value::Int(self.reaped_connections as i64),
+            ),
+            (
+                "queue_wait_p50_us",
+                Value::Int(self.queue_wait_p50_us as i64),
+            ),
+            (
+                "queue_wait_p99_us",
+                Value::Int(self.queue_wait_p99_us as i64),
+            ),
+            ("cache", protocol::cache_stats_value(&self.cache)),
+        ])
+    }
+
+    /// Human-readable one-per-line rendering (flushed to stderr on drain).
+    pub fn render(&self) -> String {
+        format!(
+            "serve report\n  admitted              {}\n  completed             {}\n  \
+             shed (overloaded)     {}\n  cancelled             {}\n  deadline exceeded     {}\n  \
+             panics contained      {}\n  worker deaths         {}\n  invalid frames        {}\n  \
+             oversized frames      {}\n  slow-client drops     {}\n  reaped connections    {}\n  \
+             queue wait p50        {} us\n  queue wait p99        {} us\n  \
+             cache hit rate        {:.2} (program) / {:.2} (group), {} evictions",
+            self.admitted,
+            self.completed,
+            self.shed,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.panics_contained,
+            self.worker_deaths,
+            self.invalid_frames,
+            self.oversized_frames,
+            self.slow_client_drops,
+            self.reaped_connections,
+            self.queue_wait_p50_us,
+            self.queue_wait_p99_us,
+            self.cache.program_hit_rate(),
+            self.cache.group_hit_rate(),
+            self.cache.evictions,
+        )
+    }
+}
+
+/// A shutdown/introspection handle, cloneable across threads (hand one to
+/// a signal handler or a test driver).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Initiates graceful drain: admissions stop (new compile frames get
+    /// `shutting_down`), queued and in-flight jobs complete, replies flush,
+    /// then the serving call returns its final report.
+    pub fn shutdown(&self) {
+        self.state.shutdown();
+    }
+
+    /// Whether drain has been initiated.
+    pub fn is_draining(&self) -> bool {
+        self.state.draining()
+    }
+}
+
+/// The compile server. Construct with a [`ServerConfig`], then block on
+/// [`Server::run_tcp`] or [`Server::run_stdio`]; both return the final
+/// [`ServeReport`] after a graceful drain.
+pub struct Server {
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// A server with the given configuration and a fresh bounded cache.
+    pub fn new(config: ServerConfig) -> Self {
+        let cache = Arc::new(CompileCache::with_capacity(config.cache_capacity));
+        Server {
+            state: Arc::new(ServerState {
+                config,
+                cache,
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+                registry: Mutex::new(HashMap::new()),
+                counters: Counters::default(),
+                queue_waits_us: Mutex::new(Vec::new()),
+                avg_job_us: AtomicU64::new(0),
+                draining: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// A handle for initiating shutdown from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// The process-wide compile cache mounted across all workers.
+    pub fn cache(&self) -> &Arc<CompileCache> {
+        &self.state.cache
+    }
+
+    /// Serves TCP connections on `listener` until shutdown, then drains and
+    /// returns the final report.
+    pub fn run_tcp(&self, listener: TcpListener) -> ServeReport {
+        let state = &*self.state;
+        if listener.set_nonblocking(true).is_err() {
+            state.shutdown();
+        }
+        std::thread::scope(|scope| {
+            for slot in 0..state.config.workers.max(1) {
+                scope.spawn(move || supervise_worker(state, slot));
+            }
+            scope.spawn(move || watchdog(state));
+            let mut next_conn: u64 = 0;
+            while !state.draining() {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        next_conn += 1;
+                        let conn = next_conn;
+                        scope.spawn(move || serve_connection(state, stream, conn));
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        std::thread::sleep(POLL);
+                    }
+                    Err(_) => std::thread::sleep(POLL),
+                }
+            }
+            // Drain: wake anything parked on the queue so workers can
+            // observe the flag and exit once the queue is empty.
+            state.queue_cv.notify_all();
+        });
+        self.report()
+    }
+
+    /// Serves line-delimited requests from stdin (replies to stdout) until
+    /// EOF or shutdown, then drains and returns the final report. EOF on
+    /// stdin initiates the same graceful drain as SIGTERM.
+    pub fn run_stdio(&self) -> ServeReport {
+        let state = &*self.state;
+        // stdin reads cannot be timed out portably, so a detached thread
+        // owns the blocking reads and forwards lines over a channel; it
+        // dies with the process if still blocked at exit.
+        let (line_tx, line_rx) = mpsc::channel::<String>();
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                if line_tx.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        std::thread::scope(|scope| {
+            for slot in 0..state.config.workers.max(1) {
+                scope.spawn(move || supervise_worker(state, slot));
+            }
+            scope.spawn(move || watchdog(state));
+            let (reply_tx, reply_rx) = mpsc::channel::<String>();
+            scope.spawn(move || {
+                let mut out = std::io::stdout().lock();
+                for line in reply_rx {
+                    let _ = writeln!(out, "{line}");
+                    let _ = out.flush();
+                }
+            });
+            let mut line_no: u64 = 0;
+            while !state.draining() {
+                match line_rx.recv_timeout(POLL) {
+                    Ok(line) => {
+                        line_no += 1;
+                        if line.len() > state.config.max_frame_bytes {
+                            Counters::bump(&state.counters.oversized_frames);
+                            send(&reply_tx, oversized_reply(line_no));
+                            continue;
+                        }
+                        handle_frame(state, 0, &line, line_no, &reply_tx);
+                    }
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        state.shutdown();
+                    }
+                }
+            }
+            state.queue_cv.notify_all();
+            // `reply_tx` drops here; the printer exits once the workers
+            // have flushed the replies for every admitted job.
+        });
+        self.report()
+    }
+
+    /// Snapshot the counters and cache statistics (the final report when
+    /// called after a drain).
+    pub fn report(&self) -> ServeReport {
+        let s = &self.state;
+        let c = &s.counters;
+        let mut waits = s
+            .queue_waits_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        waits.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if waits.is_empty() {
+                0
+            } else {
+                let idx = ((waits.len() as f64 - 1.0) * p).round() as usize;
+                waits[idx.min(waits.len() - 1)]
+            }
+        };
+        ServeReport {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
+            panics_contained: c.panics_contained.load(Ordering::Relaxed),
+            worker_deaths: c.worker_deaths.load(Ordering::Relaxed),
+            invalid_frames: c.invalid_frames.load(Ordering::Relaxed),
+            oversized_frames: c.oversized_frames.load(Ordering::Relaxed),
+            slow_client_drops: c.slow_client_drops.load(Ordering::Relaxed),
+            reaped_connections: c.reaped_connections.load(Ordering::Relaxed),
+            queue_wait_p50_us: pct(0.50),
+            queue_wait_p99_us: pct(0.99),
+            cache: s.cache.stats(),
+        }
+    }
+}
+
+fn send(tx: &Sender<String>, reply: Value) {
+    let _ = tx.send(render(&reply));
+}
+
+fn oversized_reply(line_no: u64) -> Value {
+    error_reply(
+        None,
+        ErrorKind::FrameTooLarge,
+        "frame exceeds the size bound",
+        Some(line_no),
+        None,
+    )
+}
+
+/// Routes one parsed frame: answer protocol probes inline, register and
+/// enqueue compiles, resolve cancels against the registry.
+fn handle_frame(state: &ServerState, conn: u64, frame: &str, line_no: u64, tx: &Sender<String>) {
+    if frame.trim().is_empty() {
+        return;
+    }
+    let request = match parse_request(frame, line_no) {
+        Ok(request) => request,
+        Err(reply) => {
+            Counters::bump(&state.counters.invalid_frames);
+            send(tx, reply);
+            return;
+        }
+    };
+    match request {
+        Request::Ping { id } => send(tx, pong_reply(id)),
+        Request::Stats { id } => send(tx, stats_reply(state, id)),
+        Request::Cancel { id } => {
+            let found = state
+                .lock_registry()
+                .get(&(conn, id))
+                .map(|entry| entry.token.cancel())
+                .is_some();
+            if found {
+                send(tx, cancelling_reply(id));
+            } else {
+                send(
+                    tx,
+                    error_reply(
+                        Some(id),
+                        ErrorKind::NotFound,
+                        "no in-flight request with this id on this connection",
+                        Some(line_no),
+                        None,
+                    ),
+                );
+            }
+        }
+        Request::Compile(spec) => admit(state, conn, spec, tx),
+    }
+}
+
+fn stats_reply(state: &ServerState, id: u64) -> Value {
+    let c = &state.counters;
+    protocol::obj(vec![
+        ("id", Value::Int(id as i64)),
+        ("status", Value::Str("stats".to_string())),
+        (
+            "admitted",
+            Value::Int(c.admitted.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "completed",
+            Value::Int(c.completed.load(Ordering::Relaxed) as i64),
+        ),
+        ("shed", Value::Int(c.shed.load(Ordering::Relaxed) as i64)),
+        ("queue_depth", Value::Int(state.lock_queue().len() as i64)),
+        ("cache", protocol::cache_stats_value(&state.cache.stats())),
+    ])
+}
+
+/// Admission control: reject during drain, shed when the queue is full,
+/// otherwise register the cancel token and enqueue.
+fn admit(state: &ServerState, conn: u64, spec: CompileSpec, tx: &Sender<String>) {
+    if state.draining() {
+        send(
+            tx,
+            error_reply(
+                Some(spec.id),
+                ErrorKind::ShuttingDown,
+                "server is draining; no new work admitted",
+                None,
+                None,
+            ),
+        );
+        return;
+    }
+    let now = Instant::now();
+    let deadline = spec
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(state.config.default_deadline)
+        .map(|d| now + d);
+    let token = CancelToken::new();
+    {
+        let mut queue = state.lock_queue();
+        if queue.len() >= state.config.queue_capacity {
+            let hint = state.retry_after_ms(queue.len());
+            drop(queue);
+            Counters::bump(&state.counters.shed);
+            send(
+                tx,
+                error_reply(
+                    Some(spec.id),
+                    ErrorKind::Overloaded,
+                    "admission queue full; backing off",
+                    None,
+                    Some(hint),
+                ),
+            );
+            return;
+        }
+        state.lock_registry().insert(
+            (conn, spec.id),
+            InFlight {
+                token: token.clone(),
+                deadline,
+            },
+        );
+        queue.push_back(Job {
+            conn,
+            spec,
+            token,
+            deadline,
+            enqueued: now,
+            reply: tx.clone(),
+        });
+        Counters::bump(&state.counters.admitted);
+    }
+    state.queue_cv.notify_one();
+}
+
+/// Blocks until a job is available; `None` once draining and empty.
+fn pop_job(state: &ServerState) -> Option<Job> {
+    let mut queue = state.lock_queue();
+    loop {
+        if let Some(job) = queue.pop_front() {
+            return Some(job);
+        }
+        if state.draining() {
+            return None;
+        }
+        let (guard, _) = state
+            .queue_cv
+            .wait_timeout(queue, POLL)
+            .unwrap_or_else(|e| e.into_inner());
+        queue = guard;
+    }
+}
+
+/// One worker slot: re-enter the worker loop every time it dies, answering
+/// the fatal job with a typed `panic` reply first. The process survives
+/// any per-request panic.
+fn supervise_worker(state: &ServerState, slot: usize) {
+    let current: Mutex<Option<JobMeta>> = Mutex::new(None);
+    loop {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| worker_loop(state, &current)));
+        match outcome {
+            Ok(()) => break,
+            Err(_) => {
+                Counters::bump(&state.counters.worker_deaths);
+                Counters::bump(&state.counters.panics_contained);
+                let fatal = current.lock().unwrap_or_else(|e| e.into_inner()).take();
+                if let Some(meta) = fatal {
+                    state.lock_registry().remove(&(meta.conn, meta.id));
+                    Counters::bump(&state.counters.completed);
+                    send(
+                        &meta.reply,
+                        error_reply(
+                            Some(meta.id),
+                            ErrorKind::Panic,
+                            "worker panicked while serving this request; worker respawned",
+                            None,
+                            None,
+                        ),
+                    );
+                }
+                eprintln!("phoenixd: worker {slot} died; respawning");
+            }
+        }
+    }
+}
+
+fn worker_loop(state: &ServerState, current: &Mutex<Option<JobMeta>>) {
+    while let Some(job) = pop_job(state) {
+        state.record_wait(job.enqueued.elapsed().as_micros() as u64);
+        *current.lock().unwrap_or_else(|e| e.into_inner()) = Some(JobMeta {
+            conn: job.conn,
+            id: job.spec.id,
+            reply: job.reply.clone(),
+        });
+        // An expired deadline fires the token *here*, deterministically,
+        // rather than waiting for the watchdog's next tick.
+        if let Some(d) = job.deadline {
+            if Instant::now() >= d {
+                job.token.cancel_deadline();
+            }
+        }
+        #[cfg(feature = "sabotage")]
+        if job.spec.sabotage == Some(protocol::Sabotage::Worker) {
+            panic!("sabotage: injected worker panic");
+        }
+        let budget = job
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()));
+        let started = Instant::now();
+        let reply = crate::execute_spec(
+            &job.spec,
+            Some(&state.cache),
+            Some(job.token.clone()),
+            budget,
+        );
+        state.observe_job_time(started.elapsed());
+        match reply.get("kind").and_then(Value::as_str) {
+            Some("cancelled") => {
+                Counters::bump(&state.counters.cancelled);
+            }
+            Some("deadline_exceeded") => {
+                Counters::bump(&state.counters.deadline_exceeded);
+            }
+            _ => {}
+        }
+        Counters::bump(&state.counters.completed);
+        send(&job.reply, reply);
+        state.lock_registry().remove(&(job.conn, job.spec.id));
+        *current.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+/// Fires deadline cancellations for queued and running jobs; exits once the
+/// server has drained.
+fn watchdog(state: &ServerState) {
+    loop {
+        {
+            let now = Instant::now();
+            let registry = state.lock_registry();
+            for entry in registry.values() {
+                if entry.deadline.is_some_and(|d| now >= d) {
+                    entry.token.cancel_deadline();
+                }
+            }
+        }
+        if state.draining() && state.lock_queue().is_empty() && state.lock_registry().is_empty() {
+            return;
+        }
+        std::thread::sleep(WATCHDOG_TICK);
+    }
+}
+
+/// One TCP connection: a reader (this thread) assembling size-bounded
+/// frames, and a writer thread flushing replies behind a write timeout.
+fn serve_connection(state: &ServerState, stream: TcpStream, conn: u64) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let _ = write_half.set_write_timeout(Some(state.config.write_timeout));
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::scope(|scope| {
+        scope.spawn(|| writer_loop(write_half, rx, state));
+        let exit = reader_loop(state, stream, conn, &tx);
+        if exit == ReaderExit::Abandoned {
+            // The client is gone: fire the cancel tokens for whatever it
+            // still had in flight, so workers stop burning time on results
+            // nobody will observe. (A graceful drain is NOT abandonment —
+            // admitted work must complete and flush.)
+            let registry = state.lock_registry();
+            for ((c, _), entry) in registry.iter() {
+                if *c == conn {
+                    entry.token.cancel();
+                }
+            }
+        }
+        drop(tx);
+        // The writer exits once every reply sender is gone — i.e. after the
+        // workers have answered this connection's remaining jobs.
+    });
+}
+
+/// Why a connection's reader loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReaderExit {
+    /// The client hung up (EOF/reset) or was reaped while idle.
+    Abandoned,
+    /// The server is draining; the client may still be listening.
+    Draining,
+}
+
+/// Flushes reply lines to the socket. A write that exceeds the timeout
+/// marks the client slow: the connection's remaining replies are drained
+/// and discarded (never blocking a worker), and the drop is counted.
+fn writer_loop(mut stream: TcpStream, rx: Receiver<String>, state: &ServerState) {
+    let mut dead = false;
+    for line in rx {
+        if dead {
+            continue;
+        }
+        let mut bytes = line.into_bytes();
+        bytes.push(b'\n');
+        if stream.write_all(&bytes).is_err() || stream.flush().is_err() {
+            dead = true;
+            Counters::bump(&state.counters.slow_client_drops);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// Assembles newline-delimited frames with a hard size bound. Oversized
+/// frames are discarded to the next newline and answered with
+/// `frame_too_large`; idle connections with nothing in flight are reaped.
+fn reader_loop(
+    state: &ServerState,
+    stream: TcpStream,
+    conn: u64,
+    tx: &Sender<String>,
+) -> ReaderExit {
+    let mut reader = BufReader::new(stream);
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    let mut line_no: u64 = 0;
+    let mut last_activity = Instant::now();
+    loop {
+        if state.draining() {
+            return ReaderExit::Draining;
+        }
+        let buf = match reader.fill_buf() {
+            Ok([]) => return ReaderExit::Abandoned, // EOF
+            Ok(buf) => buf,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let has_inflight = state.lock_registry().keys().any(|(c, _)| *c == conn);
+                if !has_inflight && last_activity.elapsed() >= state.config.idle_timeout {
+                    Counters::bump(&state.counters.reaped_connections);
+                    return ReaderExit::Abandoned;
+                }
+                continue;
+            }
+            Err(_) => return ReaderExit::Abandoned,
+        };
+        last_activity = Instant::now();
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let consumed = pos + 1;
+                if discarding {
+                    discarding = false;
+                    line.clear();
+                    reader.consume(consumed);
+                    line_no += 1;
+                    Counters::bump(&state.counters.oversized_frames);
+                    send(tx, oversized_reply(line_no));
+                    continue;
+                }
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(consumed);
+                line_no += 1;
+                if line.len() > state.config.max_frame_bytes {
+                    Counters::bump(&state.counters.oversized_frames);
+                    send(tx, oversized_reply(line_no));
+                } else {
+                    let text = String::from_utf8_lossy(&line).into_owned();
+                    handle_frame(state, conn, &text, line_no, tx);
+                }
+                line.clear();
+            }
+            None => {
+                let len = buf.len();
+                if !discarding {
+                    line.extend_from_slice(buf);
+                    if line.len() > state.config.max_frame_bytes {
+                        // Stop buffering a frame that can only be rejected.
+                        discarding = true;
+                        line.clear();
+                    }
+                }
+                reader.consume(len);
+            }
+        }
+    }
+}

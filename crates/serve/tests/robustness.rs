@@ -1,0 +1,347 @@
+//! End-to-end robustness tests for `phoenixd`'s server core: adversarial
+//! framing, overload shedding, deadlines, cancellation, disconnects,
+//! graceful drain, and (behind `--features sabotage`) panic containment.
+//!
+//! Every test runs a real [`Server`] on an ephemeral TCP port with real
+//! sockets — the same code path `phoenixd` ships.
+
+#![allow(clippy::unwrap_used)]
+
+use std::net::{SocketAddr, TcpListener};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use phoenix_mathkit::Xoshiro256;
+use phoenix_serve::{Client, RetryPolicy, ServeReport, Server, ServerConfig, ServerHandle};
+use serde_json::Value;
+
+fn start_server(config: ServerConfig) -> (ServerHandle, SocketAddr, JoinHandle<ServeReport>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = Server::new(config);
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run_tcp(listener));
+    (handle, addr, join)
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect(&addr.to_string(), RetryPolicy::default()).unwrap()
+}
+
+/// A compile frame over `qubits` qubits with `n` random non-identity terms;
+/// large `n` makes the compile slow enough to observe queued/running states.
+fn compile_frame(id: u64, qubits: usize, n: usize, seed: u64) -> String {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut terms = Vec::with_capacity(n);
+    loop {
+        let label: String = (0..qubits)
+            .map(|_| ['I', 'X', 'Y', 'Z'][rng.next_below(4)])
+            .collect();
+        if label.bytes().all(|b| b == b'I') {
+            continue;
+        }
+        terms.push(format!("[\"{label}\",{:.4}]", rng.next_f64() - 0.5));
+        if terms.len() == n {
+            break;
+        }
+    }
+    format!(
+        "{{\"op\":\"compile\",\"id\":{id},\"qubits\":{qubits},\"terms\":[{}],\"target\":\"cnot\"}}",
+        terms.join(",")
+    )
+}
+
+fn kind(reply: &Value) -> Option<&str> {
+    reply.get("kind").and_then(Value::as_str)
+}
+
+fn status(reply: &Value) -> &str {
+    reply.get("status").and_then(Value::as_str).unwrap_or("")
+}
+
+#[test]
+fn compile_round_trip_reports_metrics_and_cache_hits() {
+    let (handle, addr, join) = start_server(ServerConfig::default());
+    let mut client = connect(addr);
+    let frame = compile_frame(1, 4, 6, 11);
+    let first = client.request(1, &frame).unwrap();
+    assert_eq!(status(&first), "ok", "reply: {first:?}");
+    assert!(first.get("gates").and_then(Value::as_u64).unwrap() > 0);
+    assert!(first.get("metrics").is_some(), "metrics snapshot missing");
+    // The identical structure again: the shared cache must register a hit.
+    let second = client.request(2, &compile_frame(2, 4, 6, 11)).unwrap();
+    assert_eq!(status(&second), "ok");
+    let hits = second
+        .get("cache")
+        .and_then(|c| c.get("program_hits"))
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(hits >= 1, "expected a program cache hit, got {hits}");
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.admitted, 2);
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.worker_deaths, 0);
+}
+
+#[test]
+fn torn_frames_are_reassembled_across_writes() {
+    let (handle, addr, join) = start_server(ServerConfig::default());
+    let mut client = connect(addr);
+    let frame = compile_frame(3, 3, 4, 22);
+    let bytes = frame.as_bytes();
+    let (a, rest) = bytes.split_at(7);
+    let (b, c) = rest.split_at(rest.len() / 2);
+    client.send_raw(a).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    client.send_raw(b).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    client.send_raw(c).unwrap();
+    client.send_raw(b"\n").unwrap();
+    let reply = client.wait_reply(3).unwrap();
+    assert_eq!(status(&reply), "ok", "reply: {reply:?}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn oversized_frames_are_rejected_and_the_connection_survives() {
+    let config = ServerConfig {
+        max_frame_bytes: 1024,
+        ..ServerConfig::default()
+    };
+    let (handle, addr, join) = start_server(config);
+    let mut client = connect(addr);
+    // ~64 KiB of garbage on one line: rejected without buffering it all.
+    let huge = "x".repeat(64 * 1024);
+    client.send_line(&huge).unwrap();
+    let reply: Value = serde_json::from_str(&client.recv_line().unwrap()).unwrap();
+    assert_eq!(kind(&reply), Some("frame_too_large"));
+    // Same connection still serves valid work.
+    let ok = client.request(4, &compile_frame(4, 3, 3, 33)).unwrap();
+    assert_eq!(status(&ok), "ok");
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.oversized_frames, 1);
+}
+
+#[test]
+fn malformed_frames_get_line_numbered_typed_errors() {
+    let (handle, addr, join) = start_server(ServerConfig::default());
+    let mut client = connect(addr);
+    client.send_line("{this is not json").unwrap();
+    client
+        .send_line(r#"{"op":"compile","id":9,"qubits":1,"terms":[["Z",1.0]],"bogus":1}"#)
+        .unwrap();
+    let first: Value = serde_json::from_str(&client.recv_line().unwrap()).unwrap();
+    let second: Value = serde_json::from_str(&client.recv_line().unwrap()).unwrap();
+    assert_eq!(kind(&first), Some("invalid_request"));
+    assert_eq!(first.get("line").and_then(Value::as_u64), Some(1));
+    assert_eq!(kind(&second), Some("invalid_request"));
+    assert_eq!(second.get("line").and_then(Value::as_u64), Some(2));
+    assert!(second
+        .get("message")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("bogus"));
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.invalid_frames, 2);
+    assert_eq!(report.admitted, 0);
+}
+
+#[test]
+fn zero_capacity_queue_sheds_every_request_with_a_retry_hint() {
+    let config = ServerConfig {
+        queue_capacity: 0,
+        ..ServerConfig::default()
+    };
+    let (handle, addr, join) = start_server(config);
+    let mut client = connect(addr);
+    let policy_bypass = 3; // send raw so the client doesn't retry the shed
+    for id in 0..policy_bypass {
+        client.send_line(&compile_frame(id, 2, 2, id + 1)).unwrap();
+    }
+    for _ in 0..policy_bypass {
+        let reply: Value = serde_json::from_str(&client.recv_line().unwrap()).unwrap();
+        assert_eq!(kind(&reply), Some("overloaded"), "reply: {reply:?}");
+        let hint = reply.get("retry_after_ms").and_then(Value::as_u64).unwrap();
+        assert!((10..=10_000).contains(&hint));
+    }
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.shed, policy_bypass);
+    assert_eq!(report.admitted, 0);
+}
+
+#[test]
+fn zero_deadline_is_deterministically_deadline_exceeded() {
+    let (handle, addr, join) = start_server(ServerConfig::default());
+    let mut client = connect(addr);
+    for id in 10..13 {
+        let frame = format!(
+            "{{\"op\":\"compile\",\"id\":{id},\"qubits\":2,\"terms\":[[\"ZZ\",0.5]],\"deadline_ms\":0}}"
+        );
+        let reply = client.request(id, &frame).unwrap();
+        assert_eq!(kind(&reply), Some("deadline_exceeded"), "reply: {reply:?}");
+    }
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.deadline_exceeded, 3);
+    assert_eq!(report.completed, 3);
+}
+
+#[test]
+fn queued_request_is_cancelled_by_the_client() {
+    let config = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let (handle, addr, join) = start_server(config);
+    let mut client = connect(addr);
+    // A large job pins the single worker; the victim queues behind it.
+    client.send_line(&compile_frame(100, 10, 400, 55)).unwrap();
+    std::thread::sleep(Duration::from_millis(80));
+    client.send_line(&compile_frame(101, 3, 3, 56)).unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+    client.cancel(101).unwrap();
+    let victim = client.wait_reply(101).unwrap();
+    assert_eq!(kind(&victim), Some("cancelled"), "reply: {victim:?}");
+    let big = client.wait_reply(100).unwrap();
+    assert_eq!(status(&big), "ok", "reply: {big:?}");
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.cancelled, 1);
+    assert_eq!(report.admitted, 2);
+    assert_eq!(report.completed, 2);
+}
+
+#[test]
+fn cancelling_an_unknown_id_is_a_typed_not_found() {
+    let (handle, addr, join) = start_server(ServerConfig::default());
+    let mut client = connect(addr);
+    client.send_line("{\"cancel\":777}").unwrap();
+    let reply: Value = serde_json::from_str(&client.recv_line().unwrap()).unwrap();
+    assert_eq!(kind(&reply), Some("not_found"));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn mid_compile_disconnect_frees_the_worker_and_the_server_survives() {
+    let config = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let (handle, addr, join) = start_server(config);
+    {
+        let mut doomed = connect(addr);
+        doomed.send_line(&compile_frame(200, 10, 400, 77)).unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        // Hang up mid-compile: the server must cancel the abandoned work.
+    }
+    // A fresh client gets served promptly — the single worker was freed.
+    let mut client = connect(addr);
+    let pong = client.ping(201).unwrap();
+    assert_eq!(status(&pong), "pong");
+    let ok = client.request(202, &compile_frame(202, 3, 3, 78)).unwrap();
+    assert_eq!(status(&ok), "ok");
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.worker_deaths, 0);
+    assert_eq!(report.admitted, 2);
+    assert_eq!(report.completed, 2);
+}
+
+#[test]
+fn graceful_drain_answers_every_admitted_request() {
+    let (handle, addr, join) = start_server(ServerConfig::default());
+    let mut client = connect(addr);
+    let n = 6;
+    for id in 0..n {
+        client
+            .send_line(&compile_frame(id, 5, 12, 90 + id))
+            .unwrap();
+    }
+    // Let the frames be read and admitted, then pull the plug mid-flight.
+    std::thread::sleep(Duration::from_millis(60));
+    handle.shutdown();
+    let mut ok = 0u64;
+    for id in 0..n {
+        let reply = client.wait_reply(id).unwrap();
+        match status(&reply) {
+            "ok" => ok += 1,
+            "error" => assert_eq!(kind(&reply), Some("shutting_down"), "reply: {reply:?}"),
+            other => panic!("unexpected status {other}: {reply:?}"),
+        }
+    }
+    let report = join.join().unwrap();
+    assert_eq!(
+        report.admitted, report.completed,
+        "drain must finish all admitted work"
+    );
+    assert_eq!(ok, report.completed);
+    assert_eq!(report.worker_deaths, 0);
+}
+
+#[test]
+fn stats_frames_snapshot_the_server_counters() {
+    let (handle, addr, join) = start_server(ServerConfig::default());
+    let mut client = connect(addr);
+    let ok = client.request(1, &compile_frame(1, 3, 3, 5)).unwrap();
+    assert_eq!(status(&ok), "ok");
+    let stats = client.request(2, r#"{"op":"stats","id":2}"#).unwrap();
+    assert_eq!(status(&stats), "stats");
+    assert_eq!(stats.get("admitted").and_then(Value::as_u64), Some(1));
+    assert!(stats.get("cache").is_some());
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[cfg(feature = "sabotage")]
+mod sabotage {
+    use super::*;
+
+    #[test]
+    fn pass_panic_is_contained_as_a_typed_compile_error() {
+        let (handle, addr, join) = start_server(ServerConfig::default());
+        let mut client = connect(addr);
+        let frame = r#"{"op":"compile","id":1,"qubits":2,"terms":[["ZZ",0.5]],"sabotage":"pass"}"#;
+        let reply = client.request(1, frame).unwrap();
+        assert_eq!(kind(&reply), Some("compile_error"), "reply: {reply:?}");
+        assert!(reply
+            .get("message")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("panicked"));
+        // The worker itself never died: containment happened in the pass
+        // manager layer.
+        let ok = client.request(2, &compile_frame(2, 3, 3, 9)).unwrap();
+        assert_eq!(status(&ok), "ok");
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert_eq!(report.worker_deaths, 0);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_the_worker_respawns() {
+        let config = ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let (handle, addr, join) = start_server(config);
+        let mut client = connect(addr);
+        let frame =
+            r#"{"op":"compile","id":1,"qubits":2,"terms":[["ZZ",0.5]],"sabotage":"worker"}"#;
+        let reply = client.request(1, frame).unwrap();
+        assert_eq!(kind(&reply), Some("panic"), "reply: {reply:?}");
+        // The sole worker died and respawned; the server still serves.
+        let ok = client.request(2, &compile_frame(2, 3, 3, 9)).unwrap();
+        assert_eq!(status(&ok), "ok");
+        handle.shutdown();
+        let report = join.join().unwrap();
+        assert_eq!(report.worker_deaths, 1);
+        assert_eq!(report.panics_contained, 1);
+        assert_eq!(report.completed, 2);
+    }
+}

@@ -29,6 +29,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
+        Some("--serve-stdin") => cmd_serve_stdin(),
         Some("--help") | Some("-h") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -50,10 +51,30 @@ const USAGE: &str = "usage:
                    [--qasm <out.qasm>] [--no-simplify] [--no-order] [--lookahead K]
                    [--obs [--obs-trace <out.json>]]
   phoenixc demo uccsd|qaoa
+  phoenixc --serve-stdin
 
   --obs prints a compile report (per-pass timing, gate/depth deltas,
   stage-2 groups, metrics) to stderr; --obs-trace additionally writes a
-  Chrome/Perfetto-loadable trace-event JSON.";
+  Chrome/Perfetto-loadable trace-event JSON.
+
+  --serve-stdin answers phoenixd protocol frames one per stdin line
+  (uncached, no server state) until EOF — the wire format without the
+  daemon. See `phoenixd --help` for the long-running service.";
+
+/// One-shot protocol mode: each stdin line is an independent `phoenixd`
+/// request frame, answered on stdout with exactly one reply line.
+fn cmd_serve_stdin() -> Result<(), String> {
+    use std::io::BufRead;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        println!("{}", phoenix_serve::serve_one_line(&line));
+    }
+    Ok(())
+}
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
     let mut input = None;

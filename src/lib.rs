@@ -14,6 +14,7 @@
 //! | [`sim`] | `phoenix-sim` | state-vector/unitary simulation, infidelity |
 //! | [`core`] | `phoenix-core` | **the PHOENIX compiler** (Algorithm 1 + Tetris ordering) |
 //! | [`baselines`] | `phoenix-baselines` | TKET-/Paulihedral-/Tetris-/2QAN-style baselines |
+//! | [`serve`] | `phoenix-serve` | `phoenixd`: fault-tolerant compile service + client |
 //!
 //! # Quickstart
 //!
@@ -36,5 +37,6 @@ pub use phoenix_hamil as hamil;
 pub use phoenix_mathkit as mathkit;
 pub use phoenix_pauli as pauli;
 pub use phoenix_router as router;
+pub use phoenix_serve as serve;
 pub use phoenix_sim as sim;
 pub use phoenix_topology as topology;
