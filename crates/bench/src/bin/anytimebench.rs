@@ -1,0 +1,154 @@
+//! Quality-vs-budget benchmark for the anytime deepening path.
+//!
+//! Sweeps the logical round cap (`anytime_rounds`) over representative
+//! programs — the LiH UCCSD ansatz, a TFIM chain, and (full mode) a
+//! Heisenberg chain — under a wall budget too large to interrupt, so each
+//! rung isolates what one more deepening round buys. Writes the
+//! quality-vs-budget curve to `results/BENCH_anytime.json`.
+//!
+//! The run is self-asserting (the CI anytime smoke step relies on this):
+//! it exits nonzero unless every program's cost is lexicographically
+//! monotone non-increasing in the cap, every rung reports
+//! `depth_reached == cap`, and the UCCSD case is *strictly* better at the
+//! deepest cap than at the shallowest.
+//!
+//! Usage: `anytimebench [--quick]` — `--quick` sweeps 3 caps over 2
+//! programs (CI smoke).
+
+use std::time::{Duration, Instant};
+
+use phoenix_bench::{or_exit, row, write_results, SEED};
+use phoenix_core::{CompileRequest, PhoenixOptions, MAX_ROUNDS};
+use phoenix_hamil::{models, uccsd, Molecule};
+use phoenix_pauli::PauliString;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    program: String,
+    qubits: usize,
+    terms: usize,
+    rounds_cap: usize,
+    depth_reached: usize,
+    two_qubit: usize,
+    depth_2q: usize,
+    gates: usize,
+    millis: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let caps: &[usize] = if quick {
+        &[0, 2, MAX_ROUNDS]
+    } else {
+        &[0, 1, 2, 4, 6, MAX_ROUNDS]
+    };
+
+    let lih = uccsd::ansatz(Molecule::lih(), true, uccsd::Encoding::JordanWigner, SEED);
+    type Named = (String, usize, Vec<(PauliString, f64)>);
+    let mut programs: Vec<Named> = vec![
+        (
+            "LiH_frz_UCCSD".to_string(),
+            lih.num_qubits(),
+            lih.terms().to_vec(),
+        ),
+        {
+            let tfim = models::tfim_chain(10, 1.0, 0.5);
+            (
+                "TFIM_chain_10".to_string(),
+                tfim.num_qubits(),
+                tfim.terms().to_vec(),
+            )
+        },
+    ];
+    if !quick {
+        let heis = models::heisenberg_chain(10, 1.0, 1.0, 1.0);
+        programs.push((
+            "Heisenberg_10".to_string(),
+            heis.num_qubits(),
+            heis.terms().to_vec(),
+        ));
+    }
+
+    println!("# Anytime quality-vs-budget sweep: caps {caps:?}, roomy wall budget\n");
+    println!(
+        "{}",
+        row(&["Program", "cap", "depth", "2Q", "2Q-depth", "gates", "ms"].map(String::from))
+    );
+    println!("{}", row(&vec!["---".to_string(); 7]));
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut ok = true;
+    let mut uccsd_improved = false;
+    for (name, n, terms) in &programs {
+        let mut prev: Option<(usize, usize, usize)> = None;
+        let mut first: Option<(usize, usize, usize)> = None;
+        for &cap in caps {
+            let t = Instant::now();
+            let out = or_exit(
+                CompileRequest::new(*n, terms)
+                    .options(PhoenixOptions {
+                        pass_budget: Some(Duration::from_secs(600)),
+                        anytime_rounds: Some(cap),
+                        ..PhoenixOptions::default()
+                    })
+                    .run(),
+                "anytime compile",
+            );
+            let millis = t.elapsed().as_secs_f64() * 1e3;
+            let counts = out.circuit.counts();
+            let cost = (counts.two_qubit(), out.circuit.depth_2q(), counts.total);
+            let depth_reached = out.depth_reached.unwrap_or(0);
+            println!(
+                "{}",
+                row(&[
+                    name.clone(),
+                    cap.to_string(),
+                    depth_reached.to_string(),
+                    cost.0.to_string(),
+                    cost.1.to_string(),
+                    cost.2.to_string(),
+                    format!("{millis:.2}"),
+                ])
+            );
+            if depth_reached != cap {
+                eprintln!("anytimebench: FAIL {name} cap {cap} reported depth {depth_reached}");
+                ok = false;
+            }
+            if let Some(p) = prev {
+                if cost > p {
+                    eprintln!("anytimebench: FAIL {name} cost rose {p:?} -> {cost:?} at cap {cap}");
+                    ok = false;
+                }
+            }
+            first.get_or_insert(cost);
+            prev = Some(cost);
+            rows.push(Row {
+                program: name.clone(),
+                qubits: *n,
+                terms: terms.len(),
+                rounds_cap: cap,
+                depth_reached,
+                two_qubit: cost.0,
+                depth_2q: cost.1,
+                gates: cost.2,
+                millis,
+            });
+        }
+        if name.contains("UCCSD") {
+            if let (Some(shallow), Some(deep)) = (first, prev) {
+                uccsd_improved = deep < shallow;
+            }
+        }
+    }
+    write_results("BENCH_anytime", &rows);
+
+    if !uccsd_improved {
+        eprintln!("anytimebench: FAIL UCCSD did not strictly improve at the deepest cap");
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("\nanytimebench: OK (monotone quality-vs-budget curve, UCCSD strictly improved)");
+}

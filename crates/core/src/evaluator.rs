@@ -270,11 +270,26 @@ impl CostEvaluator {
     /// minimum under the same total order, so the result is identical for
     /// every thread count.
     pub fn best_candidate_scan(&self, bsf: &Bsf, threads: usize) -> Option<(Clifford2Q, f64)> {
+        self.best_candidate_scan_capped(bsf, threads, usize::MAX)
+    }
+
+    /// [`best_candidate_scan`](CostEvaluator::best_candidate_scan) restricted
+    /// to the first `max_pairs` support-pair ranks — the breadth knob of the
+    /// anytime deepening schedule. `usize::MAX` scans every pair and is
+    /// bit-identical to the uncapped scan; smaller caps visit a prefix of the
+    /// same canonical `(generator, pair rank, orientation)` order, so the
+    /// result is still deterministic for every thread count.
+    pub fn best_candidate_scan_capped(
+        &self,
+        bsf: &Bsf,
+        threads: usize,
+        max_pairs: usize,
+    ) -> Option<(Clifford2Q, f64)> {
         let threads = match threads {
             0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
             t => t,
         };
-        let num_pairs = pairs2(self.support.len() as u64) as usize;
+        let num_pairs = (pairs2(self.support.len() as u64) as usize).min(max_pairs);
         let best = if threads <= 1 || num_pairs < 2 * threads {
             self.scan_pair_range(bsf, 0, num_pairs)
         } else {
@@ -497,6 +512,31 @@ mod tests {
                 seq,
                 "{threads} threads"
             );
+        }
+    }
+
+    #[test]
+    fn capped_scan_is_a_prefix_of_the_full_scan() {
+        let b = bsf(&["XXYYZ", "YZXZI", "ZZZXX", "XYIYX", "IXYZX"]);
+        let mut eval = CostEvaluator::new();
+        eval.prepare(&b);
+        // The uncapped cap is bit-identical to the legacy full scan.
+        assert_eq!(
+            eval.best_candidate_scan_capped(&b, 1, usize::MAX),
+            eval.best_candidate(&b)
+        );
+        // A capped scan equals the sequential minimum over the pair-rank
+        // prefix, for every thread count.
+        for cap in [1usize, 2, 4, 7] {
+            let seq = eval.best_candidate_scan_capped(&b, 1, cap);
+            assert!(seq.is_some(), "cap {cap}");
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    eval.best_candidate_scan_capped(&b, threads, cap),
+                    seq,
+                    "cap {cap}, {threads} threads"
+                );
+            }
         }
     }
 

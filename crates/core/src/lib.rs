@@ -41,6 +41,8 @@
 //! ```
 
 #[deny(clippy::unwrap_used)]
+pub mod anytime;
+#[deny(clippy::unwrap_used)]
 pub mod cancel;
 pub mod cost;
 pub mod error;
@@ -75,6 +77,7 @@ pub use phoenix_obs;
 pub use phoenix_cache;
 pub use phoenix_cache::{BoundProgram, CacheStats, CompileCache, StructureArtifact};
 
+pub use anytime::{AnytimePass, DeepeningController, MAX_ROUNDS};
 pub use cancel::{CancelReason, CancelToken};
 pub use error::{validate_device, validate_program, PhoenixError};
 pub use evaluator::CostEvaluator;
@@ -82,7 +85,8 @@ pub use group::IrGroup;
 pub use observe::MetricsObserver;
 pub use pass::{
     CompileContext, Pass, PassError, PassManager, PassObserver, PassTrace, TraceEvent,
-    EVENT_DEGRADED, EVENT_RETRIED, EVENT_SKIPPED, EVENT_TRUNCATED, EVENT_VERIFIED,
+    EVENT_DEGRADED, EVENT_RETRIED, EVENT_ROUND_ABANDONED, EVENT_SKIPPED, EVENT_TRUNCATED,
+    EVENT_VERIFIED,
 };
 pub use pipeline::{
     hardware_backend, run_hardware_backend, run_hardware_backend_with_trace,

@@ -240,16 +240,34 @@ fn cancels(a: &Clifford2Q, b: &Clifford2Q) -> bool {
 /// lookahead assembly against the running frontier. Returns the permutation
 /// of input indices.
 pub fn order_groups(circuits: &[Circuit], opts: &OrderOptions) -> Vec<usize> {
+    order_groups_interruptible(circuits, opts, &mut || false)
+        .expect("a never-true interrupt cannot abort the ordering")
+}
+
+/// [`order_groups`] with a cooperative interruption point before each
+/// greedy placement: when `interrupted` returns `true` the partial ordering
+/// is abandoned and `None` is returned (the caller keeps whatever ordering
+/// it already holds — a half-greedy permutation is not meaningfully better
+/// than none). The closure is the hook through which the anytime deepening
+/// rounds and the ordering pass observe `CancelToken`s mid-loop.
+pub fn order_groups_interruptible(
+    circuits: &[Circuit],
+    opts: &OrderOptions,
+    interrupted: &mut dyn FnMut() -> bool,
+) -> Option<Vec<usize>> {
     let mut remaining: Vec<usize> = (0..circuits.len()).collect();
     remaining.sort_by_key(|&i| std::cmp::Reverse(circuits[i].support_mask().count_ones()));
     if remaining.is_empty() {
-        return remaining;
+        return Some(remaining);
     }
     let n = circuits.iter().map(Circuit::num_qubits).max().unwrap_or(0);
     let mut frontier = Frontier::new(n);
     let mut result = vec![remaining.remove(0)];
     frontier.push(&circuits[result[0]]);
     while !remaining.is_empty() {
+        if interrupted() {
+            return None;
+        }
         let last = *result.last().expect("result is nonempty");
         let window = remaining.len().min(opts.lookahead.max(1));
         let mut best = 0usize;
@@ -265,7 +283,7 @@ pub fn order_groups(circuits: &[Circuit], opts: &OrderOptions) -> Vec<usize> {
         frontier.push(&circuits[chosen]);
         result.push(chosen);
     }
-    result
+    Some(result)
 }
 
 #[cfg(test)]
@@ -394,6 +412,33 @@ mod tests {
     #[test]
     fn empty_input_is_fine() {
         assert!(order_groups(&[], &OrderOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn interruptible_ordering_matches_and_aborts() {
+        let circuits: Vec<Circuit> = vec![
+            cnot_chain(4, &[(0, 1)]),
+            cnot_chain(4, &[(2, 3)]),
+            cnot_chain(4, &[(0, 1), (1, 2)]),
+            cnot_chain(4, &[(1, 2)]),
+        ];
+        let opts = OrderOptions::default();
+        assert_eq!(
+            order_groups_interruptible(&circuits, &opts, &mut || false),
+            Some(order_groups(&circuits, &opts))
+        );
+        // An immediately-firing interrupt abandons the ordering.
+        assert_eq!(
+            order_groups_interruptible(&circuits, &opts, &mut || true),
+            None
+        );
+        // Firing after one placement also abandons it (no partial result).
+        let mut calls = 0usize;
+        let aborted = order_groups_interruptible(&circuits, &opts, &mut || {
+            calls += 1;
+            calls > 1
+        });
+        assert_eq!(aborted, None);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use phoenix_obs::metrics::MetricId;
 use phoenix_obs::ObsCollector;
 use phoenix_pauli::{CanonicalIr, PauliString};
 
+use crate::anytime::AnytimePass;
 use crate::error::{validate_program, PhoenixError};
 use crate::observe::MetricsObserver;
 use crate::pass::{CompileContext, PassManager, PassTrace};
@@ -77,23 +78,35 @@ pub(crate) fn split_path_allowed(options: &PhoenixOptions) -> bool {
 /// [`obtain_structure`] instead), and a budgeted request must truncate
 /// deterministically rather than silently optimize forever.
 fn structure_manager(options: &PhoenixOptions, routing_aware: bool) -> PassManager {
-    let manager = PassManager::new()
-        .with(GroupPass)
-        .with(SimplifySynthPass {
-            simplify: options.enable_simplification,
-            threads: options.stage2_threads,
-            scan_threads: options.stage2_scan_threads,
-            fault_inject_group: None,
-        })
-        .with(OrderPass {
-            lookahead: options.lookahead,
-            routing_aware: routing_aware || options.routing_aware,
-            enabled: options.enable_ordering,
-        })
-        .with(ConcatPass);
     match options.pass_budget {
-        Some(budget) => manager.with_budget(budget),
-        None => manager,
+        // Budgeted structure compiles deepen anytime-style, mirroring
+        // `PhoenixCompiler::logical_passes`.
+        Some(budget) => PassManager::new()
+            .with(GroupPass)
+            .with(AnytimePass {
+                lookahead: options.lookahead,
+                simplify: options.enable_simplification,
+                order_enabled: options.enable_ordering,
+                routing_aware: routing_aware || options.routing_aware,
+                threads: options.stage2_threads,
+                scan_threads: options.stage2_scan_threads,
+                max_rounds: options.anytime_rounds,
+            })
+            .with_budget(budget),
+        None => PassManager::new()
+            .with(GroupPass)
+            .with(SimplifySynthPass {
+                simplify: options.enable_simplification,
+                threads: options.stage2_threads,
+                scan_threads: options.stage2_scan_threads,
+                fault_inject_group: None,
+            })
+            .with(OrderPass {
+                lookahead: options.lookahead,
+                routing_aware: routing_aware || options.routing_aware,
+                enabled: options.enable_ordering,
+            })
+            .with(ConcatPass),
     }
 }
 

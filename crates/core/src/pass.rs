@@ -113,6 +113,16 @@ pub struct CompileContext {
     /// pipeline with a typed cancellation error. `None` costs one pointer
     /// check per boundary.
     pub cancel: Option<CancelToken>,
+    /// Deepening rounds completed by the anytime optimizer (`None` when the
+    /// legacy non-anytime path ran). Round 0 is the always-computed naive
+    /// baseline, so `Some(0)` means "interrupted before any improvement".
+    pub depth_reached: Option<usize>,
+    /// Set by the anytime pass when a fired [`CancelToken`] was honored by
+    /// keeping the best-so-far snapshot instead of aborting. The manager
+    /// then treats the fired token like an elapsed deadline — optional
+    /// polish is skipped, required lowering still runs — so the caller gets
+    /// a valid (if less optimized) compilation instead of an error.
+    pub soft_cancelled: bool,
 }
 
 impl CompileContext {
@@ -139,6 +149,8 @@ impl CompileContext {
             spans: Vec::new(),
             cache: None,
             cancel: None,
+            depth_reached: None,
+            soft_cancelled: false,
         }
     }
 
@@ -301,6 +313,11 @@ pub const EVENT_SKIPPED: &str = "skipped";
 /// (raised once per verified boundary, so a trace shows exactly which
 /// transformations were checked).
 pub const EVENT_VERIFIED: &str = "verified";
+/// Event kind: the anytime optimizer hit its deadline (or a fired cancel
+/// token) in the middle of a deepening round and kept the previous round's
+/// result. Distinct from [`EVENT_TRUNCATED`], which marks work cut short
+/// *before* it started improving anything.
+pub const EVENT_ROUND_ABANDONED: &str = "round-abandoned";
 
 /// A hook invoked after every executed pass — the attachment point for
 /// translation validation and metrics collection.
@@ -527,11 +544,17 @@ impl PassManager {
         for pass in &self.passes {
             // Cooperative cancellation: checked before every pass, so a
             // fired token stops the pipeline at the next boundary without
-            // ever interrupting a pass mid-rewrite.
-            if let Some(reason) = ctx.cancel_reason() {
-                return Err(PassError::cancelled(pass.name(), reason));
-            }
-            if pass.optional() && ctx.past_deadline() {
+            // ever interrupting a pass mid-rewrite. A *soft* cancellation
+            // (the anytime pass kept its best-so-far under a fired token)
+            // instead degrades like an elapsed deadline: optional polish is
+            // skipped, required lowering still runs.
+            let cancelled = match ctx.cancel_reason() {
+                Some(reason) if !ctx.soft_cancelled => {
+                    return Err(PassError::cancelled(pass.name(), reason));
+                }
+                reason => reason.is_some(),
+            };
+            if pass.optional() && (ctx.past_deadline() || cancelled) {
                 ctx.record_event(
                     pass.name(),
                     EVENT_SKIPPED,
@@ -781,6 +804,43 @@ mod tests {
         assert_eq!(ctx.num_groups, 2);
         assert_eq!(err.pass, "add-terms");
         assert_eq!(err.cancellation_reason(), Some(CancelReason::Client));
+    }
+
+    /// Fires the token but marks the cancellation as honored (the anytime
+    /// pass's behaviour when it keeps its best-so-far snapshot).
+    struct SoftCancels;
+
+    impl Pass for SoftCancels {
+        fn name(&self) -> &str {
+            "soft-cancels"
+        }
+
+        fn run(&self, ctx: &mut CompileContext) -> Result<(), PassError> {
+            if let Some(t) = &ctx.cancel {
+                t.cancel();
+            }
+            ctx.soft_cancelled = true;
+            ctx.num_groups += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn soft_cancellation_degrades_instead_of_erroring() {
+        let mut ctx = CompileContext::new(2, &[]);
+        ctx.cancel = Some(CancelToken::new());
+        let pm = PassManager::new()
+            .with(SoftCancels)
+            .with(OptionalMarker)
+            .with(AddTerms(1));
+        let trace = pm.run(&mut ctx).unwrap();
+        // The required pass after the soft cancellation still ran; the
+        // optional one was skipped like under an elapsed deadline.
+        assert_eq!(ctx.num_groups, 2);
+        assert_eq!(trace.pass_names(), ["soft-cancels", "add-terms"]);
+        let skipped = trace.events_of_kind(EVENT_SKIPPED);
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].pass, "optional-marker");
     }
 
     #[test]

@@ -33,11 +33,11 @@ use phoenix_router::{route_with_attempt_log, RouterOptions};
 
 use crate::cancel::CancelToken;
 use crate::group::{group_by_support, IrGroup};
-use crate::order::{order_groups, OrderOptions};
+use crate::order::{order_groups_interruptible, OrderOptions};
 use crate::pass::{
     CompileContext, Pass, PassError, EVENT_DEGRADED, EVENT_RETRIED, EVENT_TRUNCATED,
 };
-use crate::simplify::{simplify_terms_with, SimplifyOptions};
+use crate::simplify::{simplify_terms_interruptible, SimplifyOptions};
 use crate::synth::synthesize_group;
 
 /// The conventional CNOT cost of synthesizing `terms` without Algorithm 1:
@@ -113,6 +113,17 @@ type CompiledGroup = (Circuit, Vec<(PauliString, f64)>);
 /// outcome class, and its span (`Some` only when instrumented).
 type GroupResult = (CompiledGroup, GroupOutcome, Option<Span>);
 
+/// Outcome of one optimized group-compilation attempt.
+enum Optimized {
+    /// Compiled successfully (with any instrumentation child spans).
+    Done(CompiledGroup, Vec<Span>),
+    /// The cancel token fired or the deadline elapsed mid-optimization;
+    /// the greedy loop was abandoned inside an epoch.
+    Interrupted,
+    /// Algorithm 1 or synthesis panicked (contained).
+    Panicked,
+}
+
 impl SimplifySynthPass {
     /// Compiles one group with the failure modes contained: a panic inside
     /// Algorithm 1 or synthesis (reported as [`EVENT_DEGRADED`]) and an
@@ -124,22 +135,30 @@ impl SimplifySynthPass {
     /// `candidate-scan`/`synthesize` children on the optimized path). Only
     /// the timings depend on the run; names and args are deterministic.
     /// Runs Algorithm 1 + synthesis on `terms` with the panic contained.
-    /// Returns `None` when the optimization panicked (including the forced
-    /// fault-injection panic when `fault` is set).
+    /// The cancel token and deadline are polled once per greedy epoch, so
+    /// even one pathological group (hundreds of wide terms take thousands
+    /// of epochs) cannot stall a cancellation for more than one epoch.
+    #[allow(clippy::too_many_arguments)]
     fn optimized(
         &self,
         n: usize,
         terms: &[(PauliString, f64)],
         opts: &SimplifyOptions,
+        deadline: Option<Instant>,
+        cancel: Option<&CancelToken>,
         obs: Option<&ObsCollector>,
         fault: bool,
-    ) -> Option<(CompiledGroup, Vec<Span>)> {
-        panic::catch_unwind(AssertUnwindSafe(|| {
+    ) -> Optimized {
+        let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
             if fault {
                 panic!("fault injection: forced panic");
             }
             let scan_start = obs.map(|o| o.now_us());
-            let s = simplify_terms_with(n, terms, opts);
+            let mut interrupted = || {
+                cancel.is_some_and(|c| c.is_cancelled())
+                    || deadline.is_some_and(|d| Instant::now() >= d)
+            };
+            let s = simplify_terms_interruptible(n, terms, opts, &mut interrupted)?;
             let synth_start = obs.map(|o| o.now_us());
             let circuit = synthesize_group(&s);
             let children = obs.map_or_else(Vec::new, |o| {
@@ -151,9 +170,13 @@ impl SimplifySynthPass {
                 synth.dur_us = o.now_us().saturating_sub(synth.start_us);
                 vec![scan, synth]
             });
-            ((circuit, s.term_sequence()), children)
-        }))
-        .ok()
+            Some(((circuit, s.term_sequence()), children))
+        }));
+        match attempt {
+            Ok(Some((result, children))) => Optimized::Done(result, children),
+            Ok(None) => Optimized::Interrupted,
+            Err(_) => Optimized::Panicked,
+        }
     }
 
     /// The cache-aware optimized path: look the group up by its canonical
@@ -161,18 +184,23 @@ impl SimplifySynthPass {
     /// a miss compile the group *slot-encoded*, cache the decoded artifact,
     /// and bind. Both directions perform the exact float operations of the
     /// uncached path (sign folding is negation, which is exact), so the
-    /// output is bit-for-bit identical. Returns `None` on a contained
-    /// panic, exactly like [`SimplifySynthPass::optimized`].
+    /// output is bit-for-bit identical. Propagates [`Optimized::Panicked`]
+    /// and [`Optimized::Interrupted`] exactly like
+    /// [`SimplifySynthPass::optimized`] — an interrupted slot-encoded
+    /// compile never inserts a partial artifact into the shared cache. The
+    /// returned flag is `true` on a cache hit.
     fn compile_group_via_cache(
         &self,
         n: usize,
         group: &IrGroup,
         opts: &SimplifyOptions,
+        cancel: Option<&CancelToken>,
         obs: Option<&ObsCollector>,
         cache: &CompileCache,
-    ) -> Option<(CompiledGroup, Vec<Span>, bool)> {
+    ) -> (Optimized, bool) {
         let key = CanonicalIr::from_terms(n, group.terms());
         let coeffs: Vec<f64> = group.terms().iter().map(|(_, c)| *c).collect();
+        let recompile = || self.optimized(n, group.terms(), opts, None, cancel, obs, false);
         if let Some(art) = cache.get_group(&key) {
             let matches = art.num_qubits() == n
                 && art.terms().len() == group.terms().len()
@@ -186,13 +214,12 @@ impl SimplifySynthPass {
                     if let Some(o) = obs {
                         o.metrics().incr(MetricId::CacheGroupHits);
                     }
-                    return Some((bound, Vec::new(), true));
+                    return (Optimized::Done(bound, Vec::new()), true);
                 }
             }
             // Digest collision or artifact mismatch: recompile below with
             // the real coefficients and leave the incumbent entry alone.
-            let (result, children) = self.optimized(n, group.terms(), opts, obs, false)?;
-            return Some((result, children, false));
+            return (recompile(), false);
         }
         if let Some(o) = obs {
             o.metrics().incr(MetricId::CacheGroupMisses);
@@ -204,23 +231,20 @@ impl SimplifySynthPass {
             .map(|(i, (p, _))| (p.clone(), encode_slot(i)))
             .collect();
         let ((skeleton, slot_order), children) =
-            self.optimized(n, &slot_terms, opts, obs, false)?;
+            match self.optimized(n, &slot_terms, opts, None, cancel, obs, false) {
+                Optimized::Done(result, children) => (result, children),
+                other => return (other, false),
+            };
         let strings: Vec<PauliString> = group.terms().iter().map(|(p, _)| p.clone()).collect();
         let art = match GroupArtifact::from_slot_encoded(n, strings, skeleton, &slot_order) {
             Ok(art) => cache.insert_group(key, Arc::new(art)),
             // The skeleton is not rebindable (defensive: slot encoding
             // makes this unreachable) — compile uncached instead.
-            Err(_) => {
-                let (result, children) = self.optimized(n, group.terms(), opts, obs, false)?;
-                return Some((result, children, false));
-            }
+            Err(_) => return (recompile(), false),
         };
         match art.bind(&coeffs) {
-            Ok(bound) => Some((bound, children, false)),
-            Err(_) => {
-                let (result, children) = self.optimized(n, group.terms(), opts, obs, false)?;
-                Some((result, children, false))
-            }
+            Ok(bound) => (Optimized::Done(bound, children), false),
+            Err(_) => (recompile(), false),
         }
     }
 
@@ -248,6 +272,17 @@ impl SimplifySynthPass {
         // injection and pass budgets must never leak artifacts into (or be
         // masked by) the shared cache.
         let usable_cache = cache.filter(|_| fault.is_none() && deadline.is_none());
+        // A mid-loop interruption degrades to naive synthesis exactly like
+        // the pre-group checks above it: past-deadline is reported as
+        // truncation, while a fired cancel token stays silent (the result
+        // is discarded at the next pass boundary anyway).
+        let interrupt_outcome = |deadline: Option<Instant>| -> GroupOutcome {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                Some(EVENT_TRUNCATED)
+            } else {
+                None
+            }
+        };
         let (result, outcome, children, cached) = if !self.simplify {
             (naive(), None, Vec::new(), None)
         } else if cancel.is_some_and(|c| c.is_cancelled()) {
@@ -258,14 +293,26 @@ impl SimplifySynthPass {
         } else if deadline.is_some_and(|d| Instant::now() >= d) {
             (naive(), Some(EVENT_TRUNCATED), Vec::new(), None)
         } else if let Some(cache) = usable_cache {
-            match self.compile_group_via_cache(n, group, opts, obs, cache) {
-                Some((result, children, hit)) => (result, None, children, Some(hit)),
-                None => (naive(), Some(EVENT_DEGRADED), Vec::new(), None),
+            match self.compile_group_via_cache(n, group, opts, cancel, obs, cache) {
+                (Optimized::Done(result, children), hit) => (result, None, children, Some(hit)),
+                (Optimized::Interrupted, _) => {
+                    (naive(), interrupt_outcome(deadline), Vec::new(), None)
+                }
+                (Optimized::Panicked, _) => (naive(), Some(EVENT_DEGRADED), Vec::new(), None),
             }
         } else {
-            match self.optimized(n, group.terms(), opts, obs, fault == Some(index)) {
-                Some((result, children)) => (result, None, children, None),
-                None => (naive(), Some(EVENT_DEGRADED), Vec::new(), None),
+            match self.optimized(
+                n,
+                group.terms(),
+                opts,
+                deadline,
+                cancel,
+                obs,
+                fault == Some(index),
+            ) {
+                Optimized::Done(result, children) => (result, None, children, None),
+                Optimized::Interrupted => (naive(), interrupt_outcome(deadline), Vec::new(), None),
+                Optimized::Panicked => (naive(), Some(EVENT_DEGRADED), Vec::new(), None),
             }
         };
         let span = obs.map(|o| {
@@ -439,13 +486,22 @@ impl Pass for OrderPass {
             return Ok(());
         }
         ctx.order = if self.enabled {
-            order_groups(
+            // The token is polled inside the greedy loop (not just at pass
+            // boundaries): a request abandoned mid-ordering stops paying
+            // for lookahead scoring immediately. The first-appearance
+            // fallback is always valid; the manager aborts at the next
+            // boundary, so — like stage 2's cheap naive fallback — no
+            // event is recorded for a result that is discarded anyway.
+            let cancel = ctx.cancel.clone();
+            order_groups_interruptible(
                 &ctx.subcircuits,
                 &OrderOptions {
                     lookahead: self.lookahead,
                     routing_aware: self.routing_aware,
                 },
+                &mut || cancel.as_ref().is_some_and(|t| t.is_cancelled()),
             )
+            .unwrap_or_else(|| (0..ctx.subcircuits.len()).collect())
         } else {
             (0..ctx.subcircuits.len()).collect()
         };

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::anytime::AnytimePass;
 use crate::cancel::CancelToken;
 use crate::error::{validate_device, PhoenixError};
 use crate::pass::{CompileContext, PassError, PassManager, PassTrace};
@@ -62,6 +63,14 @@ pub struct PhoenixOptions {
     /// to completion — the output is always valid, just less optimized.
     /// `None` (the default) never truncates.
     pub pass_budget: Option<Duration>,
+    /// Logical cap on the anytime deepening schedule used by budgeted
+    /// compiles: the optimizer runs at most this many deepening rounds
+    /// (clamped to [`crate::anytime::MAX_ROUNDS`]; `None` = the full
+    /// schedule). Because rounds are deterministic, the output under a huge
+    /// `pass_budget` is a pure function of this cap, independent of wall
+    /// clock and thread counts. Ignored when `pass_budget` is `None` — the
+    /// unbudgeted pipeline takes the legacy single-shot path.
+    pub anytime_rounds: Option<usize>,
     /// Translation validation: attach a [`BoundaryVerifier`] so every pass
     /// boundary is semantically re-checked (the `--verify` flag of the
     /// experiment binaries). Compilation fails with a pass-pinpointing
@@ -93,6 +102,7 @@ impl Default for PhoenixOptions {
             stage2_threads: 0,
             stage2_scan_threads: 1,
             pass_budget: None,
+            anytime_rounds: None,
             verify: false,
             cancel: None,
         }
@@ -266,23 +276,36 @@ impl PhoenixCompiler {
     /// parameterized by this compiler's options (including the pass
     /// budget, which survives [`PassManager::append`]).
     pub fn logical_passes(&self, routing_aware: bool) -> PassManager {
-        let manager = PassManager::new()
-            .with(GroupPass)
-            .with(SimplifySynthPass {
-                simplify: self.options.enable_simplification,
-                threads: self.options.stage2_threads,
-                scan_threads: self.options.stage2_scan_threads,
-                fault_inject_group: None,
-            })
-            .with(OrderPass {
-                lookahead: self.options.lookahead,
-                routing_aware: routing_aware || self.options.routing_aware,
-                enabled: self.options.enable_ordering,
-            })
-            .with(ConcatPass);
         let manager = match self.options.pass_budget {
-            Some(budget) => manager.with_budget(budget),
-            None => manager,
+            // Budgeted compiles deepen anytime-style: stages 2–4 become one
+            // interruptible pass that always holds a valid best-so-far.
+            Some(budget) => PassManager::new()
+                .with(GroupPass)
+                .with(AnytimePass {
+                    lookahead: self.options.lookahead,
+                    simplify: self.options.enable_simplification,
+                    order_enabled: self.options.enable_ordering,
+                    routing_aware: routing_aware || self.options.routing_aware,
+                    threads: self.options.stage2_threads,
+                    scan_threads: self.options.stage2_scan_threads,
+                    max_rounds: self.options.anytime_rounds,
+                })
+                .with_budget(budget),
+            // Unbudgeted compiles take the exact legacy single-shot path.
+            None => PassManager::new()
+                .with(GroupPass)
+                .with(SimplifySynthPass {
+                    simplify: self.options.enable_simplification,
+                    threads: self.options.stage2_threads,
+                    scan_threads: self.options.stage2_scan_threads,
+                    fault_inject_group: None,
+                })
+                .with(OrderPass {
+                    lookahead: self.options.lookahead,
+                    routing_aware: routing_aware || self.options.routing_aware,
+                    enabled: self.options.enable_ordering,
+                })
+                .with(ConcatPass),
         };
         if self.options.verify {
             // One verifier per compilation: it carries a unitary snapshot

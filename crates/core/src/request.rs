@@ -254,6 +254,7 @@ impl CompileRequest {
             )
         });
         let num_groups = ctx.num_groups;
+        let depth_reached = ctx.depth_reached;
         let term_order = std::mem::take(&mut ctx.term_order);
         let (circuit, hardware) = match &self.target {
             Target::Hardware(_) => {
@@ -267,6 +268,7 @@ impl CompileRequest {
             num_groups,
             term_order,
             hardware,
+            depth_reached,
             trace: if self.trace { Some(trace) } else { None },
             obs,
         })
@@ -362,6 +364,9 @@ impl CompileRequest {
             num_groups,
             term_order,
             hardware,
+            // The split path is gated on `pass_budget.is_none()`, so no
+            // anytime deepening ran.
+            depth_reached: None,
             trace: if self.trace { Some(trace) } else { None },
             obs,
         })
@@ -383,6 +388,10 @@ pub struct CompileOutcome {
     pub term_order: Vec<(PauliString, f64)>,
     /// The full hardware program ([`Target::Hardware`] only).
     pub hardware: Option<HardwareProgram>,
+    /// Deepening rounds the anytime optimizer completed (budgeted compiles
+    /// only; `None` on the legacy unbudgeted path). `0` means the naive
+    /// round-0 baseline was returned.
+    pub depth_reached: Option<usize>,
     /// The pass trace (when requested via [`CompileRequest::trace`]).
     pub trace: Option<PassTrace>,
     /// The observability report (when requested via

@@ -167,6 +167,27 @@ pub fn simplify_terms_with(
     terms: &[(PauliString, f64)],
     opts: &SimplifyOptions,
 ) -> SimplifiedGroup {
+    simplify_terms_interruptible(n, terms, opts, &mut || false)
+        .expect("a never-firing interrupt cannot abandon the loop")
+}
+
+/// Runs Algorithm 1 on one group's term list, polling `interrupted` at the
+/// top of every greedy epoch. Returns `None` the moment the closure fires,
+/// so a cancellation or elapsed deadline can interrupt even a single
+/// pathological group (hundreds of wide terms take thousands of epochs)
+/// instead of only being observed between groups. With a never-firing
+/// closure this is exactly [`simplify_terms_with`] — the same greedy loop,
+/// bit for bit.
+///
+/// # Panics
+///
+/// Panics if any term does not act on exactly `n` qubits.
+pub fn simplify_terms_interruptible(
+    n: usize,
+    terms: &[(PauliString, f64)],
+    opts: &SimplifyOptions,
+    interrupted: &mut dyn FnMut() -> bool,
+) -> Option<SimplifiedGroup> {
     let mut bsf = Bsf::from_terms(n, terms.iter().cloned()).expect("terms fit the register");
     let mut nest: Vec<(Vec<BsfRow>, Clifford2Q)> = Vec::new();
     let mut core_locals: Vec<BsfRow> = Vec::new();
@@ -178,6 +199,9 @@ pub fn simplify_terms_with(
     let mut steps = 0usize;
 
     while bsf.total_weight() > 2 {
+        if interrupted() {
+            return None;
+        }
         let locals = bsf.pop_local_paulis();
         if bsf.total_weight() <= 2 {
             core_locals = locals;
@@ -219,7 +243,114 @@ pub fn simplify_terms_with(
     for &cliff in cliffords.iter().rev() {
         items.push(CfgItem::Clifford(cliff));
     }
-    SimplifiedGroup { n, items }
+    Some(SimplifiedGroup { n, items })
+}
+
+/// Aspiration window for the principal-variation shortcut of
+/// [`simplify_terms_deepening`]: the previous round's move at the same
+/// epoch is accepted *without scanning* when it beats the current cost by
+/// at least this margin. Eq. (6) costs are integer/half-integer valued, so
+/// a margin of 1.0 means "clearly improving", not float noise.
+pub(crate) const ASPIRATION_WINDOW: f64 = 1.0;
+
+/// One deepening round of Algorithm 1: the legacy greedy loop with the
+/// candidate scan capped at `max_pairs` support-pair ranks and the previous
+/// round's Clifford sequence `pv` used as a principal variation (tried
+/// first at each epoch; accepted without a scan inside the aspiration
+/// window, otherwise competing with the capped scan's winner).
+///
+/// With `max_pairs == usize::MAX` the PV shortcut is disabled and the loop
+/// reduces exactly to [`simplify_terms_with`] on the incremental cost path,
+/// so the deepest round is bit-identical to the unbudgeted compile.
+///
+/// Returns the simplified group plus the chosen Clifford sequence — the
+/// next round's principal variation — or `None` if `interrupted` fired
+/// mid-loop (the caller abandons the round and keeps its previous best).
+/// The closure is polled once per greedy epoch, like
+/// [`simplify_terms_interruptible`]. Deterministic for every
+/// `opts.scan_threads` value.
+///
+/// # Panics
+///
+/// Panics if any term does not act on exactly `n` qubits.
+pub(crate) fn simplify_terms_deepening(
+    n: usize,
+    terms: &[(PauliString, f64)],
+    opts: &SimplifyOptions,
+    max_pairs: usize,
+    pv: &[Clifford2Q],
+    interrupted: &mut dyn FnMut() -> bool,
+) -> Option<(SimplifiedGroup, Vec<Clifford2Q>)> {
+    let mut bsf = Bsf::from_terms(n, terms.iter().cloned()).expect("terms fit the register");
+    let mut nest: Vec<(Vec<BsfRow>, Clifford2Q)> = Vec::new();
+    let mut core_locals: Vec<BsfRow> = Vec::new();
+    let mut eval = CostEvaluator::new();
+    let capped = max_pairs != usize::MAX;
+    let mut chosen: Vec<Clifford2Q> = Vec::new();
+
+    let budget = 64 + 8 * bsf.rows().len() * bsf.total_weight().max(1);
+    let mut steps = 0usize;
+
+    while bsf.total_weight() > 2 {
+        if interrupted() {
+            return None;
+        }
+        let locals = bsf.pop_local_paulis();
+        if bsf.total_weight() <= 2 {
+            core_locals = locals;
+            break;
+        }
+        steps += 1;
+        eval.prepare(&bsf);
+        let current = eval.current_cost();
+        let pv_cand = if capped {
+            pv.get(chosen.len())
+                .map(|&c| (c, eval.candidate_cost(&bsf, c)))
+        } else {
+            None
+        };
+        let cliff = match pv_cand {
+            // Aspiration hit: clearly improving, skip the scan entirely.
+            Some((c, cost)) if cost <= current - ASPIRATION_WINDOW && steps <= budget => c,
+            _ => {
+                let mut best = eval.best_candidate_scan_capped(&bsf, opts.scan_threads, max_pairs);
+                if let Some((c, cost)) = pv_cand {
+                    // The PV move competes with the capped scan's winner;
+                    // it only displaces the winner on a strict improvement
+                    // (the scan's canonical order defines tie-breaks).
+                    if best.is_none_or(|(_, bc)| cost < bc) {
+                        best = Some((c, cost));
+                    }
+                }
+                match best {
+                    Some((c, cost)) if cost < current && steps <= budget => c,
+                    _ => eval.progress_candidate(&bsf),
+                }
+            }
+        };
+        bsf.apply_clifford2q(cliff);
+        chosen.push(cliff);
+        nest.push((locals, cliff));
+    }
+
+    let mut core_rows = core_locals;
+    core_rows.extend(bsf.rows().iter().cloned());
+
+    let cliffords: Vec<Clifford2Q> = nest.iter().map(|(_, c)| *c).collect();
+    let mut items = Vec::new();
+    for (locals, cliff) in nest {
+        if !locals.is_empty() {
+            items.push(CfgItem::Rotations(locals));
+        }
+        items.push(CfgItem::Clifford(cliff));
+    }
+    if !core_rows.is_empty() {
+        items.push(CfgItem::Rotations(core_rows));
+    }
+    for &cliff in cliffords.iter().rev() {
+        items.push(CfgItem::Clifford(cliff));
+    }
+    Some((SimplifiedGroup { n, items }, chosen))
 }
 
 /// The greedy choice: the generator/qubit-pair minimizing Eq. (6) on the
@@ -410,6 +541,114 @@ mod tests {
         for i in 0..k {
             assert_eq!(cliffs[i], cliffs[2 * k - 1 - i], "mirrored pair {i}");
         }
+    }
+
+    #[test]
+    fn full_breadth_deepening_matches_legacy() {
+        for labels in [
+            vec!["ZYY", "ZZY", "XYY", "XZY"],
+            vec!["XXXX", "YYII", "ZZZZ", "XYZX"],
+            vec!["XXYYZ", "YZXZI", "ZZZXX", "XYIYX"],
+        ] {
+            let input = terms(&labels);
+            let n = labels[0].len();
+            let legacy = simplify_terms(n, &input);
+            let (deep, _) = simplify_terms_deepening(
+                n,
+                &input,
+                &SimplifyOptions::default(),
+                usize::MAX,
+                &[],
+                &mut || false,
+            )
+            .unwrap();
+            assert_eq!(deep, legacy, "{labels:?}");
+        }
+    }
+
+    #[test]
+    fn capped_deepening_with_pv_is_still_unitary_faithful() {
+        let input = terms(&["XXYYZ", "YZXZI", "ZZZXX", "XYIYX"]);
+        let opts = SimplifyOptions::default();
+        let mut pv: Vec<Clifford2Q> = Vec::new();
+        for cap in [1usize, 2, 8, usize::MAX] {
+            let (s, chosen) =
+                simplify_terms_deepening(5, &input, &opts, cap, &pv, &mut || false).unwrap();
+            let mut got = s.term_sequence();
+            let mut want = input.clone();
+            let key = |t: &(PauliString, f64)| {
+                (
+                    t.0.x_mask().clone(),
+                    t.0.z_mask().clone(),
+                    (t.1 * 1e12) as i64,
+                )
+            };
+            got.sort_by_key(key);
+            want.sort_by_key(key);
+            assert_eq!(got, want, "cap {cap}");
+            for item in s.items() {
+                if let CfgItem::Rotations(rows) = item {
+                    assert!(rows.iter().all(|r| r.weight() <= 2), "cap {cap}");
+                }
+            }
+            pv = chosen;
+        }
+    }
+
+    #[test]
+    fn deepening_is_deterministic_across_scan_threads() {
+        let input = terms(&["XXYYZ", "YZXZI", "ZZZXX", "XYIYX", "IXYZX"]);
+        let pv: Vec<Clifford2Q> = Vec::new();
+        for cap in [2usize, 6, usize::MAX] {
+            let base = simplify_terms_deepening(
+                5,
+                &input,
+                &SimplifyOptions {
+                    scan_threads: 1,
+                    naive_cost: false,
+                },
+                cap,
+                &pv,
+                &mut || false,
+            );
+            for scan_threads in [2usize, 8] {
+                let other = simplify_terms_deepening(
+                    5,
+                    &input,
+                    &SimplifyOptions {
+                        scan_threads,
+                        naive_cost: false,
+                    },
+                    cap,
+                    &pv,
+                    &mut || false,
+                );
+                assert_eq!(other, base, "cap {cap}, {scan_threads} scan threads");
+            }
+        }
+    }
+
+    #[test]
+    fn interrupt_fires_inside_the_greedy_loop() {
+        let input = terms(&["XXYYZ", "YZXZI", "ZZZXX", "XYIYX"]);
+        // An immediately-firing interrupt abandons before the first epoch…
+        let none =
+            simplify_terms_interruptible(5, &input, &SimplifyOptions::default(), &mut || true);
+        assert!(none.is_none());
+        // …and a countdown interrupt is honored mid-loop, not just at entry.
+        let mut polls = 0usize;
+        let midway =
+            simplify_terms_interruptible(5, &input, &SimplifyOptions::default(), &mut || {
+                polls += 1;
+                polls > 2
+            });
+        assert!(midway.is_none());
+        assert_eq!(polls, 3);
+        // A never-firing interrupt is bit-identical to the plain entry point.
+        let full =
+            simplify_terms_interruptible(5, &input, &SimplifyOptions::default(), &mut || false)
+                .unwrap();
+        assert_eq!(full, simplify_terms(5, &input));
     }
 
     #[test]

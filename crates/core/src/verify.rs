@@ -323,6 +323,14 @@ impl PassObserver for BoundaryVerifier {
             "simplify-synth" | "naive-synth" => self.check_stage2(pass, ctx),
             "tetris-order" | "program-order" => self.check_order(pass, ctx),
             "concat" => self.check_concat(pass, ctx),
+            // The anytime pass leaves the context in post-concat shape
+            // (best-so-far subcircuits, order, assembled circuit), so every
+            // stage-2/order/concat invariant applies to its snapshot.
+            "anytime-deepen" => {
+                self.check_stage2(pass, ctx)?;
+                self.check_order(pass, ctx)?;
+                self.check_concat(pass, ctx)
+            }
             // `cnot-lower` appears both pre-routing (logical lowering) and
             // post-routing (SWAP lowering); the recorded final layout
             // disambiguates.

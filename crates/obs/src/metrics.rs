@@ -81,11 +81,15 @@ pub enum MetricId {
     ServeDeadlineExceeded,
     /// Worker panics contained by the serve layer (the process lived).
     ServePanicsContained,
+    /// Deepening rounds completed by the anytime optimizer.
+    AnytimeRounds,
+    /// Deepening rounds that strictly improved the best-so-far circuit.
+    AnytimeImprovements,
 }
 
 /// All counters, in discriminant order. Kept in sync with [`MetricId`] by
 /// the `catalog_is_complete` test.
-pub const COUNTERS: [MetricId; 24] = [
+pub const COUNTERS: [MetricId; 26] = [
     MetricId::GroupsCompiled,
     MetricId::TermsCompiled,
     MetricId::CnotsSavedStage2,
@@ -110,6 +114,8 @@ pub const COUNTERS: [MetricId; 24] = [
     MetricId::ServeCancelled,
     MetricId::ServeDeadlineExceeded,
     MetricId::ServePanicsContained,
+    MetricId::AnytimeRounds,
+    MetricId::AnytimeImprovements,
 ];
 
 impl MetricId {
@@ -140,6 +146,8 @@ impl MetricId {
             MetricId::ServeCancelled => "serve_cancelled",
             MetricId::ServeDeadlineExceeded => "serve_deadline_exceeded",
             MetricId::ServePanicsContained => "serve_panics_contained",
+            MetricId::AnytimeRounds => "anytime_rounds",
+            MetricId::AnytimeImprovements => "anytime_improvements",
         }
     }
 }

@@ -154,6 +154,38 @@ pub fn render(report: &ObsReport) -> String {
         }
     }
 
+    // Anytime deepening summary (budgeted compiles only).
+    let counter = |name: &str| {
+        report
+            .metrics
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    let rounds = counter("anytime_rounds");
+    if rounds > 0 {
+        let improvements = counter("anytime_improvements");
+        out.push_str(&format!(
+            "\nanytime: {rounds} deepening rounds, {improvements} improved the best-so-far \
+             ({:.2} improvements/round)\n",
+            improvements as f64 / rounds as f64
+        ));
+        for pass in &report.root.children {
+            for r in pass.children.iter().filter(|c| c.cat == "anytime") {
+                out.push_str(&format!(
+                    "  {} {:>9.3} ms  breadth {:>5}  2q {:>4}  depth2q {:>4}  improved {}\n",
+                    pad(&r.name, 10),
+                    r.dur_us as f64 / 1e3,
+                    arg(r, "breadth").unwrap_or("?"),
+                    arg(r, "two_qubit").unwrap_or("?"),
+                    arg(r, "depth_2q").unwrap_or("?"),
+                    arg(r, "improved").unwrap_or("?"),
+                ));
+            }
+        }
+    }
+
     // Non-zero metrics.
     let counters: Vec<String> = report
         .metrics
@@ -272,6 +304,34 @@ events: retried ×1
         m.observe(crate::metrics::HistogramId::GroupCnotsSaved, 10);
         report.metrics = m.snapshot();
         assert_eq!(render(&report), expected);
+    }
+
+    #[test]
+    fn anytime_summary_appears_only_for_budgeted_compiles() {
+        let plain = render(&sample_report());
+        assert!(!plain.contains("anytime:"), "{plain}");
+
+        let mut report = sample_report();
+        let mut round = Span::new("round 1", "anytime")
+            .arg("breadth", 4)
+            .arg("lookahead", 4)
+            .arg("two_qubit", 6)
+            .arg("depth_2q", 4)
+            .arg("gates", 12)
+            .arg("improved", "yes");
+        round.dur_us = 300;
+        report.root.children[0].children.push(round);
+        let m = MetricsRegistry::new();
+        m.incr(crate::metrics::MetricId::AnytimeRounds);
+        m.incr(crate::metrics::MetricId::AnytimeImprovements);
+        report.metrics = m.snapshot();
+        let text = render(&report);
+        assert!(
+            text.contains("anytime: 1 deepening rounds, 1 improved the best-so-far"),
+            "{text}"
+        );
+        assert!(text.contains("round 1"), "{text}");
+        assert!(text.contains("improved yes"), "{text}");
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub fn execute_spec(
     }
     let mut options = PhoenixOptions {
         pass_budget: budget,
+        // Tiered QoS: map the deadline onto a logical deepening cap so a
+        // roomier deadline buys a deeper (never worse) search even when the
+        // wall clock would not have interrupted the shallow one.
+        anytime_rounds: budget.map(deepening_rounds),
         cancel,
         ..PhoenixOptions::default()
     };
@@ -86,6 +90,20 @@ pub fn execute_spec(
             protocol::ok_reply(spec.id, &outcome, stats.as_ref())
         }
         Err(err) => protocol::compile_error_reply(spec.id, &err),
+    }
+}
+
+/// Maps a request deadline onto an anytime deepening cap: the QoS tiers of
+/// `phoenixd`. Tighter deadlines get a shallower logical schedule — they
+/// would be wall-clock-truncated anyway, and capping the rounds makes the
+/// quality tier deterministic instead of machine-speed-dependent. Roomier
+/// deadlines deepen further; ≥ 1 s runs the full schedule.
+pub fn deepening_rounds(budget: Duration) -> usize {
+    match budget.as_millis() {
+        0..=9 => 2,
+        10..=99 => 4,
+        100..=999 => 6,
+        _ => phoenix_core::MAX_ROUNDS,
     }
 }
 

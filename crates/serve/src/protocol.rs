@@ -212,6 +212,11 @@ pub fn ok_reply(id: u64, outcome: &CompileOutcome, cache: Option<&CacheStats>) -
         ("depth_2q", int_val(outcome.circuit.depth_2q() as u64)),
         ("num_groups", int_val(outcome.num_groups as u64)),
     ];
+    if let Some(depth) = outcome.depth_reached {
+        // Budgeted (anytime) compiles report how deep the deepening got —
+        // the knob clients tune their deadline tiers by.
+        pairs.push(("depth_reached", int_val(depth as u64)));
+    }
     if let Some(report) = &outcome.obs {
         if let Ok(metrics) = serde_json::to_value(&report.metrics) {
             pairs.push(("metrics", metrics));

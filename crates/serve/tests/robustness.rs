@@ -284,6 +284,90 @@ fn graceful_drain_answers_every_admitted_request() {
     assert_eq!(report.worker_deaths, 0);
 }
 
+/// Like [`compile_frame`] but with a `deadline_ms`, putting the request on
+/// the budgeted (anytime deepening) path.
+fn budgeted_frame(id: u64, qubits: usize, n: usize, seed: u64, deadline_ms: u64) -> String {
+    let frame = compile_frame(id, qubits, n, seed);
+    debug_assert!(frame.ends_with('}'));
+    format!(
+        "{},\"deadline_ms\":{deadline_ms}}}",
+        &frame[..frame.len() - 1]
+    )
+}
+
+#[test]
+fn tiered_deadlines_trade_latency_for_quality() {
+    let (handle, addr, join) = start_server(ServerConfig::default());
+    let mut client = connect(addr);
+    // The same program at the 5 ms and 500 ms QoS tiers: both must succeed
+    // (anytime always holds a valid best-so-far), and the roomier deadline
+    // must deepen at least as far and never return a worse circuit.
+    let fast = client
+        .request(300, &budgeted_frame(300, 5, 12, 91, 5))
+        .unwrap();
+    let slow = client
+        .request(301, &budgeted_frame(301, 5, 12, 91, 500))
+        .unwrap();
+    assert_eq!(status(&fast), "ok", "reply: {fast:?}");
+    assert_eq!(status(&slow), "ok", "reply: {slow:?}");
+    let depth = |r: &Value| r.get("depth_reached").and_then(Value::as_u64).unwrap();
+    let cost = |r: &Value| {
+        (
+            r.get("two_qubit").and_then(Value::as_u64).unwrap(),
+            r.get("depth_2q").and_then(Value::as_u64).unwrap(),
+            r.get("gates").and_then(Value::as_u64).unwrap(),
+        )
+    };
+    assert!(
+        depth(&slow) >= depth(&fast),
+        "roomier deadline deepened less: {} vs {}",
+        depth(&slow),
+        depth(&fast)
+    );
+    assert!(
+        cost(&slow) <= cost(&fast),
+        "roomier deadline returned a worse circuit: {:?} vs {:?}",
+        cost(&slow),
+        cost(&fast)
+    );
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.admitted, 2);
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.worker_deaths, 0);
+}
+
+#[test]
+fn cancelling_mid_deepening_returns_the_best_so_far() {
+    let config = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let (handle, addr, join) = start_server(config);
+    let mut client = connect(addr);
+    // A big budgeted job: the roomy deadline means deepening would run for
+    // a long time, so the cancel lands mid-round.
+    client
+        .send_line(&budgeted_frame(400, 10, 400, 77, 600_000))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(120));
+    client.cancel(400).unwrap();
+    let reply = client.wait_reply(400).unwrap();
+    // Anytime semantics: cancellation of a budgeted request yields the
+    // best-so-far circuit as a normal success, not a `cancelled` error.
+    assert_eq!(status(&reply), "ok", "reply: {reply:?}");
+    assert!(
+        reply.get("depth_reached").and_then(Value::as_u64).is_some(),
+        "reply: {reply:?}"
+    );
+    assert!(reply.get("gates").and_then(Value::as_u64).unwrap() > 0);
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.admitted, 1);
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.worker_deaths, 0);
+}
+
 #[test]
 fn stats_frames_snapshot_the_server_counters() {
     let (handle, addr, join) = start_server(ServerConfig::default());

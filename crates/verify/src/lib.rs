@@ -17,6 +17,10 @@
 //!   one program, checking each output and all pairs;
 //! - [`metamorphic`] — compilation commutes with qubit relabeling, term
 //!   permutation, coefficient scaling and program concatenation;
+//! - [`anytime`] — the any-deadline suite: every interruption point of a
+//!   budgeted compile (logical round caps, adversarial wall budgets,
+//!   mid-round cancellation) yields an exactly equivalent circuit, with
+//!   quality monotone in the budget;
 //! - `sabotage` (feature-gated) — a deliberately miscompiling strategy
 //!   proving the engine catches real bugs.
 //!
@@ -27,6 +31,7 @@
 //! tolerance `8B² + ε`, with `B` the first-order commutator bound — see
 //! [`engine::reorder_tolerance`] and DESIGN.md §2.8.
 
+pub mod anytime;
 pub mod differential;
 pub mod engine;
 pub mod gen;
@@ -35,6 +40,7 @@ pub mod parametric;
 #[cfg(feature = "sabotage")]
 pub mod sabotage;
 
+pub use anytime::{anytime_failures, verify_anytime};
 pub use differential::{verify_program, Failure, VerifyConfig};
 pub use engine::{
     check_clifford_equivalent, check_exact_unitary, check_routed_equivalence,
