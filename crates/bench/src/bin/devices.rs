@@ -1,12 +1,12 @@
 //! Device sweep (beyond the paper): PHOENIX hardware-aware compilation
 //! across heavy-hex generations (Falcon-27, Manhattan-65, Eagle-127) and
-//! non-heavy-hex shapes (grid, line), with noise-model success estimates.
+//! non-heavy-hex shapes (grid, line), with per-device noise-aware
+//! predicted fidelities from the registry's seeded error profiles.
 
 use phoenix_bench::{or_exit, phoenix_compiler, row, write_results, Tracer, SEED};
 
+use phoenix_core::{Device, DeviceRegistry, Target};
 use phoenix_hamil::{uccsd, Molecule};
-use phoenix_sim::noise::ErrorModel;
-use phoenix_topology::CouplingGraph;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -17,21 +17,18 @@ struct Entry {
     depth_2q: usize,
     swaps: usize,
     overhead: f64,
-    est_success: f64,
+    fidelity: f64,
 }
 
-fn devices() -> Vec<(&'static str, CouplingGraph)> {
-    vec![
-        ("falcon27", CouplingGraph::falcon27()),
-        ("manhattan65", CouplingGraph::manhattan65()),
-        ("eagle127", CouplingGraph::eagle127()),
-        ("grid4x4", CouplingGraph::grid(4, 4)),
-        ("line16", CouplingGraph::line(16)),
-    ]
+fn devices() -> Vec<Device> {
+    let registry = DeviceRegistry::new();
+    ["falcon27", "manhattan65", "eagle127", "grid:4x4", "line:16"]
+        .iter()
+        .map(|spec| or_exit(registry.build(spec), spec))
+        .collect()
 }
 
 fn main() {
-    let model = ErrorModel::ibm_like();
     let mut entries = Vec::new();
     let mut tracer = Tracer::from_env("devices");
     println!("# Device sweep: PHOENIX hardware-aware across topologies\n");
@@ -44,23 +41,30 @@ fn main() {
             "D2Q",
             "#SWAP",
             "ovh",
-            "est. success"
+            "pred. fidelity"
         ]
         .map(String::from))
     );
     println!("{}", row(&vec!["---".to_string(); 7]));
     for (mol, frozen) in [(Molecule::lih(), true), (Molecule::nh(), true)] {
         let h = uccsd::ansatz(mol, frozen, uccsd::Encoding::JordanWigner, SEED);
-        for (name, device) in devices() {
-            if device.num_qubits() < h.num_qubits() {
+        for device in devices() {
+            if device.graph().num_qubits() < h.num_qubits() {
                 continue;
             }
-            let hw = or_exit(
-                phoenix_compiler().try_compile_hardware_aware(h.num_qubits(), h.terms(), &device),
+            let outcome = or_exit(
+                phoenix_compiler()
+                    .request(h.num_qubits(), h.terms())
+                    .target(Target::Device(device.clone()))
+                    .run(),
                 h.name(),
             );
-            tracer.record_hardware(
-                &format!("{}/{name}", h.name()),
+            let hw = or_exit(
+                outcome.hardware.as_ref().ok_or("hardware program missing"),
+                h.name(),
+            );
+            tracer.record_device(
+                &format!("{}/{}", h.name(), device.name()),
                 &phoenix_compiler(),
                 h.num_qubits(),
                 h.terms(),
@@ -68,12 +72,12 @@ fn main() {
             );
             let e = Entry {
                 benchmark: h.name().to_string(),
-                device: name.to_string(),
+                device: device.name().to_string(),
                 cnot: hw.circuit.counts().cnot,
                 depth_2q: hw.circuit.depth_2q(),
                 swaps: hw.num_swaps,
                 overhead: hw.routing_overhead(),
-                est_success: model.success_probability(&hw.circuit),
+                fidelity: device.predicted_fidelity(&outcome.circuit),
             };
             println!(
                 "{}",
@@ -84,7 +88,7 @@ fn main() {
                     e.depth_2q.to_string(),
                     e.swaps.to_string(),
                     format!("{:.2}x", e.overhead),
-                    format!("{:.3e}", e.est_success),
+                    format!("{:.3e}", e.fidelity),
                 ])
             );
             entries.push(e);

@@ -1,0 +1,207 @@
+//! `fleetbench` — the what-if endpoint over the device fleet: compile one
+//! dense program against every registry family at equal error rates and
+//! report the fidelity ranking.
+//!
+//! Usage: `fleetbench [--quick]` — `--quick` shrinks the program to the CI
+//! smoke size. The binary is self-asserting and exits nonzero when either
+//! invariant breaks:
+//!
+//! 1. an all-to-all ion trap never ranks below a line of equal error
+//!    rates on a dense (complete-graph) program, and
+//! 2. the fleet outcome is identical across `fleet_threads` ∈ {1, 2, 8}.
+//!
+//! Results land in `results/BENCH_fleet.json`.
+
+use phoenix_bench::{or_exit, row, write_results};
+use phoenix_core::{
+    CompileRequest, Device, DeviceRegistry, FleetOutcome, NoiseProfile, PhoenixOptions,
+};
+use phoenix_hamil::qaoa;
+use serde::Serialize;
+
+/// Equal error rates applied to every fleet member, so the ranking is
+/// driven by routing and ISA alone.
+const EPS_1Q: f64 = 5e-4;
+const EPS_2Q: f64 = 5e-3;
+const EPS_READOUT: f64 = 1e-2;
+
+#[derive(Serialize)]
+struct Entry {
+    rank: usize,
+    device: String,
+    isa: String,
+    fidelity: f64,
+    two_qubit: usize,
+    depth_2q: usize,
+    swaps: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    program: String,
+    qubits: usize,
+    terms: usize,
+    ranking: Vec<Entry>,
+}
+
+/// Registry devices for an `n`-qubit dense program, renoised to the same
+/// uniform profile.
+fn fleet(n: usize, grid: &str) -> Vec<Device> {
+    let registry = DeviceRegistry::new();
+    let specs = [
+        format!("ion-trap:{n}"),
+        format!("ion-trap:{n}@cnot"),
+        format!("line:{n}@cnot"),
+        format!("ring:{n}@cnot"),
+        grid.to_string(),
+        "falcon27".to_string(),
+    ];
+    specs
+        .iter()
+        .map(|spec| {
+            let dev = or_exit(registry.build(spec), spec);
+            let noise = NoiseProfile::uniform(dev.graph(), EPS_1Q, EPS_2Q, EPS_READOUT);
+            dev.with_noise(noise)
+        })
+        .collect()
+}
+
+fn run(
+    n: usize,
+    terms: &[(phoenix_pauli::PauliString, f64)],
+    devices: &[Device],
+    threads: usize,
+) -> FleetOutcome {
+    let options = PhoenixOptions {
+        fleet_threads: threads,
+        ..PhoenixOptions::default()
+    };
+    or_exit(
+        CompileRequest::new(n, terms)
+            .options(options)
+            .fleet(devices),
+        "fleet compile",
+    )
+}
+
+fn fidelity_of(outcome: &FleetOutcome, device: &str) -> f64 {
+    outcome
+        .ranked
+        .iter()
+        .find(|e| e.device.name() == device)
+        .unwrap_or_else(|| {
+            eprintln!("FAIL: device {device} missing from the ranking");
+            std::process::exit(1);
+        })
+        .fidelity
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, grid) = if quick {
+        (8, "grid:2x4")
+    } else {
+        (12, "grid:3x4")
+    };
+    // A complete graph: every qubit pair interacts, the densest MaxCut
+    // instance there is — worst case for sparse topologies.
+    let edges: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .collect();
+    let h = qaoa::maxcut_program(format!("K{n}"), n, &edges, 7);
+    let devices = fleet(n, grid);
+
+    let outcome = run(n, h.terms(), &devices, 0);
+    if !outcome.failed.is_empty() {
+        for (name, err) in &outcome.failed {
+            eprintln!("FAIL: {name}: {err}");
+        }
+        std::process::exit(1);
+    }
+
+    println!(
+        "# fleetbench: {} ({} qubits, {} terms)\n",
+        h.name(),
+        n,
+        h.len()
+    );
+    println!(
+        "{}",
+        row(&["#", "Device", "ISA", "fidelity", "#2Q", "D2Q", "#SWAP"].map(String::from))
+    );
+    println!("{}", row(&vec!["---".to_string(); 7]));
+    let mut ranking = Vec::new();
+    for (i, entry) in outcome.ranked.iter().enumerate() {
+        let hw = or_exit(
+            entry
+                .outcome
+                .hardware
+                .as_ref()
+                .ok_or("hardware program missing"),
+            entry.device.name(),
+        );
+        let counts = entry.outcome.circuit.counts();
+        let e = Entry {
+            rank: i + 1,
+            device: entry.device.name().to_string(),
+            isa: entry.device.isa().name().to_string(),
+            fidelity: entry.fidelity,
+            two_qubit: counts.cnot + counts.su4,
+            depth_2q: entry.outcome.circuit.depth_2q(),
+            swaps: hw.num_swaps,
+        };
+        println!(
+            "{}",
+            row(&[
+                e.rank.to_string(),
+                e.device.clone(),
+                e.isa.clone(),
+                format!("{:.4}", e.fidelity),
+                e.two_qubit.to_string(),
+                e.depth_2q.to_string(),
+                e.swaps.to_string(),
+            ])
+        );
+        ranking.push(e);
+    }
+
+    // Invariant 1: all-to-all never ranks below a line at equal error
+    // rates on a dense program — routing-free beats swap-heavy.
+    let ion = fidelity_of(&outcome, &format!("ion-trap:{n}@cnot"));
+    let line = fidelity_of(&outcome, &format!("line:{n}@cnot"));
+    if ion < line {
+        eprintln!("FAIL: ion-trap:{n}@cnot ({ion:.6}) ranked below line:{n}@cnot ({line:.6})");
+        std::process::exit(1);
+    }
+    println!("\nok: ion-trap:{n}@cnot ({ion:.4}) >= line:{n}@cnot ({line:.4})");
+
+    // Invariant 2: the outcome is identical for every thread count.
+    for threads in [1usize, 2, 8] {
+        let other = run(n, h.terms(), &devices, threads);
+        let same = other.ranked.len() == outcome.ranked.len()
+            && outcome
+                .ranked
+                .iter()
+                .zip(other.ranked.iter())
+                .all(|(a, b)| {
+                    a.device.name() == b.device.name()
+                        && a.fidelity == b.fidelity
+                        && a.outcome.circuit == b.outcome.circuit
+                });
+        if !same {
+            eprintln!("FAIL: fleet outcome differs at fleet_threads={threads}");
+            std::process::exit(1);
+        }
+    }
+    println!("ok: ranking identical across fleet_threads {{1, 2, 8}}");
+
+    write_results(
+        "BENCH_fleet",
+        &Report {
+            program: h.name().to_string(),
+            qubits: n,
+            terms: h.len(),
+            ranking,
+        },
+    );
+}

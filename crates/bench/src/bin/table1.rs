@@ -4,13 +4,17 @@
 //! the conventional ("original") circuit's `#Gate`, `#CNOT`, `Depth`,
 //! `Depth-2Q`.
 //!
-//! Usage: `table1 [--quick] [--trace] [--obs]` — `--quick` runs the two
-//! smallest benchmarks only (the CI smoke configuration); `--trace`/`--obs`
-//! file pass traces and observability reports under `results/`.
+//! Usage: `table1 [--quick] [--trace] [--obs] [--device <spec>]` —
+//! `--quick` runs the two smallest benchmarks only (the CI smoke
+//! configuration); `--trace`/`--obs` file pass traces and observability
+//! reports under `results/`. `--device <spec>` resolves a registry device
+//! (`line:N`, `grid:RxC`, `heavy-hex:RxL`, `ion-trap:N`, presets; optional
+//! `@isa` suffix) and records instrumented device-targeted compilations
+//! instead of logical ones — the what-if variant of the fixed table.
 
 use phoenix_baselines::Baseline;
-use phoenix_bench::{phoenix_compiler, row, write_results, Metrics, Tracer, SEED};
-use phoenix_core::CompilerStrategy;
+use phoenix_bench::{or_exit, phoenix_compiler, row, write_results, Metrics, Tracer, SEED};
+use phoenix_core::{CompilerStrategy, Device, DeviceRegistry};
 use phoenix_hamil::uccsd;
 use serde::Serialize;
 
@@ -23,8 +27,20 @@ struct Row {
     metrics: Metrics,
 }
 
+/// The registry device named by `--device <spec>`, if any.
+fn device_arg() -> Option<Device> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--device")?;
+    let spec = args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("error: --device needs a registry spec (e.g. grid:4x4)");
+        std::process::exit(2);
+    });
+    Some(or_exit(DeviceRegistry::new().build(spec), spec))
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let device = device_arg();
     println!("# Table I: UCCSD benchmark suite\n");
     println!(
         "{}",
@@ -50,7 +66,19 @@ fn main() {
     for h in suite.into_iter().take(take) {
         let naive = original.compile_logical(h.num_qubits(), h.terms());
         let m = Metrics::of(&naive);
-        tracer.record_logical(h.name(), &phoenix, h.num_qubits(), h.terms());
+        match &device {
+            Some(dev) if dev.graph().num_qubits() >= h.num_qubits() => {
+                tracer.record_device(h.name(), &phoenix, h.num_qubits(), h.terms(), dev);
+            }
+            Some(dev) => eprintln!(
+                "note: {} has {} qubits, skipping {}-qubit {}",
+                dev.name(),
+                dev.graph().num_qubits(),
+                h.num_qubits(),
+                h.name()
+            ),
+            None => tracer.record_logical(h.name(), &phoenix, h.num_qubits(), h.terms()),
+        }
         println!(
             "{}",
             row(&[

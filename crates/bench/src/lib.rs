@@ -8,7 +8,7 @@
 
 use phoenix_circuit::Circuit;
 use phoenix_core::phoenix_obs::{perfetto, ObsReport};
-use phoenix_core::{CompileRequest, PassTrace, PhoenixCompiler, Target};
+use phoenix_core::{CompileRequest, Device, PassTrace, PhoenixCompiler, Target};
 use phoenix_pauli::PauliString;
 use phoenix_topology::CouplingGraph;
 use serde::Serialize;
@@ -131,8 +131,11 @@ impl Tracer {
     }
 
     /// Records an instrumented hardware-aware PHOENIX compilation of
-    /// `terms` on `device` (no-op when disabled; exits nonzero on compile
-    /// errors).
+    /// `terms` on a bare coupling graph.
+    ///
+    /// **Deprecated**: prefer [`Tracer::record_device`] with a
+    /// [`Device`] (e.g. from `DeviceRegistry`) — this wrapper forwards to
+    /// it via `Device::bare` and exists only for pre-device callers.
     pub fn record_hardware(
         &mut self,
         label: &str,
@@ -141,11 +144,25 @@ impl Tracer {
         terms: &[(PauliString, f64)],
         device: &CouplingGraph,
     ) {
+        self.record_device(label, compiler, n, terms, &Device::bare(device.clone()));
+    }
+
+    /// Records an instrumented device-targeted PHOENIX compilation of
+    /// `terms` on `device` — coupling graph, native ISA, and noise profile
+    /// included (no-op when disabled; exits nonzero on compile errors).
+    pub fn record_device(
+        &mut self,
+        label: &str,
+        compiler: &PhoenixCompiler,
+        n: usize,
+        terms: &[(PauliString, f64)],
+        device: &Device,
+    ) {
         self.record(
             label,
             compiler
                 .request(n, terms)
-                .target(Target::Hardware(device.clone())),
+                .target(Target::Device(device.clone())),
         );
     }
 

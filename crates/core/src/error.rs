@@ -92,6 +92,8 @@ pub enum PhoenixError {
     StructureDecode(DecodeError),
     /// Binding concrete angles into a cached structure artifact failed.
     Bind(BindError),
+    /// A fleet compilation was requested with an empty device list.
+    EmptyFleet,
     /// The compilation was abandoned at a pass boundary because its
     /// [`CancelToken`](crate::cancel::CancelToken) was fired by the client.
     Cancelled,
@@ -139,6 +141,9 @@ impl fmt::Display for PhoenixError {
             PhoenixError::NonHermitian(e) => write!(f, "{e}"),
             PhoenixError::StructureDecode(e) => write!(f, "structure decode failed: {e}"),
             PhoenixError::Bind(e) => write!(f, "angle binding failed: {e}"),
+            PhoenixError::EmptyFleet => {
+                write!(f, "fleet compilation requires at least one device")
+            }
             PhoenixError::Cancelled => write!(f, "compilation cancelled by client"),
             PhoenixError::DeadlineExceeded => {
                 write!(f, "compilation abandoned: wall-clock deadline exceeded")

@@ -77,6 +77,11 @@ pub use phoenix_obs;
 pub use phoenix_cache;
 pub use phoenix_cache::{BoundProgram, CacheStats, CompileCache, StructureArtifact};
 
+// And the device layer: `Target::Device` / `Target::Fleet` trade in its
+// types, and the registry is the canonical way to name fleet members.
+pub use phoenix_device;
+pub use phoenix_device::{Device, DeviceRegistry, DeviceSpecError, NativeIsa, NoiseProfile};
+
 pub use anytime::{AnytimePass, DeepeningController, MAX_ROUNDS};
 pub use cancel::{CancelReason, CancelToken};
 pub use error::{validate_device, validate_program, PhoenixError};
@@ -89,11 +94,11 @@ pub use pass::{
     EVENT_VERIFIED,
 };
 pub use pipeline::{
-    hardware_backend, run_hardware_backend, run_hardware_backend_with_trace,
+    device_backend, hardware_backend, run_hardware_backend, run_hardware_backend_with_trace,
     try_run_hardware_backend, try_run_hardware_backend_with_trace, CompiledProgram,
     HardwareProgram, PhoenixCompiler, PhoenixOptions,
 };
-pub use request::{CompileOutcome, CompileRequest, Target};
+pub use request::{CompileOutcome, CompileRequest, FleetEntry, FleetOutcome, Target};
 pub use simplify::{CfgItem, SimplifiedGroup, SimplifyOptions};
 pub use strategy::CompilerStrategy;
 pub use verify::BoundaryVerifier;

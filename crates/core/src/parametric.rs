@@ -218,6 +218,16 @@ pub(crate) fn lowering_manager(target: &Target, options: &PhoenixOptions) -> Pas
         Target::Hardware(_) => {
             PassManager::new().append(hardware_backend(&options.router, options.layout_trials))
         }
+        Target::Device(device) => PassManager::new().append(crate::pipeline::device_backend(
+            device,
+            &options.router,
+            options.layout_trials,
+        )),
+        // Fleet requests fan out into per-member `Target::Device` requests
+        // before any lowering happens (see `CompileRequest::fleet`), so a
+        // fleet target never reaches the lowering manager; lower like
+        // `Logical` to stay total.
+        Target::Fleet(_) => PassManager::new(),
     };
     match options.pass_budget {
         Some(budget) => manager.with_budget(budget),

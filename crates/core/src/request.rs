@@ -32,10 +32,11 @@
 
 use std::sync::Arc;
 
-use phoenix_cache::{CompileCache, StructureArtifact};
+use phoenix_cache::{BindError, CompileCache, StructureArtifact};
 use phoenix_circuit::Circuit;
+use phoenix_device::Device;
 use phoenix_obs::report::ObsEvent;
-use phoenix_obs::{metrics, ObsCollector, ObsReport, Span};
+use phoenix_obs::{metrics, MetricId, ObsCollector, ObsReport, Span};
 use phoenix_pauli::PauliString;
 use phoenix_topology::CouplingGraph;
 
@@ -45,7 +46,7 @@ use crate::parametric;
 use crate::pass::{CompileContext, PassTrace};
 use crate::passes::TransformPass;
 use crate::pipeline::{
-    extract_hardware_program, hardware_backend, CompiledProgram, HardwareProgram, PhoenixCompiler,
+    device_backend, extract_hardware_program, CompiledProgram, HardwareProgram, PhoenixCompiler,
     PhoenixOptions,
 };
 
@@ -63,10 +64,23 @@ pub enum Target {
     /// The CNOT ISA *through* the SU(4) layer: blocks KAK-resynthesized to
     /// their Weyl floor before lowering.
     CnotViaKak,
-    /// Hardware-aware compilation onto the given device: routing-aware
-    /// ordering, CNOT lowering, layout search + SABRE routing, SWAP
-    /// lowering, final peephole.
+    /// **Deprecated**: hardware-aware compilation onto a bare coupling
+    /// graph. Normalized on execution to
+    /// `Target::Device(Device::bare(graph))` — a noiseless CNOT-ISA device
+    /// — so outputs are bit-for-bit identical to [`Target::Device`] with
+    /// that device (pinned by `crates/core/tests/fleet.rs`). Prefer
+    /// [`Target::Device`], which also carries a native ISA and error model.
     Hardware(CouplingGraph),
+    /// Hardware-aware compilation onto a [`Device`]: routing-aware
+    /// ordering, CNOT lowering, layout search + SABRE routing, SWAP
+    /// lowering, peephole, then rebase into the device's native ISA
+    /// (see [`phoenix_device::NativeIsa`]).
+    Device(Device),
+    /// Compile one program against every device of a fleet in parallel
+    /// and keep the outcome of the member with the highest predicted
+    /// fidelity. [`CompileRequest::run`] returns the best member's
+    /// outcome; use [`CompileRequest::fleet`] for the full ranking.
+    Fleet(Vec<Device>),
 }
 
 /// A single compilation, fully described: program, target, options, and
@@ -155,7 +169,10 @@ impl CompileRequest {
     ///
     /// Returns a typed [`PhoenixError`] on invalid input or a failing pass.
     pub fn structure(self) -> Result<Arc<StructureArtifact>, PhoenixError> {
-        let routing_aware = matches!(self.target, Target::Hardware(_));
+        let routing_aware = matches!(
+            self.target,
+            Target::Hardware(_) | Target::Device(_) | Target::Fleet(_)
+        );
         let (artifact, _, _) = parametric::obtain_structure(
             self.num_qubits,
             &self.terms,
@@ -189,16 +206,22 @@ impl CompileRequest {
     /// Returns a typed [`PhoenixError`] on invalid input, an unroutable
     /// device, a failing pass, or a rejected verification boundary — never
     /// panics on bad input.
-    pub fn run(self) -> Result<CompileOutcome, PhoenixError> {
+    pub fn run(mut self) -> Result<CompileOutcome, PhoenixError> {
+        self = self.normalize();
+        if let Target::Fleet(devices) = &self.target {
+            let devices = devices.clone();
+            self.target = Target::Logical;
+            return self.fleet(&devices)?.into_best();
+        }
         if self.cache.is_some() && parametric::split_path_allowed(&self.options) {
             return self.run_split(None);
         }
         validate_program(self.num_qubits, &self.terms)?;
         let compiler = PhoenixCompiler::new(self.options.clone());
         let mut ctx = match &self.target {
-            Target::Hardware(device) => {
-                validate_device(self.num_qubits, device)?;
-                CompileContext::for_device(self.num_qubits, &self.terms, device)
+            Target::Device(device) => {
+                validate_device(self.num_qubits, device.graph())?;
+                CompileContext::for_device(self.num_qubits, &self.terms, device.graph())
             }
             _ => CompileContext::new(self.num_qubits, &self.terms),
         };
@@ -215,10 +238,16 @@ impl CompileRequest {
                 .with(TransformPass::su4_rebase())
                 .with(TransformPass::kak_resynthesis())
                 .with(TransformPass::peephole()),
-            Target::Hardware(_) => compiler.logical_passes(true).append(hardware_backend(
+            Target::Device(device) => compiler.logical_passes(true).append(device_backend(
+                device,
                 &self.options.router,
                 self.options.layout_trials,
             )),
+            // `normalize` rewrote Hardware to Device and the Fleet arm
+            // returned above; kept for match exhaustiveness only.
+            Target::Hardware(_) | Target::Fleet(_) => {
+                unreachable!("target normalized before dispatch")
+            }
         };
         let collector = if self.obs {
             // Turn on process-global recording so router/simulator
@@ -257,7 +286,7 @@ impl CompileRequest {
         let depth_reached = ctx.depth_reached;
         let term_order = std::mem::take(&mut ctx.term_order);
         let (circuit, hardware) = match &self.target {
-            Target::Hardware(_) => {
+            Target::Device(_) => {
                 let hw = extract_hardware_program(ctx)?;
                 (hw.circuit.clone(), Some(hw))
             }
@@ -274,21 +303,140 @@ impl CompileRequest {
         })
     }
 
+    /// Compiles the request's program against every device of `devices` in
+    /// parallel and ranks the successful outcomes by predicted fidelity.
+    ///
+    /// Each member compiles exactly as [`Target::Device`] on that device
+    /// would — routing onto its topology, rebasing into its native ISA,
+    /// retaining trace/obs per the request's flags — via a deterministic
+    /// [`std::thread::scope`] fan-out (the stage-2 discipline): the ranked
+    /// outcome is identical for every [`PhoenixOptions::fleet_threads`]
+    /// value, and a fleet of one equals the single-device path bit for
+    /// bit. An attached [`CompileCache`] is shared across members, so the
+    /// (device-independent) structure phase is computed once per program.
+    ///
+    /// Ties in predicted fidelity keep the input device order. The
+    /// request's own `target` field is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhoenixError::EmptyFleet`] when `devices` is empty.
+    /// Per-device failures (e.g. a device too small for the program) do
+    /// not fail the fleet — they land in [`FleetOutcome::failed`].
+    pub fn fleet(mut self, devices: &[Device]) -> Result<FleetOutcome, PhoenixError> {
+        if devices.is_empty() {
+            return Err(PhoenixError::EmptyFleet);
+        }
+        if metrics::enabled() {
+            metrics::global().incr(MetricId::FleetCompiles);
+            metrics::global().add(MetricId::FleetMembersCompiled, devices.len() as u64);
+        }
+        // Per-member targets are assigned below; drop any fleet payload so
+        // member clones stay cheap.
+        self.target = Target::Logical;
+        let base = &self;
+        let compile_member = |dev: &Device| -> Result<FleetEntry, (String, PhoenixError)> {
+            let req = base.clone().target(Target::Device(dev.clone()));
+            match req.run() {
+                Ok(outcome) => Ok(FleetEntry {
+                    fidelity: dev.predicted_fidelity(&outcome.circuit),
+                    device: dev.clone(),
+                    outcome,
+                }),
+                Err(e) => Err((dev.name().to_string(), e)),
+            }
+        };
+        let threads = match self.options.fleet_threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        }
+        .clamp(1, devices.len());
+        let mut slots: Vec<Option<Result<FleetEntry, (String, PhoenixError)>>> =
+            devices.iter().map(|_| None).collect();
+        if threads == 1 {
+            for (dev, slot) in devices.iter().zip(slots.iter_mut()) {
+                *slot = Some(compile_member(dev));
+            }
+        } else {
+            // Deterministic fan-out, stage-2 style: contiguous chunks into
+            // index-aligned slots, so results are position-keyed and the
+            // chunking never affects the outcome.
+            let chunk = devices.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for (dev_chunk, slot_chunk) in devices.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    let compile_member = &compile_member;
+                    s.spawn(move || {
+                        for (dev, slot) in dev_chunk.iter().zip(slot_chunk.iter_mut()) {
+                            *slot = Some(compile_member(dev));
+                        }
+                    });
+                }
+            });
+        }
+        let mut ranked = Vec::new();
+        let mut failed = Vec::new();
+        for slot in slots {
+            match slot {
+                Some(Ok(entry)) => ranked.push(entry),
+                Some(Err(fail)) => failed.push(fail),
+                // Every slot is written by its chunk's worker before the
+                // scope joins.
+                None => unreachable!("fleet slot left unwritten"),
+            }
+        }
+        // Stable sort: fidelity descending, input order breaking ties.
+        ranked.sort_by(|a, b| b.fidelity.total_cmp(&a.fidelity));
+        Ok(FleetOutcome { ranked, failed })
+    }
+
+    /// Rewrites the deprecated [`Target::Hardware`] to its exact modern
+    /// equivalent, [`Target::Device`] on a bare (noiseless, CNOT-ISA)
+    /// device, so the execution paths only ever dispatch on `Device`.
+    fn normalize(mut self) -> Self {
+        if matches!(self.target, Target::Hardware(_)) {
+            if let Target::Hardware(graph) = std::mem::replace(&mut self.target, Target::Logical) {
+                self.target = Target::Device(Device::bare(graph));
+            }
+        }
+        self
+    }
+
     /// The split structure/bind execution path: obtain the structure
     /// artifact (cache-aware), bind the angles (`explicit_angles`, or the
     /// request's own coefficients), then run the target's circuit-level
     /// lowering on the bound circuit. The retained trace honestly reflects
     /// what ran: on a program-cache hit it contains only the lowering
     /// passes.
-    fn run_split(self, explicit_angles: Option<Vec<f64>>) -> Result<CompileOutcome, PhoenixError> {
+    fn run_split(
+        mut self,
+        explicit_angles: Option<Vec<f64>>,
+    ) -> Result<CompileOutcome, PhoenixError> {
+        self = self.normalize();
+        if matches!(self.target, Target::Fleet(_)) {
+            // Fleet + bind: substitute the angles into the coefficients and
+            // take the fleet path — each member re-splits internally, so a
+            // warm cache still serves the shared structure phase.
+            if let Some(angles) = explicit_angles {
+                if angles.len() != self.terms.len() {
+                    return Err(PhoenixError::Bind(BindError::AngleCount {
+                        expected: self.terms.len(),
+                        got: angles.len(),
+                    }));
+                }
+                for ((_, c), a) in self.terms.iter_mut().zip(&angles) {
+                    *c = *a;
+                }
+            }
+            return self.run();
+        }
         if explicit_angles.is_none() {
             // Binding the request's own coefficients: enforce the same
             // up-front validation as the legacy path (a NaN coefficient is
             // rejected before any pass runs).
             validate_program(self.num_qubits, &self.terms)?;
         }
-        if let Target::Hardware(device) = &self.target {
-            validate_device(self.num_qubits, device)?;
+        if let Target::Device(device) = &self.target {
+            validate_device(self.num_qubits, device.graph())?;
         }
         let collector = if self.obs {
             metrics::set_enabled(true);
@@ -296,7 +444,7 @@ impl CompileRequest {
         } else {
             None
         };
-        let routing_aware = matches!(self.target, Target::Hardware(_));
+        let routing_aware = matches!(self.target, Target::Device(_));
         let (artifact, _hit, mut trace) = parametric::obtain_structure(
             self.num_qubits,
             &self.terms,
@@ -318,8 +466,8 @@ impl CompileRequest {
             c.push_root(span);
         }
         let mut ctx = match &self.target {
-            Target::Hardware(device) => {
-                CompileContext::for_device(self.num_qubits, &self.terms, device)
+            Target::Device(device) => {
+                CompileContext::for_device(self.num_qubits, &self.terms, device.graph())
             }
             _ => CompileContext::new(self.num_qubits, &self.terms),
         };
@@ -353,7 +501,7 @@ impl CompileRequest {
         let num_groups = ctx.num_groups;
         let term_order = std::mem::take(&mut ctx.term_order);
         let (circuit, hardware) = match &self.target {
-            Target::Hardware(_) => {
+            Target::Device(_) => {
                 let hw = extract_hardware_program(ctx)?;
                 (hw.circuit.clone(), Some(hw))
             }
@@ -433,6 +581,56 @@ impl CompileOutcome {
         match self.hardware.take() {
             Some(hw) => Ok((hw, trace)),
             None => Err(Box::new(self)),
+        }
+    }
+}
+
+/// One fleet member's compilation: the device, its predicted fidelity for
+/// the compiled circuit, and the full per-device outcome (trace and obs
+/// retention apply per member, exactly as for a single-device request).
+#[derive(Debug, Clone)]
+pub struct FleetEntry {
+    /// The device this member compiled onto.
+    pub device: Device,
+    /// Predicted fidelity of the compiled circuit on the device (the
+    /// product of per-gate and readout success probabilities; see
+    /// [`Device::predicted_fidelity`]).
+    pub fidelity: f64,
+    /// The member's compilation outcome, hardware program included.
+    pub outcome: CompileOutcome,
+}
+
+/// The result of compiling one program against a fleet of devices.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Successful members, best predicted fidelity first; ties keep the
+    /// input device order.
+    pub ranked: Vec<FleetEntry>,
+    /// Members that failed to compile, as `(device name, error)`, in
+    /// input device order. A failed member never fails the fleet.
+    pub failed: Vec<(String, PhoenixError)>,
+}
+
+impl FleetOutcome {
+    /// The best-ranked member, if any member compiled.
+    pub fn best(&self) -> Option<&FleetEntry> {
+        self.ranked.first()
+    }
+
+    /// Consumes the fleet outcome into the best member's
+    /// [`CompileOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// When no member compiled, returns the first member's error (the
+    /// fleet is never empty — [`CompileRequest::fleet`] rejects that up
+    /// front).
+    pub fn into_best(self) -> Result<CompileOutcome, PhoenixError> {
+        let mut failed = self.failed;
+        match self.ranked.into_iter().next() {
+            Some(entry) => Ok(entry.outcome),
+            None if failed.is_empty() => Err(PhoenixError::EmptyFleet),
+            None => Err(failed.remove(0).1),
         }
     }
 }

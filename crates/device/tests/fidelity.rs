@@ -1,0 +1,83 @@
+//! Property tests for the predicted-fidelity estimator.
+
+use phoenix_circuit::{Circuit, Gate};
+use phoenix_device::{Device, DeviceRegistry, NativeIsa, NoiseProfile};
+use phoenix_mathkit::Xoshiro256;
+use phoenix_topology::CouplingGraph;
+use proptest::prelude::*;
+
+/// A random circuit over `line:n`, using only coupled pairs.
+fn random_circuit(n: usize, len: usize, seed: u64) -> Circuit {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..len {
+        match rng.next_below(4) {
+            0 => c.push(Gate::H(rng.next_below(n))),
+            1 => c.push(Gate::Rz(rng.next_below(n), rng.next_range_f64(-1.0, 1.0))),
+            _ => {
+                let a = rng.next_below(n - 1);
+                c.push(Gate::Cnot(a, a + 1));
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fidelity is monotone non-increasing as any single error rate
+    /// increases, across all three rate families.
+    #[test]
+    fn fidelity_is_monotone_in_every_single_rate(
+        n in 2usize..6,
+        len in 0usize..24,
+        seed in 0u64..1000,
+        slot in 0usize..32,
+        bump in 1e-4f64..0.3,
+    ) {
+        let graph = CouplingGraph::line(n);
+        let circuit = random_circuit(n, len, seed);
+        let base = NoiseProfile::seeded(&graph, seed ^ 0xdead);
+        let dev = Device::new("base", graph.clone(), NativeIsa::Cnot, base.clone());
+        let f0 = dev.predicted_fidelity(&circuit);
+
+        // Bump exactly one rate, chosen by `slot` across the three
+        // families, and require fidelity not to increase.
+        let mut bumped = base.clone();
+        let n_edges = bumped.eps_2q.len();
+        match slot % 3 {
+            0 => bumped.eps_1q[slot % n] += bump,
+            1 => {
+                let key = *bumped.eps_2q.keys().nth(slot % n_edges).expect("edge");
+                *bumped.eps_2q.get_mut(&key).expect("edge") += bump;
+            }
+            _ => bumped.eps_readout[slot % n] += bump,
+        }
+        let dev2 = Device::new("bumped", graph, NativeIsa::Cnot, bumped);
+        let f1 = dev2.predicted_fidelity(&circuit);
+        prop_assert!(
+            f1 <= f0 + 1e-12,
+            "fidelity increased after bumping a rate: {f0} -> {f1}"
+        );
+    }
+
+    /// Fidelity is always in (0, 1] for registry devices with seeded
+    /// (sub-unity) rates, and exactly 1 for noiseless hardware.
+    #[test]
+    fn fidelity_stays_in_unit_interval(
+        n in 2usize..6,
+        len in 0usize..24,
+        seed in 0u64..1000,
+    ) {
+        let circuit = random_circuit(n, len, seed);
+        let dev = DeviceRegistry::new()
+            .build(&format!("line:{n}"))
+            .expect("registry line");
+        let f = dev.predicted_fidelity(&circuit);
+        prop_assert!(f > 0.0 && f <= 1.0, "fidelity {f} out of range");
+
+        let bare = Device::bare(CouplingGraph::line(n));
+        prop_assert_eq!(bare.predicted_fidelity(&circuit), 1.0);
+    }
+}

@@ -85,11 +85,15 @@ pub enum MetricId {
     AnytimeRounds,
     /// Deepening rounds that strictly improved the best-so-far circuit.
     AnytimeImprovements,
+    /// Fleet compilations executed (one per `Target::Fleet` request).
+    FleetCompiles,
+    /// Per-device member compiles attempted across all fleet requests.
+    FleetMembersCompiled,
 }
 
 /// All counters, in discriminant order. Kept in sync with [`MetricId`] by
 /// the `catalog_is_complete` test.
-pub const COUNTERS: [MetricId; 26] = [
+pub const COUNTERS: [MetricId; 28] = [
     MetricId::GroupsCompiled,
     MetricId::TermsCompiled,
     MetricId::CnotsSavedStage2,
@@ -116,6 +120,8 @@ pub const COUNTERS: [MetricId; 26] = [
     MetricId::ServePanicsContained,
     MetricId::AnytimeRounds,
     MetricId::AnytimeImprovements,
+    MetricId::FleetCompiles,
+    MetricId::FleetMembersCompiled,
 ];
 
 impl MetricId {
@@ -148,6 +154,8 @@ impl MetricId {
             MetricId::ServePanicsContained => "serve_panics_contained",
             MetricId::AnytimeRounds => "anytime_rounds",
             MetricId::AnytimeImprovements => "anytime_improvements",
+            MetricId::FleetCompiles => "fleet_compiles",
+            MetricId::FleetMembersCompiled => "fleet_members_compiled",
         }
     }
 }

@@ -29,7 +29,7 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, RetryPolicy};
-pub use protocol::{CompileSpec, ErrorKind, Request};
+pub use protocol::{CompileSpec, ErrorKind, FleetSpec, Request};
 pub use server::{ServeReport, Server, ServerConfig, ServerHandle};
 
 use std::sync::Arc;
@@ -93,6 +93,58 @@ pub fn execute_spec(
     }
 }
 
+/// Executes one fleet request: compiles the program against every named
+/// registry device in parallel and replies with the members ranked by
+/// predicted fidelity. Deadlines and cancellation apply to the fleet as a
+/// whole — the budget/token is shared by every member, exactly as a
+/// single compile would see it. An empty ranking with at least one member
+/// failure is still an `ok` reply (the `failed` list tells the story);
+/// only a whole-fleet error (e.g. cancellation) maps to an error reply.
+pub fn execute_fleet_spec(
+    spec: &FleetSpec,
+    cache: Option<&Arc<CompileCache>>,
+    cancel: Option<CancelToken>,
+    budget: Option<Duration>,
+) -> Value {
+    if let Some(reason) = cancel.as_ref().and_then(|t| t.reason()) {
+        let err = match reason {
+            phoenix_core::CancelReason::Client => PhoenixError::Cancelled,
+            phoenix_core::CancelReason::Deadline => PhoenixError::DeadlineExceeded,
+        };
+        return protocol::compile_error_reply(spec.id, &err);
+    }
+    let mut options = PhoenixOptions {
+        pass_budget: budget,
+        anytime_rounds: budget.map(deepening_rounds),
+        cancel,
+        ..PhoenixOptions::default()
+    };
+    if let Some(lookahead) = spec.lookahead {
+        options.lookahead = lookahead;
+    }
+    let mut request = CompileRequest::new(spec.qubits, &spec.terms)
+        .options(options)
+        .obs(true);
+    if let Some(cache) = cache {
+        request = request.cache(cache);
+    }
+    match request.fleet(&spec.devices) {
+        Ok(outcome) => {
+            // A member abandoned by cancellation/deadline abandons the
+            // fleet reply too — a partial ranking under an expired deadline
+            // would be indistinguishable from a complete one.
+            if let Some((_, err)) = outcome.failed.iter().find(|(_, e)| {
+                matches!(e, PhoenixError::Cancelled | PhoenixError::DeadlineExceeded)
+            }) {
+                return protocol::compile_error_reply(spec.id, err);
+            }
+            let stats = cache.map(|c| c.stats());
+            protocol::fleet_ok_reply(spec.id, &outcome, stats.as_ref())
+        }
+        Err(err) => protocol::compile_error_reply(spec.id, &err),
+    }
+}
+
 /// Maps a request deadline onto an anytime deepening cap: the QoS tiers of
 /// `phoenixd`. Tighter deadlines get a shallower logical schedule — they
 /// would be wall-clock-truncated anyway, and capping the rounds makes the
@@ -147,6 +199,10 @@ pub fn serve_one_line(line: &str) -> String {
             let budget = spec.deadline_ms.map(Duration::from_millis);
             execute_spec(&spec, None, None, budget)
         }
+        Ok(Request::Fleet(spec)) => {
+            let budget = spec.deadline_ms.map(Duration::from_millis);
+            execute_fleet_spec(&spec, None, None, budget)
+        }
         Ok(Request::Ping { id }) => protocol::pong_reply(id),
         Ok(Request::Cancel { id }) => protocol::error_reply(
             Some(id),
@@ -181,6 +237,30 @@ mod tests {
         assert_eq!(v.get("id").unwrap().as_u64(), Some(1));
         assert!(v.get("gates").unwrap().as_u64().unwrap() > 0);
         assert!(v.get("metrics").is_some());
+    }
+
+    #[test]
+    fn serve_one_line_answers_a_fleet_frame_with_a_ranking() {
+        let reply = serve_one_line(
+            r#"{"op":"fleet","id":9,"qubits":4,"terms":[["ZZII",0.2],["IZZI",0.2],["IIZZ",0.2],["XIIX",0.1]],"devices":["line:5","grid:2x3","ion-trap:5","ring:5"]}"#,
+        );
+        let v: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"), "{reply}");
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(9));
+        let fleet = v.get("fleet").unwrap().as_array().unwrap();
+        assert_eq!(fleet.len(), 4);
+        let fidelities: Vec<f64> = fleet
+            .iter()
+            .map(|e| e.get("fidelity").unwrap().as_f64().unwrap())
+            .collect();
+        for pair in fidelities.windows(2) {
+            assert!(pair[0] >= pair[1], "reply not fidelity-ranked: {reply}");
+        }
+        for entry in fleet {
+            assert!(entry.get("device").unwrap().as_str().is_some());
+            assert!(entry.get("two_qubit").unwrap().as_u64().is_some());
+            assert!(entry.get("depth").unwrap().as_u64().is_some());
+        }
     }
 
     #[test]

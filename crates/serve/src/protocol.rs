@@ -14,6 +14,8 @@
 //! ```json
 //! {"op":"compile","id":1,"qubits":3,"terms":[["ZYY",0.1],["ZZY",0.1]],
 //!  "target":"cnot","deadline_ms":2000,"lookahead":20}
+//! {"op":"fleet","id":4,"qubits":3,"terms":[["ZYY",0.1]],
+//!  "devices":["line:4","grid:2x3","ion-trap:4"]}
 //! {"cancel": 1}
 //! {"op":"ping","id":2}
 //! {"op":"stats","id":3}
@@ -21,12 +23,17 @@
 //!
 //! Replies carry `"status":"ok"|"error"|"cancelling"|"pong"|"stats"`;
 //! error replies carry a machine-readable `"kind"` (see [`ErrorKind`]) and
-//! `Overloaded` additionally a `retry_after_ms` hint.
+//! `Overloaded` additionally a `retry_after_ms` hint. A `fleet` reply
+//! lists its members ranked by predicted fidelity.
+//!
+//! Hardware targets and fleet members name devices through the
+//! [`DeviceRegistry`]: `line:N`, `ring:N`, `grid:RxC`, `heavy-hex:RxL`,
+//! `ion-trap:N` (plus the fixed presets), with an optional
+//! `@cnot`/`@su4`/`@kak` native-ISA suffix.
 
 use phoenix_core::phoenix_cache::CacheStats;
-use phoenix_core::{CompileOutcome, PhoenixError, Target};
+use phoenix_core::{CompileOutcome, DeviceRegistry, FleetOutcome, PhoenixError, Target};
 use phoenix_pauli::PauliString;
-use phoenix_topology::CouplingGraph;
 use serde_json::Value;
 
 /// Default per-frame size bound (bytes), chosen to admit multi-thousand-term
@@ -107,11 +114,32 @@ pub struct CompileSpec {
     pub sabotage: Option<Sabotage>,
 }
 
+/// A fully parsed fleet request: one program, many registry devices.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Client-chosen request id; echoed in every reply frame.
+    pub id: u64,
+    /// Register width.
+    pub qubits: usize,
+    /// The Pauli program.
+    pub terms: Vec<(PauliString, f64)>,
+    /// The fleet members, built from registry specs at parse time so an
+    /// unknown device name fails fast with a line-numbered error.
+    pub devices: Vec<phoenix_core::Device>,
+    /// Wall-clock deadline, measured from admission.
+    pub deadline_ms: Option<u64>,
+    /// Ordering-lookahead override.
+    pub lookahead: Option<usize>,
+}
+
 /// A parsed request frame.
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Compile a program.
     Compile(CompileSpec),
+    /// Compile one program against a fleet of registry devices and rank
+    /// by predicted fidelity.
+    Fleet(FleetSpec),
     /// Abandon the in-flight compile with this id (same connection).
     Cancel {
         /// The id of the compile frame to abandon.
@@ -228,6 +256,54 @@ pub fn ok_reply(id: u64, outcome: &CompileOutcome, cache: Option<&CacheStats>) -
     obj(pairs)
 }
 
+/// The success reply for a fleet request: members ranked by predicted
+/// fidelity (best first), each with its circuit shape and routing cost,
+/// plus any members that failed to compile.
+pub fn fleet_ok_reply(id: u64, outcome: &FleetOutcome, cache: Option<&CacheStats>) -> Value {
+    let ranked: Vec<Value> = outcome
+        .ranked
+        .iter()
+        .map(|entry| {
+            let counts = entry.outcome.circuit.counts();
+            let swaps = entry
+                .outcome
+                .hardware
+                .as_ref()
+                .map_or(0, |hw| hw.num_swaps as u64);
+            obj(vec![
+                ("device", str_val(entry.device.name())),
+                ("fidelity", Value::Float(entry.fidelity)),
+                ("isa", str_val(entry.device.isa().name())),
+                ("two_qubit", int_val(counts.two_qubit() as u64)),
+                ("depth", int_val(entry.outcome.circuit.depth() as u64)),
+                ("swaps", int_val(swaps)),
+            ])
+        })
+        .collect();
+    let failed: Vec<Value> = outcome
+        .failed
+        .iter()
+        .map(|(name, err)| {
+            obj(vec![
+                ("device", str_val(name)),
+                ("error", str_val(&err.to_string())),
+            ])
+        })
+        .collect();
+    let mut pairs = vec![
+        ("id", int_val(id)),
+        ("status", str_val("ok")),
+        ("fleet", Value::Seq(ranked)),
+    ];
+    if !failed.is_empty() {
+        pairs.push(("failed", Value::Seq(failed)));
+    }
+    if let Some(stats) = cache {
+        pairs.push(("cache", cache_stats_value(stats)));
+    }
+    obj(pairs)
+}
+
 /// Maps a typed compile failure onto its wire reply.
 pub fn compile_error_reply(id: u64, err: &PhoenixError) -> Value {
     let kind = match err {
@@ -271,28 +347,37 @@ fn parse_target(value: Option<&Value>) -> Result<Target, String> {
         "cnot" => Ok(Target::Cnot),
         "su4" => Ok(Target::Su4),
         "cnot-kak" => Ok(Target::CnotViaKak),
-        other => parse_device(other)
-            .map(Target::Hardware)
-            .ok_or_else(|| format!("unknown target `{other}`")),
+        // Anything else is a device spec, resolved through the registry so
+        // unknown names and malformed sizes get its typed diagnostics.
+        spec => DeviceRegistry::new()
+            .build(spec)
+            .map(Target::Device)
+            .map_err(|e| format!("`target`: {e}")),
     }
 }
 
-/// Parses a device spec: `line:N`, `ring:N`, `grid:RxC`, `heavy-hex:RxL`.
-fn parse_device(spec: &str) -> Option<CouplingGraph> {
-    let (family, dims) = spec.split_once(':')?;
-    match family {
-        "line" => Some(CouplingGraph::line(dims.parse().ok()?)),
-        "ring" => Some(CouplingGraph::ring(dims.parse().ok()?)),
-        "grid" | "heavy-hex" => {
-            let (a, b) = dims.split_once('x')?;
-            let (a, b) = (a.parse().ok()?, b.parse().ok()?);
-            Some(match family {
-                "grid" => CouplingGraph::grid(a, b),
-                _ => CouplingGraph::heavy_hex(a, b),
-            })
-        }
-        _ => None,
+/// Parses the `devices` field of a fleet frame: a non-empty array of
+/// registry specs, each resolved through the [`DeviceRegistry`]. Errors
+/// name the offending entry (`devices[i]: ...`).
+fn parse_devices(value: Option<&Value>) -> Result<Vec<phoenix_core::Device>, String> {
+    let entries = value
+        .and_then(Value::as_array)
+        .ok_or("`devices` must be an array of device-spec strings")?;
+    if entries.is_empty() {
+        return Err("`devices` must name at least one device".to_string());
     }
+    let registry = DeviceRegistry::new();
+    let mut devices = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let spec = entry
+            .as_str()
+            .ok_or_else(|| format!("devices[{i}] must be a device-spec string"))?;
+        let device = registry
+            .build(spec)
+            .map_err(|e| format!("devices[{i}]: {e}"))?;
+        devices.push(device);
+    }
+    Ok(devices)
 }
 
 fn parse_terms(value: Option<&Value>) -> Result<Vec<(PauliString, f64)>, String> {
@@ -409,6 +494,36 @@ pub fn parse_request(frame: &str, line_no: u64) -> Result<Request, Value> {
                 sabotage,
             }))
         }
+        "fleet" => {
+            const ALLOWED: &[&str] = &[
+                "op",
+                "id",
+                "qubits",
+                "terms",
+                "devices",
+                "deadline_ms",
+                "lookahead",
+            ];
+            check_fields(&value, ALLOWED).map_err(|m| invalid(id, line_no, &m))?;
+            let id = id.ok_or_else(|| invalid(None, line_no, "missing `id`"))?;
+            let qubits = get_u64(&value, "qubits")
+                .ok_or_else(|| invalid(Some(id), line_no, "missing `qubits`"))?
+                as usize;
+            let terms =
+                parse_terms(value.get("terms")).map_err(|m| invalid(Some(id), line_no, &m))?;
+            let devices =
+                parse_devices(value.get("devices")).map_err(|m| invalid(Some(id), line_no, &m))?;
+            let lookahead = get_u64(&value, "lookahead").map(|l| l as usize);
+            let deadline_ms = get_u64(&value, "deadline_ms");
+            Ok(Request::Fleet(FleetSpec {
+                id,
+                qubits,
+                terms,
+                devices,
+                deadline_ms,
+                lookahead,
+            }))
+        }
         other => Err(invalid(id, line_no, &format!("unknown op `{other}`"))),
     }
 }
@@ -501,7 +616,66 @@ mod tests {
         let Request::Compile(spec) = r else {
             panic!("expected compile")
         };
-        assert!(matches!(spec.target, Target::Hardware(_)));
+        let Target::Device(dev) = spec.target else {
+            panic!("expected a registry device target")
+        };
+        assert_eq!(dev.name(), "line:4");
+        assert_eq!(dev.graph().num_qubits(), 4);
+    }
+
+    #[test]
+    fn parses_a_fleet_frame_with_registry_devices() {
+        let r = parse_request(
+            r#"{"op":"fleet","id":5,"qubits":3,"terms":[["ZZI",0.3]],
+                "devices":["line:4","grid:2x3","ion-trap:4","heavy-hex:1x2"]}"#,
+            1,
+        )
+        .unwrap();
+        let Request::Fleet(spec) = r else {
+            panic!("expected fleet")
+        };
+        assert_eq!(spec.id, 5);
+        assert_eq!(spec.devices.len(), 4);
+        assert_eq!(spec.devices[2].name(), "ion-trap:4");
+    }
+
+    #[test]
+    fn fleet_frames_reject_bad_devices_with_entry_and_line() {
+        let err = parse_request(
+            r#"{"op":"fleet","id":5,"qubits":3,"terms":[["ZZI",0.3]],
+                "devices":["line:4","torus:9"]}"#,
+            17,
+        )
+        .unwrap_err();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("invalid_request"));
+        assert_eq!(err.get("line").unwrap().as_u64(), Some(17));
+        let msg = err.get("message").unwrap().as_str().unwrap();
+        assert!(msg.contains("devices[1]"), "{msg}");
+        assert!(msg.contains("torus:9"), "{msg}");
+
+        let empty = parse_request(
+            r#"{"op":"fleet","id":5,"qubits":3,"terms":[["ZZI",0.3]],"devices":[]}"#,
+            1,
+        )
+        .unwrap_err();
+        assert!(empty
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("at least one device"));
+    }
+
+    #[test]
+    fn malformed_device_sizes_get_typed_messages() {
+        let err = parse_request(
+            r#"{"op":"compile","id":1,"qubits":2,"terms":[["ZZ",1.0]],"target":"grid:4"}"#,
+            3,
+        )
+        .unwrap_err();
+        let msg = err.get("message").unwrap().as_str().unwrap();
+        assert!(msg.contains("malformed device size"), "{msg}");
+        assert_eq!(err.get("line").unwrap().as_u64(), Some(3));
     }
 
     #[test]

@@ -40,7 +40,7 @@ use serde_json::Value;
 
 use crate::protocol::{
     self, cancelling_reply, error_reply, parse_request, pong_reply, render, CompileSpec, ErrorKind,
-    Request, DEFAULT_MAX_FRAME_BYTES,
+    FleetSpec, Request, DEFAULT_MAX_FRAME_BYTES,
 };
 
 /// Tuning knobs for a [`Server`].
@@ -109,10 +109,46 @@ impl Counters {
     }
 }
 
+/// The work payload of an admitted job: a single-device compile or a
+/// fleet compile. Admission control, deadlines, cancellation, and panic
+/// containment treat both identically.
+enum JobSpec {
+    Compile(CompileSpec),
+    Fleet(FleetSpec),
+}
+
+impl JobSpec {
+    fn id(&self) -> u64 {
+        match self {
+            JobSpec::Compile(s) => s.id,
+            JobSpec::Fleet(s) => s.id,
+        }
+    }
+
+    fn deadline_ms(&self) -> Option<u64> {
+        match self {
+            JobSpec::Compile(s) => s.deadline_ms,
+            JobSpec::Fleet(s) => s.deadline_ms,
+        }
+    }
+
+    fn execute(
+        &self,
+        cache: &Arc<CompileCache>,
+        cancel: CancelToken,
+        budget: Option<Duration>,
+    ) -> Value {
+        match self {
+            JobSpec::Compile(s) => crate::execute_spec(s, Some(cache), Some(cancel), budget),
+            JobSpec::Fleet(s) => crate::execute_fleet_spec(s, Some(cache), Some(cancel), budget),
+        }
+    }
+}
+
 /// An admitted compile job, queued for a worker.
 struct Job {
     conn: u64,
-    spec: CompileSpec,
+    spec: JobSpec,
     token: CancelToken,
     deadline: Option<Instant>,
     enqueued: Instant,
@@ -538,7 +574,8 @@ fn handle_frame(state: &ServerState, conn: u64, frame: &str, line_no: u64, tx: &
                 );
             }
         }
-        Request::Compile(spec) => admit(state, conn, spec, tx),
+        Request::Compile(spec) => admit(state, conn, JobSpec::Compile(spec), tx),
+        Request::Fleet(spec) => admit(state, conn, JobSpec::Fleet(spec), tx),
     }
 }
 
@@ -563,12 +600,12 @@ fn stats_reply(state: &ServerState, id: u64) -> Value {
 
 /// Admission control: reject during drain, shed when the queue is full,
 /// otherwise register the cancel token and enqueue.
-fn admit(state: &ServerState, conn: u64, spec: CompileSpec, tx: &Sender<String>) {
+fn admit(state: &ServerState, conn: u64, spec: JobSpec, tx: &Sender<String>) {
     if state.draining() {
         send(
             tx,
             error_reply(
-                Some(spec.id),
+                Some(spec.id()),
                 ErrorKind::ShuttingDown,
                 "server is draining; no new work admitted",
                 None,
@@ -579,7 +616,7 @@ fn admit(state: &ServerState, conn: u64, spec: CompileSpec, tx: &Sender<String>)
     }
     let now = Instant::now();
     let deadline = spec
-        .deadline_ms
+        .deadline_ms()
         .map(Duration::from_millis)
         .or(state.config.default_deadline)
         .map(|d| now + d);
@@ -593,7 +630,7 @@ fn admit(state: &ServerState, conn: u64, spec: CompileSpec, tx: &Sender<String>)
             send(
                 tx,
                 error_reply(
-                    Some(spec.id),
+                    Some(spec.id()),
                     ErrorKind::Overloaded,
                     "admission queue full; backing off",
                     None,
@@ -603,7 +640,7 @@ fn admit(state: &ServerState, conn: u64, spec: CompileSpec, tx: &Sender<String>)
             return;
         }
         state.lock_registry().insert(
-            (conn, spec.id),
+            (conn, spec.id()),
             InFlight {
                 token: token.clone(),
                 deadline,
@@ -678,7 +715,7 @@ fn worker_loop(state: &ServerState, current: &Mutex<Option<JobMeta>>) {
         state.record_wait(job.enqueued.elapsed().as_micros() as u64);
         *current.lock().unwrap_or_else(|e| e.into_inner()) = Some(JobMeta {
             conn: job.conn,
-            id: job.spec.id,
+            id: job.spec.id(),
             reply: job.reply.clone(),
         });
         // An expired deadline fires the token *here*, deterministically,
@@ -689,19 +726,16 @@ fn worker_loop(state: &ServerState, current: &Mutex<Option<JobMeta>>) {
             }
         }
         #[cfg(feature = "sabotage")]
-        if job.spec.sabotage == Some(protocol::Sabotage::Worker) {
-            panic!("sabotage: injected worker panic");
+        if let JobSpec::Compile(spec) = &job.spec {
+            if spec.sabotage == Some(protocol::Sabotage::Worker) {
+                panic!("sabotage: injected worker panic");
+            }
         }
         let budget = job
             .deadline
             .map(|d| d.saturating_duration_since(Instant::now()));
         let started = Instant::now();
-        let reply = crate::execute_spec(
-            &job.spec,
-            Some(&state.cache),
-            Some(job.token.clone()),
-            budget,
-        );
+        let reply = job.spec.execute(&state.cache, job.token.clone(), budget);
         state.observe_job_time(started.elapsed());
         match reply.get("kind").and_then(Value::as_str) {
             Some("cancelled") => {
@@ -714,7 +748,7 @@ fn worker_loop(state: &ServerState, current: &Mutex<Option<JobMeta>>) {
         }
         Counters::bump(&state.counters.completed);
         send(&job.reply, reply);
-        state.lock_registry().remove(&(job.conn, job.spec.id));
+        state.lock_registry().remove(&(job.conn, job.spec.id()));
         *current.lock().unwrap_or_else(|e| e.into_inner()) = None;
     }
 }

@@ -369,6 +369,48 @@ fn cancelling_mid_deepening_returns_the_best_so_far() {
 }
 
 #[test]
+fn fleet_frames_return_a_fidelity_ranked_listing_end_to_end() {
+    let (handle, addr, join) = start_server(ServerConfig::default());
+    let mut client = connect(addr);
+    let frame = concat!(
+        r#"{"op":"fleet","id":41,"qubits":4,"#,
+        r#""terms":[["ZZII",0.2],["IZZI",0.2],["IIZZ",0.2],["XIIX",0.1],["IYYI",0.15]],"#,
+        r#""devices":["line:5","grid:2x3","ion-trap:5","ring:5"]}"#
+    );
+    let reply = client.request(41, frame).unwrap();
+    assert_eq!(status(&reply), "ok", "reply: {reply:?}");
+    let ranked = reply.get("fleet").and_then(Value::as_array).unwrap();
+    assert_eq!(ranked.len(), 4, "reply: {reply:?}");
+    let fidelities: Vec<f64> = ranked
+        .iter()
+        .map(|e| e.get("fidelity").and_then(Value::as_f64).unwrap())
+        .collect();
+    for pair in fidelities.windows(2) {
+        assert!(pair[0] >= pair[1], "fleet reply not fidelity-ranked");
+    }
+    for entry in ranked {
+        assert!(entry.get("device").and_then(Value::as_str).is_some());
+        assert!(entry.get("two_qubit").and_then(Value::as_u64).is_some());
+        assert!(entry.get("depth").and_then(Value::as_u64).is_some());
+    }
+    // The same fleet again: the members share one cached program structure.
+    let again = client
+        .request(42, &frame.replace("\"id\":41", "\"id\":42"))
+        .unwrap();
+    assert_eq!(status(&again), "ok");
+    let hits = again
+        .get("cache")
+        .and_then(|c| c.get("program_hits"))
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(hits >= 1, "expected a program cache hit, got {hits}");
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.admitted, 2);
+    assert_eq!(report.completed, 2);
+}
+
+#[test]
 fn stats_frames_snapshot_the_server_counters() {
     let (handle, addr, join) = start_server(ServerConfig::default());
     let mut client = connect(addr);

@@ -1,10 +1,15 @@
 //! `phoenixc` — command-line driver for the PHOENIX compiler.
 //!
 //! ```text
-//! phoenixc compile --input program.txt [--isa cnot|su4] [--topology all|heavyhex|line:N|grid:RxC]
+//! phoenixc compile --input program.txt [--isa cnot|su4] [--topology all|<device-spec>]
 //!                  [--qasm out.qasm] [--no-simplify] [--no-order] [--lookahead K]
 //! phoenixc demo uccsd|qaoa
 //! ```
+//!
+//! Device specs are resolved through the [`DeviceRegistry`]: `line:N`,
+//! `ring:N`, `grid:RxC`, `heavy-hex:RxL`, `ion-trap:N`, or a preset name
+//! (`falcon27`, `manhattan65`, `eagle127`), optionally with an `@isa`
+//! suffix (`@cnot`, `@su4`, `@kak`).
 //!
 //! Program files list one Pauli exponentiation per line as
 //! `<coefficient> <pauli string>` after a `qubits <n>` header; `#` starts a
@@ -16,12 +21,11 @@
 //! -0.34 ZZY
 //! ```
 
-use phoenix::circuit::{qasm, Circuit};
+use phoenix::circuit::qasm;
 use phoenix::core::phoenix_obs::perfetto;
-use phoenix::core::{CompileRequest, PhoenixOptions, Target};
+use phoenix::core::{CompileRequest, Device, DeviceRegistry, PhoenixOptions, Target};
 use phoenix::hamil::{qaoa, uccsd, Molecule};
 use phoenix::pauli::PauliString;
-use phoenix::topology::CouplingGraph;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -47,11 +51,16 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  phoenixc compile --input <file> [--isa cnot|su4] [--topology all|heavyhex|line:N|grid:RxC]
+  phoenixc compile --input <file> [--isa cnot|su4] [--topology all|<device-spec>]
                    [--qasm <out.qasm>] [--no-simplify] [--no-order] [--lookahead K]
                    [--obs [--obs-trace <out.json>]]
   phoenixc demo uccsd|qaoa
   phoenixc --serve-stdin
+
+  device specs resolve through the registry: line:N, ring:N, grid:RxC,
+  heavy-hex:RxL, ion-trap:N, or a preset (falcon27, manhattan65,
+  eagle127), optionally with an @isa suffix (@cnot, @su4, @kak).
+  'heavyhex' is accepted as an alias for manhattan65.
 
   --obs prints a compile report (per-pass timing, gate/depth deltas,
   stage-2 groups, metrics) to stderr; --obs-trace additionally writes a
@@ -126,10 +135,9 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             if isa != "cnot" && isa != "su4" {
                 return Err(format!("unknown isa '{isa}'"));
             }
-            Target::Hardware(parse_topology(spec, n)?)
+            Target::Device(parse_device(spec, &isa, via_kak)?)
         }
     };
-    let hardware = matches!(target, Target::Hardware(_));
     let outcome = CompileRequest::new(n, &terms)
         .options(options)
         .target(target)
@@ -154,11 +162,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             eprintln!("wrote {path}");
         }
     }
-    let circuit: Circuit = if hardware && isa == "su4" {
-        phoenix::circuit::rebase::to_su4(&outcome.circuit)
-    } else {
-        outcome.circuit
-    };
+    let circuit = outcome.circuit;
     let k = circuit.counts();
     println!(
         "compiled: {} gates | {} CNOT | {} SU(4) | depth {} | 2Q depth {}",
@@ -193,9 +197,11 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         }
         Some("qaoa") => {
             let h = qaoa::benchmark(qaoa::QaoaKind::Reg3, 16, 7);
-            let device = CouplingGraph::manhattan65();
+            let device = DeviceRegistry::new()
+                .build("manhattan65")
+                .map_err(|e| e.to_string())?;
             let hw = CompileRequest::new(h.num_qubits(), h.terms())
-                .target(Target::Hardware(device))
+                .target(Target::Device(device))
                 .run()
                 .map_err(|e| e.to_string())?
                 .hardware
@@ -252,23 +258,27 @@ fn parse_program(text: &str) -> Result<(usize, Vec<(PauliString, f64)>), String>
     Ok((n.ok_or("missing 'qubits N' header")?, terms))
 }
 
-fn parse_topology(spec: &str, n: usize) -> Result<CouplingGraph, String> {
-    match spec {
-        "heavyhex" => Ok(CouplingGraph::manhattan65()),
-        s if s.starts_with("line:") => {
-            let k: usize = s[5..].parse().map_err(|e| format!("bad line size: {e}"))?;
-            Ok(CouplingGraph::line(k))
+/// Resolves a `--topology` spec through the [`DeviceRegistry`], honoring
+/// `--isa`/`--via-kak` when the spec carries no `@isa` suffix of its own.
+fn parse_device(spec: &str, isa: &str, via_kak: bool) -> Result<Device, String> {
+    // Legacy alias from the pre-registry CLI surface.
+    let spec = if spec == "heavyhex" {
+        "manhattan65"
+    } else {
+        spec
+    };
+    let spec = if spec.contains('@') {
+        spec.to_string()
+    } else {
+        match (isa, via_kak) {
+            ("su4", _) => format!("{spec}@su4"),
+            ("cnot", true) => format!("{spec}@kak"),
+            _ => format!("{spec}@cnot"),
         }
-        s if s.starts_with("grid:") => {
-            let (r, c) = s[5..].split_once('x').ok_or("grid spec is grid:RxC")?;
-            let r: usize = r.parse().map_err(|e| format!("bad grid rows: {e}"))?;
-            let c: usize = c.parse().map_err(|e| format!("bad grid cols: {e}"))?;
-            Ok(CouplingGraph::grid(r, c))
-        }
-        other => Err(format!(
-            "unknown topology '{other}' (program has {n} qubits)"
-        )),
-    }
+    };
+    DeviceRegistry::new()
+        .build(&spec)
+        .map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -291,10 +301,20 @@ mod tests {
     }
 
     #[test]
-    fn parse_topology_specs() {
-        assert_eq!(parse_topology("line:5", 3).unwrap().num_qubits(), 5);
-        assert_eq!(parse_topology("grid:2x3", 3).unwrap().num_qubits(), 6);
-        assert_eq!(parse_topology("heavyhex", 3).unwrap().num_qubits(), 65);
-        assert!(parse_topology("torus", 3).is_err());
+    fn parse_device_specs() {
+        use phoenix::core::NativeIsa;
+        let line = parse_device("line:5", "cnot", false).unwrap();
+        assert_eq!(line.graph().num_qubits(), 5);
+        assert_eq!(line.isa(), NativeIsa::Cnot);
+        let grid = parse_device("grid:2x3", "su4", false).unwrap();
+        assert_eq!(grid.graph().num_qubits(), 6);
+        assert_eq!(grid.isa(), NativeIsa::Su4);
+        let hex = parse_device("heavyhex", "cnot", true).unwrap();
+        assert_eq!(hex.graph().num_qubits(), 65);
+        assert_eq!(hex.isa(), NativeIsa::CnotViaKak);
+        // An explicit @isa suffix on the spec wins over --isa.
+        let pinned = parse_device("ring:4@su4", "cnot", false).unwrap();
+        assert_eq!(pinned.isa(), NativeIsa::Su4);
+        assert!(parse_device("torus:9", "cnot", false).is_err());
     }
 }
